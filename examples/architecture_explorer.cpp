@@ -1,0 +1,51 @@
+// Architecture exploration walkthrough: the designer loop of the paper's
+// Figure 1 — pick directives, synthesize, inspect the reports (summary,
+// Gantt chart, bill of materials, critical path), repeat. Runs the full
+// Table 1 set plus the extended exploration set and then deep-dives one
+// architecture chosen on the command line.
+//
+// Usage: architecture_explorer [arch-name]     (default: merge+U2)
+#include <cstdio>
+#include <cstring>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsw;
+  const char* pick = argc > 1 ? argv[1] : "merge+U2";
+
+  const auto tech = hls::TechLibrary::asic90();
+  const auto ir = qam::build_qam_decoder_ir();
+  const auto archs = qam::exploration_architectures();
+
+  std::printf("Exploring %zu architectures of qam_decoder (clock 10 ns, "
+              "%s)\n\n",
+              archs.size(), tech.name.c_str());
+  std::printf("%-14s %8s %10s %10s\n", "name", "cycles", "rate Mbps",
+              "area gates");
+  for (const auto& a : archs) {
+    const auto r = hls::run_synthesis(ir, a.dir, tech);
+    std::printf("%-14s %8d %10.2f %10.0f%s\n", a.name.c_str(),
+                r.latency_cycles(), r.data_rate_mbps(6), r.area.total,
+                a.name == pick ? "   <-- detailed below" : "");
+  }
+
+  for (const auto& a : archs) {
+    if (a.name != pick) continue;
+    const auto r = hls::run_synthesis(ir, a.dir, tech);
+    std::printf("\n%s\n", std::string(72, '=').c_str());
+    std::printf("Detailed reports for '%s' (%s)\n", a.name.c_str(),
+                a.description.c_str());
+    std::printf("%s\n", std::string(72, '=').c_str());
+    std::printf("\n%s\n", hls::synthesis_summary(r, tech).c_str());
+    std::printf("%s\n", hls::bill_of_materials(r).c_str());
+    std::printf("%s\n", hls::critical_path_report(r, tech).c_str());
+    std::printf("%s\n", hls::gantt_chart(r).c_str());
+    return 0;
+  }
+  std::printf("\nno architecture named '%s'; pass one of the names above\n",
+              pick);
+  return 1;
+}

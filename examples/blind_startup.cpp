@@ -1,0 +1,93 @@
+// Blind receiver startup — the two pieces the paper's section 4 leaves out
+// ("we have not implemented details of how the training sequence is
+// generated or blind adaptation is performed"), composed end to end:
+//
+//   1. CMA blind equalization opens the eye with zero training symbols
+//      (modulus dispersion drops by an order of magnitude);
+//   2. a decision-directed carrier phase loop removes CMA's arbitrary
+//      rotation;
+//   3. decision-directed sign-LMS takes over and tracks.
+//
+// Usage: blind_startup [snr_db]   (default 34)
+#include <cstdio>
+#include <cstdlib>
+
+#include "dsp/channel.h"
+#include "dsp/lms.h"
+#include "dsp/metrics.h"
+#include "dsp/phase.h"
+#include "dsp/prbs.h"
+#include "dsp/qam.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsw::dsp;
+  QamConstellation qam(64);
+  const double r2 = cma_r2(64);
+
+  ChannelConfig ccfg;
+  ccfg.taps = {{1.10, 0.0}, {1.06, 0.0}, {0.08, 0.05}, {-0.04, 0.02}};
+  ccfg.snr_db = argc > 1 ? std::atof(argv[1]) : 34.0;
+  ccfg.symbol_energy = qam.average_energy();
+  MultipathChannel ch(ccfg);
+  Prbs prbs(Prbs::kPrbs15, 0x155);
+
+  const int taps = 8;
+  std::vector<std::complex<double>> c(taps, {0, 0});
+  c[taps / 2] = {0.45, 0};
+  std::vector<std::complex<double>> line(taps, {0, 0});
+  CarrierPhaseLoop phase;
+
+  std::printf("64-QAM blind startup at %.0f dB SNR (no training symbols)\n\n",
+              ccfg.snr_db);
+
+  auto step = [&](bool adapt_cma, bool adapt_dd, double mu) {
+    const auto pt = qam.map(prbs.next_word(6));
+    const auto pair = ch.send(pt);
+    for (int k = taps - 1; k >= 2; --k) line[static_cast<size_t>(k)] =
+        line[static_cast<size_t>(k - 2)];
+    line[0] = pair.s0;
+    line[1] = pair.s1;
+    std::complex<double> y{0, 0};
+    for (int k = 0; k < taps; ++k)
+      y += c[static_cast<size_t>(k)] * line[static_cast<size_t>(k)];
+    if (adapt_cma) adapt_taps(AdaptAlgo::kLms, c, line, cma_error(y, r2), mu);
+    const auto yc = phase.correct(y);
+    const auto dec = qam.slice_point(yc);
+    if (adapt_dd) {
+      phase.update(yc, dec);
+      // Rotate the decision error back into the equalizer's frame.
+      const auto e =
+          (dec - yc) * std::exp(std::complex<double>(0, phase.theta()));
+      adapt_taps(AdaptAlgo::kSignLms, c, line, e, mu);
+    }
+    return std::make_pair(y, yc);
+  };
+
+  // Phase 1: CMA only.
+  double disp = 0;
+  int cnt = 0;
+  for (int n = 0; n < 40000; ++n) {
+    const auto [y, yc] = step(true, false, 0.05);
+    if (n >= 38000) {
+      const double d = std::norm(y) - r2;
+      disp += d * d;
+      ++cnt;
+    }
+  }
+  std::printf("phase 1 (CMA, 40k symbols): modulus dispersion %.5f\n",
+              disp / cnt);
+
+  // Phase 2+3: carrier phase + decision-directed tracking.
+  MseTracker mse(0.02, 2000);
+  for (int n = 0; n < 20000; ++n) {
+    const auto [y, yc] = step(false, true, 1.0 / 256);
+    (void)y;
+    mse.update(qam.slice_point(yc) - yc);
+  }
+  std::printf("phase 2 (DD + carrier loop, 20k symbols): residual MSE %.1f "
+              "dB, theta %.3f rad\n",
+              mse.windowed_mse_db(), phase.theta());
+  std::printf("\n(decision MSE well below the -22 dB slicer margin means the "
+              "blind chain closed without a single training symbol)\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Using the HLS engine on your own algorithm: a 16-tap real FIR with
+// coefficients in ROM-like registers, captured with the builder API,
+// synthesized at three architectures, verified by executing the IR, and
+// emitted as Verilog. Demonstrates the library as a general C-based
+// hardware design flow, independent of the paper's case study.
+#include <cstdio>
+#include <random>
+
+#include "hls/bitwidth_pass.h"
+#include "hls/builder.h"
+#include "hls/interp.h"
+#include "hls/report.h"
+#include "rtl/sim.h"
+#include "rtl/verilog.h"
+
+namespace {
+
+using namespace hlsw;
+using hls::fx;
+using hls::PortDir;
+
+// y = sum c[k] * x[k] over a 16-deep delay line, one new sample per call.
+hls::Function make_fir16() {
+  hls::FunctionBuilder fb("fir16");
+  const int x_in = fb.add_var("x_in", fx(12, 0), false, PortDir::kIn);
+  const int y = fb.add_var("y", fx(16, 2), false, PortDir::kOut);
+  const int line = fb.add_array("line", 16, fx(12, 0), true);
+  const int coef = fb.add_array("coef", 16, fx(12, 0), true);
+  {
+    auto b = fb.block("in");
+    b.array_write(line, {0, 0}, b.var_read(x_in));
+    b.var_write(y, b.cnst(fx(16, 2), 0.0));
+  }
+  {
+    auto l = fb.loop("mac", 16);
+    const int p = l.mul(l.array_read(line, {1, 0}), l.array_read(coef, {1, 0}));
+    l.var_write(y, l.add(l.var_read(y), p));
+  }
+  {
+    // shift the delay line: line[k+1] = line[k], descending.
+    auto l = fb.loop("shift", 15);
+    l.array_write(line, {-1, 15}, l.array_read(line, {-1, 14}));
+  }
+  return fb.build();
+}
+
+}  // namespace
+
+int main() {
+  const hls::Function fir = make_fir16();
+  const auto tech = hls::TechLibrary::asic90();
+
+  std::printf("custom design: 16-tap FIR captured with the builder API\n\n");
+  std::printf("%s\n", fir.dump().c_str());
+
+  struct Config {
+    const char* name;
+    hls::Directives dir;
+  };
+  Config cfgs[3];
+  cfgs[0].name = "sequential";
+  cfgs[1].name = "merged+U4";
+  cfgs[1].dir.merge_groups = {{"mac", "shift"}};
+  cfgs[1].dir.loops["mac"].unroll = 4;
+  cfgs[1].dir.loops["shift"].unroll = 4;
+  cfgs[2].name = "pipelined(4ns)";
+  cfgs[2].dir.clock_period_ns = 4.0;
+  cfgs[2].dir.loops["mac"].pipeline_ii = 1;
+
+  for (const auto& c : cfgs) {
+    const auto r = hls::run_synthesis(fir, c.dir, tech);
+    std::printf("%-15s latency %3d cycles @%.1f ns = %4.0f ns, area %.0f "
+                "gates",
+                c.name, r.latency_cycles(), r.schedule.clock_ns,
+                r.latency_ns(), r.area.total);
+    for (const auto& w : r.warnings) std::printf("\n  ! %s", w.c_str());
+    std::printf("\n");
+  }
+
+  // Verify the merged+U4 hardware against the transformed IR (the engine's
+  // guarantee). Note the merge warning above: mac+shift merging reorders
+  // the delay-line accesses, so the merged design is intentionally NOT
+  // bit-equivalent to the sequential source — the engine reports it.
+  const auto rs = hls::run_synthesis(fir, cfgs[1].dir, tech);
+  hls::Interpreter golden(rs.transformed);
+  rtl::Simulator sim(rs.transformed, rs.schedule);
+  // Preload matching coefficients (lowpass-ish ramp).
+  std::vector<hls::FxValue> coefs(16);
+  for (int k = 0; k < 16; ++k) {
+    coefs[static_cast<size_t>(k)].fw = 12;
+    coefs[static_cast<size_t>(k)].re = 64 + 8 * k;
+  }
+  golden.set_array_state("coef", coefs);
+  sim.set_array_state("coef", coefs);
+  std::mt19937_64 rng(42);
+  bool all_match = true;
+  for (int n = 0; n < 200; ++n) {
+    hls::PortIo io;
+    hls::FxValue v;
+    v.fw = 12;
+    v.re = static_cast<int>(rng() % 4096) - 2048;
+    io.vars["x_in"] = v;
+    const auto a = golden.run(io);
+    const auto b = sim.run(io);
+    all_match &= a.vars.at("y") == b.vars.at("y");
+  }
+  std::printf("\nmerged+U4 RTL simulation vs its scheduled-IR model over 200 "
+              "samples: %s\n",
+              all_match ? "bit-exact" : "MISMATCH");
+
+  // Bitwidth reduction on the design.
+  hls::Function narrowed = fir;
+  const auto red = hls::reduce_bitwidths(&narrowed);
+  std::printf("bitwidth pass: %zu widths narrowed, %lld bits saved\n",
+              red.reductions.size(), red.bits_saved);
+
+  // And the RTL hand-off.
+  const std::string v = rtl::emit_verilog(rs.transformed, rs.schedule);
+  std::printf("generated %zu bytes of Verilog (module fir16)\n", v.size());
+  return 0;
+}

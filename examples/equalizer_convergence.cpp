@@ -1,0 +1,78 @@
+// Link-level simulation of the Figure 3 system: trains the adaptive
+// FFE+DFE over a multipath channel, prints the MSE learning curve, then
+// switches to decision-directed tracking and reports SER — first in
+// floating point, then on the bit-accurate fixed-point decoder.
+//
+// Usage: equalizer_convergence [snr_db]     (default 36)
+#include <cstdio>
+#include <cstdlib>
+
+#include "dsp/metrics.h"
+#include "qam/decoder_fixed.h"
+#include "qam/link.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsw;
+  qam::LinkConfig cfg;
+  if (argc > 1) cfg.channel.snr_db = std::atof(argv[1]);
+
+  std::printf("64-QAM over T/2 multipath (%zu taps), SNR %.1f dB, sign-LMS "
+              "mu = 2^-8\n\n",
+              cfg.channel.taps.size(), cfg.channel.snr_db);
+
+  // --- Training (float reference) -----------------------------------------
+  qam::LinkStimulus stim(cfg);
+  qam::QamDecoderFloat dec;
+  dsp::MseTracker mse(0.05, 256);
+  std::vector<std::complex<double>> sent;
+  std::printf("training (known symbols):\n  %-8s %s\n", "symbol", "MSE dB");
+  for (int n = 0; n < 8000; ++n) {
+    const qam::LinkSample s = stim.next();
+    sent.push_back(s.point);
+    const std::complex<double>* tr =
+        static_cast<int>(sent.size()) > cfg.decision_delay
+            ? &sent[sent.size() - 1 - static_cast<size_t>(cfg.decision_delay)]
+            : nullptr;
+    dec.decode(s.s0, s.s1, tr);
+    mse.update(dec.last_error());
+    if (n == 100 || n == 500 || n == 1000 || n == 2000 || n == 4000 ||
+        n == 7999)
+      std::printf("  %-8d %6.1f\n", n, mse.windowed_mse_db());
+  }
+
+  // --- Decision-directed tracking: float vs fixed --------------------------
+  dsp::ErrorCounter ef, ex;
+  qam::QamDecoderFixed<> fx;
+  for (int k = 0; k < 8; ++k)
+    fx.set_ffe_coeff(k, qam::quantize_coeff<10>(dec.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    fx.set_dfe_coeff(k, qam::quantize_coeff<10>(dec.dfe_coeff(k)));
+
+  const int track = 30000;
+  for (int n = 0; n < track; ++n) {
+    const qam::LinkSample s = stim.next();
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    const int got_f = dec.decode(s.s0, s.s1);
+    const qam::QamDecoderFixed<>::input_type x_in[2] = {
+        {fixpt::fixed<10, 0>::from_raw(
+             fixpt::wide_int<10>(static_cast<long long>(s.q0.re))),
+         fixpt::fixed<10, 0>::from_raw(
+             fixpt::wide_int<10>(static_cast<long long>(s.q0.im)))},
+        {fixpt::fixed<10, 0>::from_raw(
+             fixpt::wide_int<10>(static_cast<long long>(s.q1.re))),
+         fixpt::fixed<10, 0>::from_raw(
+             fixpt::wide_int<10>(static_cast<long long>(s.q1.im)))}};
+    fixpt::wide_int<6, false> word;
+    fx.decode(x_in, &word);
+    if (want >= 0 && n > 16) {
+      ef.update(want, got_f, 6);
+      ex.update(want, static_cast<int>(word.to_uint64()), 6);
+    }
+  }
+  std::printf("\ndecision-directed tracking over %d symbols:\n", track);
+  std::printf("  float reference : SER %.3e  BER %.3e\n", ef.ser(), ef.ber());
+  std::printf("  fixed (10-bit)  : SER %.3e  BER %.3e\n", ex.ser(), ex.ber());
+  std::printf("\n(at 30 dB and below the waterfall emerges; try "
+              "`equalizer_convergence 22`)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// RTL generation: synthesize an architecture of the paper's decoder and
+// emit the synthesizable Verilog module (the flow's hand-off to RTL
+// synthesis / FPGA prototyping).
+//
+// Usage: verilog_codegen [arch-name] [output.v]
+//        (defaults: merge, stdout)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "rtl/verilog.h"
+
+int main(int argc, char** argv) {
+  using namespace hlsw;
+  const std::string pick = argc > 1 ? argv[1] : "merge";
+
+  for (const auto& a : qam::exploration_architectures()) {
+    if (a.name != pick) continue;
+    const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), a.dir,
+                                      hls::TechLibrary::asic90());
+    rtl::VerilogOptions opts;
+    opts.module_name = "qam_decoder";
+    const std::string v = rtl::emit_verilog(r.transformed, r.schedule, opts);
+    if (argc > 2) {
+      std::ofstream out(argv[2]);
+      out << v;
+      std::fprintf(stderr,
+                   "wrote %zu bytes of Verilog for '%s' (%d cycles, %.0f "
+                   "gates) to %s\n",
+                   v.size(), pick.c_str(), r.latency_cycles(), r.area.total,
+                   argv[2]);
+    } else {
+      std::cout << v;
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "no architecture named '%s'\n", pick.c_str());
+  return 1;
+}

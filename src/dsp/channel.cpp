@@ -1,0 +1,74 @@
+#include "dsp/channel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hlsw::dsp {
+
+GaussianNoise::GaussianNoise(uint64_t seed, double sigma)
+    : state_(seed ? seed : 0x9E3779B97F4A7C15ULL), sigma_(sigma) {}
+
+double GaussianNoise::uniform01() {
+  // xorshift64* — deterministic across platforms.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
+  return (static_cast<double>(r >> 11) + 0.5) * 0x1.0p-53;
+}
+
+double GaussianNoise::next() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_ * sigma_;
+  }
+  const double u1 = uniform01(), u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  have_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2) * sigma_;
+}
+
+std::complex<double> GaussianNoise::next_complex() {
+  const double re = next();
+  const double im = next();
+  return {re, im};
+}
+
+MultipathChannel::MultipathChannel(const ChannelConfig& cfg)
+    : cfg_(cfg),
+      line_(cfg.taps.size() + 2, {0, 0}),
+      noise_(cfg.noise_seed),
+      noise_sigma_(0) {
+  assert(!cfg_.taps.empty());
+  // Per-sample complex noise sigma from the per-symbol SNR: a symbol spans
+  // two T/2 samples; noise power splits evenly between the I and Q rails.
+  const double snr_lin = std::pow(10.0, cfg_.snr_db / 10.0);
+  const double noise_power = cfg_.symbol_energy / snr_lin;
+  noise_sigma_ = std::sqrt(noise_power / 2.0);
+  noise_.set_sigma(noise_sigma_);
+}
+
+MultipathChannel::SamplePair MultipathChannel::send(
+    std::complex<double> symbol) {
+  auto push_and_filter = [&](std::complex<double> x) {
+    for (std::size_t k = line_.size() - 1; k > 0; --k) line_[k] = line_[k - 1];
+    line_[0] = x;
+    std::complex<double> acc{0, 0};
+    for (std::size_t k = 0; k < cfg_.taps.size(); ++k)
+      acc += cfg_.taps[k] * line_[k];
+    return acc + noise_.next_complex();
+  };
+  SamplePair out;
+  // T/2 upsampling: the symbol occupies the first half-period sample, zero
+  // the second (impulse train through the T/2-spaced channel response).
+  out.s0 = push_and_filter(symbol);
+  out.s1 = push_and_filter({0, 0});
+  return out;
+}
+
+void MultipathChannel::reset() {
+  std::fill(line_.begin(), line_.end(), std::complex<double>{0, 0});
+}
+
+}  // namespace hlsw::dsp

@@ -1,0 +1,108 @@
+// Floating-point reference model of the paper's equalized QAM decoder
+// (Figure 3): a T/2-spaced feed-forward equalizer (FFE), a 64-QAM slicer,
+// and a T-spaced decision feedback equalizer (DFE), with sign-LMS (or any
+// AdaptAlgo) coefficient adaptation driven by the slicer error.
+//
+// This is the "MATLAB/C floating-point" stage of the paper's design flow
+// (Figure 1). The bit-accurate fixed-point model lives in qam/decoder_fixed.h
+// and is validated against this reference in tests and benches.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <vector>
+
+#include "dsp/lms.h"
+#include "dsp/qam.h"
+
+namespace hlsw::dsp {
+
+struct EqualizerConfig {
+  int ffe_taps = 8;   // T/2 spaced: consumes 2 samples per symbol
+  int dfe_taps = 16;  // T spaced: over past decisions
+  double mu_ffe = 1.0 / 256;  // pow(2,-8), as in Figure 4
+  double mu_dfe = 1.0 / 256;
+  AdaptAlgo algo = AdaptAlgo::kSignLms;
+  int qam = 64;
+  QamMapping mapping = QamMapping::kGray;
+};
+
+struct EqualizerOutput {
+  int symbol = 0;                     // decided symbol index
+  std::complex<double> y;             // equalizer output (slicer input)
+  std::complex<double> decision;      // sliced constellation point
+  std::complex<double> error;         // decision - y
+};
+
+class DfeEqualizer {
+ public:
+  explicit DfeEqualizer(const EqualizerConfig& cfg)
+      : cfg_(cfg),
+        constellation_(cfg.qam, cfg.mapping),
+        x_(cfg.ffe_taps, {0, 0}),
+        sv_(cfg.dfe_taps, {0, 0}),
+        ffe_c_(cfg.ffe_taps, {0, 0}),
+        dfe_c_(cfg.dfe_taps, {0, 0}) {
+    assert(cfg.ffe_taps >= 2 && cfg.ffe_taps % 2 == 0);
+    assert(cfg.dfe_taps >= 1);
+    // Standard cold start: center-tap initialization of the FFE so the
+    // filter begins as a (delayed) pass-through.
+    ffe_c_[cfg.ffe_taps / 2] = {1.0, 0.0};
+  }
+
+  const QamConstellation& constellation() const { return constellation_; }
+  const std::vector<std::complex<double>>& ffe_coeffs() const { return ffe_c_; }
+  const std::vector<std::complex<double>>& dfe_coeffs() const { return dfe_c_; }
+
+  // Processes one symbol period: two new T/2-spaced input samples, returns
+  // the decision. If `training` is non-null it points at the known
+  // transmitted constellation point; adaptation then uses the true symbol
+  // (training mode) instead of the decision (decision-directed mode).
+  EqualizerOutput step(std::complex<double> in0, std::complex<double> in1,
+                       const std::complex<double>* training = nullptr) {
+    // Shift two new samples into the T/2 delay line (Figure 4: x[0], x[1]).
+    for (int k = cfg_.ffe_taps - 1; k >= 2; --k) x_[k] = x_[k - 2];
+    x_[0] = in0;
+    x_[1] = in1;
+
+    std::complex<double> yffe{0, 0};
+    for (int k = 0; k < cfg_.ffe_taps; ++k) yffe += x_[k] * ffe_c_[k];
+    std::complex<double> ydfe{0, 0};
+    for (int k = 0; k < cfg_.dfe_taps; ++k) ydfe += sv_[k] * dfe_c_[k];
+    const std::complex<double> y = yffe - ydfe;
+
+    EqualizerOutput out;
+    out.y = y;
+    const std::complex<double> ref =
+        training ? *training : constellation_.slice_point(y);
+    out.decision = ref;
+    out.symbol = training ? constellation_.slice(ref) : constellation_.slice(y);
+    out.error = ref - y;
+
+    adapt_taps(cfg_.algo, ffe_c_, x_, out.error, cfg_.mu_ffe, +1.0);
+    adapt_taps(cfg_.algo, dfe_c_, sv_, out.error, cfg_.mu_dfe, -1.0);
+
+    // DFE feedback shift: newest decision enters the line.
+    for (int k = cfg_.dfe_taps - 1; k >= 1; --k) sv_[k] = sv_[k - 1];
+    sv_[0] = ref;
+    return out;
+  }
+
+  void reset() {
+    std::fill(x_.begin(), x_.end(), std::complex<double>{0, 0});
+    std::fill(sv_.begin(), sv_.end(), std::complex<double>{0, 0});
+    std::fill(ffe_c_.begin(), ffe_c_.end(), std::complex<double>{0, 0});
+    std::fill(dfe_c_.begin(), dfe_c_.end(), std::complex<double>{0, 0});
+    ffe_c_[cfg_.ffe_taps / 2] = {1.0, 0.0};
+  }
+
+ private:
+  EqualizerConfig cfg_;
+  QamConstellation constellation_;
+  std::vector<std::complex<double>> x_;      // T/2 FFE delay line
+  std::vector<std::complex<double>> sv_;     // DFE decision history
+  std::vector<std::complex<double>> ffe_c_;  // FFE coefficients
+  std::vector<std::complex<double>> dfe_c_;  // DFE coefficients
+};
+
+}  // namespace hlsw::dsp

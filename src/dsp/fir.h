@@ -1,0 +1,57 @@
+// Complex FIR filter building block. The FFE and DFE of Figure 3 are both
+// FIR structures over complex data with complex coefficients; this template
+// is the double-precision reference used by the floating-point model and
+// the channel simulator.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace hlsw::dsp {
+
+// Tapped delay line y(n) = sum_k c[k] * x(n-k). `push` shifts in a new
+// sample; `output` computes the dot product against the current line.
+template <typename T = std::complex<double>>
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<T> coeffs)
+      : coeffs_(std::move(coeffs)), line_(coeffs_.size(), T{}) {
+    assert(!coeffs_.empty());
+  }
+  explicit FirFilter(std::size_t taps) : coeffs_(taps, T{}), line_(taps, T{}) {
+    assert(taps > 0);
+  }
+
+  std::size_t taps() const { return coeffs_.size(); }
+  const std::vector<T>& coeffs() const { return coeffs_; }
+  std::vector<T>& coeffs() { return coeffs_; }
+  const std::vector<T>& delay_line() const { return line_; }
+
+  void push(T x) {
+    for (std::size_t k = line_.size() - 1; k > 0; --k) line_[k] = line_[k - 1];
+    line_[0] = x;
+  }
+
+  T output() const {
+    T acc{};
+    for (std::size_t k = 0; k < coeffs_.size(); ++k)
+      acc += coeffs_[k] * line_[k];
+    return acc;
+  }
+
+  // Convenience: push then compute.
+  T step(T x) {
+    push(x);
+    return output();
+  }
+
+  void reset() { std::fill(line_.begin(), line_.end(), T{}); }
+
+ private:
+  std::vector<T> coeffs_;
+  std::vector<T> line_;
+};
+
+}  // namespace hlsw::dsp

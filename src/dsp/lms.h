@@ -1,0 +1,92 @@
+// Adaptive tap-update algorithms for the equalizer (paper section 4: "we
+// used the sign-LMS (least mean squared) adaptive algorithm").
+//
+// All variants update coefficient k of a filter whose output error is
+//   e(n) = d(n) - y(n)   (desired minus actual)
+// given the regressor data x(n-k) held in the filter's delay line:
+//
+//   LMS:        c[k] += mu * e * conj(x[k])
+//   sign-LMS:   c[k] += mu * e * sign_conj(x[k])      (the paper's choice)
+//   sign-sign:  c[k] += mu * sign(e) * sign_conj(x[k])
+//   NLMS:       c[k] += mu * e * conj(x[k]) / ||x||^2
+//
+// where sign(z) = sign(Re z) + j*sign(Im z) with sign(0) = +1, matching
+// complex_fixed::sign_conj. Sign-LMS needs no multipliers in hardware —
+// the property the paper's area results depend on.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace hlsw::dsp {
+
+enum class AdaptAlgo { kLms, kSignLms, kSignSign, kNlms };
+
+// Godard/CMA dispersion constant R2 = E[|a|^4] / E[|a|^2] for a square
+// M-QAM constellation at the paper's (2k - (L-1)) / (2L) level scaling.
+inline double cma_r2(int m) {
+  int levels = 1;
+  while (levels * levels < m) ++levels;
+  double m2 = 0, m4 = 0;
+  for (int k = 0; k < levels; ++k) {
+    const double l = (2.0 * k - (levels - 1)) / (2.0 * levels);
+    m2 += l * l;
+    m4 += l * l * l * l;
+  }
+  m2 /= levels;
+  m4 /= levels;
+  // E|a|^2 = 2 m2;  E|a|^4 = 2 m4 + 2 m2^2 (independent I/Q).
+  return (2 * m4 + 2 * m2 * m2) / (2 * m2);
+}
+
+// Constant-modulus (Godard p=2) error: e = y * (R2 - |y|^2). Feeding this
+// into adapt_taps(kLms, ...) performs blind equalization — the adaptation
+// mode the paper explicitly leaves out ("we have not implemented ... blind
+// adaptation"); provided here as the natural extension. CMA is phase-blind:
+// it opens the eye (drives |y|^2 dispersion down) but converges to an
+// arbitrary constellation rotation; a carrier-phase step or differential
+// coding must follow before decision-directed operation.
+inline std::complex<double> cma_error(std::complex<double> y, double r2) {
+  return y * (r2 - std::norm(y));
+}
+
+inline std::complex<double> csign(std::complex<double> z) {
+  return {z.real() >= 0 ? 1.0 : -1.0, z.imag() >= 0 ? 1.0 : -1.0};
+}
+
+// Updates `coeffs` in place from the regressor `data` (data[k] aligned with
+// coeffs[k]) and scalar error e. `sign_of_update` is +1 for the standard
+// "+= mu e x*" form; the paper's DFE uses -1 because its output is
+// subtracted from the FFE path.
+inline void adapt_taps(AdaptAlgo algo, std::span<std::complex<double>> coeffs,
+                       std::span<const std::complex<double>> data,
+                       std::complex<double> e, double mu,
+                       double sign_of_update = 1.0) {
+  assert(coeffs.size() == data.size());
+  std::complex<double> scaled_e = e;
+  switch (algo) {
+    case AdaptAlgo::kLms:
+    case AdaptAlgo::kSignLms:
+      break;
+    case AdaptAlgo::kSignSign:
+      scaled_e = csign(e);
+      break;
+    case AdaptAlgo::kNlms: {
+      double energy = 1e-12;
+      for (const auto& x : data) energy += std::norm(x);
+      scaled_e = e / energy;
+      break;
+    }
+  }
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    const std::complex<double> reg =
+        (algo == AdaptAlgo::kSignLms || algo == AdaptAlgo::kSignSign)
+            ? std::conj(csign(data[k]))
+            : std::conj(data[k]);
+    coeffs[k] += sign_of_update * mu * scaled_e * reg;
+  }
+}
+
+}  // namespace hlsw::dsp

@@ -1,0 +1,83 @@
+// Link-quality metrics: mean-squared-error tracking for convergence curves
+// (experiment F3) and symbol/bit error counting for the precision sweep
+// (experiment D2).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <deque>
+
+namespace hlsw::dsp {
+
+// Exponentially-weighted and windowed MSE of the slicer error e(n).
+class MseTracker {
+ public:
+  explicit MseTracker(double ewma_alpha = 0.02, std::size_t window = 256)
+      : alpha_(ewma_alpha), window_(window) {}
+
+  void update(std::complex<double> error) {
+    const double e2 = std::norm(error);
+    ewma_ = count_ == 0 ? e2 : (1 - alpha_) * ewma_ + alpha_ * e2;
+    ++count_;
+    win_.push_back(e2);
+    win_sum_ += e2;
+    if (win_.size() > window_) {
+      win_sum_ -= win_.front();
+      win_.pop_front();
+    }
+  }
+
+  double ewma_mse() const { return ewma_; }
+  double windowed_mse() const {
+    return win_.empty() ? 0.0 : win_sum_ / static_cast<double>(win_.size());
+  }
+  double windowed_mse_db() const {
+    return 10.0 * std::log10(windowed_mse() + 1e-300);
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  std::size_t window_;
+  double ewma_ = 0;
+  uint64_t count_ = 0;
+  std::deque<double> win_;
+  double win_sum_ = 0;
+};
+
+// Symbol and bit error counters against known transmitted data.
+class ErrorCounter {
+ public:
+  void update(int sent_symbol, int decided_symbol, int bits_per_symbol) {
+    ++symbols_;
+    bits_ += static_cast<uint64_t>(bits_per_symbol);
+    if (sent_symbol != decided_symbol) {
+      ++symbol_errors_;
+      bit_errors_ += static_cast<uint64_t>(
+          __builtin_popcount(static_cast<unsigned>(sent_symbol ^ decided_symbol)));
+    }
+  }
+
+  uint64_t symbols() const { return symbols_; }
+  uint64_t symbol_errors() const { return symbol_errors_; }
+  uint64_t bit_errors() const { return bit_errors_; }
+  double ser() const {
+    return symbols_ ? static_cast<double>(symbol_errors_) /
+                          static_cast<double>(symbols_)
+                    : 0.0;
+  }
+  double ber() const {
+    return bits_ ? static_cast<double>(bit_errors_) / static_cast<double>(bits_)
+                 : 0.0;
+  }
+  void reset() { *this = ErrorCounter(); }
+
+ private:
+  uint64_t symbols_ = 0;
+  uint64_t bits_ = 0;
+  uint64_t symbol_errors_ = 0;
+  uint64_t bit_errors_ = 0;
+};
+
+}  // namespace hlsw::dsp

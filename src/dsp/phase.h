@@ -1,0 +1,53 @@
+// Decision-directed carrier phase recovery: the companion to CMA blind
+// equalization (dsp/lms.h). CMA converges to an arbitrarily rotated
+// constellation; this second-order PLL de-rotates it using the phase error
+// between the corrected sample and its nearest decision, and also tracks a
+// small residual carrier frequency offset. Like timing recovery, this is
+// receiver machinery the paper's listing assumes away.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+namespace hlsw::dsp {
+
+struct PhaseLoopConfig {
+  double kp = 0.05;    // proportional gain
+  double ki = 0.002;   // integral gain (frequency tracking)
+  double theta0 = 0;   // initial phase estimate (radians)
+};
+
+class CarrierPhaseLoop {
+ public:
+  explicit CarrierPhaseLoop(const PhaseLoopConfig& cfg = {})
+      : cfg_(cfg), theta_(cfg.theta0) {}
+
+  // De-rotates y by the current estimate; returns the corrected sample.
+  std::complex<double> correct(std::complex<double> y) const {
+    return y * std::exp(std::complex<double>(0, -theta_));
+  }
+
+  // Updates the loop from the corrected sample and its decision:
+  //   e = Im{ y_corr * conj(decision) } / |decision|^2
+  // (small-angle phase error, gain-normalized).
+  void update(std::complex<double> y_corr, std::complex<double> decision) {
+    const double p = std::norm(decision);
+    if (p < 1e-12) return;
+    const double e = (y_corr * std::conj(decision)).imag() / p;
+    freq_ += cfg_.ki * e;
+    theta_ += cfg_.kp * e + freq_;
+    // Keep theta in (-pi, pi] for reporting; the loop itself is agnostic.
+    while (theta_ > M_PI) theta_ -= 2 * M_PI;
+    while (theta_ <= -M_PI) theta_ += 2 * M_PI;
+  }
+
+  double theta() const { return theta_; }
+  double freq() const { return freq_; }  // radians per symbol
+
+ private:
+  PhaseLoopConfig cfg_;
+  double theta_;
+  double freq_ = 0;
+};
+
+}  // namespace hlsw::dsp

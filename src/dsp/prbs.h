@@ -1,0 +1,53 @@
+// PRBS training/data source. The paper's design assumes a training sequence
+// exists ("we have not implemented details of how the training sequence is
+// generated") — this LFSR provides the standard substitute: a maximal-length
+// pseudo-random binary sequence feeding the QAM mapper.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace hlsw::dsp {
+
+// Fibonacci LFSR. Default polynomial is PRBS15 (x^15 + x^14 + 1), a common
+// telecom training sequence; PRBS7 and PRBS23 taps are provided too.
+class Prbs {
+ public:
+  struct Poly {
+    int bits;
+    uint32_t tap_mask;  // XOR of these bit positions forms the feedback
+  };
+  static constexpr Poly kPrbs7{7, (1u << 6) | (1u << 5)};
+  static constexpr Poly kPrbs15{15, (1u << 14) | (1u << 13)};
+  static constexpr Poly kPrbs23{23, (1u << 22) | (1u << 17)};
+
+  explicit Prbs(Poly poly = kPrbs15, uint32_t seed = 1)
+      : poly_(poly), state_(seed & ((1u << poly.bits) - 1)) {
+    assert(state_ != 0 && "LFSR must not start in the all-zero state");
+  }
+
+  // Next pseudo-random bit.
+  int next_bit() {
+    const uint32_t fb_bits = state_ & poly_.tap_mask;
+    const int fb = __builtin_parity(fb_bits);
+    state_ = ((state_ << 1) | static_cast<uint32_t>(fb)) &
+             ((1u << poly_.bits) - 1);
+    return fb;
+  }
+
+  // Next n-bit word, MSB first.
+  int next_word(int n) {
+    int w = 0;
+    for (int i = 0; i < n; ++i) w = (w << 1) | next_bit();
+    return w;
+  }
+
+  uint32_t state() const { return state_; }
+  int period() const { return (1 << poly_.bits) - 1; }
+
+ private:
+  Poly poly_;
+  uint32_t state_;
+};
+
+}  // namespace hlsw::dsp

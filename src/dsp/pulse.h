@@ -1,0 +1,69 @@
+// Transmit pulse shaping: root-raised-cosine (RRC) tap design and
+// convolution helpers. The link harness's default channel folds the pulse
+// into its impulse response; rrc_taps lets users build realistic T/2
+// responses (pulse * multipath) instead — the standard spectral shaping
+// every real QAM modem (the paper's application domain) uses.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+namespace hlsw::dsp {
+
+// Root-raised-cosine taps at `sps` samples per symbol, spanning
+// `span_symbols` symbols on each side, with roll-off beta in (0, 1].
+// Normalized to unit energy.
+inline std::vector<double> rrc_taps(int sps, int span_symbols, double beta) {
+  std::vector<double> h;
+  const int n = 2 * span_symbols * sps + 1;
+  h.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = (i - span_symbols * sps) / static_cast<double>(sps);
+    double v;
+    if (std::abs(t) < 1e-12) {
+      v = 1.0 - beta + 4 * beta / M_PI;
+    } else if (std::abs(std::abs(t) - 1.0 / (4 * beta)) < 1e-9) {
+      v = beta / std::sqrt(2.0) *
+          ((1 + 2 / M_PI) * std::sin(M_PI / (4 * beta)) +
+           (1 - 2 / M_PI) * std::cos(M_PI / (4 * beta)));
+    } else {
+      const double num = std::sin(M_PI * t * (1 - beta)) +
+                         4 * beta * t * std::cos(M_PI * t * (1 + beta));
+      const double den =
+          M_PI * t * (1 - 16 * beta * beta * t * t);
+      v = num / den;
+    }
+    h.push_back(v);
+  }
+  double energy = 0;
+  for (double v : h) energy += v * v;
+  const double scale = 1.0 / std::sqrt(energy);
+  for (double& v : h) v *= scale;
+  return h;
+}
+
+// Linear convolution of two real/complex tap sets.
+template <typename A, typename B>
+auto convolve(const std::vector<A>& a, const std::vector<B>& b) {
+  using R = decltype(A{} * B{});
+  std::vector<R> r(a.size() + b.size() - 1, R{});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) r[i + j] += a[i] * b[j];
+  return r;
+}
+
+// Builds a complex T/2 channel impulse response: RRC transmit pulse (2
+// samples/symbol) convolved with a sparse multipath profile, scaled by
+// `gain`. Pass the result to ChannelConfig::taps.
+inline std::vector<std::complex<double>> shaped_channel(
+    const std::vector<std::complex<double>>& multipath, double beta,
+    int span_symbols, double gain) {
+  const auto pulse = rrc_taps(2, span_symbols, beta);
+  std::vector<std::complex<double>> p(pulse.begin(), pulse.end());
+  auto taps = convolve(p, multipath);
+  for (auto& t : taps) t *= gain;
+  return taps;
+}
+
+}  // namespace hlsw::dsp

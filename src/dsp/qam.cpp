@@ -1,0 +1,90 @@
+#include "dsp/qam.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace hlsw::dsp {
+
+QamConstellation::QamConstellation(int m, QamMapping mapping)
+    : m_(m), mapping_(mapping) {
+  levels_ = static_cast<int>(std::lround(std::sqrt(static_cast<double>(m))));
+  assert(levels_ * levels_ == m && "M must be a perfect square");
+  assert((levels_ & (levels_ - 1)) == 0 && "sqrt(M) must be a power of two");
+  bits_per_symbol_ = 0;
+  for (int v = m; v > 1; v >>= 1) ++bits_per_symbol_;
+
+  gray_encode_.resize(levels_);
+  gray_decode_.resize(levels_);
+  for (int k = 0; k < levels_; ++k) {
+    const int g = k ^ (k >> 1);
+    gray_encode_[k] = g;
+    gray_decode_[g] = k;
+  }
+
+  double e = 0;
+  for (int k = 0; k < levels_; ++k) e += level(k) * level(k);
+  avg_energy_ = 2.0 * e / levels_;  // I and Q contribute independently
+}
+
+double QamConstellation::level(int k) const {
+  return (2 * k - (levels_ - 1)) / (2.0 * levels_);
+}
+
+int QamConstellation::nearest_level_index(double v) const {
+  // Levels are uniform with spacing 1/L starting at -(L-1)/(2L).
+  const double idx = (v * 2.0 * levels_ + (levels_ - 1)) / 2.0;
+  int k = static_cast<int>(std::lround(idx));
+  if (k < 0) k = 0;
+  if (k >= levels_) k = levels_ - 1;
+  return k;
+}
+
+int QamConstellation::axis_bits(int symbol, bool real_axis) const {
+  const int half = bits_per_symbol_ / 2;
+  const int mask = levels_ - 1;
+  return real_axis ? ((symbol >> half) & mask) : (symbol & mask);
+}
+
+int QamConstellation::compose(int r_idx, int i_idx) const {
+  const int half = bits_per_symbol_ / 2;
+  if (mapping_ == QamMapping::kGray)
+    return (gray_encode_[r_idx] << half) | gray_encode_[i_idx];
+  // Two's-complement mapping: field value = idx - L/2, wrapped to half bits.
+  const int mask = levels_ - 1;
+  return (((r_idx - levels_ / 2) & mask) << half) |
+         ((i_idx - levels_ / 2) & mask);
+}
+
+std::complex<double> QamConstellation::map(int symbol) const {
+  assert(symbol >= 0 && symbol < m_);
+  const int rb = axis_bits(symbol, true), ib = axis_bits(symbol, false);
+  int r_idx = 0, i_idx = 0;
+  if (mapping_ == QamMapping::kGray) {
+    r_idx = gray_decode_[rb];
+    i_idx = gray_decode_[ib];
+  } else {
+    // Field is two's complement of (idx - L/2): sign-extend and undo.
+    const int half_range = levels_ / 2;
+    const int rs = rb >= half_range ? rb - levels_ : rb;
+    const int is = ib >= half_range ? ib - levels_ : ib;
+    r_idx = rs + half_range;
+    i_idx = is + half_range;
+  }
+  return {level(r_idx), level(i_idx)};
+}
+
+int QamConstellation::slice(std::complex<double> y) const {
+  return compose(nearest_level_index(y.real()), nearest_level_index(y.imag()));
+}
+
+std::complex<double> QamConstellation::slice_point(std::complex<double> y) const {
+  return {level(nearest_level_index(y.real())),
+          level(nearest_level_index(y.imag()))};
+}
+
+int QamConstellation::bit_errors(int a, int b) {
+  return std::popcount(static_cast<unsigned>(a ^ b));
+}
+
+}  // namespace hlsw::dsp

@@ -1,0 +1,71 @@
+// M-QAM constellation: mapper and slicer (paper section 4).
+//
+// The paper's 64-QAM design uses an 8x8 grid of points at odd multiples of
+// 1/16 in both dimensions — the constellation spans (-0.5, 0.5) so every
+// signal fits the sc_fixed<*,0> formats of Figure 4. We generalize to any
+// square M-QAM (4/16/64/256) with that same scaling convention:
+//
+//   level_k = (2k - (L-1)) / (2L),  k = 0..L-1,  L = sqrt(M)
+//
+// Two bit mappings are provided:
+//  * kTwosComplement — the paper's Figure 4 mapping: the 6-bit output word
+//    is {r_idx - L/2} and {i_idx - L/2} as two's-complement 3-bit fields
+//    (data = r*64 + i*8 in the paper's fixed-point code).
+//  * kGray — reflected Gray code per axis, the standard choice when
+//    measuring BER, since adjacent constellation points differ in one bit.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace hlsw::dsp {
+
+enum class QamMapping { kTwosComplement, kGray };
+
+class QamConstellation {
+ public:
+  // `m` must be a perfect square power of four (4, 16, 64, 256).
+  explicit QamConstellation(int m, QamMapping mapping = QamMapping::kGray);
+
+  int m() const { return m_; }
+  int levels() const { return levels_; }
+  int bits_per_symbol() const { return bits_per_symbol_; }
+  QamMapping mapping() const { return mapping_; }
+
+  // Symbol index (0 .. m-1) to constellation point.
+  std::complex<double> map(int symbol) const;
+
+  // Nearest constellation point decision; returns the symbol index.
+  int slice(std::complex<double> y) const;
+
+  // The constellation point nearest to y (what a hardware slicer feeds the
+  // DFE and the error computation).
+  std::complex<double> slice_point(std::complex<double> y) const;
+
+  // Level value for axis index k in [0, levels).
+  double level(int k) const;
+
+  // Axis index for the level nearest to v (saturating at the grid edge).
+  int nearest_level_index(double v) const;
+
+  // Number of differing bits between two symbol indices (for BER).
+  static int bit_errors(int a, int b);
+
+  // Average symbol energy of the constellation (for SNR scaling).
+  double average_energy() const { return avg_energy_; }
+
+ private:
+  int axis_bits(int symbol, bool real_axis) const;
+  int compose(int r_idx, int i_idx) const;
+
+  int m_;
+  int levels_;
+  int bits_per_symbol_;
+  QamMapping mapping_;
+  double avg_energy_;
+  std::vector<int> gray_encode_;  // axis index -> gray code
+  std::vector<int> gray_decode_;  // gray code -> axis index
+};
+
+}  // namespace hlsw::dsp

@@ -1,0 +1,112 @@
+// bitref_int: a deliberately bit-serial arbitrary-precision integer.
+//
+// The paper (section 3.1) claims Catapult's mc_int simulates "3x to 100x
+// faster" than SystemC's sc_bigint/sc_biguint. We cannot ship SystemC, so
+// this class stands in for the slow comparator: it stores one bit per byte
+// and performs ripple-carry addition and shift-add multiplication bit by
+// bit, with dynamically-sized storage — the same algorithmic structure that
+// made the historical sc_bigint implementation slow. It is functionally
+// cross-checked against wide_int in tests and raced against it in
+// bench/bench_datatypes (experiment D1 in DESIGN.md).
+//
+// This type is intentionally not optimized. Do not use it outside the
+// datatype-speed experiment and its correctness tests.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace hlsw::fixpt {
+
+class bitref_int {
+ public:
+  // Value wraps modulo 2^width; stored two's complement, one bit per entry.
+  explicit bitref_int(int width, long long v = 0) : bits_(width, 0) {
+    assert(width >= 1);
+    for (int i = 0; i < width; ++i)
+      bits_[i] = static_cast<uint8_t>((static_cast<unsigned long long>(v) >> (i < 64 ? i : 63)) & 1u);
+    if (v < 0)
+      for (int i = 64; i < width; ++i) bits_[i] = 1;
+  }
+
+  int width() const { return static_cast<int>(bits_.size()); }
+  bool sign() const { return bits_.back() != 0; }
+  bool bit(int i) const { return i < width() ? bits_[i] != 0 : sign(); }
+
+  bool is_zero() const {
+    for (uint8_t b : bits_)
+      if (b) return false;
+    return true;
+  }
+
+  long long to_int64() const {
+    unsigned long long v = 0;
+    for (int i = 63; i >= 0; --i) v = (v << 1) | (bit(i) ? 1u : 0u);
+    return static_cast<long long>(v);
+  }
+
+  // Ripple-carry addition, result width = max(w1, w2) + 1.
+  friend bitref_int add(const bitref_int& a, const bitref_int& b) {
+    const int w = (a.width() > b.width() ? a.width() : b.width()) + 1;
+    bitref_int r(w);
+    uint8_t carry = 0;
+    for (int i = 0; i < w; ++i) {
+      const uint8_t s = static_cast<uint8_t>((a.bit(i) ? 1 : 0) +
+                                             (b.bit(i) ? 1 : 0) + carry);
+      r.bits_[i] = s & 1u;
+      carry = s >> 1;
+    }
+    return r;
+  }
+
+  friend bitref_int negate(const bitref_int& a) {
+    bitref_int inv(a.width() + 1);
+    for (int i = 0; i < inv.width(); ++i) inv.bits_[i] = a.bit(i) ? 0 : 1;
+    return add(inv, bitref_int(2, 1));  // 2 bits wide: 1-bit '1' would be -1
+  }
+
+  friend bitref_int sub(const bitref_int& a, const bitref_int& b) {
+    return add(a, negate(b));
+  }
+
+  // Shift-add multiplication, one partial product per multiplier bit;
+  // result width = w1 + w2.
+  friend bitref_int mul(const bitref_int& a, const bitref_int& b) {
+    const int w = a.width() + b.width();
+    bitref_int acc(w);
+    bitref_int pa(w);
+    for (int i = 0; i < w; ++i) pa.bits_[i] = a.bit(i) ? 1 : 0;
+    // Handle signed b via Booth-free decomposition: b = low_bits - sign*2^(wb-1).
+    for (int i = 0; i < b.width() - 1; ++i) {
+      if (b.bit(i)) acc = bitref_int(w, 0).assign(add(acc, pa.shifted(i)));
+    }
+    if (b.sign())
+      acc = bitref_int(w, 0).assign(sub(acc, pa.shifted(b.width() - 1)));
+    return acc;
+  }
+
+  bitref_int shifted(int n) const {
+    bitref_int r(width());
+    for (int i = width() - 1; i >= n; --i) r.bits_[i] = bits_[i - n];
+    return r;
+  }
+
+  // Truncate/sign-extend another value into this object's width.
+  bitref_int& assign(const bitref_int& v) {
+    for (int i = 0; i < width(); ++i) bits_[i] = v.bit(i) ? 1 : 0;
+    return *this;
+  }
+
+  friend bool operator==(const bitref_int& a, const bitref_int& b) {
+    const int w = a.width() > b.width() ? a.width() : b.width();
+    for (int i = 0; i < w; ++i)
+      if (a.bit(i) != b.bit(i)) return false;
+    return true;
+  }
+
+ private:
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace hlsw::fixpt

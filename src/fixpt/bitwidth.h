@@ -1,0 +1,52 @@
+// Static bitwidth inference helpers (paper section 3.2 and Figure 2).
+//
+// The paper's Figure 2 shows a loop whose counter's minimum bitwidth depends
+// on a template constant N; Catapult derives that width automatically
+// ("automatic bit reduction"). These constexpr helpers encode the same
+// arithmetic and are used both by user code (to size counters and
+// accumulators) and by the HLS engine's bitwidth reduction pass
+// (hls/bitwidth_pass.*), which reproduces the analysis at the IR level.
+#pragma once
+
+#include <cstdint>
+
+namespace hlsw::fixpt {
+
+// ceil(log2(v)) for v >= 1; clog2(1) == 0.
+constexpr int clog2(unsigned long long v) {
+  int n = 0;
+  unsigned long long p = 1;
+  while (p < v) {
+    p <<= 1;
+    ++n;
+  }
+  return n;
+}
+
+// Bits needed to represent the unsigned value v exactly.
+constexpr int bits_for_unsigned(unsigned long long v) {
+  return v == 0 ? 1 : clog2(v + 1);
+}
+
+// Minimum unsigned width for a loop counter iterating i = 0 .. trip-1 and
+// whose exit test evaluates i == trip (the counter must also hold `trip`).
+// This is exactly the width Catapult infers for Figure 2's `i < N` loop.
+constexpr int loop_counter_width(unsigned long long trip) {
+  return bits_for_unsigned(trip);
+}
+
+// Minimum signed width for a value in the closed range [lo, hi].
+constexpr int bits_for_range(long long lo, long long hi) {
+  const int neg =
+      lo < 0 ? clog2(static_cast<unsigned long long>(-lo)) + 1 : 1;
+  const int pos = hi > 0 ? bits_for_unsigned(static_cast<unsigned long long>(hi)) + 1 : 1;
+  return neg > pos ? neg : pos;
+}
+
+// Width of a sum of n terms each of elem_width bits (signed or unsigned):
+// the accumulator in Figure 2 grows by clog2(n) bits.
+constexpr int accumulator_width(int elem_width, unsigned long long n) {
+  return elem_width + clog2(n);
+}
+
+}  // namespace hlsw::fixpt

@@ -1,0 +1,140 @@
+// complex_fixed: complex arithmetic over fixed-point components.
+//
+// The paper's authors wrote a templatized `sc_complex` class (section 4.1,
+// "the sc_complex class was written by the authors ... not shown here due
+// to space constraints"). This file is our reconstruction of that class: a
+// pair of `fixed` components with full-precision complex arithmetic, plus
+// the `sign_conj()` member Figure 4 uses for sign-LMS adaptation.
+//
+// sign_conj() returns sign(re) - j*sign(im) with sign(v) = +1 for v >= 0
+// and -1 otherwise — the standard hardware convention for sign-LMS, where
+// multiplying by the result costs only adders (conditional negation), not
+// multipliers. The HLS cost model exploits exactly this (see hls/tech.h).
+#pragma once
+
+#include <complex>
+
+#include "fixpt/fixed.h"
+
+namespace hlsw::fixpt {
+
+template <int W, int IW, Quant Q = Quant::kTrn, Ovf O = Ovf::kWrap,
+          bool S = true>
+class complex_fixed {
+ public:
+  using scalar = fixed<W, IW, Q, O, S>;
+  static constexpr int kW = W;
+  static constexpr int kIW = IW;
+  static constexpr bool kS = S;
+
+  constexpr complex_fixed() = default;
+  constexpr complex_fixed(long long v) : re_(v), im_(0) {}  // NOLINT
+  constexpr complex_fixed(int v) : re_(v), im_(0) {}        // NOLINT
+  complex_fixed(double re, double im = 0.0) : re_(re), im_(im) {}  // NOLINT
+
+  template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+            Quant Q2, Ovf O2, bool S2>
+  constexpr complex_fixed(const fixed<W1, IW1, Q1, O1, S1>& re,
+                          const fixed<W2, IW2, Q2, O2, S2>& im)
+      : re_(re), im_(im) {}
+
+  template <int W2, int IW2, Quant Q2, Ovf O2, bool S2>
+  constexpr complex_fixed(  // NOLINT(google-explicit-constructor)
+      const complex_fixed<W2, IW2, Q2, O2, S2>& v)
+      : re_(v.r()), im_(v.i()) {}
+
+  constexpr const scalar& r() const { return re_; }
+  constexpr const scalar& i() const { return im_; }
+  constexpr void set_r(const scalar& v) { re_ = v; }
+  constexpr void set_i(const scalar& v) { im_ = v; }
+
+  // sign(re) - j*sign(im), each component in {+1, -1} (2 integer bits).
+  constexpr complex_fixed<2, 2> sign_conj() const {
+    const fixed<2, 2> one(1LL), minus_one(-1LL);
+    return complex_fixed<2, 2>(re_.is_neg() ? minus_one : one,
+                               im_.is_neg() ? one : minus_one);
+  }
+
+  constexpr auto conj() const {
+    using R = complex_fixed<W + 1, IW + 1, Quant::kTrn, Ovf::kWrap, true>;
+    return R(fixed<W + 1, IW + 1>(re_), -im_);
+  }
+
+  constexpr auto mag_sqr() const { return re_ * re_ + im_ * im_; }
+
+  std::complex<double> to_complex_double() const {
+    return {re_.to_double(), im_.to_double()};
+  }
+
+  template <typename Rhs>
+  constexpr complex_fixed& operator+=(const Rhs& rhs) {
+    *this = complex_fixed(*this + rhs);
+    return *this;
+  }
+  template <typename Rhs>
+  constexpr complex_fixed& operator-=(const Rhs& rhs) {
+    *this = complex_fixed(*this - rhs);
+    return *this;
+  }
+
+ private:
+  scalar re_{};
+  scalar im_{};
+};
+
+namespace detail {
+template <typename Scalar>
+constexpr auto make_complex(const Scalar& re, const Scalar& im) {
+  return complex_fixed<Scalar::kW, Scalar::kIW, Quant::kTrn, Ovf::kWrap,
+                       Scalar::kS>(re, im);
+}
+}  // namespace detail
+
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator+(const complex_fixed<W1, IW1, Q1, O1, S1>& a,
+                         const complex_fixed<W2, IW2, Q2, O2, S2>& b) {
+  return detail::make_complex(a.r() + b.r(), a.i() + b.i());
+}
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator-(const complex_fixed<W1, IW1, Q1, O1, S1>& a,
+                         const complex_fixed<W2, IW2, Q2, O2, S2>& b) {
+  return detail::make_complex(a.r() - b.r(), a.i() - b.i());
+}
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator*(const complex_fixed<W1, IW1, Q1, O1, S1>& a,
+                         const complex_fixed<W2, IW2, Q2, O2, S2>& b) {
+  return detail::make_complex(a.r() * b.r() - a.i() * b.i(),
+                              a.r() * b.i() + a.i() * b.r());
+}
+
+// Scalar (fixed) times complex, both orders.
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator*(const fixed<W1, IW1, Q1, O1, S1>& a,
+                         const complex_fixed<W2, IW2, Q2, O2, S2>& b) {
+  return detail::make_complex(a * b.r(), a * b.i());
+}
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator*(const complex_fixed<W1, IW1, Q1, O1, S1>& a,
+                         const fixed<W2, IW2, Q2, O2, S2>& b) {
+  return b * a;
+}
+
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr bool operator==(const complex_fixed<W1, IW1, Q1, O1, S1>& a,
+                          const complex_fixed<W2, IW2, Q2, O2, S2>& b) {
+  return a.r() == b.r() && a.i() == b.i();
+}
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr bool operator!=(const complex_fixed<W1, IW1, Q1, O1, S1>& a,
+                          const complex_fixed<W2, IW2, Q2, O2, S2>& b) {
+  return !(a == b);
+}
+
+}  // namespace hlsw::fixpt

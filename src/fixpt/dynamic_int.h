@@ -1,0 +1,129 @@
+// dynamic_int: a word-based arbitrary-precision integer with heap-allocated
+// limbs and run-time width — structurally faithful to SystemC's sc_bigint
+// implementation (word arrays, dynamic storage, width checked at run time).
+//
+// Together with bitref_int this brackets the paper's section 3.1 claim from
+// both sides: bitref_int (bit-serial) is slower than the historical
+// sc_bigint, dynamic_int (word-serial but heap-based and width-dynamic) is
+// close to it, and wide_int (static width, stack storage, widths resolved
+// at compile time) is the mc_int analogue. bench_datatypes races all three;
+// the paper's "3x to 100x" band falls between the dynamic_int and
+// bitref_int comparisons.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hlsw::fixpt {
+
+class dynamic_int {
+ public:
+  explicit dynamic_int(int width, long long v = 0)
+      : width_(width),
+        limbs_(static_cast<size_t>((width + 63) / 64),
+               v < 0 ? ~uint64_t{0} : 0) {
+    assert(width >= 1);
+    limbs_[0] = static_cast<uint64_t>(v);
+    canonicalize();
+  }
+
+  int width() const { return width_; }
+
+  bool is_neg() const {
+    const int top = (width_ - 1) % 64;
+    return (limbs_.back() >> top) & 1u;
+  }
+
+  long long to_int64() const { return static_cast<long long>(limbs_[0]); }
+
+  uint64_t limb(std::size_t i) const {
+    if (i < limbs_.size()) return limbs_[i];
+    return is_neg() ? ~uint64_t{0} : 0;
+  }
+
+  // Value-preserving addition: result width = max(w1, w2) + 1.
+  friend dynamic_int add(const dynamic_int& a, const dynamic_int& b) {
+    dynamic_int r(std::max(a.width_, b.width_) + 1);
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+      const unsigned __int128 s =
+          static_cast<unsigned __int128>(a.limb(i)) + b.limb(i) + carry;
+      r.limbs_[i] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    r.canonicalize();
+    return r;
+  }
+
+  friend dynamic_int sub(const dynamic_int& a, const dynamic_int& b) {
+    dynamic_int r(std::max(a.width_, b.width_) + 1);
+    unsigned __int128 borrow = 0;
+    for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+      const unsigned __int128 d =
+          static_cast<unsigned __int128>(a.limb(i)) - b.limb(i) - borrow;
+      r.limbs_[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) ? 1 : 0;
+    }
+    r.canonicalize();
+    return r;
+  }
+
+  // Schoolbook multiply, result width = w1 + w2 (sign-extended operands,
+  // product taken modulo the result width — exact since it fits).
+  friend dynamic_int mul(const dynamic_int& a, const dynamic_int& b) {
+    dynamic_int r(a.width_ + b.width_);
+    const std::size_t n = r.limbs_.size();
+    std::vector<uint64_t> acc(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned __int128 carry = 0;
+      const uint64_t ai = a.limb(i);
+      if (ai == 0 && i >= a.limbs_.size()) {
+        if (!a.is_neg()) continue;
+      }
+      for (std::size_t j = 0; i + j < n; ++j) {
+        const unsigned __int128 cur =
+            static_cast<unsigned __int128>(ai) * b.limb(j) + acc[i + j] +
+            carry;
+        acc[i + j] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+    }
+    r.limbs_ = std::move(acc);
+    r.canonicalize();
+    return r;
+  }
+
+  // Truncating assignment into this object's width (register semantics).
+  dynamic_int& assign(const dynamic_int& v) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) limbs_[i] = v.limb(i);
+    canonicalize();
+    return *this;
+  }
+
+  friend bool operator==(const dynamic_int& a, const dynamic_int& b) {
+    const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (a.limb(i) != b.limb(i)) return false;
+    return true;
+  }
+
+ private:
+  void canonicalize() {
+    const int top_bits = width_ % 64;
+    if (top_bits == 0) return;
+    const uint64_t mask = (uint64_t{1} << top_bits) - 1;
+    const bool neg = (limbs_.back() >> (top_bits - 1)) & 1u;
+    if (neg)
+      limbs_.back() |= ~mask;
+    else
+      limbs_.back() &= mask;
+  }
+
+  int width_;
+  std::vector<uint64_t> limbs_;
+};
+
+}  // namespace hlsw::fixpt

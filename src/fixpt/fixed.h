@@ -1,0 +1,348 @@
+// fixed: arbitrary-length fixed-point datatype with SystemC-compatible
+// quantization and overflow modes — the reproduction of sc_fixed/sc_ufixed
+// as used throughout the paper (sections 3.1-3.2 and Figure 4).
+//
+// fixed<W, IW, Q, O, S> models a W-bit value with IW integer bits, i.e. the
+// binary point sits IW bits below the MSB and the value equals
+// raw * 2^(IW - W). IW may be negative or exceed W, exactly as in SystemC.
+//
+// Arithmetic follows the sc_fixed model the paper depends on for clean
+// synthesis semantics: binary operators return *full precision* results (a
+// type wide enough to hold every exact result); quantization (Q) and
+// overflow handling (O) happen only on assignment/conversion into a
+// concrete destination type. `fixed<8,3,Quant::kRnd,Ovf::kSat>` is the
+// equivalent of the paper's sc_fixed<8,3,SC_RND,SC_SAT>.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "fixpt/quantization.h"
+#include "fixpt/wide_int.h"
+
+namespace hlsw::fixpt {
+
+namespace detail {
+constexpr int max_i(int a, int b) { return a > b ? a : b; }
+}  // namespace detail
+
+template <int W, int IW, Quant Q = Quant::kTrn, Ovf O = Ovf::kWrap,
+          bool S = true>
+class fixed {
+  static_assert(W >= 1, "fixed width must be positive");
+
+ public:
+  static constexpr int kW = W;
+  static constexpr int kIW = IW;
+  static constexpr int kFW = W - IW;  // fractional bits (may be negative)
+  static constexpr Quant kQ = Q;
+  static constexpr Ovf kO = O;
+  static constexpr bool kS = S;
+  using raw_type = wide_int<W, S>;
+
+  constexpr fixed() = default;
+
+  // From another fixed type: align binary points, apply this type's
+  // quantization mode on dropped LSBs and overflow mode on dropped MSBs.
+  template <int W2, int IW2, Quant Q2, Ovf O2, bool S2>
+  constexpr fixed(const fixed<W2, IW2, Q2, O2, S2>& v)  // NOLINT
+      : raw_(convert_raw<wide_int<W2, S2>, W2 - IW2>(v.raw())) {}
+
+  // From a native integer (value semantics: 3 means 3.0).
+  constexpr fixed(long long v)  // NOLINT(google-explicit-constructor)
+      : raw_(convert_raw<wide_int<65, true>, 0>(wide_int<65, true>(v))) {}
+  constexpr fixed(int v) : fixed(static_cast<long long>(v)) {}  // NOLINT
+
+  // From a double: quantize per Q, then fit per O. Values whose scaled
+  // magnitude exceeds 2^(W+2) are treated as overflow even in WRAP mode
+  // (wrapping a value that far out of range has no meaningful bit pattern).
+  fixed(double v) {  // NOLINT(google-explicit-constructor)
+    const double x = std::ldexp(v, kFW);
+    const double lim = std::ldexp(1.0, W + 2);
+    if (!(x < lim)) {  // catches +inf and NaN too
+      raw_ = saturate_high();
+      return;
+    }
+    if (x <= -lim) {
+      raw_ = saturate_low();
+      return;
+    }
+    const double fl = std::floor(x);
+    const double frac = x - fl;
+    const bool msb = frac >= 0.5;
+    const bool rest = frac != 0.0 && frac != 0.5;
+    const bool lsb_kept = std::fmod(fl, 2.0) != 0.0;
+    wide_int<W + 4, true> base = wide_int<W + 4, true>::from_double(fl);
+    if (round_increment(Q, msb, rest, v < 0, lsb_kept)) base += wide_int<2, true>(1);
+    raw_ = fit(base);
+  }
+
+  static constexpr fixed from_raw(raw_type r) {
+    fixed f;
+    f.raw_ = r;
+    return f;
+  }
+
+  constexpr const raw_type& raw() const { return raw_; }
+
+  double to_double() const { return std::ldexp(raw_.to_double(), -kFW); }
+
+  // Integer part, truncated toward zero (sc_fixed::to_int semantics).
+  constexpr long long to_int() const {
+    if constexpr (kFW <= 0) {
+      return raw_.to_int64() << -kFW;
+    } else {
+      wide_int<W + 1, S> t(raw_);
+      t >>= kFW;  // floor
+      long long r = t.to_int64();
+      if (raw_.is_neg() && raw_.any_bit_below(kFW)) r += 1;  // toward zero
+      return r;
+    }
+  }
+
+  std::string to_string() const { return std::to_string(to_double()); }
+
+  constexpr bool is_neg() const { return raw_.is_neg(); }
+
+  // -- Bit access (Figure 4 uses `offset[0] = 1` to build 2^-4) -------------
+  class bit_ref {
+   public:
+    constexpr bit_ref(fixed& f, int i) : f_(f), i_(i) {}
+    constexpr bit_ref& operator=(int b) {
+      f_.raw_.set_bit(i_, b != 0);
+      return *this;
+    }
+    constexpr operator bool() const { return f_.raw_.bit(i_); }  // NOLINT
+
+   private:
+    fixed& f_;
+    int i_;
+  };
+  constexpr bit_ref operator[](int i) { return bit_ref(*this, i); }
+  constexpr bool operator[](int i) const { return raw_.bit(i); }
+
+  // -- Shifts: raw shifts within the same type (power-of-two scaling). ------
+  constexpr fixed operator>>(int n) const { return from_raw(raw_ >> n); }
+  constexpr fixed operator<<(int n) const { return from_raw(raw_ << n); }
+
+  // Unary minus grows by one bit so negating the most negative value is
+  // exact (full-precision semantics, like every other operator).
+  constexpr auto operator-() const {
+    return fixed<W + 1, IW + 1, Quant::kTrn, Ovf::kWrap, true>::from_raw(
+        wide_int<W + 1, true>(-raw_));
+  }
+
+  template <typename Rhs>
+  constexpr fixed& operator+=(const Rhs& rhs) {
+    *this = fixed(*this + rhs);
+    return *this;
+  }
+  template <typename Rhs>
+  constexpr fixed& operator-=(const Rhs& rhs) {
+    *this = fixed(*this - rhs);
+    return *this;
+  }
+
+  // Converts a raw integer at source scale 2^-SrcFw into this type's raw,
+  // applying quantization then overflow handling. Shared by all ctors.
+  template <typename SrcRaw, int SrcFw>
+  static constexpr raw_type convert_raw(const SrcRaw& src) {
+    constexpr int kShift = kFW - SrcFw;
+    if constexpr (kShift >= 0) {
+      wide_int<SrcRaw::kWidth + kShift, SrcRaw::kSigned> widened(src);
+      widened <<= kShift;
+      return fit(widened);
+    } else {
+      constexpr int kDrop = -kShift;
+      wide_int<SrcRaw::kWidth + 1, SrcRaw::kSigned> base(src);
+      base >>= kDrop;  // floor
+      const bool msb = src.bit(kDrop - 1);
+      const bool rest = src.any_bit_below(kDrop - 1);
+      const bool lsb_kept = src.bit(kDrop);
+      if (round_increment(Q, msb, rest, src.is_neg(), lsb_kept))
+        base += wide_int<2, true>(1);
+      return fit(base);
+    }
+  }
+
+ private:
+  static constexpr wide_int<W + 2, true> limit_max() {
+    wide_int<W + 2, true> m(1);
+    m <<= (S ? W - 1 : W);
+    m -= wide_int<2, true>(1);
+    return m;
+  }
+  static constexpr wide_int<W + 2, true> limit_min() {
+    if constexpr (!S) return wide_int<W + 2, true>(0);
+    wide_int<W + 2, true> m(1);
+    m <<= (W - 1);
+    return wide_int<W + 2, true>(-m);
+  }
+
+  static constexpr raw_type saturate_high() {
+    switch (O) {
+      case Ovf::kSatZero: return raw_type(0);
+      case Ovf::kSat:
+      case Ovf::kSatSym:
+      case Ovf::kWrap: return raw_type(limit_max());
+    }
+    return raw_type(0);
+  }
+  static constexpr raw_type saturate_low() {
+    switch (O) {
+      case Ovf::kSatZero: return raw_type(0);
+      case Ovf::kSatSym: return raw_type(-limit_max());
+      case Ovf::kSat:
+      case Ovf::kWrap: return raw_type(limit_min());
+    }
+    return raw_type(0);
+  }
+
+  // Fit an exact integer value (at this type's scale) into W bits per O.
+  template <int Wv, bool Sv>
+  static constexpr raw_type fit(const wide_int<Wv, Sv>& v) {
+    if constexpr (O == Ovf::kWrap) {
+      return raw_type(v);  // modulo 2^W, hardware register semantics
+    } else {
+      if (v.compare(limit_max()) > 0) return saturate_high();
+      // SAT_SYM restricts the legal range to [-max, max] (signed only).
+      const auto lo =
+          (O == Ovf::kSatSym && S) ? wide_int<W + 2, true>(-limit_max())
+                                   : limit_min();
+      if (v.compare(lo) < 0) return saturate_low();
+      return raw_type(v);
+    }
+  }
+
+  raw_type raw_{};
+};
+
+// -- Full-precision binary operators -----------------------------------------
+
+namespace detail {
+// Promotion rules for fixed binary ops (see file comment). Unsigned operands
+// need one extra integer bit when the result is signed.
+template <int IW1, bool S1, int IW2, bool S2, bool Sr>
+constexpr int promoted_iw() {
+  return max_i(IW1 + ((Sr && !S1) ? 1 : 0), IW2 + ((Sr && !S2) ? 1 : 0));
+}
+}  // namespace detail
+
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator+(const fixed<W1, IW1, Q1, O1, S1>& a,
+                         const fixed<W2, IW2, Q2, O2, S2>& b) {
+  constexpr bool Sr = S1 || S2;
+  constexpr int FWr = detail::max_i(W1 - IW1, W2 - IW2);
+  constexpr int IWr = detail::promoted_iw<IW1, S1, IW2, S2, Sr>() + 1;
+  constexpr int Wr = IWr + FWr;
+  static_assert(Wr >= 1);
+  wide_int<Wr, Sr> ar(a.raw());
+  ar <<= (FWr - (W1 - IW1));
+  wide_int<Wr, Sr> br(b.raw());
+  br <<= (FWr - (W2 - IW2));
+  ar += br;
+  return fixed<Wr, IWr, Quant::kTrn, Ovf::kWrap, Sr>::from_raw(ar);
+}
+
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator-(const fixed<W1, IW1, Q1, O1, S1>& a,
+                         const fixed<W2, IW2, Q2, O2, S2>& b) {
+  constexpr int FWr = detail::max_i(W1 - IW1, W2 - IW2);
+  constexpr int IWr = detail::promoted_iw<IW1, S1, IW2, S2, true>() + 1;
+  constexpr int Wr = IWr + FWr;
+  static_assert(Wr >= 1);
+  wide_int<Wr, true> ar(a.raw());
+  ar <<= (FWr - (W1 - IW1));
+  wide_int<Wr, true> br(b.raw());
+  br <<= (FWr - (W2 - IW2));
+  ar -= br;
+  return fixed<Wr, IWr, Quant::kTrn, Ovf::kWrap, true>::from_raw(ar);
+}
+
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr auto operator*(const fixed<W1, IW1, Q1, O1, S1>& a,
+                         const fixed<W2, IW2, Q2, O2, S2>& b) {
+  constexpr bool Sr = S1 || S2;
+  constexpr int E1 = (Sr && !S1) ? 1 : 0;
+  constexpr int E2 = (Sr && !S2) ? 1 : 0;
+  constexpr int Wr = W1 + E1 + W2 + E2;
+  constexpr int IWr = IW1 + E1 + IW2 + E2;
+  using R = wide_int<Wr, Sr>;
+  return fixed<Wr, IWr, Quant::kTrn, Ovf::kWrap, Sr>::from_raw(
+      R::mul_mod(a.raw(), b.raw()));
+}
+
+// Mixed fixed / integer arithmetic (the paper writes `r * 64 + i * 8`).
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr auto operator*(const fixed<W, IW, Q, O, S>& a, int b) {
+  return a * fixed<32, 32, Quant::kTrn, Ovf::kWrap, true>(
+                 static_cast<long long>(b));
+}
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr auto operator+(const fixed<W, IW, Q, O, S>& a, int b) {
+  return a + fixed<32, 32, Quant::kTrn, Ovf::kWrap, true>(
+                 static_cast<long long>(b));
+}
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr auto operator-(const fixed<W, IW, Q, O, S>& a, int b) {
+  return a - fixed<32, 32, Quant::kTrn, Ovf::kWrap, true>(
+                 static_cast<long long>(b));
+}
+
+// -- Comparison (value comparison, any widths) --------------------------------
+
+template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,
+          Quant Q2, Ovf O2, bool S2>
+constexpr int compare(const fixed<W1, IW1, Q1, O1, S1>& a,
+                      const fixed<W2, IW2, Q2, O2, S2>& b) {
+  constexpr int FWr = detail::max_i(W1 - IW1, W2 - IW2);
+  constexpr int Wr =
+      detail::max_i(W1 + (FWr - (W1 - IW1)), W2 + (FWr - (W2 - IW2))) + 1;
+  wide_int<Wr, true> ar(a.raw());
+  ar <<= (FWr - (W1 - IW1));
+  wide_int<Wr, true> br(b.raw());
+  br <<= (FWr - (W2 - IW2));
+  return ar.compare(br);
+}
+
+#define HLSW_FIXED_CMP(op)                                                    \
+  template <int W1, int IW1, Quant Q1, Ovf O1, bool S1, int W2, int IW2,      \
+            Quant Q2, Ovf O2, bool S2>                                        \
+  constexpr bool operator op(const fixed<W1, IW1, Q1, O1, S1>& a,             \
+                             const fixed<W2, IW2, Q2, O2, S2>& b) {           \
+    return compare(a, b) op 0;                                                \
+  }
+HLSW_FIXED_CMP(==)
+HLSW_FIXED_CMP(!=)
+HLSW_FIXED_CMP(<)
+HLSW_FIXED_CMP(<=)
+HLSW_FIXED_CMP(>)
+HLSW_FIXED_CMP(>=)
+#undef HLSW_FIXED_CMP
+
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr bool operator==(const fixed<W, IW, Q, O, S>& a, int b) {
+  return compare(a, fixed<34, 34, Quant::kTrn, Ovf::kWrap, true>(
+                        static_cast<long long>(b))) == 0;
+}
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr bool operator<(const fixed<W, IW, Q, O, S>& a, int b) {
+  return compare(a, fixed<34, 34, Quant::kTrn, Ovf::kWrap, true>(
+                        static_cast<long long>(b))) < 0;
+}
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr bool operator>=(const fixed<W, IW, Q, O, S>& a, int b) {
+  return compare(a, fixed<34, 34, Quant::kTrn, Ovf::kWrap, true>(
+                        static_cast<long long>(b))) >= 0;
+}
+
+// SystemC-style aliases.
+template <int W, int IW, Quant Q = Quant::kTrn, Ovf O = Ovf::kWrap>
+using sfixed = fixed<W, IW, Q, O, true>;
+template <int W, int IW, Quant Q = Quant::kTrn, Ovf O = Ovf::kWrap>
+using ufixed = fixed<W, IW, Q, O, false>;
+
+}  // namespace hlsw::fixpt

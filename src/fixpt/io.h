@@ -1,0 +1,78 @@
+// Stream output and miscellaneous value helpers for the fixpt datatypes:
+// ostream operators (decimal for wide_int, scaled decimal with format
+// annotation for fixed/complex_fixed), absolute value, and clamping.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "fixpt/complex_fixed.h"
+
+namespace hlsw::fixpt {
+
+template <int W, bool S>
+std::ostream& operator<<(std::ostream& os, const wide_int<W, S>& v) {
+  return os << v.to_string();
+}
+
+template <int W, int IW, Quant Q, Ovf O, bool S>
+std::ostream& operator<<(std::ostream& os, const fixed<W, IW, Q, O, S>& v) {
+  return os << v.to_double();
+}
+
+template <int W, int IW, Quant Q, Ovf O, bool S>
+std::ostream& operator<<(std::ostream& os,
+                         const complex_fixed<W, IW, Q, O, S>& v) {
+  os << v.r().to_double();
+  const double im = v.i().to_double();
+  os << (im < 0 ? "-" : "+") << "j" << (im < 0 ? -im : im);
+  return os;
+}
+
+// Formats a fixed value with its type annotation, e.g. "0.4375 <10,0>".
+template <int W, int IW, Quant Q, Ovf O, bool S>
+std::string describe(const fixed<W, IW, Q, O, S>& v) {
+  std::ostringstream os;
+  os << v.to_double() << " <" << W << "," << IW << ">";
+  return os.str();
+}
+
+// |v|, one bit wider so |min| is exact (like unary minus).
+template <int W, int IW, Quant Q, Ovf O, bool S>
+constexpr auto abs(const fixed<W, IW, Q, O, S>& v) {
+  using R = fixed<W + 1, IW + 1, Quant::kTrn, Ovf::kWrap, true>;
+  return v.is_neg() ? R(-v) : R(v);
+}
+
+// Clamps v into [lo, hi] (value comparison across formats).
+template <int W, int IW, Quant Q, Ovf O, bool S, typename Lo, typename Hi>
+constexpr fixed<W, IW, Q, O, S> clamp(const fixed<W, IW, Q, O, S>& v,
+                                      const Lo& lo, const Hi& hi) {
+  if (v < lo) return fixed<W, IW, Q, O, S>(lo);
+  if (v > hi) return fixed<W, IW, Q, O, S>(hi);
+  return v;
+}
+
+// Fixed-point division at caller-chosen quotient precision (division has no
+// finite exact width, so unlike +/-/*, the result format must be named):
+//   divide<Wq, IWq>(a, b) = a / b truncated toward zero at 2^-(Wq-IWq).
+template <int Wq, int IWq, int W1, int IW1, Quant Q1, Ovf O1, bool S1,
+          int W2, int IW2, Quant Q2, Ovf O2, bool S2>
+constexpr fixed<Wq, IWq> divide(const fixed<W1, IW1, Q1, O1, S1>& a,
+                                const fixed<W2, IW2, Q2, O2, S2>& b) {
+  // raw_q = trunc( a_raw * 2^(fwq - fw1 + fw2) / b_raw ).
+  constexpr int kFwQ = Wq - IWq;
+  constexpr int kShift = kFwQ - (W1 - IW1) + (W2 - IW2);
+  constexpr int kNumW = W1 + (kShift > 0 ? kShift : 0) + 2;
+  wide_int<kNumW, true> num(a.raw());
+  if constexpr (kShift > 0) {
+    num <<= kShift;
+  } else if constexpr (kShift < 0) {
+    num >>= -kShift;
+  }
+  const auto q = num / b.raw();
+  return fixed<Wq, IWq>::from_raw(wide_int<Wq, true>(q));
+}
+
+}  // namespace hlsw::fixpt

@@ -1,0 +1,545 @@
+// wide_int: arbitrary-width two's-complement integer.
+//
+// This is the reproduction of the paper's "arbitrary-length integer types"
+// (Catapult C's mc_int, SystemC's sc_bigint/sc_biguint, paper section 3.1).
+// Semantics follow the mc_int model the paper advocates: binary operations
+// return *full integer precision* (the result width is large enough to hold
+// every representable result exactly), while assignment back into a
+// narrower wide_int wraps modulo 2^W, exactly as hardware registers do.
+//
+// Storage is a fixed array of 64-bit limbs, little-endian, kept in a
+// canonical form where bits above W-1 in the top limb replicate the sign
+// bit (signed) or are zero (unsigned). Canonical form makes limb-wise
+// comparison and extension trivial and is re-established after every
+// mutating operation.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace hlsw::fixpt {
+
+namespace detail {
+
+constexpr int limbs_for(int width) { return (width + 63) / 64; }
+
+// Number of bits needed for the result of a binary op under the mc_int
+// promotion rules (see file comment). An unsigned operand combined with a
+// signed one needs one extra bit to embed its value range in a signed type.
+constexpr int add_result_width(int w1, bool s1, int w2, bool s2) {
+  const bool sr = s1 || s2;
+  const int e1 = w1 + ((sr && !s1) ? 1 : 0);
+  const int e2 = w2 + ((sr && !s2) ? 1 : 0);
+  return (e1 > e2 ? e1 : e2) + 1;
+}
+constexpr int mul_result_width(int w1, bool s1, int w2, bool s2) {
+  const bool sr = s1 || s2;
+  const int e1 = w1 + ((sr && !s1) ? 1 : 0);
+  const int e2 = w2 + ((sr && !s2) ? 1 : 0);
+  return e1 + e2;
+}
+
+}  // namespace detail
+
+template <int W, bool Signed = true>
+class wide_int {
+  static_assert(W >= 1, "wide_int width must be positive");
+
+ public:
+  static constexpr int kWidth = W;
+  static constexpr bool kSigned = Signed;
+  static constexpr int kLimbs = detail::limbs_for(W);
+
+  constexpr wide_int() = default;
+
+  // Construct from a native integer; the value wraps modulo 2^W.
+  constexpr wide_int(long long v) {  // NOLINT(google-explicit-constructor)
+    const uint64_t fill = (v < 0) ? ~uint64_t{0} : 0;
+    limb_[0] = static_cast<uint64_t>(v);
+    for (int i = 1; i < kLimbs; ++i) limb_[i] = fill;
+    canonicalize();
+  }
+  constexpr wide_int(unsigned long long v) {  // NOLINT
+    limb_[0] = v;
+    for (int i = 1; i < kLimbs; ++i) limb_[i] = 0;
+    canonicalize();
+  }
+  constexpr wide_int(int v) : wide_int(static_cast<long long>(v)) {}        // NOLINT
+  constexpr wide_int(unsigned v) : wide_int(static_cast<unsigned long long>(v)) {}  // NOLINT
+  constexpr wide_int(long v) : wide_int(static_cast<long long>(v)) {}       // NOLINT
+  constexpr wide_int(unsigned long v) : wide_int(static_cast<unsigned long long>(v)) {}  // NOLINT
+
+  // Converting constructor from any other wide_int. Value-preserving when
+  // this type can represent the source value; otherwise wraps modulo 2^W
+  // (register-assignment semantics).
+  template <int W2, bool S2>
+  constexpr wide_int(const wide_int<W2, S2>& v) {  // NOLINT(google-explicit-constructor)
+    for (int i = 0; i < kLimbs; ++i) limb_[i] = v.ext_limb(i);
+    canonicalize();
+  }
+
+  // Construct from a double, truncating the fractional part toward zero.
+  // The integer part wraps modulo 2^W if out of range.
+  static wide_int from_double(double v) {
+    wide_int r;
+    const bool neg = v < 0;
+    double mag = std::trunc(std::fabs(v));
+    for (int i = 0; i < kLimbs && mag > 0; ++i) {
+      const double lo = std::fmod(mag, 18446744073709551616.0);  // 2^64
+      r.limb_[i] = static_cast<uint64_t>(lo);
+      mag = std::trunc(mag / 18446744073709551616.0);
+    }
+    if (neg) r = wide_int(-r);
+    r.canonicalize();
+    return r;
+  }
+
+  // -- Observers ------------------------------------------------------------
+
+  // Raw limb with sign/zero extension beyond storage; usable for any index.
+  constexpr uint64_t ext_limb(int i) const {
+    if (i < kLimbs) return limb_[i];
+    return is_neg() ? ~uint64_t{0} : 0;
+  }
+  constexpr uint64_t limb(int i) const { return limb_[i]; }
+
+  constexpr bool is_neg() const {
+    if constexpr (!Signed) {
+      return false;
+    } else {
+      return bit(W - 1);
+    }
+  }
+
+  constexpr bool bit(int i) const {
+    assert(i >= 0);
+    if (i >= 64 * kLimbs) return is_neg();
+    return (limb_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  constexpr bool is_zero() const {
+    for (int i = 0; i < kLimbs; ++i)
+      if (limb_[i] != 0) return false;
+    return true;
+  }
+
+  // True if any bit in [0, n) is set. n may exceed W.
+  constexpr bool any_bit_below(int n) const {
+    for (int i = 0; i < n && i < 64 * kLimbs; ++i)
+      if (bit(i)) return true;
+    return false;
+  }
+
+  // Index of the most significant bit that differs from the sign bit, plus
+  // one for the sign itself: the minimum width that holds this value.
+  constexpr int min_width() const {
+    const bool neg = is_neg();
+    int msb = -1;
+    for (int i = W - 1; i >= 0; --i) {
+      if (bit(i) != neg) {
+        msb = i;
+        break;
+      }
+    }
+    if constexpr (Signed) return msb + 2;  // value bits + sign bit
+    return msb + 1 > 0 ? msb + 1 : 1;
+  }
+
+  constexpr long long to_int64() const {
+    if constexpr (Signed) {
+      return static_cast<long long>(ext_limb(0));
+    } else {
+      return static_cast<long long>(limb_[0]);
+    }
+  }
+  constexpr unsigned long long to_uint64() const { return limb_[0]; }
+
+  double to_double() const {
+    // Compute the magnitude in place (two's complement negate for negative
+    // values) so no wider template type is instantiated.
+    std::array<uint64_t, kLimbs> mag = limb_;
+    const bool neg = is_neg();
+    if (neg) {
+      unsigned __int128 carry = 1;
+      for (int i = 0; i < kLimbs; ++i) {
+        const unsigned __int128 s =
+            static_cast<unsigned __int128>(~limb_[i]) + carry;
+        mag[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+      }
+    }
+    double acc = 0;
+    for (int i = kLimbs - 1; i >= 0; --i)
+      acc = acc * 18446744073709551616.0 + static_cast<double>(mag[i]);
+    return neg ? -acc : acc;
+  }
+
+  std::string to_string() const {
+    wide_int<W + 1, true> mag = is_neg() ? wide_int<W + 1, true>(-(*this))
+                                         : wide_int<W + 1, true>(*this);
+    std::string out;
+    if (mag.is_zero()) return "0";
+    while (!mag.is_zero()) {
+      uint64_t rem = 0;
+      for (int i = decltype(mag)::kLimbs - 1; i >= 0; --i) {
+        const unsigned __int128 cur =
+            (static_cast<unsigned __int128>(rem) << 64) | mag.limb(i);
+        mag.set_limb(i, static_cast<uint64_t>(cur / 10));
+        rem = static_cast<uint64_t>(cur % 10);
+      }
+      mag.canonicalize();
+      out.insert(out.begin(), static_cast<char>('0' + rem));
+    }
+    if (is_neg()) out.insert(out.begin(), '-');
+    return out;
+  }
+
+  // Hex dump of the W-bit pattern (ceil(W/4) nibbles at most; the storage's
+  // sign-extension bits above W-1 are masked off).
+  std::string to_hex_string() const {
+    static const char* kHex = "0123456789abcdef";
+    std::string out = "0x";
+    bool started = false;
+    const int top_nibble = (W - 1) / 4;
+    for (int nib = top_nibble; nib >= 0; --nib) {
+      unsigned d = static_cast<unsigned>((limb_[nib / 16] >> ((nib % 16) * 4)) & 0xF);
+      const int bits_in_nibble = W - nib * 4;  // <4 only for the top nibble
+      if (bits_in_nibble < 4) d &= (1u << bits_in_nibble) - 1;
+      if (!started && d == 0 && nib != 0) continue;
+      started = true;
+      out.push_back(kHex[d]);
+    }
+    return out;
+  }
+
+  // -- Mutators ---------------------------------------------------------------
+
+  constexpr void set_bit(int i, bool b) {
+    assert(i >= 0 && i < W);
+    if (b)
+      limb_[i / 64] |= uint64_t{1} << (i % 64);
+    else
+      limb_[i / 64] &= ~(uint64_t{1} << (i % 64));
+    canonicalize();
+  }
+
+  constexpr void set_limb(int i, uint64_t v) { limb_[i] = v; }
+
+  constexpr void canonicalize() {
+    constexpr int top_bits = W % 64;
+    if constexpr (top_bits != 0) {
+      constexpr uint64_t mask = (uint64_t{1} << top_bits) - 1;
+      const bool neg = Signed && ((limb_[kLimbs - 1] >> (top_bits - 1)) & 1u);
+      if (neg)
+        limb_[kLimbs - 1] |= ~mask;
+      else
+        limb_[kLimbs - 1] &= mask;
+    }
+  }
+
+  // Extract a slice of Wout bits starting at bit `lsb`, zero/sign extended
+  // per the *result* signedness (ac_int-style slc).
+  template <int Wout, bool Sout = false>
+  constexpr wide_int<Wout, Sout> slc(int lsb) const {
+    wide_int<Wout, Sout> r;
+    for (int i = 0; i < wide_int<Wout, Sout>::kLimbs; ++i) {
+      const int base = lsb + i * 64;
+      uint64_t v = ext_limb(base / 64) >> (base % 64);
+      if (base % 64 != 0) v |= ext_limb(base / 64 + 1) << (64 - base % 64);
+      r.set_limb(i, v);
+    }
+    r.canonicalize();
+    return r;
+  }
+
+  // -- Compound ops (wrap to own width, register semantics) -------------------
+
+  template <int W2, bool S2>
+  constexpr wide_int& operator+=(const wide_int<W2, S2>& rhs) {
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < kLimbs; ++i) {
+      const unsigned __int128 s =
+          static_cast<unsigned __int128>(limb_[i]) + rhs.ext_limb(i) + carry;
+      limb_[i] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    canonicalize();
+    return *this;
+  }
+  template <int W2, bool S2>
+  constexpr wide_int& operator-=(const wide_int<W2, S2>& rhs) {
+    unsigned __int128 borrow = 0;
+    for (int i = 0; i < kLimbs; ++i) {
+      const unsigned __int128 d = static_cast<unsigned __int128>(limb_[i]) -
+                                  rhs.ext_limb(i) - borrow;
+      limb_[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) ? 1 : 0;
+    }
+    canonicalize();
+    return *this;
+  }
+  template <int W2, bool S2>
+  constexpr wide_int& operator*=(const wide_int<W2, S2>& rhs) {
+    *this = wide_int(mul_mod(*this, rhs));
+    return *this;
+  }
+
+  // Multiply modulo 2^W (this type's width). Helper for operator*.
+  template <int Wa, bool Sa, int Wb, bool Sb>
+  static constexpr wide_int mul_mod(const wide_int<Wa, Sa>& a,
+                                    const wide_int<Wb, Sb>& b) {
+    wide_int r;
+    std::array<uint64_t, kLimbs> acc{};
+    for (int i = 0; i < kLimbs; ++i) {
+      unsigned __int128 carry = 0;
+      const uint64_t ai = a.ext_limb(i);
+      for (int j = 0; i + j < kLimbs; ++j) {
+        const unsigned __int128 cur =
+            static_cast<unsigned __int128>(ai) * b.ext_limb(j) + acc[i + j] +
+            carry;
+        acc[i + j] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+    }
+    for (int i = 0; i < kLimbs; ++i) r.limb_[i] = acc[i];
+    r.canonicalize();
+    return r;
+  }
+
+  constexpr wide_int& operator<<=(int n) {
+    assert(n >= 0);
+    if (n >= 64 * kLimbs) {
+      limb_.fill(0);
+    } else {
+      const int ls = n / 64, bs = n % 64;
+      for (int i = kLimbs - 1; i >= 0; --i) {
+        uint64_t v = (i - ls >= 0) ? limb_[i - ls] << bs : 0;
+        if (bs != 0 && i - ls - 1 >= 0) v |= limb_[i - ls - 1] >> (64 - bs);
+        limb_[i] = v;
+      }
+    }
+    canonicalize();
+    return *this;
+  }
+  // Arithmetic right shift (sign-propagating when Signed).
+  constexpr wide_int& operator>>=(int n) {
+    assert(n >= 0);
+    const uint64_t fill = is_neg() ? ~uint64_t{0} : 0;
+    if (n >= 64 * kLimbs) {
+      limb_.fill(fill);
+    } else {
+      const int ls = n / 64, bs = n % 64;
+      for (int i = 0; i < kLimbs; ++i) {
+        uint64_t v = (i + ls < kLimbs) ? limb_[i + ls] >> bs : fill >> bs;
+        if (bs != 0) {
+          const uint64_t hi = (i + ls + 1 < kLimbs) ? limb_[i + ls + 1] : fill;
+          v |= hi << (64 - bs);
+        }
+        limb_[i] = v;
+      }
+    }
+    canonicalize();
+    return *this;
+  }
+
+  constexpr wide_int operator<<(int n) const {
+    wide_int r = *this;
+    r <<= n;
+    return r;
+  }
+  constexpr wide_int operator>>(int n) const {
+    wide_int r = *this;
+    r >>= n;
+    return r;
+  }
+
+  constexpr wide_int operator~() const {
+    wide_int r;
+    for (int i = 0; i < kLimbs; ++i) r.limb_[i] = ~limb_[i];
+    r.canonicalize();
+    return r;
+  }
+
+  // -- Comparison (value comparison across widths/signedness) -----------------
+
+  template <int W2, bool S2>
+  constexpr int compare(const wide_int<W2, S2>& rhs) const {
+    const bool ln = is_neg(), rn = rhs.is_neg();
+    if (ln != rn) return ln ? -1 : 1;
+    const int n = (kLimbs > wide_int<W2, S2>::kLimbs)
+                      ? kLimbs
+                      : wide_int<W2, S2>::kLimbs;
+    for (int i = n - 1; i >= 0; --i) {
+      const uint64_t a = ext_limb(i), b = rhs.ext_limb(i);
+      if (a != b) return a < b ? -1 : 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::array<uint64_t, kLimbs> limb_{};
+};
+
+// -- Non-member operators ------------------------------------------------------
+
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator+(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  wide_int<detail::add_result_width(W1, S1, W2, S2), S1 || S2> r(a);
+  r += b;
+  return r;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator-(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  wide_int<detail::add_result_width(W1, S1, W2, S2), true> r(a);
+  r -= b;
+  return r;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator*(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  using R = wide_int<detail::mul_result_width(W1, S1, W2, S2), S1 || S2>;
+  return R::mul_mod(a, b);
+}
+template <int W, bool S>
+constexpr auto operator-(const wide_int<W, S>& a) {
+  wide_int<W + 1, true> r(0);
+  r -= a;
+  return r;
+}
+
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator&(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  constexpr int Wr = (W1 > W2) ? W1 : W2;
+  wide_int<Wr, S1 && S2> r;
+  wide_int<Wr, S1> ea(a);
+  wide_int<Wr, S2> eb(b);
+  for (int i = 0; i < decltype(r)::kLimbs; ++i)
+    r.set_limb(i, ea.ext_limb(i) & eb.ext_limb(i));
+  r.canonicalize();
+  return r;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator|(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  constexpr int Wr = (W1 > W2) ? W1 : W2;
+  wide_int<Wr, S1 && S2> r;
+  wide_int<Wr, S1> ea(a);
+  wide_int<Wr, S2> eb(b);
+  for (int i = 0; i < decltype(r)::kLimbs; ++i)
+    r.set_limb(i, ea.ext_limb(i) | eb.ext_limb(i));
+  r.canonicalize();
+  return r;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator^(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  constexpr int Wr = (W1 > W2) ? W1 : W2;
+  wide_int<Wr, S1 && S2> r;
+  wide_int<Wr, S1> ea(a);
+  wide_int<Wr, S2> eb(b);
+  for (int i = 0; i < decltype(r)::kLimbs; ++i)
+    r.set_limb(i, ea.ext_limb(i) ^ eb.ext_limb(i));
+  r.canonicalize();
+  return r;
+}
+
+// Division truncates toward zero (C semantics); remainder takes the sign of
+// the dividend. Implemented by bit-serial long division on magnitudes.
+namespace detail {
+template <int Wn, int Wd>
+struct divmod_result {
+  wide_int<Wn + 1, true> quot;
+  wide_int<Wd + 1, true> rem;
+};
+template <int Wn, bool Sn, int Wd, bool Sd>
+constexpr divmod_result<Wn, Wd> divmod(const wide_int<Wn, Sn>& num,
+                                       const wide_int<Wd, Sd>& den) {
+  assert(!den.is_zero() && "wide_int division by zero");
+  wide_int<Wn + 1, true> n = num.is_neg() ? wide_int<Wn + 1, true>(-num)
+                                          : wide_int<Wn + 1, true>(num);
+  wide_int<Wd + 1, true> d = den.is_neg() ? wide_int<Wd + 1, true>(-den)
+                                          : wide_int<Wd + 1, true>(den);
+  wide_int<Wn + 1, true> q(0);
+  wide_int<Wd + 2, true> r(0);
+  for (int i = Wn; i >= 0; --i) {
+    r <<= 1;
+    r.set_bit(0, n.bit(i));
+    if (r.compare(d) >= 0) {
+      r -= d;
+      q.set_bit(i, true);
+    }
+  }
+  divmod_result<Wn, Wd> out;
+  out.quot = (num.is_neg() != den.is_neg()) ? wide_int<Wn + 1, true>(-q) : q;
+  out.rem = num.is_neg() ? wide_int<Wd + 1, true>(-r) : wide_int<Wd + 1, true>(r);
+  return out;
+}
+}  // namespace detail
+
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator/(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return detail::divmod(a, b).quot;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr auto operator%(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return detail::divmod(a, b).rem;
+}
+
+template <int W1, bool S1, int W2, bool S2>
+constexpr bool operator==(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return a.compare(b) == 0;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr bool operator!=(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return a.compare(b) != 0;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr bool operator<(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return a.compare(b) < 0;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr bool operator<=(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return a.compare(b) <= 0;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr bool operator>(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return a.compare(b) > 0;
+}
+template <int W1, bool S1, int W2, bool S2>
+constexpr bool operator>=(const wide_int<W1, S1>& a, const wide_int<W2, S2>& b) {
+  return a.compare(b) >= 0;
+}
+
+// Mixed wide_int / native-integer operators, via conversion.
+template <int W, bool S, typename I>
+  requires std::is_integral_v<I>
+constexpr auto operator+(const wide_int<W, S>& a, I b) {
+  return a + wide_int<64, std::is_signed_v<I>>(static_cast<long long>(b));
+}
+template <int W, bool S, typename I>
+  requires std::is_integral_v<I>
+constexpr auto operator*(const wide_int<W, S>& a, I b) {
+  return a * wide_int<64, std::is_signed_v<I>>(static_cast<long long>(b));
+}
+template <int W, bool S, typename I>
+  requires std::is_integral_v<I>
+constexpr bool operator==(const wide_int<W, S>& a, I b) {
+  return a == wide_int<64, std::is_signed_v<I>>(static_cast<long long>(b));
+}
+template <int W, bool S, typename I>
+  requires std::is_integral_v<I>
+constexpr bool operator<(const wide_int<W, S>& a, I b) {
+  return a < wide_int<64, std::is_signed_v<I>>(static_cast<long long>(b));
+}
+
+// Convenience aliases matching the paper's int17/uint6 style names.
+template <int W>
+using intN = wide_int<W, true>;
+template <int W>
+using uintN = wide_int<W, false>;
+
+using uint6 = uintN<6>;
+using int17 = intN<17>;
+
+}  // namespace hlsw::fixpt

@@ -1,0 +1,264 @@
+#include "hls/bind.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fixpt/bitwidth.h"
+
+namespace hlsw::hls {
+
+namespace {
+
+int value_bits(const FxType& t) { return t.w * (t.cplx ? 2 : 1); }
+
+// One functional-unit request from a scheduled op.
+struct FuRequest {
+  std::string kind;
+  int wa = 0, wb = 0;  // operand widths (adders: wa = width, wb = 0)
+  double area = 0;
+};
+
+// Expands an op into its primitive FU requests.
+void expand_requests(const OpCost& c, const TechLibrary& tech,
+                     std::vector<FuRequest>* out) {
+  for (int m = 0; m < c.real_mults; ++m)
+    out->push_back({"mul", c.wa, c.wb, tech.mul_area(c.wa, c.wb)});
+  for (int a = 0; a < c.real_adds; ++a)
+    out->push_back({"add", c.add_w, 0, tech.add_area(c.add_w)});
+}
+
+}  // namespace
+
+BindResult bind_design(const Function& f, const Schedule& s,
+                       const Directives& dir, const TechLibrary& tech) {
+  BindResult out;
+
+  // ---- Collect per-(region, cycle) FU requests and bind to pools. ----
+  // Pools keyed by kind; each slot contributes a descending-area list.
+  std::map<std::string, std::vector<std::vector<FuRequest>>> slots_by_kind;
+
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    const Region& region = f.regions[r];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    const RegionSchedule& rs = s.regions[r];
+    std::map<int, std::vector<FuRequest>> per_cycle;
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      const OpCost c = op_cost(f, b, static_cast<int>(i), tech);
+      if (c.real_mults == 0 && c.real_adds == 0) continue;
+      expand_requests(c, tech, &per_cycle[rs.body.place[i].cycle]);
+    }
+    for (auto& [cycle, reqs] : per_cycle) {
+      (void)cycle;
+      std::map<std::string, std::vector<FuRequest>> by_kind;
+      for (auto& req : reqs) by_kind[req.kind].push_back(req);
+      for (auto& [kind, list] : by_kind) {
+        std::sort(list.begin(), list.end(),
+                  [](const FuRequest& a, const FuRequest& b2) {
+                    return a.area > b2.area;
+                  });
+        slots_by_kind[kind].push_back(std::move(list));
+      }
+    }
+  }
+
+  for (auto& [kind, slots] : slots_by_kind) {
+    std::size_t min_pool = 0;
+    std::size_t total_reqs = 0;
+    double max_unit_area = 0;
+    int max_wa = 0, max_wb = 0;
+    for (const auto& slot : slots) {
+      min_pool = std::max(min_pool, slot.size());
+      total_reqs += slot.size();
+      for (const auto& r : slot)
+        if (r.area > max_unit_area) {
+          max_unit_area = r.area;
+          max_wa = r.wa;
+          max_wb = r.wb;
+        }
+    }
+    if (min_pool == 0) continue;
+
+    // Cost-aware allocation: sharing a unit across n ops costs a mux leg
+    // per extra op on both operand ports; beyond a point another unit is
+    // cheaper than deeper muxing (what a real binder does — maximal
+    // sharing would charge absurd selector trees to sequential designs).
+    const int in_bits = max_wa + (max_wb > 0 ? max_wb : max_wa);
+    auto pool_cost = [&](std::size_t pool) {
+      const double fu_cost = static_cast<double>(pool) * max_unit_area;
+      // Requests distribute evenly; each unit with n ops needs n-1 legs.
+      const double legs =
+          static_cast<double>(total_reqs) - static_cast<double>(pool);
+      return fu_cost + (legs > 0 ? tech.mux_area(2, in_bits) * legs : 0.0);
+    };
+    std::size_t pool = min_pool;
+    for (std::size_t p = min_pool; p <= total_reqs; ++p)
+      if (pool_cost(p) < pool_cost(pool)) pool = p;
+
+    for (std::size_t i = 0; i < pool; ++i) {
+      FuInstance fu;
+      fu.kind = kind;
+      fu.area = max_unit_area;
+      fu.wa = max_wa;
+      fu.wb = max_wb;
+      fu.n_ops = static_cast<int>((total_reqs + pool - 1) / pool);
+      out.fu_area += fu.area;
+      out.mux_area += tech.mux_area(fu.n_ops, in_bits);
+      out.fus.push_back(std::move(fu));
+    }
+  }
+
+  // ---- Storage: architectural registers and memories. ----
+  for (const auto& v : f.vars) out.storage_bits += value_bits(v.type);
+  for (const auto& a : f.arrays) {
+    const long long bits =
+        static_cast<long long>(a.length) * value_bits(a.elem);
+    if (a.mapping == ArrayMapping::kMemory) {
+      out.mem_bits += bits;
+      out.mem_ports += a.mem_read_ports + a.mem_write_ports;
+    } else {
+      out.storage_bits += bits;
+    }
+  }
+
+  // ---- Pipeline registers: results consumed in a later cycle. ----
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    const Region& region = f.regions[r];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    const RegionSchedule& rs = s.regions[r];
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      bool crosses = false;
+      for (std::size_t j = i + 1; j < b.ops.size() && !crosses; ++j)
+        for (int arg : b.ops[j].args)
+          if (arg == static_cast<int>(i) &&
+              rs.body.place[j].cycle > rs.body.place[i].cycle)
+            crosses = true;
+      if (crosses) out.pipeline_bits += value_bits(b.ops[i].type);
+    }
+    // Values communicated between regions travel through vars/arrays,
+    // already counted as architectural storage.
+  }
+
+  // ---- Register/array steering muxes. ----
+  // Vars: one write mux with an input per distinct writing site.
+  std::vector<int> var_writers(f.vars.size(), 0);
+  // Arrays (register-mapped): per-element input counts.
+  std::vector<std::vector<int>> elem_writers(f.arrays.size());
+  for (std::size_t a = 0; a < f.arrays.size(); ++a)
+    elem_writers[a].assign(static_cast<size_t>(f.arrays[a].length), 0);
+  double read_mux_area = 0;
+
+  for (const auto& region : f.regions) {
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    const int trip = region.is_loop ? region.loop.trip : 1;
+    for (const Op& op : b.ops) {
+      if (op.kind == OpKind::kVarWrite) {
+        ++var_writers[static_cast<size_t>(op.var)];
+      } else if (op.kind == OpKind::kArrayWrite &&
+                 f.arrays[static_cast<size_t>(op.array)].mapping ==
+                     ArrayMapping::kRegisters) {
+        const int g = op.guard_trip < 0 ? trip : op.guard_trip;
+        for (int k = 0; k < g; ++k) {
+          const int idx = op.idx.eval(k);
+          if (idx >= 0 &&
+              idx < f.arrays[static_cast<size_t>(op.array)].length)
+            ++elem_writers[static_cast<size_t>(op.array)]
+                          [static_cast<size_t>(idx)];
+        }
+      } else if (op.kind == OpKind::kArrayRead && op.idx.scale != 0 &&
+                 f.arrays[static_cast<size_t>(op.array)].mapping ==
+                     ArrayMapping::kRegisters) {
+        // Variable-index read: a selector over the touched elements.
+        const Array& arr = f.arrays[static_cast<size_t>(op.array)];
+        const int g = op.guard_trip < 0 ? trip : op.guard_trip;
+        std::set<int> touched;
+        for (int k = 0; k < g; ++k) touched.insert(op.idx.eval(k));
+        read_mux_area += tech.mux_area(static_cast<int>(touched.size()),
+                                       value_bits(arr.elem));
+      }
+    }
+  }
+  for (std::size_t v = 0; v < f.vars.size(); ++v)
+    out.mux_area += tech.mux_area(var_writers[v], value_bits(f.vars[v].type));
+  for (std::size_t a = 0; a < f.arrays.size(); ++a)
+    for (int w : elem_writers[a])
+      out.mux_area += tech.mux_area(w, value_bits(f.arrays[a].elem));
+  out.mux_area += read_mux_area;
+
+  // ---- Control. ----
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    out.fsm_states += s.regions[r].body.cycles;
+    if (f.regions[r].is_loop)
+      out.counter_bits += fixpt::clog2(
+          static_cast<unsigned long long>(f.regions[r].loop.trip) + 1);
+  }
+  if (dir.handshake) out.fsm_states += 1;  // idle/wait state
+
+  // ---- Interface synthesis (paper section 2.1). ----
+  auto iface_of = [&](const std::string& name) {
+    auto it = dir.interfaces.find(name);
+    return it == dir.interfaces.end() ? InterfaceKind::kWire : it->second;
+  };
+  for (const auto& v : f.vars) {
+    if (v.port == PortDir::kNone) continue;
+    const int bits = value_bits(v.type);
+    switch (iface_of(v.name)) {
+      case InterfaceKind::kRegistered:
+        out.io_reg_bits += bits;
+        out.io_bits += bits;
+        break;
+      case InterfaceKind::kHandshake:
+        out.io_reg_bits += bits;
+        out.io_bits += bits + 2;  // valid/ready pair
+        break;
+      default:
+        out.io_bits += bits;
+        break;
+    }
+  }
+  for (const auto& a : f.arrays) {
+    if (a.port == PortDir::kNone) continue;
+    const long long full =
+        static_cast<long long>(a.length) * value_bits(a.elem);
+    switch (iface_of(a.name)) {
+      case InterfaceKind::kStream:
+        // One element-wide lane accessed over time (paper: "array accesses
+        // over an index may be converted into accesses over time"), plus a
+        // transfer counter. Transfer cycles are charged by the scheduler.
+        out.io_bits += value_bits(a.elem) + 2;
+        out.counter_bits += fixpt::clog2(
+            static_cast<unsigned long long>(a.length) + 1);
+        break;
+      case InterfaceKind::kRegistered:
+        out.io_reg_bits += full;
+        out.io_bits += full;
+        break;
+      case InterfaceKind::kHandshake:
+        out.io_reg_bits += full;
+        out.io_bits += full + 2;
+        break;
+      default:
+        out.io_bits += full;
+        break;
+    }
+  }
+
+  return out;
+}
+
+AreaReport estimate_area(const BindResult& b, const TechLibrary& tech) {
+  AreaReport r;
+  r.fu = b.fu_area;
+  r.reg = tech.reg_area(
+      static_cast<int>(b.storage_bits + b.pipeline_bits + b.io_reg_bits));
+  r.mux = b.mux_area;
+  r.fsm = tech.fsm_area(b.fsm_states, b.counter_bits);
+  r.mem = b.mem_bits > 0
+              ? tech.mem_area(static_cast<int>(b.mem_bits), b.mem_ports)
+              : 0;
+  r.io = tech.io_area_per_bit * static_cast<double>(b.io_bits);
+  r.total = r.fu + r.reg + r.mux + r.fsm + r.mem + r.io;
+  return r;
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,59 @@
+// Allocation and binding: maps scheduled operations onto shared functional
+// units, counts storage and steering logic, and produces the component
+// inventory behind the paper's area numbers and bill-of-materials report.
+//
+// Sharing model: the design has a single global FSM (regions execute
+// sequentially), so two operations can share a functional unit whenever
+// they occupy different (region, body-cycle) slots. Within a slot they need
+// distinct units. Pool size per FU class = max simultaneous use across all
+// slots; unit widths follow the "i-th largest requirement" heuristic
+// (sort each slot's requests descending; unit i must accommodate the
+// largest i-th request it ever receives). Sharing is paid for with input
+// multiplexers, which is why the paper's more-parallel architectures grow
+// area superlinearly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/schedule.h"
+
+namespace hlsw::hls {
+
+struct FuInstance {
+  std::string kind;  // "mul", "add", "sign_mul", "cast", ...
+  int wa = 0, wb = 0;
+  int n_ops = 0;  // operations bound to this unit (mux inputs)
+  double area = 0;
+};
+
+struct BindResult {
+  std::vector<FuInstance> fus;
+  double fu_area = 0;
+  long long storage_bits = 0;   // architectural registers (vars + arrays)
+  long long pipeline_bits = 0;  // inter-cycle temporaries
+  long long mem_bits = 0;       // memory-mapped arrays
+  int mem_ports = 0;
+  double mux_area = 0;  // FU input muxes + register/array steering
+  int fsm_states = 0;
+  int counter_bits = 0;
+  long long io_bits = 0;
+  long long io_reg_bits = 0;  // interface registers (registered/handshake)
+};
+
+BindResult bind_design(const Function& f, const Schedule& s,
+                       const Directives& dir, const TechLibrary& tech);
+
+struct AreaReport {
+  double fu = 0;
+  double reg = 0;
+  double mux = 0;
+  double fsm = 0;
+  double mem = 0;
+  double io = 0;
+  double total = 0;
+};
+
+AreaReport estimate_area(const BindResult& b, const TechLibrary& tech);
+
+}  // namespace hlsw::hls

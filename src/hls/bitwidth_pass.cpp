@@ -1,0 +1,310 @@
+#include "hls/bitwidth_pass.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace hlsw::hls {
+
+namespace {
+
+// Raw-value interval at a binary scale. Covers both complex components.
+struct Ival {
+  __int128 lo = 0;
+  __int128 hi = 0;
+  int fw = 0;
+
+  bool operator==(const Ival&) const = default;
+};
+
+Ival type_range(const FxType& t) {
+  Ival r;
+  r.fw = t.fw();
+  r.hi = (static_cast<__int128>(1) << (t.sgn ? t.w - 1 : t.w)) - 1;
+  r.lo = t.sgn ? -(static_cast<__int128>(1) << (t.w - 1)) : 0;
+  return r;
+}
+
+void align_pair(Ival& a, Ival& b) {
+  if (a.fw < b.fw) {
+    a.lo <<= (b.fw - a.fw);
+    a.hi <<= (b.fw - a.fw);
+    a.fw = b.fw;
+  } else if (b.fw < a.fw) {
+    b.lo <<= (a.fw - b.fw);
+    b.hi <<= (a.fw - b.fw);
+    b.fw = a.fw;
+  }
+}
+
+Ival unite(Ival a, Ival b) {
+  align_pair(a, b);
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi), a.fw};
+}
+
+Ival iadd(Ival a, Ival b) {
+  align_pair(a, b);
+  return {a.lo + b.lo, a.hi + b.hi, a.fw};
+}
+Ival isub(Ival a, Ival b) {
+  align_pair(a, b);
+  return {a.lo - b.hi, a.hi - b.lo, a.fw};
+}
+Ival imul(const Ival& a, const Ival& b) {
+  const __int128 p[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  Ival r;
+  r.fw = a.fw + b.fw;
+  r.lo = std::min(std::min(p[0], p[1]), std::min(p[2], p[3]));
+  r.hi = std::max(std::max(p[0], p[1]), std::max(p[2], p[3]));
+  return r;
+}
+Ival ineg(const Ival& a) { return {-a.hi, -a.lo, a.fw}; }
+
+// Conservative conversion into a destination type: if every value fits
+// (with one ulp of rounding slack), the interval passes through rescaled;
+// otherwise overflow handling makes the whole type range reachable.
+Ival iconvert(const Ival& v, const FxType& dst) {
+  const Ival full = type_range(dst);
+  Ival r;
+  r.fw = dst.fw();
+  const int shift = dst.fw() - v.fw;
+  if (shift >= 0) {
+    r.lo = v.lo << shift;
+    r.hi = v.hi << shift;
+  } else {
+    r.lo = v.lo >> (-shift);
+    r.hi = (v.hi >> (-shift)) + 1;  // rounding may bump up one ulp
+  }
+  if (r.lo < full.lo || r.hi > full.hi) return full;
+  return r;
+}
+
+// Minimum signed width holding raw interval [lo, hi].
+int width_for(const Ival& v) {
+  int w = 1;
+  while (true) {
+    const __int128 hi = (static_cast<__int128>(1) << (w - 1)) - 1;
+    const __int128 lo = -(static_cast<__int128>(1) << (w - 1));
+    if (v.lo >= lo && v.hi <= hi) return w;
+    ++w;
+    if (w >= 120) return 120;
+  }
+}
+
+struct AnalysisState {
+  std::vector<Ival> vars;
+  std::vector<Ival> arrays;  // one interval per array (all elements)
+  bool operator==(const AnalysisState&) const = default;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Function& f) : f_(f) {
+    // Start from initial state: zeros (locals and statics) except ports,
+    // which can hold anything their type allows.
+    for (const auto& v : f.vars) {
+      Ival init{v.init.re, v.init.re, v.type.fw()};
+      if (v.type.cplx) init = unite(init, {v.init.im, v.init.im, v.type.fw()});
+      const bool externally_driven =
+          v.port == PortDir::kIn || v.port == PortDir::kInOut;
+      state_.vars.push_back(externally_driven ? type_range(v.type) : init);
+    }
+    for (const auto& a : f.arrays) {
+      const bool externally_driven =
+          a.port == PortDir::kIn || a.port == PortDir::kInOut;
+      state_.arrays.push_back(externally_driven ? type_range(a.elem)
+                                                : Ival{0, 0, a.elem.fw()});
+    }
+    op_ranges_.resize(f.regions.size());
+    for (std::size_t r = 0; r < f.regions.size(); ++r) {
+      const Block& b = f.regions[r].is_loop ? f.regions[r].loop.body
+                                            : f.regions[r].straight;
+      op_ranges_[r].assign(b.ops.size(), Ival{0, 0, 0});
+      op_seen_[r] = std::vector<bool>(b.ops.size(), false);
+    }
+  }
+
+  // Iterates whole-function evaluation (one pass = one invocation, with
+  // state persisting like C statics) until the state reaches a fixpoint, or
+  // a safety cap after which everything widens to declared type ranges.
+  // Variable writes are strong updates (flow-sensitive); array writes are
+  // weak (one summary interval per array). Op ranges are recorded in a
+  // final pass under the fixpoint state only.
+  void run() {
+    bool converged = false;
+    for (int iter = 0; iter < 16; ++iter) {
+      AnalysisState before = state_;
+      eval_function(/*record=*/false);
+      if (state_ == before) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      // No fixpoint within the cap (e.g. slowly-adapting statics): fall
+      // back to declared ranges, which are trivially invariant.
+      for (std::size_t i = 0; i < state_.vars.size(); ++i)
+        state_.vars[i] = type_range(f_.vars[i].type);
+      for (std::size_t i = 0; i < state_.arrays.size(); ++i)
+        state_.arrays[i] = type_range(f_.arrays[i].elem);
+    }
+    eval_function(/*record=*/true);
+  }
+
+  const Ival& op_range(std::size_t region, std::size_t op) const {
+    return op_ranges_[region][op];
+  }
+  bool op_seen(std::size_t region, std::size_t op) const {
+    return op_seen_.at(region)[op];
+  }
+  const Ival& var_range(std::size_t v) const { return state_.vars[v]; }
+
+ private:
+  void eval_function(bool record) {
+    for (std::size_t r = 0; r < f_.regions.size(); ++r) {
+      const Region& region = f_.regions[r];
+      if (region.is_loop) {
+        const int trip = std::min(region.loop.trip, 4096);
+        for (int k = 0; k < trip; ++k)
+          eval_block(r, region.loop.body, k, record);
+      } else {
+        eval_block(r, region.straight, 0, record);
+      }
+    }
+  }
+
+  void eval_block(std::size_t rid, const Block& b, int k, bool record) {
+    std::vector<Ival> vals(b.ops.size());
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      const Op& op = b.ops[i];
+      if (op.guard_trip >= 0 && k >= op.guard_trip) continue;
+      Ival v;
+      switch (op.kind) {
+        case OpKind::kConst: {
+          v = {op.cval.re, op.cval.re, op.cval.fw};
+          if (op.cval.cplx) v = unite(v, {op.cval.im, op.cval.im, op.cval.fw});
+          break;
+        }
+        case OpKind::kVarRead:
+          v = state_.vars[static_cast<size_t>(op.var)];
+          break;
+        case OpKind::kVarWrite: {
+          const Ival w = iconvert(vals[static_cast<size_t>(op.args[0])],
+                                  f_.vars[static_cast<size_t>(op.var)].type);
+          Ival& st = state_.vars[static_cast<size_t>(op.var)];
+          // Strong update when the write executes unconditionally; guarded
+          // writes (merged/unrolled tails) may be skipped, so union.
+          st = op.guard_trip >= 0 ? unite(st, w) : w;
+          v = w;
+          break;
+        }
+        case OpKind::kArrayRead:
+          v = state_.arrays[static_cast<size_t>(op.array)];
+          break;
+        case OpKind::kArrayWrite: {
+          const Ival w =
+              iconvert(vals[static_cast<size_t>(op.args[0])],
+                       f_.arrays[static_cast<size_t>(op.array)].elem);
+          state_.arrays[static_cast<size_t>(op.array)] =
+              unite(state_.arrays[static_cast<size_t>(op.array)], w);
+          v = w;
+          break;
+        }
+        case OpKind::kAdd:
+          v = iconvert(iadd(vals[static_cast<size_t>(op.args[0])],
+                            vals[static_cast<size_t>(op.args[1])]),
+                       op.type);
+          break;
+        case OpKind::kSub:
+          v = iconvert(isub(vals[static_cast<size_t>(op.args[0])],
+                            vals[static_cast<size_t>(op.args[1])]),
+                       op.type);
+          break;
+        case OpKind::kMul:
+          v = iconvert(imul(vals[static_cast<size_t>(op.args[0])],
+                            vals[static_cast<size_t>(op.args[1])]),
+                       op.type);
+          break;
+        case OpKind::kNeg:
+          v = iconvert(ineg(vals[static_cast<size_t>(op.args[0])]), op.type);
+          break;
+        case OpKind::kSignConj:
+          v = {-1, 1, 0};
+          break;
+        case OpKind::kCast:
+          v = iconvert(vals[static_cast<size_t>(op.args[0])], op.type);
+          break;
+        case OpKind::kReal:
+        case OpKind::kImag:
+          v = vals[static_cast<size_t>(op.args[0])];
+          break;
+        case OpKind::kMakeComplex:
+          v = iconvert(unite(vals[static_cast<size_t>(op.args[0])],
+                             vals[static_cast<size_t>(op.args[1])]),
+                       op.type);
+          break;
+      }
+      vals[i] = v;
+      if (record) {
+        op_ranges_[rid][i] =
+            op_seen_[rid][i] ? unite(op_ranges_[rid][i], v) : v;
+        op_seen_[rid][i] = true;
+      }
+    }
+  }
+
+  const Function& f_;
+  AnalysisState state_;
+  std::vector<std::vector<Ival>> op_ranges_;
+  std::map<std::size_t, std::vector<bool>> op_seen_;
+};
+
+}  // namespace
+
+BitwidthResult reduce_bitwidths(Function* f) {
+  BitwidthResult out;
+  Analyzer an(*f);
+  an.run();
+
+  // Narrow arithmetic result widths where the observed range fits. The iw
+  // shrinks with w so the fractional scale (and thus every bit pattern) is
+  // unchanged — only the unused sign-extension bits are dropped.
+  for (std::size_t r = 0; r < f->regions.size(); ++r) {
+    Region& region = f->regions[r];
+    Block& b = region.is_loop ? region.loop.body : region.straight;
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      Op& op = b.ops[i];
+      const bool arith = op.kind == OpKind::kAdd || op.kind == OpKind::kSub ||
+                         op.kind == OpKind::kMul || op.kind == OpKind::kNeg;
+      if (!arith || !an.op_seen(r, i)) continue;
+      const int need = width_for(an.op_range(r, i));
+      if (need < op.type.w) {
+        out.reductions.push_back({"region '" + region.name + "' op %" +
+                                      std::to_string(i) + " (" +
+                                      to_string(op.kind) + ")",
+                                  op.type.w, need});
+        out.bits_saved +=
+            (op.type.w - need) * (op.type.cplx ? 2 : 1);
+        op.type.iw -= (op.type.w - need);
+        op.type.w = need;
+      }
+    }
+  }
+
+  // Narrow non-port variables the same way.
+  for (std::size_t v = 0; v < f->vars.size(); ++v) {
+    Var& var = f->vars[v];
+    if (var.port != PortDir::kNone || !var.type.sgn) continue;
+    const int need = width_for(an.var_range(v));
+    if (need < var.type.w) {
+      out.reductions.push_back({"var '" + var.name + "'", var.type.w, need});
+      out.bits_saved += (var.type.w - need) * (var.type.cplx ? 2 : 1);
+      var.type.iw -= (var.type.w - need);
+      var.type.w = need;
+    }
+  }
+  return out;
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,37 @@
+// Automatic bit reduction (paper section 3.2, Figure 2): value-range
+// analysis over the IR that narrows operation and variable widths to the
+// minimum that can represent every reachable value — how Catapult turns the
+// 32-bit `int` accumulator of Figure 2 into a 10+clog2(N)-bit adder.
+//
+// Ranges are tracked as raw-integer intervals at each signal's binary
+// scale. Loops are handled by propagating the body `trip` times (trip
+// counts in this domain are small constants), which is exact rather than
+// widened.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/ir.h"
+
+namespace hlsw::hls {
+
+struct WidthReduction {
+  std::string where;  // region/op or var name
+  int old_width = 0;
+  int new_width = 0;
+};
+
+struct BitwidthResult {
+  std::vector<WidthReduction> reductions;
+  long long bits_saved = 0;
+};
+
+// Analyzes `f` and narrows arithmetic op result widths and non-port var
+// widths in place where the value range proves fewer bits suffice.
+// Conversion semantics are preserved: a width is only narrowed when every
+// reachable value is representable, so no quantization/overflow behaviour
+// changes (verified by tests running the interpreter before and after).
+BitwidthResult reduce_bitwidths(Function* f);
+
+}  // namespace hlsw::hls

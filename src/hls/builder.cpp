@@ -1,0 +1,256 @@
+#include "hls/builder.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hlsw::hls {
+
+namespace {
+int max_i(int a, int b) { return a > b ? a : b; }
+}  // namespace
+
+FxType promote_add(const FxType& a, const FxType& b) {
+  const bool sr = a.sgn || b.sgn;
+  const int iw =
+      max_i(a.iw + ((sr && !a.sgn) ? 1 : 0), b.iw + ((sr && !b.sgn) ? 1 : 0)) +
+      1;
+  const int fw = max_i(a.fw(), b.fw());
+  FxType r;
+  r.w = iw + fw;
+  r.iw = iw;
+  r.sgn = sr;
+  r.cplx = a.cplx || b.cplx;
+  return r;
+}
+
+FxType promote_mul(const FxType& a, const FxType& b) {
+  const bool sr = a.sgn || b.sgn;
+  const int e1 = (sr && !a.sgn) ? 1 : 0;
+  const int e2 = (sr && !b.sgn) ? 1 : 0;
+  FxType r;
+  r.w = a.w + e1 + b.w + e2;
+  r.iw = a.iw + e1 + b.iw + e2;
+  r.sgn = sr;
+  r.cplx = a.cplx || b.cplx;
+  if (a.cplx && b.cplx) {
+    // Complex multiply ends in a cross add/sub: one more bit, exactly like
+    // complex_fixed's operator* (make_complex of fixed sub/add results).
+    r.w += 1;
+    r.iw += 1;
+  }
+  return r;
+}
+
+FxType promote_neg(const FxType& a) {
+  FxType r = a;
+  r.w += 1;
+  r.iw += 1;
+  r.sgn = true;
+  return r;
+}
+
+int BlockBuilder::push(Op op) {
+  block().ops.push_back(std::move(op));
+  return static_cast<int>(block().ops.size()) - 1;
+}
+
+int BlockBuilder::cnst(const FxType& t, double value, const std::string& name) {
+  Op op;
+  op.kind = OpKind::kConst;
+  op.type = t;
+  op.name = name;
+  op.cval.fw = t.fw();
+  op.cval.cplx = t.cplx;
+  op.cval.re = static_cast<__int128>(std::llround(std::ldexp(value, t.fw())));
+  op.cval.im = 0;
+  return push(std::move(op));
+}
+
+int BlockBuilder::cnst_raw(const FxType& t, long long re_raw, long long im_raw,
+                           const std::string& name) {
+  Op op;
+  op.kind = OpKind::kConst;
+  op.type = t;
+  op.name = name;
+  op.cval.fw = t.fw();
+  op.cval.cplx = t.cplx;
+  op.cval.re = re_raw;
+  op.cval.im = im_raw;
+  return push(std::move(op));
+}
+
+int BlockBuilder::var_read(int var) {
+  assert(var >= 0 && var < static_cast<int>(func_->vars.size()));
+  Op op;
+  op.kind = OpKind::kVarRead;
+  op.var = var;
+  op.type = func_->vars[static_cast<size_t>(var)].type;
+  return push(std::move(op));
+}
+
+int BlockBuilder::var_write(int var, int value) {
+  assert(var >= 0 && var < static_cast<int>(func_->vars.size()));
+  Op op;
+  op.kind = OpKind::kVarWrite;
+  op.var = var;
+  op.args = {value};
+  op.type = func_->vars[static_cast<size_t>(var)].type;
+  return push(std::move(op));
+}
+
+int BlockBuilder::array_read(int array, AffineIdx idx) {
+  assert(array >= 0 && array < static_cast<int>(func_->arrays.size()));
+  Op op;
+  op.kind = OpKind::kArrayRead;
+  op.array = array;
+  op.idx = idx;
+  op.type = func_->arrays[static_cast<size_t>(array)].elem;
+  return push(std::move(op));
+}
+
+int BlockBuilder::array_write(int array, AffineIdx idx, int value) {
+  assert(array >= 0 && array < static_cast<int>(func_->arrays.size()));
+  Op op;
+  op.kind = OpKind::kArrayWrite;
+  op.array = array;
+  op.idx = idx;
+  op.args = {value};
+  op.type = func_->arrays[static_cast<size_t>(array)].elem;
+  return push(std::move(op));
+}
+
+int BlockBuilder::add(int a, int b, const std::string& name) {
+  Op op;
+  op.kind = OpKind::kAdd;
+  op.args = {a, b};
+  op.type = promote_add(type_of(a), type_of(b));
+  op.name = name;
+  return push(std::move(op));
+}
+
+int BlockBuilder::sub(int a, int b, const std::string& name) {
+  Op op;
+  op.kind = OpKind::kSub;
+  op.args = {a, b};
+  FxType t = promote_add(type_of(a), type_of(b));
+  t.sgn = true;
+  op.type = t;
+  op.name = name;
+  return push(std::move(op));
+}
+
+int BlockBuilder::mul(int a, int b, const std::string& name) {
+  Op op;
+  op.kind = OpKind::kMul;
+  op.args = {a, b};
+  op.type = promote_mul(type_of(a), type_of(b));
+  op.name = name;
+  return push(std::move(op));
+}
+
+int BlockBuilder::neg(int a) {
+  Op op;
+  op.kind = OpKind::kNeg;
+  op.args = {a};
+  op.type = promote_neg(type_of(a));
+  return push(std::move(op));
+}
+
+int BlockBuilder::sign_conj(int a) {
+  assert(type_of(a).cplx);
+  Op op;
+  op.kind = OpKind::kSignConj;
+  op.args = {a};
+  op.type = FxType{2, 2, true, true, fixpt::Quant::kTrn, fixpt::Ovf::kWrap};
+  return push(std::move(op));
+}
+
+int BlockBuilder::cast(const FxType& t, int a, const std::string& name) {
+  Op op;
+  op.kind = OpKind::kCast;
+  op.args = {a};
+  op.type = t;
+  op.name = name;
+  return push(std::move(op));
+}
+
+int BlockBuilder::real(int a) {
+  Op op;
+  op.kind = OpKind::kReal;
+  op.args = {a};
+  op.type = type_of(a);
+  op.type.cplx = false;
+  return push(std::move(op));
+}
+
+int BlockBuilder::imag(int a) {
+  assert(type_of(a).cplx);
+  Op op;
+  op.kind = OpKind::kImag;
+  op.args = {a};
+  op.type = type_of(a);
+  op.type.cplx = false;
+  return push(std::move(op));
+}
+
+int BlockBuilder::make_complex(int a, int b) {
+  Op op;
+  op.kind = OpKind::kMakeComplex;
+  op.args = {a, b};
+  FxType t = promote_add(type_of(a), type_of(b));
+  // make_complex performs no arithmetic: undo promote_add's +1 growth and
+  // keep the aligned common format.
+  t.w -= 1;
+  t.iw -= 1;
+  t.cplx = true;
+  op.type = t;
+  return push(std::move(op));
+}
+
+int FunctionBuilder::add_var(const std::string& name, const FxType& t,
+                             bool is_static, PortDir port, FxValue init) {
+  Var v;
+  v.name = name;
+  v.type = t;
+  v.is_static = is_static;
+  v.port = port;
+  v.init = init;
+  v.init.fw = t.fw();
+  v.init.cplx = t.cplx;
+  f_.vars.push_back(std::move(v));
+  return static_cast<int>(f_.vars.size()) - 1;
+}
+
+int FunctionBuilder::add_array(const std::string& name, int length,
+                               const FxType& elem, bool is_static,
+                               PortDir port) {
+  Array a;
+  a.name = name;
+  a.length = length;
+  a.elem = elem;
+  a.is_static = is_static;
+  a.port = port;
+  f_.arrays.push_back(std::move(a));
+  return static_cast<int>(f_.arrays.size()) - 1;
+}
+
+BlockBuilder FunctionBuilder::block(const std::string& name) {
+  Region r;
+  r.is_loop = false;
+  r.name = name;
+  f_.regions.push_back(std::move(r));
+  return BlockBuilder(&f_, static_cast<int>(f_.regions.size()) - 1);
+}
+
+BlockBuilder FunctionBuilder::loop(const std::string& label, int trip) {
+  assert(trip >= 1);
+  Region r;
+  r.is_loop = true;
+  r.name = label;
+  r.loop.label = label;
+  r.loop.trip = trip;
+  f_.regions.push_back(std::move(r));
+  return BlockBuilder(&f_, static_cast<int>(f_.regions.size()) - 1);
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,102 @@
+// Fluent construction API for the HLS IR — the stand-in for "writing the
+// algorithm in C" (paper section 3). Each BlockBuilder method appends one op
+// and returns its value id; arithmetic ops compute the same full-precision
+// result types as the fixpt::fixed / complex_fixed operator templates, so a
+// model written with the builder is bit-exact with the same model written
+// against the datatype library (tests/qam enforce this for the decoder).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "hls/ir.h"
+
+namespace hlsw::hls {
+
+// Result-type promotion mirroring fixpt::fixed's operator rules. Signedness
+// is promoted like the datatype library: unsigned operands gain one integer
+// bit when combined with signed ones.
+FxType promote_add(const FxType& a, const FxType& b);
+FxType promote_mul(const FxType& a, const FxType& b);
+FxType promote_neg(const FxType& a);
+
+class FunctionBuilder;
+
+class BlockBuilder {
+ public:
+  // Value ids index ops within this block.
+  int cnst(const FxType& t, double value, const std::string& name = "");
+  int cnst_raw(const FxType& t, long long re_raw, long long im_raw = 0,
+               const std::string& name = "");
+  int var_read(int var);
+  int var_write(int var, int value);
+  int array_read(int array, AffineIdx idx);
+  int array_write(int array, AffineIdx idx, int value);
+  int add(int a, int b, const std::string& name = "");
+  int sub(int a, int b, const std::string& name = "");
+  int mul(int a, int b, const std::string& name = "");
+  int neg(int a);
+  int sign_conj(int a);
+  int cast(const FxType& t, int a, const std::string& name = "");
+  int real(int a);
+  int imag(int a);
+  int make_complex(int a, int b);
+
+  const Op& op(int id) const { return block().ops[static_cast<size_t>(id)]; }
+
+ private:
+  friend class FunctionBuilder;
+  // Stores the region index, not a pointer: the regions vector may
+  // reallocate as further regions are added, so builders stay valid even
+  // if used interleaved.
+  BlockBuilder(Function* f, int region) : func_(f), region_(region) {}
+  int push(Op op);
+  Block& block() {
+    Region& r = func_->regions[static_cast<size_t>(region_)];
+    return r.is_loop ? r.loop.body : r.straight;
+  }
+  const Block& block() const {
+    const Region& r = func_->regions[static_cast<size_t>(region_)];
+    return r.is_loop ? r.loop.body : r.straight;
+  }
+  const FxType& type_of(int id) const {
+    return block().ops[static_cast<size_t>(id)].type;
+  }
+
+  Function* func_;
+  int region_;
+};
+
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(std::string name) { f_.name = std::move(name); }
+
+  int add_var(const std::string& name, const FxType& t, bool is_static = false,
+              PortDir port = PortDir::kNone, FxValue init = {});
+  int add_array(const std::string& name, int length, const FxType& elem,
+                bool is_static = false, PortDir port = PortDir::kNone);
+
+  // Starts a new straight-line region; the returned builder appends to it.
+  BlockBuilder block(const std::string& name);
+  // Starts a new loop region with canonical induction k = 0 .. trip-1.
+  BlockBuilder loop(const std::string& label, int trip);
+
+  Function build() { return std::move(f_); }
+  const Function& peek() const { return f_; }
+
+ private:
+  Function f_;
+};
+
+// Convenience FxType factories.
+inline FxType fx(int w, int iw, bool cplx = false,
+                 fixpt::Quant q = fixpt::Quant::kTrn,
+                 fixpt::Ovf o = fixpt::Ovf::kWrap, bool sgn = true) {
+  return FxType{w, iw, sgn, cplx, q, o};
+}
+inline FxType cfx(int w, int iw, fixpt::Quant q = fixpt::Quant::kTrn,
+                  fixpt::Ovf o = fixpt::Ovf::kWrap) {
+  return FxType{w, iw, true, true, q, o};
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,82 @@
+// Architectural directives (paper section 2): the designer's knobs that
+// guide synthesis without touching the source — interface synthesis,
+// variable/array mapping, loop merging, loop unrolling, loop pipelining,
+// and the clock constraint that drives scheduling.
+//
+// A Directives value is exactly one row of the paper's Table 1: e.g. the
+// third architecture is {merge everything, unroll dfe/dfe_adapt/dfe_shift
+// by 2, 10 ns clock}.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/ir.h"
+
+namespace hlsw::hls {
+
+struct LoopDirective {
+  int unroll = 1;       // partial unroll factor (trip becomes ceil(trip/U))
+  int pipeline_ii = 0;  // 0 = no pipelining; >=1 requests that initiation
+                        // interval (raised if a recurrence forbids it)
+};
+
+// Interface synthesis choices for a port (paper section 2.1).
+enum class InterfaceKind {
+  kWire,        // plain combinational port
+  kRegistered,  // registered port (adds I/O register area)
+  kHandshake,   // start/done or valid/ready pair (registers + control)
+  kMemory,      // array port accessed through a memory interface
+  kStream,      // array accessed over time, one element per transfer
+};
+
+struct ArrayDirective {
+  ArrayMapping mapping = ArrayMapping::kRegisters;
+  int mem_read_ports = 1;
+  int mem_write_ports = 1;
+};
+
+struct Directives {
+  double clock_period_ns = 10.0;  // the paper's 100 MHz target
+
+  // Per-loop directives, keyed by source loop label.
+  std::map<std::string, LoopDirective> loops;
+
+  // Loop merge groups: each group lists source labels, in program order.
+  // An empty list means no merging. The paper's "M" column corresponds to
+  // the two groups {ffe, dfe} and {ffe_adapt, dfe_adapt, ffe_shift,
+  // dfe_shift}.
+  std::vector<std::vector<std::string>> merge_groups;
+
+  // Catapult's "default architectural constraints (loop merging enabled)":
+  // when true and merge_groups is empty, every maximal run of consecutive
+  // loop regions is merged automatically. On the paper's decoder this
+  // derives exactly the two groups above (verified in tests).
+  bool auto_merge = false;
+
+  // Per-array mapping directives, keyed by array name.
+  std::map<std::string, ArrayDirective> arrays;
+
+  // Per-port interface synthesis, keyed by port (var or array) name.
+  std::map<std::string, InterfaceKind> interfaces;
+
+  // Optional global handshake (start/done) around the whole block.
+  bool handshake = false;
+
+  // Optional resource constraints: cap on concurrently-active real
+  // multipliers per cycle (0 = unconstrained; the scheduler serializes ops
+  // above the cap).
+  int max_real_multipliers = 0;
+
+  LoopDirective loop_directive(const std::string& label) const {
+    auto it = loops.find(label);
+    return it == loops.end() ? LoopDirective{} : it->second;
+  }
+  ArrayDirective array_directive(const std::string& name) const {
+    auto it = arrays.find(name);
+    return it == arrays.end() ? ArrayDirective{} : it->second;
+  }
+};
+
+}  // namespace hlsw::hls

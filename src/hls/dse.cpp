@@ -1,0 +1,132 @@
+#include "hls/dse.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hlsw::hls {
+
+namespace {
+
+DsePoint synthesize_point(const Function& f, std::string name,
+                          Directives dir, const TechLibrary& tech) {
+  DsePoint p;
+  p.name = std::move(name);
+  const SynthesisResult r = run_synthesis(f, dir, tech);
+  p.dir = std::move(dir);
+  p.latency_cycles = r.latency_cycles();
+  p.latency_ns = r.latency_ns();
+  p.area = r.area.total;
+  return p;
+}
+
+void mark_pareto(std::vector<DsePoint>* points) {
+  for (auto& p : *points) {
+    p.pareto = true;
+    for (const auto& q : *points) {
+      if (&p == &q) continue;
+      const bool no_worse =
+          q.latency_cycles <= p.latency_cycles && q.area <= p.area;
+      const bool better =
+          q.latency_cycles < p.latency_cycles || q.area < p.area;
+      if (no_worse && better) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DseResult explore(const Function& f, const DseOptions& opts,
+                  const TechLibrary& tech) {
+  DseResult out;
+  std::vector<std::string> loop_labels;
+  std::vector<int> trips;
+  for (const auto& region : f.regions) {
+    if (region.is_loop) {
+      loop_labels.push_back(region.loop.label);
+      trips.push_back(region.loop.trip);
+    }
+  }
+
+  std::vector<bool> merge_modes;
+  if (opts.try_no_merge) merge_modes.push_back(false);
+  if (opts.try_merge) merge_modes.push_back(true);
+
+  // Stage 1: uniform unroll factor across all loops, with/without merging.
+  for (bool merge : merge_modes) {
+    for (int u : opts.unroll_factors) {
+      if (static_cast<int>(out.points.size()) >= opts.max_configs) break;
+      Directives dir;
+      dir.clock_period_ns = opts.clock_period_ns;
+      dir.auto_merge = merge;
+      for (std::size_t l = 0; l < loop_labels.size(); ++l)
+        if (u > 1 && u < trips[l]) dir.loops[loop_labels[l]].unroll = u;
+      std::ostringstream name;
+      name << (merge ? "merge" : "flat") << "+U" << u;
+      out.points.push_back(
+          synthesize_point(f, name.str(), std::move(dir), tech));
+    }
+  }
+
+  // Stage 2: per-loop refinement around the best stage-1 point — double
+  // each loop's unroll factor individually (the Table 1 row-4 move).
+  mark_pareto(&out.points);
+  std::vector<DsePoint> stage1 = out.points;
+  for (const auto& base : stage1) {
+    if (!base.pareto) continue;
+    for (std::size_t l = 0; l < loop_labels.size(); ++l) {
+      if (static_cast<int>(out.points.size()) >= opts.max_configs) break;
+      Directives dir = base.dir;
+      int& u = dir.loops[loop_labels[l]].unroll;
+      if (u == 0) u = 1;
+      if (u * 2 >= trips[l]) continue;
+      u *= 2;
+      std::ostringstream name;
+      name << base.name << "+" << loop_labels[l] << "xU" << u;
+      out.points.push_back(
+          synthesize_point(f, name.str(), std::move(dir), tech));
+    }
+  }
+  mark_pareto(&out.points);
+  return out;
+}
+
+std::vector<const DsePoint*> DseResult::pareto_front() const {
+  std::vector<const DsePoint*> front;
+  for (const auto& p : points)
+    if (p.pareto) front.push_back(&p);
+  std::sort(front.begin(), front.end(),
+            [](const DsePoint* a, const DsePoint* b) {
+              return a->latency_cycles < b->latency_cycles;
+            });
+  return front;
+}
+
+const DsePoint* DseResult::fastest() const {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points)
+    if (!best || p.latency_cycles < best->latency_cycles ||
+        (p.latency_cycles == best->latency_cycles && p.area < best->area))
+      best = &p;
+  return best;
+}
+
+const DsePoint* DseResult::smallest() const {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points)
+    if (!best || p.area < best->area) best = &p;
+  return best;
+}
+
+const DsePoint* DseResult::smallest_within(int max_cycles) const {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points) {
+    if (p.latency_cycles > max_cycles) continue;
+    if (!best || p.area < best->area) best = &p;
+  }
+  return best;
+}
+
+}  // namespace hlsw::hls

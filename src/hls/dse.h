@@ -1,0 +1,51 @@
+// Automated design-space exploration: the paper's workflow — try merge and
+// unroll combinations, synthesize each, keep the Pareto-optimal
+// latency/area points — packaged as an API. Section 5's Table 1 is four
+// hand-picked points from exactly this space; explore() enumerates it
+// systematically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/report.h"
+
+namespace hlsw::hls {
+
+struct DsePoint {
+  std::string name;
+  Directives dir;
+  int latency_cycles = 0;
+  double latency_ns = 0;
+  double area = 0;
+  bool pareto = false;  // not dominated in (latency_cycles, area)
+};
+
+struct DseOptions {
+  double clock_period_ns = 10.0;
+  // Unroll factors tried on every loop whose trip count they divide
+  // usefully (factor < trip). 1 = no unrolling.
+  std::vector<int> unroll_factors = {1, 2, 4};
+  // Explore with and without auto-merging.
+  bool try_merge = true;
+  bool try_no_merge = true;
+  // Cap on the number of synthesized configurations (the sweep is
+  // exponential in principle; we sweep a common factor across all loops
+  // plus per-loop refinements of the best point).
+  int max_configs = 64;
+};
+
+struct DseResult {
+  std::vector<DsePoint> points;  // every synthesized configuration
+  // Convenience views.
+  std::vector<const DsePoint*> pareto_front() const;
+  const DsePoint* fastest() const;
+  const DsePoint* smallest() const;
+  // The smallest point meeting a latency bound, or nullptr.
+  const DsePoint* smallest_within(int max_cycles) const;
+};
+
+DseResult explore(const Function& f, const DseOptions& opts,
+                  const TechLibrary& tech);
+
+}  // namespace hlsw::hls

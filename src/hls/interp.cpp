@@ -1,0 +1,263 @@
+#include "hls/interp.h"
+
+#include <cassert>
+#include <utility>
+#include <stdexcept>
+
+namespace hlsw::hls {
+
+namespace {
+// Aligns two raw components to a common fractional width.
+void align(__int128& ar, __int128& ai, int fa, __int128& br, __int128& bi,
+           int fb, int* fr) {
+  if (fa >= fb) {
+    br <<= (fa - fb);
+    bi <<= (fa - fb);
+    *fr = fa;
+  } else {
+    ar <<= (fb - fa);
+    ai <<= (fb - fa);
+    *fr = fb;
+  }
+}
+}  // namespace
+
+FxValue fx_add(const FxValue& a, const FxValue& b) {
+  __int128 ar = a.re, ai = a.im, br = b.re, bi = b.im;
+  FxValue r;
+  align(ar, ai, a.fw, br, bi, b.fw, &r.fw);
+  r.re = ar + br;
+  r.im = ai + bi;
+  r.cplx = a.cplx || b.cplx;
+  return r;
+}
+
+FxValue fx_sub(const FxValue& a, const FxValue& b) {
+  __int128 ar = a.re, ai = a.im, br = b.re, bi = b.im;
+  FxValue r;
+  align(ar, ai, a.fw, br, bi, b.fw, &r.fw);
+  r.re = ar - br;
+  r.im = ai - bi;
+  r.cplx = a.cplx || b.cplx;
+  return r;
+}
+
+FxValue fx_mul(const FxValue& a, const FxValue& b) {
+  FxValue r;
+  r.fw = a.fw + b.fw;
+  r.cplx = a.cplx || b.cplx;
+  // Uniform complex formula; scalars have im == 0 so it degenerates
+  // correctly to scalar or scalar-by-complex multiplication.
+  r.re = a.re * b.re - a.im * b.im;
+  r.im = a.re * b.im + a.im * b.re;
+  return r;
+}
+
+FxValue fx_neg(const FxValue& a) {
+  FxValue r = a;
+  r.re = -a.re;
+  r.im = -a.im;
+  return r;
+}
+
+FxValue fx_sign_conj(const FxValue& a) {
+  FxValue r;
+  r.fw = 0;
+  r.cplx = true;
+  r.re = a.re >= 0 ? 1 : -1;
+  r.im = a.im >= 0 ? -1 : 1;
+  return r;
+}
+
+FxValue exec_op(const Op& op, const FxValue* a0, const FxValue* a1) {
+  switch (op.kind) {
+    case OpKind::kConst:
+      return op.cval;
+    case OpKind::kAdd:
+      return fx_convert(fx_add(*a0, *a1), op.type);
+    case OpKind::kSub:
+      return fx_convert(fx_sub(*a0, *a1), op.type);
+    case OpKind::kMul:
+      return fx_convert(fx_mul(*a0, *a1), op.type);
+    case OpKind::kNeg:
+      return fx_convert(fx_neg(*a0), op.type);
+    case OpKind::kSignConj:
+      return fx_sign_conj(*a0);
+    case OpKind::kCast:
+      return fx_convert(*a0, op.type);
+    case OpKind::kReal: {
+      FxValue r = *a0;
+      r.im = 0;
+      r.cplx = false;
+      return r;
+    }
+    case OpKind::kImag: {
+      FxValue r;
+      r.fw = a0->fw;
+      r.re = a0->im;
+      r.cplx = false;
+      return r;
+    }
+    case OpKind::kMakeComplex: {
+      FxValue a = *a0, b = *a1;
+      FxValue r;
+      __int128 ai = 0, bi = 0;
+      align(a.re, ai, a.fw, b.re, bi, b.fw, &r.fw);
+      r.re = a.re;
+      r.im = b.re;
+      r.cplx = true;
+      return fx_convert(r, op.type);
+    }
+    default:
+      throw std::logic_error("exec_op: memory op passed to pure evaluator");
+  }
+}
+
+Interpreter::Interpreter(Function f) : f_(std::move(f)) { reset(); }
+
+void Interpreter::reset() {
+  var_state_.clear();
+  array_state_.clear();
+  for (const auto& v : f_.vars) {
+    FxValue init = v.init;
+    init.fw = v.type.fw();
+    init.cplx = v.type.cplx;
+    var_state_.push_back(init);
+  }
+  for (const auto& a : f_.arrays) {
+    FxValue zero;
+    zero.fw = a.elem.fw();
+    zero.cplx = a.elem.cplx;
+    array_state_.emplace_back(static_cast<size_t>(a.length), zero);
+  }
+}
+
+const std::vector<FxValue>& Interpreter::array_state(
+    const std::string& name) const {
+  const int i = f_.array_index(name);
+  assert(i >= 0);
+  return array_state_[static_cast<size_t>(i)];
+}
+
+const FxValue& Interpreter::var_state(const std::string& name) const {
+  const int i = f_.var_index(name);
+  assert(i >= 0);
+  return var_state_[static_cast<size_t>(i)];
+}
+
+void Interpreter::set_array_state(const std::string& name,
+                                  const std::vector<FxValue>& values) {
+  const int i = f_.array_index(name);
+  assert(i >= 0);
+  const Array& a = f_.arrays[static_cast<size_t>(i)];
+  assert(static_cast<int>(values.size()) == a.length);
+  for (int j = 0; j < a.length; ++j)
+    array_state_[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+        fx_convert(values[static_cast<size_t>(j)], a.elem);
+}
+
+void Interpreter::set_var_state(const std::string& name, const FxValue& value) {
+  const int i = f_.var_index(name);
+  assert(i >= 0);
+  var_state_[static_cast<size_t>(i)] =
+      fx_convert(value, f_.vars[static_cast<size_t>(i)].type);
+}
+
+void Interpreter::exec_block(const Block& b, int k) {
+  std::vector<FxValue> vals(b.ops.size());
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const Op& op = b.ops[i];
+    if (op.guard_trip >= 0 && k >= op.guard_trip) continue;
+    ++ops_executed_;
+    switch (op.kind) {
+      case OpKind::kVarRead:
+        vals[i] = var_state_[static_cast<size_t>(op.var)];
+        break;
+      case OpKind::kVarWrite: {
+        const Var& v = f_.vars[static_cast<size_t>(op.var)];
+        var_state_[static_cast<size_t>(op.var)] =
+            fx_convert(vals[static_cast<size_t>(op.args[0])], v.type);
+        break;
+      }
+      case OpKind::kArrayRead: {
+        const int idx = op.idx.eval(k);
+        const auto& arr = array_state_[static_cast<size_t>(op.array)];
+        if (idx < 0 || idx >= static_cast<int>(arr.size()))
+          throw std::out_of_range("array read out of bounds: " +
+                                  f_.arrays[static_cast<size_t>(op.array)].name);
+        vals[i] = arr[static_cast<size_t>(idx)];
+        break;
+      }
+      case OpKind::kArrayWrite: {
+        const int idx = op.idx.eval(k);
+        auto& arr = array_state_[static_cast<size_t>(op.array)];
+        if (idx < 0 || idx >= static_cast<int>(arr.size()))
+          throw std::out_of_range("array write out of bounds: " +
+                                  f_.arrays[static_cast<size_t>(op.array)].name);
+        const Array& a = f_.arrays[static_cast<size_t>(op.array)];
+        arr[static_cast<size_t>(idx)] =
+            fx_convert(vals[static_cast<size_t>(op.args[0])], a.elem);
+        break;
+      }
+      default: {
+        const FxValue* a0 =
+            op.args.size() > 0 ? &vals[static_cast<size_t>(op.args[0])]
+                               : nullptr;
+        const FxValue* a1 =
+            op.args.size() > 1 ? &vals[static_cast<size_t>(op.args[1])]
+                               : nullptr;
+        vals[i] = exec_op(op, a0, a1);
+        break;
+      }
+    }
+  }
+}
+
+PortIo Interpreter::run(const PortIo& in) {
+  // Load input ports.
+  for (std::size_t i = 0; i < f_.arrays.size(); ++i) {
+    const Array& a = f_.arrays[i];
+    if (a.port != PortDir::kIn && a.port != PortDir::kInOut) continue;
+    auto it = in.arrays.find(a.name);
+    if (it == in.arrays.end())
+      throw std::invalid_argument("missing input array port: " + a.name);
+    if (static_cast<int>(it->second.size()) != a.length)
+      throw std::invalid_argument("input array port size mismatch: " + a.name);
+    for (int j = 0; j < a.length; ++j)
+      array_state_[i][static_cast<size_t>(j)] =
+          fx_convert(it->second[static_cast<size_t>(j)], a.elem);
+  }
+  for (std::size_t i = 0; i < f_.vars.size(); ++i) {
+    const Var& v = f_.vars[i];
+    if (v.port != PortDir::kIn && v.port != PortDir::kInOut) continue;
+    auto it = in.vars.find(v.name);
+    if (it == in.vars.end())
+      throw std::invalid_argument("missing input var port: " + v.name);
+    var_state_[i] = fx_convert(it->second, v.type);
+  }
+
+  // Execute.
+  for (const auto& region : f_.regions) {
+    if (region.is_loop) {
+      for (int k = 0; k < region.loop.trip; ++k) exec_block(region.loop.body, k);
+    } else {
+      exec_block(region.straight, 0);
+    }
+  }
+
+  // Collect output ports.
+  PortIo out;
+  for (std::size_t i = 0; i < f_.arrays.size(); ++i) {
+    const Array& a = f_.arrays[i];
+    if (a.port == PortDir::kOut || a.port == PortDir::kInOut)
+      out.arrays[a.name] = array_state_[i];
+  }
+  for (std::size_t i = 0; i < f_.vars.size(); ++i) {
+    const Var& v = f_.vars[i];
+    if (v.port == PortDir::kOut || v.port == PortDir::kInOut)
+      out.vars[v.name] = var_state_[i];
+  }
+  return out;
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,192 @@
+#include "hls/ir.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hlsw::hls {
+
+std::string FxType::to_string() const {
+  std::ostringstream os;
+  os << (cplx ? "c" : "") << (sgn ? "fx<" : "ufx<") << w << "," << iw;
+  if (q != fixpt::Quant::kTrn || o != fixpt::Ovf::kWrap)
+    os << "," << fixpt::to_string(q) << "," << fixpt::to_string(o);
+  os << ">";
+  return os.str();
+}
+
+double FxValue::re_double() const {
+  return std::ldexp(static_cast<double>(re), -fw);
+}
+double FxValue::im_double() const {
+  return std::ldexp(static_cast<double>(im), -fw);
+}
+
+namespace {
+
+// Saturation bounds as __int128 for a (w, sgn) format.
+__int128 max_raw(int w, bool sgn) {
+  return (static_cast<__int128>(1) << (sgn ? w - 1 : w)) - 1;
+}
+__int128 min_raw(int w, bool sgn) {
+  return sgn ? -(static_cast<__int128>(1) << (w - 1)) : 0;
+}
+
+}  // namespace
+
+__int128 fx_convert_component(__int128 raw, int src_fw, const FxType& dst) {
+  const int shift = dst.fw() - src_fw;
+  __int128 v = raw;
+  if (shift >= 0) {
+    v = raw << shift;
+  } else {
+    const int d = -shift;
+    const __int128 base = raw >> d;  // arithmetic shift: floor
+    const bool msb = d >= 1 && ((raw >> (d - 1)) & 1) != 0;
+    const bool rest =
+        d >= 2 && (raw & (((static_cast<__int128>(1) << (d - 1)) - 1))) != 0;
+    const bool neg = raw < 0;
+    const bool lsb_kept = (base & 1) != 0;
+    v = base + (fixpt::round_increment(dst.q, msb, rest, neg, lsb_kept) ? 1 : 0);
+  }
+  // Overflow handling into dst.w bits.
+  const __int128 hi = max_raw(dst.w, dst.sgn);
+  const __int128 lo = (dst.o == fixpt::Ovf::kSatSym && dst.sgn)
+                          ? -hi
+                          : min_raw(dst.w, dst.sgn);
+  if (v > hi || v < lo) {
+    switch (dst.o) {
+      case fixpt::Ovf::kSat:
+      case fixpt::Ovf::kSatSym:
+        return v > hi ? hi : lo;
+      case fixpt::Ovf::kSatZero:
+        return 0;
+      case fixpt::Ovf::kWrap: {
+        const unsigned __int128 mask =
+            (static_cast<unsigned __int128>(1) << dst.w) - 1;
+        unsigned __int128 u = static_cast<unsigned __int128>(v) & mask;
+        if (dst.sgn && (u >> (dst.w - 1)) & 1) u |= ~mask;  // sign extend
+        return static_cast<__int128>(u);
+      }
+    }
+  }
+  return v;
+}
+
+FxValue fx_convert(const FxValue& v, const FxType& dst) {
+  FxValue out;
+  out.fw = dst.fw();
+  out.cplx = dst.cplx;
+  out.re = fx_convert_component(v.re, v.fw, dst);
+  out.im = dst.cplx ? fx_convert_component(v.im, v.fw, dst) : 0;
+  return out;
+}
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kConst: return "const";
+    case OpKind::kVarRead: return "var_read";
+    case OpKind::kVarWrite: return "var_write";
+    case OpKind::kArrayRead: return "array_read";
+    case OpKind::kArrayWrite: return "array_write";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kNeg: return "neg";
+    case OpKind::kSignConj: return "sign_conj";
+    case OpKind::kCast: return "cast";
+    case OpKind::kReal: return "real";
+    case OpKind::kImag: return "imag";
+    case OpKind::kMakeComplex: return "make_complex";
+  }
+  return "?";
+}
+
+int Function::var_index(const std::string& n) const {
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    if (vars[i].name == n) return static_cast<int>(i);
+  return -1;
+}
+
+int Function::array_index(const std::string& n) const {
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    if (arrays[i].name == n) return static_cast<int>(i);
+  return -1;
+}
+
+const Region* Function::find_loop(const std::string& label) const {
+  for (const auto& r : regions)
+    if (r.is_loop && r.loop.label == label) return &r;
+  return nullptr;
+}
+Region* Function::find_loop(const std::string& label) {
+  for (auto& r : regions)
+    if (r.is_loop && r.loop.label == label) return &r;
+  return nullptr;
+}
+
+namespace {
+void dump_block(std::ostringstream& os, const Function& f, const Block& b,
+                const std::string& indent) {
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const Op& op = b.ops[i];
+    os << indent << "%" << i << " = " << to_string(op.kind);
+    os << " : " << op.type.to_string();
+    if (op.var >= 0) os << " " << f.vars[static_cast<std::size_t>(op.var)].name;
+    if (op.array >= 0) {
+      os << " " << f.arrays[static_cast<std::size_t>(op.array)].name << "[";
+      if (op.idx.scale != 0) os << op.idx.scale << "k";
+      if (op.idx.offset != 0 || op.idx.scale == 0)
+        os << (op.idx.scale != 0 && op.idx.offset >= 0 ? "+" : "")
+           << op.idx.offset;
+      os << "]";
+    }
+    for (int a : op.args) os << " %" << a;
+    if (op.kind == OpKind::kConst)
+      os << " value=" << op.cval.re_double()
+         << (op.cval.cplx ? ("+j" + std::to_string(op.cval.im_double())) : "");
+    if (op.guard_trip >= 0) os << " guard(k<" << op.guard_trip << ")";
+    if (!op.name.empty()) os << " ; " << op.name;
+    os << "\n";
+  }
+}
+}  // namespace
+
+std::string Function::dump() const {
+  std::ostringstream os;
+  os << "function " << name << "\n";
+  for (const auto& v : vars) {
+    os << "  var " << v.name << " : " << v.type.to_string();
+    if (v.is_static) os << " static";
+    if (v.port == PortDir::kOut) os << " out";
+    if (v.port == PortDir::kIn) os << " in";
+    os << "\n";
+  }
+  for (const auto& a : arrays) {
+    os << "  array " << a.name << "[" << a.length << "] : "
+       << a.elem.to_string();
+    if (a.is_static) os << " static";
+    if (a.port == PortDir::kIn) os << " in";
+    if (a.port == PortDir::kOut) os << " out";
+    os << (a.mapping == ArrayMapping::kMemory ? " memory" : " registers");
+    os << "\n";
+  }
+  for (const auto& r : regions) {
+    if (r.is_loop) {
+      os << "  loop " << r.loop.label << " trip=" << r.loop.trip;
+      if (r.loop.unroll_applied > 1) os << " unroll=" << r.loop.unroll_applied;
+      if (!r.loop.merged_labels.empty()) {
+        os << " merged={";
+        for (const auto& l : r.loop.merged_labels) os << l << " ";
+        os << "}";
+      }
+      os << "\n";
+      dump_block(os, *this, r.loop.body, "    ");
+    } else {
+      os << "  block " << r.name << "\n";
+      dump_block(os, *this, r.straight, "    ");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hlsw::hls

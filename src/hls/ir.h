@@ -1,0 +1,181 @@
+// Intermediate representation for algorithmic C synthesis (paper section 2).
+//
+// Catapult consumes untimed C++ directly; we capture the same algorithm as
+// a loop-structured dataflow IR built through hls/builder.h (see DESIGN.md
+// section 5 for why a C frontend is out of scope and why this preserves
+// every measured quantity). The IR is:
+//
+//  * Executable — hls/interp.* runs it bit-accurately ("the original C
+//    model" role in the paper's verification story).
+//  * Transformable — loop merging / unrolling / pipelining rewrite it
+//    (hls/transforms.*).
+//  * Schedulable — hls/schedule.* assigns every op a cycle under a clock
+//    period and technology library, producing the micro-architecture.
+//
+// Structure: a Function is an ordered list of Regions; a Region is either a
+// straight-line Block or a Loop with a trip count and a Block body. Regions
+// communicate only through Vars and Arrays (exactly how Figure 4's loops
+// communicate through `yffe`, `e`, `x[]`, `SV[]`, ...). Within a Block, op
+// operands reference earlier ops by index (SSA-style), and reads/writes of
+// Vars/Arrays carry the memory side effects, in program order.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fixpt/quantization.h"
+
+namespace hlsw::hls {
+
+// Dynamic fixed-point type descriptor: the runtime mirror of
+// fixpt::fixed<W,IW,Q,O,S> / fixpt::complex_fixed, limited to W <= 64
+// (design signals; the QAM decoder never exceeds ~26 bits).
+struct FxType {
+  int w = 32;
+  int iw = 32;
+  bool sgn = true;
+  bool cplx = false;
+  fixpt::Quant q = fixpt::Quant::kTrn;
+  fixpt::Ovf o = fixpt::Ovf::kWrap;
+
+  int fw() const { return w - iw; }
+  bool operator==(const FxType&) const = default;
+  std::string to_string() const;
+};
+
+// Runtime value: raw integers scaled by 2^-fw. __int128 intermediates keep
+// every product of two <=64-bit signals exact.
+struct FxValue {
+  __int128 re = 0;
+  __int128 im = 0;
+  int fw = 0;
+  bool cplx = false;
+
+  double re_double() const;
+  double im_double() const;
+  bool operator==(const FxValue&) const = default;
+};
+
+// Converts one raw component from src_fw scale into dst, applying dst's
+// quantization and overflow modes. Single runtime source of truth shared by
+// the interpreter and the RTL simulator; cross-checked against the static
+// fixpt::fixed datatype in tests (they must agree bit for bit).
+__int128 fx_convert_component(__int128 raw, int src_fw, const FxType& dst);
+
+// Converts a full value (both components if complex) into type dst.
+FxValue fx_convert(const FxValue& v, const FxType& dst);
+
+enum class OpKind {
+  kConst,        // literal (cval)
+  kVarRead,      // read scalar variable `var`
+  kVarWrite,     // write args[0] into variable `var` (converting to its type)
+  kArrayRead,    // read array[idx(k)]
+  kArrayWrite,   // write args[0] into array[idx(k)] (converting)
+  kAdd,          // args[0] + args[1], full precision into op type
+  kSub,          // args[0] - args[1]
+  kMul,          // args[0] * args[1] (complex multiply when operands are)
+  kNeg,          // -args[0]
+  kSignConj,     // sign(re) - j*sign(im) of args[0], the sign-LMS regressor
+  kCast,         // convert args[0] into op type (quantize/saturate)
+  kReal,         // Re(args[0])
+  kImag,         // Im(args[0])
+  kMakeComplex,  // args[0] + j*args[1]
+};
+
+const char* to_string(OpKind k);
+
+// Array index as an affine function of the canonical loop induction
+// variable k: idx = scale*k + offset. Straight-line code uses scale = 0.
+struct AffineIdx {
+  int scale = 0;
+  int offset = 0;
+  int eval(int k) const { return scale * k + offset; }
+  bool operator==(const AffineIdx&) const = default;
+};
+
+struct Op {
+  OpKind kind = OpKind::kConst;
+  FxType type;            // result type (and write-conversion target)
+  std::vector<int> args;  // indices of earlier ops in the same block
+  int var = -1;           // kVarRead/kVarWrite
+  int array = -1;         // kArrayRead/kArrayWrite
+  AffineIdx idx;          // kArrayRead/kArrayWrite
+  FxValue cval;           // kConst
+  // Guard for merged/unrolled loops: execute only when k < guard_trip.
+  // Negative means unguarded (always execute).
+  int guard_trip = -1;
+  // The source loop this op originated from (report/diagnostic use).
+  int src_loop = -1;
+  std::string name;
+
+  bool is_write() const {
+    return kind == OpKind::kVarWrite || kind == OpKind::kArrayWrite;
+  }
+  bool is_mem_access() const {
+    return kind == OpKind::kArrayRead || kind == OpKind::kArrayWrite;
+  }
+};
+
+struct Block {
+  std::vector<Op> ops;
+};
+
+struct Loop {
+  std::string label;
+  int trip = 0;  // canonical: k = 0 .. trip-1
+  Block body;
+  // Labels of source loops folded into this one by merging (reports).
+  std::vector<std::string> merged_labels;
+  // Unroll factor already applied (reports).
+  int unroll_applied = 1;
+};
+
+struct Region {
+  bool is_loop = false;
+  std::string name;
+  Block straight;  // valid when !is_loop
+  Loop loop;       // valid when is_loop
+};
+
+enum class PortDir { kNone, kIn, kOut, kInOut };
+
+struct Var {
+  std::string name;
+  FxType type;
+  bool is_static = false;  // persists across invocations (Figure 4 statics)
+  PortDir port = PortDir::kNone;
+  FxValue init;  // initial value for statics
+};
+
+// How an array is realized in hardware (paper section 2.2).
+enum class ArrayMapping { kRegisters, kMemory };
+
+struct Array {
+  std::string name;
+  int length = 0;
+  FxType elem;
+  bool is_static = false;
+  PortDir port = PortDir::kNone;
+  ArrayMapping mapping = ArrayMapping::kRegisters;
+  int mem_read_ports = 1;   // used when mapping == kMemory
+  int mem_write_ports = 1;
+};
+
+struct Function {
+  std::string name;
+  std::vector<Var> vars;
+  std::vector<Array> arrays;
+  std::vector<Region> regions;
+
+  int var_index(const std::string& name) const;
+  int array_index(const std::string& name) const;
+  const Region* find_loop(const std::string& label) const;
+  Region* find_loop(const std::string& label);
+
+  // Human-readable dump (debugging and golden tests).
+  std::string dump() const;
+};
+
+}  // namespace hlsw::hls

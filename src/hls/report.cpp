@@ -1,0 +1,214 @@
+#include "hls/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hlsw::hls {
+
+SynthesisResult run_synthesis(const Function& f, const Directives& dir,
+                              const TechLibrary& tech) {
+  SynthesisResult r;
+  TransformResult t = apply_transforms(f, dir);
+  r.transformed = std::move(t.func);
+  r.warnings = std::move(t.warnings);
+  r.schedule = schedule_function(r.transformed, dir, tech);
+  for (const auto& n : r.schedule.notes) r.warnings.push_back(n);
+  r.bind = bind_design(r.transformed, r.schedule, dir, tech);
+  r.area = estimate_area(r.bind, tech);
+  return r;
+}
+
+std::string synthesis_summary(const SynthesisResult& r,
+                              const TechLibrary& tech) {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "== Synthesis summary: " << r.transformed.name << " ==\n";
+  os << "technology:        " << tech.name << "\n";
+  os << "clock period:      " << std::setprecision(2) << r.schedule.clock_ns
+     << " ns\n";
+  os << "latency:           " << r.schedule.latency_cycles << " cycles ("
+     << std::setprecision(0) << r.schedule.latency_ns << " ns)\n";
+  os << "throughput:        " << std::setprecision(3) << r.msymbols_per_s()
+     << " Msymbol/s\n";
+  os << "area (gates):      " << std::setprecision(0) << r.area.total
+     << "  [fu " << r.area.fu << ", reg " << r.area.reg << ", mux "
+     << r.area.mux << ", fsm " << r.area.fsm << ", mem " << r.area.mem
+     << ", io " << r.area.io << "]\n";
+  os << "region latencies:\n";
+  for (const auto& rs : r.schedule.regions) {
+    os << "  " << std::setw(16) << std::left << rs.label << std::right
+       << (rs.is_loop ? " loop " : " block") << "  cycles/iter="
+       << rs.body.cycles << "  trip=" << rs.trip;
+    if (rs.ii > 0) os << "  II=" << rs.ii;
+    os << "  total=" << rs.total_cycles << "\n";
+  }
+  if (!r.warnings.empty()) {
+    os << "warnings:\n";
+    for (const auto& w : r.warnings) os << "  ! " << w << "\n";
+  }
+  return os.str();
+}
+
+std::string bill_of_materials(const SynthesisResult& r) {
+  std::ostringstream os;
+  os << "== Bill of materials ==\n";
+  os << std::left << std::setw(10) << "unit" << std::setw(12) << "widths"
+     << std::setw(8) << "ops" << std::setw(12) << "area" << "\n";
+  for (const auto& fu : r.bind.fus) {
+    std::ostringstream w;
+    w << fu.wa;
+    if (fu.wb > 0) w << "x" << fu.wb;
+    os << std::left << std::setw(10) << fu.kind << std::setw(12) << w.str()
+       << std::setw(8) << fu.n_ops << std::setw(12) << std::fixed
+       << std::setprecision(0) << fu.area << "\n";
+  }
+  os << "storage bits:  " << r.bind.storage_bits << " architectural + "
+     << r.bind.pipeline_bits << " pipeline\n";
+  if (r.bind.mem_bits > 0)
+    os << "memory bits:   " << r.bind.mem_bits << " (" << r.bind.mem_ports
+       << " ports)\n";
+  os << "fsm:           " << r.bind.fsm_states << " states, "
+     << r.bind.counter_bits << " counter bits\n";
+  os << "interface:     " << r.bind.io_bits << " bits\n";
+  return os.str();
+}
+
+std::string gantt_chart(const SynthesisResult& r) {
+  std::ostringstream os;
+  os << "== Schedule (Gantt) ==\n";
+  for (std::size_t ri = 0; ri < r.transformed.regions.size(); ++ri) {
+    const Region& region = r.transformed.regions[ri];
+    const RegionSchedule& rs = r.schedule.regions[ri];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    os << (region.is_loop ? "loop " : "block ") << rs.label;
+    if (region.is_loop) os << "  (trip " << rs.trip << ")";
+    os << "  cycles/iter=" << rs.body.cycles << "\n";
+    for (int cyc = 0; cyc < rs.body.cycles; ++cyc) {
+      os << "  c" << cyc << ": ";
+      bool first = true;
+      for (std::size_t i = 0; i < b.ops.size(); ++i) {
+        if (rs.body.place[i].cycle != cyc) continue;
+        if (!first) os << ", ";
+        first = false;
+        os << "%" << i << ":" << to_string(b.ops[i].kind);
+        if (!b.ops[i].name.empty()) os << "(" << b.ops[i].name << ")";
+        os << "[" << std::fixed << std::setprecision(1)
+           << rs.body.place[i].start << ".." << rs.body.place[i].end << "]";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_json(const SynthesisResult& r, const TechLibrary& tech) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "{";
+  os << "\"function\":\"" << json_escape(r.transformed.name) << "\",";
+  os << "\"technology\":\"" << json_escape(tech.name) << "\",";
+  os << "\"clock_ns\":" << r.schedule.clock_ns << ",";
+  os << "\"latency_cycles\":" << r.latency_cycles() << ",";
+  os << "\"latency_ns\":" << r.latency_ns() << ",";
+  os << "\"area\":{\"total\":" << r.area.total << ",\"fu\":" << r.area.fu
+     << ",\"reg\":" << r.area.reg << ",\"mux\":" << r.area.mux
+     << ",\"fsm\":" << r.area.fsm << ",\"mem\":" << r.area.mem
+     << ",\"io\":" << r.area.io << "},";
+  os << "\"regions\":[";
+  for (std::size_t i = 0; i < r.schedule.regions.size(); ++i) {
+    const auto& rs = r.schedule.regions[i];
+    if (i) os << ",";
+    os << "{\"label\":\"" << json_escape(rs.label) << "\",\"loop\":"
+       << (rs.is_loop ? "true" : "false") << ",\"trip\":" << rs.trip
+       << ",\"cycles_per_iter\":" << rs.body.cycles << ",\"ii\":" << rs.ii
+       << ",\"total_cycles\":" << rs.total_cycles << "}";
+  }
+  os << "],";
+  os << "\"functional_units\":[";
+  for (std::size_t i = 0; i < r.bind.fus.size(); ++i) {
+    const auto& fu = r.bind.fus[i];
+    if (i) os << ",";
+    os << "{\"kind\":\"" << json_escape(fu.kind) << "\",\"wa\":" << fu.wa
+       << ",\"wb\":" << fu.wb << ",\"ops\":" << fu.n_ops
+       << ",\"area\":" << fu.area << "}";
+  }
+  os << "],";
+  os << "\"storage_bits\":" << r.bind.storage_bits << ",";
+  os << "\"fsm_states\":" << r.bind.fsm_states << ",";
+  os << "\"warnings\":[";
+  for (std::size_t i = 0; i < r.warnings.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(r.warnings[i]) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string critical_path_report(const SynthesisResult& r,
+                                 const TechLibrary& tech) {
+  std::ostringstream os;
+  os << "== Critical path ==\n";
+  double worst = 0;
+  std::size_t worst_region = 0;
+  for (std::size_t ri = 0; ri < r.schedule.regions.size(); ++ri) {
+    if (r.schedule.regions[ri].body.critical_path_ns > worst) {
+      worst = r.schedule.regions[ri].body.critical_path_ns;
+      worst_region = ri;
+    }
+  }
+  const RegionSchedule& rs = r.schedule.regions[worst_region];
+  const Region& region = r.transformed.regions[worst_region];
+  const Block& b = region.is_loop ? region.loop.body : region.straight;
+  os << "region '" << rs.label << "', " << std::fixed << std::setprecision(2)
+     << worst << " ns of " << r.schedule.clock_ns << " ns (slack "
+     << r.schedule.clock_ns - tech.reg_margin - worst << " ns before "
+     << "register margin)\n";
+  // Walk the chain backwards from the critical op through same-cycle
+  // operands with the latest end times.
+  int cur = rs.body.critical_op;
+  std::vector<int> chain;
+  while (cur >= 0) {
+    chain.push_back(cur);
+    const Op& op = b.ops[static_cast<size_t>(cur)];
+    int next = -1;
+    double best = -1;
+    for (int a : op.args) {
+      const auto& p = rs.body.place[static_cast<size_t>(a)];
+      if (p.cycle == rs.body.place[static_cast<size_t>(cur)].cycle &&
+          p.end > best) {
+        best = p.end;
+        next = a;
+      }
+    }
+    cur = next;
+  }
+  std::reverse(chain.begin(), chain.end());
+  for (int id : chain) {
+    const auto& p = rs.body.place[static_cast<size_t>(id)];
+    os << "  %" << id << " " << to_string(b.ops[static_cast<size_t>(id)].kind)
+       << (b.ops[static_cast<size_t>(id)].name.empty()
+               ? ""
+               : " (" + b.ops[static_cast<size_t>(id)].name + ")")
+       << "  " << std::setprecision(2) << p.start << " -> " << p.end
+       << " ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,54 @@
+// One-stop synthesis driver and reporting: runs transforms, scheduling,
+// binding and area estimation, and renders the reports the paper's flow
+// exposes to the designer — the synthesis summary, the bill of materials,
+// the Gantt chart (schedule view), and the critical-path report
+// (paper section 3.2: "found by examining the bill-of-materials report,
+// the critical-path report, or ... the schedule (Gantt chart)").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/bind.h"
+#include "hls/directives.h"
+#include "hls/ir.h"
+#include "hls/schedule.h"
+#include "hls/tech.h"
+#include "hls/transforms.h"
+
+namespace hlsw::hls {
+
+struct SynthesisResult {
+  Function transformed;  // post-unroll/merge IR (what hardware implements)
+  Schedule schedule;
+  BindResult bind;
+  AreaReport area;
+  std::vector<std::string> warnings;  // transform legality + schedule notes
+
+  int latency_cycles() const { return schedule.latency_cycles; }
+  double latency_ns() const { return schedule.latency_ns; }
+  // Throughput in Mbps given the number of payload bits produced per
+  // invocation (6 for the 64-QAM decoder: one symbol per call).
+  double data_rate_mbps(int bits_per_invocation) const {
+    return bits_per_invocation * 1000.0 / latency_ns();
+  }
+  double msymbols_per_s() const { return 1000.0 / latency_ns(); }
+};
+
+// The full flow: transforms -> schedule -> bind -> area.
+SynthesisResult run_synthesis(const Function& f, const Directives& dir,
+                              const TechLibrary& tech);
+
+// -- Text reports -------------------------------------------------------------
+
+std::string synthesis_summary(const SynthesisResult& r, const TechLibrary& tech);
+std::string bill_of_materials(const SynthesisResult& r);
+std::string gantt_chart(const SynthesisResult& r);
+std::string critical_path_report(const SynthesisResult& r,
+                                 const TechLibrary& tech);
+
+// Machine-readable result record (latency, per-region schedule, area
+// breakdown, FU inventory, warnings) for scripting exploration flows.
+std::string to_json(const SynthesisResult& r, const TechLibrary& tech);
+
+}  // namespace hlsw::hls

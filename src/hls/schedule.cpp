@@ -1,0 +1,415 @@
+#include "hls/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "fixpt/bitwidth.h"
+
+namespace hlsw::hls {
+
+namespace {
+
+bool is_pow2_const(const Block& b, int opIdx) {
+  const Op& op = b.ops[static_cast<size_t>(opIdx)];
+  if (op.kind != OpKind::kConst) return false;
+  if (op.cval.cplx && op.cval.im != 0) return false;
+  __int128 v = op.cval.re;
+  if (v < 0) v = -v;
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+bool is_sign_value(const Block& b, int opIdx) {
+  return b.ops[static_cast<size_t>(opIdx)].kind == OpKind::kSignConj;
+}
+
+}  // namespace
+
+OpCost op_cost(const Function& f, const Block& b, int opIdx,
+               const TechLibrary& tech) {
+  const Op& op = b.ops[static_cast<size_t>(opIdx)];
+  OpCost c;
+  switch (op.kind) {
+    case OpKind::kConst:
+    case OpKind::kVarRead:
+    case OpKind::kVarWrite:
+    case OpKind::kReal:
+    case OpKind::kImag:
+    case OpKind::kMakeComplex:
+    case OpKind::kSignConj:
+      return c;  // wiring / register IO, covered by reg_margin
+
+    case OpKind::kArrayRead: {
+      const Array& arr = f.arrays[static_cast<size_t>(op.array)];
+      if (arr.mapping == ArrayMapping::kMemory) {
+        c.delay = tech.mem_access_delay;
+        c.fu = "mem_read";
+      } else if (op.idx.scale != 0) {
+        // Variable index over a register bank: a read multiplexer tree.
+        c.delay = tech.mux_delay * fixpt::clog2(
+                      static_cast<unsigned long long>(arr.length));
+      }
+      return c;
+    }
+    case OpKind::kArrayWrite: {
+      const Array& arr = f.arrays[static_cast<size_t>(op.array)];
+      c.delay = arr.mapping == ArrayMapping::kMemory ? tech.mux_delay
+                                                     : tech.mux_delay;
+      if (arr.mapping == ArrayMapping::kMemory) c.fu = "mem_write";
+      return c;
+    }
+
+    case OpKind::kAdd:
+    case OpKind::kSub: {
+      c.delay = tech.add_delay(op.type.w) + tech.wire_delay;
+      c.real_adds = op.type.cplx ? 2 : 1;
+      c.add_w = op.type.w;
+      c.fu = "add";
+      return c;
+    }
+    case OpKind::kNeg: {
+      c.delay = tech.add_delay(op.type.w) + tech.wire_delay;
+      c.real_adds = op.type.cplx ? 2 : 1;
+      c.add_w = op.type.w;
+      c.fu = "add";
+      return c;
+    }
+    case OpKind::kMul: {
+      const int a0 = op.args[0], a1 = op.args[1];
+      const FxType& ta = b.ops[static_cast<size_t>(a0)].type;
+      const FxType& tb = b.ops[static_cast<size_t>(a1)].type;
+      if (is_pow2_const(b, a0) || is_pow2_const(b, a1)) {
+        // Multiplication by 2^n is pure wiring.
+        c.delay = tech.wire_delay;
+        return c;
+      }
+      if (is_sign_value(b, a0) || is_sign_value(b, a1)) {
+        // Multiply by (+-1 -+ j): conditional negate + add per component.
+        const FxType& data = is_sign_value(b, a0) ? tb : ta;
+        c.delay = tech.add_delay(data.w) + tech.mux_delay + tech.wire_delay;
+        c.real_adds = data.cplx ? 4 : 2;
+        c.add_w = data.w;
+        c.fu = "sign_mul";
+        return c;
+      }
+      if (ta.cplx && tb.cplx) {
+        // 4 multipliers + cross add/sub.
+        c.delay = tech.mul_delay(ta.w, tb.w) + tech.add_delay(op.type.w) +
+                  tech.wire_delay;
+        c.real_mults = 4;
+        c.real_adds = 2;
+        c.wa = ta.w;
+        c.wb = tb.w;
+        c.add_w = op.type.w;
+        c.fu = "cmul";
+        return c;
+      }
+      if (ta.cplx || tb.cplx) {
+        c.delay = tech.mul_delay(ta.w, tb.w) + tech.wire_delay;
+        c.real_mults = 2;
+        c.wa = ta.w;
+        c.wb = tb.w;
+        c.fu = "mul";
+        return c;
+      }
+      c.delay = tech.mul_delay(ta.w, tb.w) + tech.wire_delay;
+      c.real_mults = 1;
+      c.wa = ta.w;
+      c.wb = tb.w;
+      c.fu = "mul";
+      return c;
+    }
+    case OpKind::kCast: {
+      // Pure truncation/wrap is a bit-select (wiring). Rounding needs an
+      // increment adder; saturation needs a compare + mux.
+      const bool rounds = op.type.q != fixpt::Quant::kTrn;
+      const bool sats = op.type.o != fixpt::Ovf::kWrap;
+      if (!rounds && !sats) return c;
+      c.delay = (rounds ? tech.add_delay(op.type.w) : 0) +
+                (sats ? tech.mux_delay * 2 : 0) + tech.wire_delay;
+      c.real_adds = (rounds ? 1 : 0) * (op.type.cplx ? 2 : 1);
+      c.add_w = op.type.w;
+      c.fu = "cast";
+      return c;
+    }
+  }
+  return c;
+}
+
+bool may_alias(const Op& a, const Op& b, int distance, int trip) {
+  for (int k = 0; k < trip; ++k) {
+    const int kb = k + distance;
+    if (kb < 0 || kb >= trip) continue;
+    if (a.idx.eval(k) == b.idx.eval(kb)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+enum class DepKind {
+  kData,       // SSA operand: chain within a cycle
+  kVarFwd,     // var write -> read: forwards combinationally, same cycle ok
+  kNextCycle,  // array write -> read of same element: must cross a cycle
+  kOrder,      // read -> write (WAR): write's cycle >= read's cycle
+  kWaw,        // write -> write same element: distinct cycles
+};
+
+struct Dep {
+  int from;
+  DepKind kind;
+};
+
+// Real-multiplier usage of an op (for the resource constraint).
+int mult_usage(const OpCost& c) { return c.real_mults; }
+
+struct BlockContext {
+  const Function* f;
+  const Block* b;
+  const Directives* dir;
+  const TechLibrary* tech;
+  int trip;  // 1 for straight blocks
+};
+
+std::vector<std::vector<Dep>> build_deps(const BlockContext& ctx) {
+  const Block& b = *ctx.b;
+  const int n = static_cast<int>(b.ops.size());
+  std::vector<std::vector<Dep>> deps(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Op& op = b.ops[static_cast<size_t>(i)];
+    for (int a : op.args) {
+      assert(a >= 0 && a < i && "operand must reference an earlier op");
+      deps[static_cast<size_t>(i)].push_back({a, DepKind::kData});
+    }
+    // Memory dependencies against every earlier op (blocks are small).
+    for (int e = 0; e < i; ++e) {
+      const Op& prev = b.ops[static_cast<size_t>(e)];
+      // Scalar variables.
+      if (op.var >= 0 && prev.var == op.var) {
+        if (prev.kind == OpKind::kVarWrite && op.kind == OpKind::kVarRead)
+          deps[static_cast<size_t>(i)].push_back({e, DepKind::kVarFwd});
+        else if (prev.kind == OpKind::kVarRead && op.kind == OpKind::kVarWrite)
+          deps[static_cast<size_t>(i)].push_back({e, DepKind::kOrder});
+        else if (prev.kind == OpKind::kVarWrite && op.kind == OpKind::kVarWrite)
+          // Scalar WAW may share a cycle: intermediate values are wires and
+          // only the last write (program order) commits to the register.
+          deps[static_cast<size_t>(i)].push_back({e, DepKind::kOrder});
+      }
+      // Array elements (same-iteration aliasing; cross-iteration ordering
+      // is guaranteed by non-overlapped iterations or checked by the
+      // pipelining feasibility pass).
+      if (op.array >= 0 && prev.array == op.array &&
+          may_alias(prev, op, 0, ctx.trip)) {
+        if (prev.kind == OpKind::kArrayWrite && op.kind == OpKind::kArrayRead)
+          deps[static_cast<size_t>(i)].push_back({e, DepKind::kNextCycle});
+        else if (prev.kind == OpKind::kArrayRead &&
+                 op.kind == OpKind::kArrayWrite)
+          deps[static_cast<size_t>(i)].push_back({e, DepKind::kOrder});
+        else if (prev.kind == OpKind::kArrayWrite &&
+                 op.kind == OpKind::kArrayWrite)
+          deps[static_cast<size_t>(i)].push_back({e, DepKind::kWaw});
+      }
+    }
+  }
+  return deps;
+}
+
+BlockSchedule schedule_block(const BlockContext& ctx,
+                             std::vector<std::string>* notes) {
+  const Block& b = *ctx.b;
+  const int n = static_cast<int>(b.ops.size());
+  BlockSchedule out;
+  out.place.resize(static_cast<size_t>(n));
+  if (n == 0) {
+    out.cycles = 1;
+    return out;
+  }
+
+  const double budget = ctx.dir->clock_period_ns - ctx.tech->reg_margin;
+  const auto deps = build_deps(ctx);
+
+  // Per-cycle resource usage.
+  std::vector<int> mults_in_cycle;
+  // Per-cycle, per-array port usage (memory-mapped arrays only).
+  struct PortUse {
+    std::vector<int> reads, writes;  // indexed by cycle
+  };
+  std::vector<PortUse> ports(ctx.f->arrays.size());
+
+  auto mem_ports_ok = [&](const Op& op, int cycle) {
+    if (op.array < 0) return true;
+    const Array& arr = ctx.f->arrays[static_cast<size_t>(op.array)];
+    if (arr.mapping != ArrayMapping::kMemory) return true;
+    auto& pu = ports[static_cast<size_t>(op.array)];
+    if (static_cast<int>(pu.reads.size()) <= cycle) {
+      pu.reads.resize(static_cast<size_t>(cycle) + 1, 0);
+      pu.writes.resize(static_cast<size_t>(cycle) + 1, 0);
+    }
+    if (op.kind == OpKind::kArrayRead)
+      return pu.reads[static_cast<size_t>(cycle)] < arr.mem_read_ports;
+    return pu.writes[static_cast<size_t>(cycle)] < arr.mem_write_ports;
+  };
+  auto commit_mem_port = [&](const Op& op, int cycle) {
+    if (op.array < 0) return;
+    const Array& arr = ctx.f->arrays[static_cast<size_t>(op.array)];
+    if (arr.mapping != ArrayMapping::kMemory) return;
+    auto& pu = ports[static_cast<size_t>(op.array)];
+    if (op.kind == OpKind::kArrayRead)
+      pu.reads[static_cast<size_t>(cycle)]++;
+    else
+      pu.writes[static_cast<size_t>(cycle)]++;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const OpCost cost = op_cost(*ctx.f, b, i, *ctx.tech);
+    if (cost.delay > budget && notes) {
+      std::ostringstream os;
+      os << "op %" << i << " (" << to_string(b.ops[static_cast<size_t>(i)].kind)
+         << ") delay " << cost.delay << " ns exceeds the cycle budget "
+         << budget << " ns; clock constraint unachievable";
+      notes->push_back(os.str());
+    }
+
+    int earliest = 0;
+    for (const Dep& d : deps[static_cast<size_t>(i)]) {
+      const OpPlacement& p = out.place[static_cast<size_t>(d.from)];
+      switch (d.kind) {
+        case DepKind::kData:
+        case DepKind::kVarFwd:
+          earliest = std::max(earliest, p.cycle);
+          break;
+        case DepKind::kOrder:
+          earliest = std::max(earliest, p.cycle);
+          break;
+        case DepKind::kNextCycle:
+        case DepKind::kWaw:
+          earliest = std::max(earliest, p.cycle + 1);
+          break;
+      }
+    }
+
+    for (int cycle = earliest;; ++cycle) {
+      // Chaining: start after every same-cycle producer finishes.
+      double start = 0;
+      for (const Dep& d : deps[static_cast<size_t>(i)]) {
+        if (d.kind != DepKind::kData && d.kind != DepKind::kVarFwd) continue;
+        const OpPlacement& p = out.place[static_cast<size_t>(d.from)];
+        if (p.cycle == cycle) start = std::max(start, p.end);
+      }
+      const bool fits = start + cost.delay <= budget || cost.delay > budget;
+      // Resource checks.
+      if (static_cast<int>(mults_in_cycle.size()) <= cycle)
+        mults_in_cycle.resize(static_cast<size_t>(cycle) + 1, 0);
+      const bool mults_ok =
+          ctx.dir->max_real_multipliers <= 0 ||
+          mults_in_cycle[static_cast<size_t>(cycle)] + mult_usage(cost) <=
+              ctx.dir->max_real_multipliers;
+      if (fits && mults_ok && mem_ports_ok(b.ops[static_cast<size_t>(i)], cycle)) {
+        out.place[static_cast<size_t>(i)] = {cycle, start, start + cost.delay};
+        mults_in_cycle[static_cast<size_t>(cycle)] += mult_usage(cost);
+        commit_mem_port(b.ops[static_cast<size_t>(i)], cycle);
+        break;
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const auto& p = out.place[static_cast<size_t>(i)];
+    out.cycles = std::max(out.cycles, p.cycle + 1);
+    if (p.end > out.critical_path_ns) {
+      out.critical_path_ns = p.end;
+      out.critical_op = i;
+    }
+  }
+  return out;
+}
+
+// Minimum initiation interval imposed by loop-carried dependencies: a value
+// written at body cycle cw and read `d` iterations later at body cycle cr
+// requires cw - cr < d * II.
+int recurrence_min_ii(const BlockContext& ctx, const BlockSchedule& sched) {
+  const Block& b = *ctx.b;
+  const int n = static_cast<int>(b.ops.size());
+  int min_ii = 1;
+  for (int w = 0; w < n; ++w) {
+    const Op& wop = b.ops[static_cast<size_t>(w)];
+    if (!wop.is_write()) continue;
+    for (int r = 0; r < n; ++r) {
+      const Op& rop = b.ops[static_cast<size_t>(r)];
+      const bool var_pair = wop.kind == OpKind::kVarWrite &&
+                            rop.kind == OpKind::kVarRead && rop.var == wop.var;
+      const bool arr_pair = wop.kind == OpKind::kArrayWrite &&
+                            rop.kind == OpKind::kArrayRead &&
+                            rop.array == wop.array;
+      if (!var_pair && !arr_pair) continue;
+      const int cw = sched.place[static_cast<size_t>(w)].cycle;
+      const int cr = sched.place[static_cast<size_t>(r)].cycle;
+      for (int d = 1; d < ctx.trip; ++d) {
+        if (arr_pair && !may_alias(wop, rop, d, ctx.trip)) continue;
+        // Need cw + 1 <= cr + d*II  (write commits at end of its cycle).
+        const int need = (cw + 1 - cr + d - 1) / d;  // ceil((cw+1-cr)/d)
+        min_ii = std::max(min_ii, need);
+        break;  // the smallest distance dominates
+      }
+    }
+  }
+  return min_ii;
+}
+
+}  // namespace
+
+Schedule schedule_function(const Function& f, const Directives& dir,
+                           const TechLibrary& tech) {
+  Schedule out;
+  out.clock_ns = dir.clock_period_ns;
+  for (const auto& region : f.regions) {
+    RegionSchedule rs;
+    rs.label = region.is_loop ? region.loop.label : region.name;
+    rs.is_loop = region.is_loop;
+    BlockContext ctx{&f, region.is_loop ? &region.loop.body : &region.straight,
+                     &dir, &tech, region.is_loop ? region.loop.trip : 1};
+    rs.body = schedule_block(ctx, &out.notes);
+    if (region.is_loop) {
+      rs.trip = region.loop.trip;
+      const LoopDirective ld = dir.loop_directive(region.loop.label);
+      if (ld.pipeline_ii >= 1) {
+        const int min_ii = recurrence_min_ii(ctx, rs.body);
+        rs.ii = std::max(ld.pipeline_ii, min_ii);
+        if (rs.ii > ld.pipeline_ii) {
+          std::ostringstream os;
+          os << "loop '" << region.loop.label << "': requested II="
+             << ld.pipeline_ii << " raised to " << rs.ii
+             << " by a loop-carried recurrence";
+          out.notes.push_back(os.str());
+        }
+        rs.total_cycles = rs.body.cycles + (rs.trip - 1) * rs.ii;
+      } else {
+        rs.total_cycles = rs.trip * rs.body.cycles;
+      }
+    } else {
+      rs.trip = 1;
+      rs.total_cycles = rs.body.cycles;
+    }
+    out.latency_cycles += rs.total_cycles;
+    out.regions.push_back(std::move(rs));
+  }
+  // Streamed array ports transfer one element per cycle (interface
+  // synthesis, paper section 2.1): input streams fill before the block
+  // starts, output streams drain after it finishes.
+  for (const auto& a : f.arrays) {
+    if (a.port == PortDir::kNone) continue;
+    auto it = dir.interfaces.find(a.name);
+    if (it == dir.interfaces.end() || it->second != InterfaceKind::kStream)
+      continue;
+    out.latency_cycles += a.length;
+    std::ostringstream os;
+    os << "streamed port '" << a.name << "' adds " << a.length
+       << " transfer cycles";
+    out.notes.push_back(os.str());
+  }
+  out.latency_ns = out.latency_cycles * out.clock_ns;
+  return out;
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,87 @@
+// Scheduling: "the focal point of architectural exploration" (paper section
+// 2.5). Transforms the sequential IR into a cycle-by-cycle schedule under a
+// clock period and technology library, honoring data dependencies with
+// operator chaining, memory-port and multiplier resource constraints, and
+// loop pipelining directives.
+//
+// Chaining model: every op gets a combinational delay from the technology
+// library; ops chain within a cycle until the accumulated delay would
+// exceed clock_period - register_margin, then spill to the next cycle.
+//
+// Memory ordering rules (these produce the paper's "3 cycles for behavior
+// between loops"):
+//  * scalar variables forward combinationally: a read chains off a write in
+//    the same cycle (wires, not storage);
+//  * array element writes commit at the clock edge: a read of an element
+//    written in the same cycle must wait for the next cycle (registers and
+//    RAMs cannot forward);
+//  * write-after-read of the same element may share a cycle (the register
+//    still holds the old value until the edge);
+//  * write-after-write of the same element must take distinct cycles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+#include "hls/ir.h"
+#include "hls/tech.h"
+
+namespace hlsw::hls {
+
+// Classification + cost of one op in context (shared by the scheduler, the
+// binder and the area model so they always agree on what hardware an op
+// needs). Multiplications by a power-of-two constant are shifts (wiring);
+// multiplications by a sign_conj result are conditional add/negate networks
+// — the two properties the paper's sign-LMS design exploits.
+struct OpCost {
+  double delay = 0;      // combinational delay, ns
+  int real_mults = 0;    // array multipliers consumed
+  int real_adds = 0;     // adder cells consumed
+  int wa = 0, wb = 0;    // multiplier operand widths (when real_mults > 0)
+  int add_w = 0;         // adder width (when real_adds > 0)
+  std::string fu;        // functional-unit class name ("" = free/wiring)
+};
+
+OpCost op_cost(const Function& f, const Block& b, int op,
+               const TechLibrary& tech);
+
+struct OpPlacement {
+  int cycle = 0;
+  double start = 0;  // ns within the cycle
+  double end = 0;
+};
+
+struct BlockSchedule {
+  std::vector<OpPlacement> place;
+  int cycles = 0;
+  double critical_path_ns = 0;  // longest chained path in any cycle
+  int critical_op = -1;
+};
+
+struct RegionSchedule {
+  std::string label;
+  bool is_loop = false;
+  int trip = 1;
+  int ii = 0;  // achieved initiation interval; 0 = not pipelined
+  BlockSchedule body;
+  int total_cycles = 0;
+};
+
+struct Schedule {
+  double clock_ns = 0;
+  std::vector<RegionSchedule> regions;
+  int latency_cycles = 0;
+  double latency_ns = 0;
+  std::vector<std::string> notes;
+};
+
+Schedule schedule_function(const Function& f, const Directives& dir,
+                           const TechLibrary& tech);
+
+// True when two accesses (same array) can touch the same element at the
+// given iteration distance d (b's iteration = a's iteration + d), for some
+// iteration in [0, trip).
+bool may_alias(const Op& a, const Op& b, int distance, int trip);
+
+}  // namespace hlsw::hls

@@ -1,0 +1,67 @@
+#include "hls/tech.h"
+
+namespace hlsw::hls {
+
+TechLibrary TechLibrary::asic90() {
+  TechLibrary t;
+  t.name = "asic90";
+  t.description =
+      "Synthetic 90nm-class ASIC standard-cell library (carry-lookahead "
+      "adders, array multipliers). Calibrated so a complex 10x10 MAC chains "
+      "within one 10 ns cycle, matching the paper's observation that every "
+      "loop body executes in a single cycle at 100 MHz.";
+  t.add_delay_base = 0.35;
+  t.add_delay_per_bit = 0.045;
+  t.mul_delay_base = 1.00;
+  t.mul_delay_per_bit = 0.10;
+  t.mul_delay_per_min_bit = 0.05;
+  t.mux_delay = 0.15;
+  t.wire_delay = 0.05;
+  t.reg_margin = 0.30;
+  t.mem_access_delay = 2.2;
+
+  t.add_area_per_bit = 8.0;
+  t.mul_area_per_bit2 = 9.0;
+  t.reg_area_per_bit = 4.0;
+  t.mux_area_per_bit = 2.5;
+  t.fsm_area_per_state = 8.0;
+  t.counter_area_per_bit = 10.0;
+  t.mem_area_per_bit = 0.8;
+  t.mem_port_overhead = 200.0;
+  t.io_area_per_bit = 6.0;
+  return t;
+}
+
+TechLibrary TechLibrary::fpga_lut4() {
+  TechLibrary t;
+  t.name = "fpga_lut4";
+  t.description =
+      "Generic LUT4 FPGA fabric: ~3x slower combinational paths, cheap "
+      "registers (one per LUT), no hard multipliers. Used for the paper's "
+      "FPGA prototyping flow (experiment S5c): the same source retargets by "
+      "swapping this library and relaxing the clock.";
+  t.add_delay_base = 1.0;
+  t.add_delay_per_bit = 0.14;
+  t.mul_delay_base = 3.0;
+  t.mul_delay_per_bit = 0.30;
+  t.mul_delay_per_min_bit = 0.15;
+  t.mux_delay = 0.45;
+  t.wire_delay = 0.25;
+  t.reg_margin = 0.60;
+  t.mem_access_delay = 4.5;
+
+  // FPGA "area" counted in LUT-equivalents scaled to the same unit: logic
+  // is costlier, registers are effectively free relative to logic.
+  t.add_area_per_bit = 6.0;
+  t.mul_area_per_bit2 = 7.0;
+  t.reg_area_per_bit = 1.0;
+  t.mux_area_per_bit = 3.0;
+  t.fsm_area_per_state = 6.0;
+  t.counter_area_per_bit = 6.0;
+  t.mem_area_per_bit = 0.3;  // block RAM
+  t.mem_port_overhead = 100.0;
+  t.io_area_per_bit = 4.0;
+  return t;
+}
+
+}  // namespace hlsw::hls

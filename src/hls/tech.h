@@ -1,0 +1,72 @@
+// Technology library: per-operator delay and area models (paper section
+// 2.5: "scheduling ... takes into account required synthesis directives
+// such as the clock period and the target technologies").
+//
+// We cannot ship the paper's proprietary ASIC library; these synthetic
+// models use standard gate-count scaling (ripple/carry-lookahead adders
+// ~ O(W), array multipliers ~ O(Wa*Wb)) with delays representative of a
+// 90nm-class ASIC process and a generic LUT4 FPGA. The paper reports only
+// cycle counts and *normalized* area, so relative component costs are what
+// matters; EXPERIMENTS.md discusses the calibration.
+//
+// Area unit: NAND2-equivalent gates. Delay unit: nanoseconds.
+#pragma once
+
+#include <string>
+
+namespace hlsw::hls {
+
+struct TechLibrary {
+  std::string name;
+  std::string description;
+
+  // Delay model coefficients.
+  double add_delay_base = 0.0;   // ns
+  double add_delay_per_bit = 0.0;
+  double mul_delay_base = 0.0;
+  double mul_delay_per_bit = 0.0;  // times max(wa, wb)
+  double mul_delay_per_min_bit = 0.0;  // times min(wa, wb)
+  double mux_delay = 0.0;        // one 2:1 stage
+  double wire_delay = 0.0;       // per-op routing allowance
+  double reg_margin = 0.0;       // setup + clk->q, charged once per cycle
+  double mem_access_delay = 0.0; // synchronous RAM access
+
+  // Area model coefficients (NAND2 equivalents).
+  double add_area_per_bit = 5.0;     // full adder cell
+  double mul_area_per_bit2 = 5.0;    // array multiplier cell, times wa*wb
+  double reg_area_per_bit = 4.0;     // DFF
+  double mux_area_per_bit = 2.5;     // one 2:1 leg per extra input
+  double fsm_area_per_state = 8.0;   // one-hot state flop + decode
+  double counter_area_per_bit = 10.0;
+  double mem_area_per_bit = 0.8;     // SRAM bit (denser than DFF)
+  double mem_port_overhead = 200.0;  // decoder/sense amps per port
+  double io_area_per_bit = 6.0;      // pad/register per interface bit
+
+  // -- Derived queries --------------------------------------------------------
+  double add_delay(int w) const { return add_delay_base + add_delay_per_bit * w; }
+  double add_area(int w) const { return add_area_per_bit * w; }
+  double mul_delay(int wa, int wb) const {
+    const int mx = wa > wb ? wa : wb;
+    const int mn = wa > wb ? wb : wa;
+    return mul_delay_base + mul_delay_per_bit * mx + mul_delay_per_min_bit * mn;
+  }
+  double mul_area(int wa, int wb) const { return mul_area_per_bit2 * wa * wb; }
+  double reg_area(int bits) const { return reg_area_per_bit * bits; }
+  double mux_area(int inputs, int bits) const {
+    return inputs <= 1 ? 0.0 : mux_area_per_bit * (inputs - 1) * bits;
+  }
+  double fsm_area(int states, int counter_bits) const {
+    return fsm_area_per_state * states + counter_area_per_bit * counter_bits;
+  }
+  double mem_area(int bits, int ports) const {
+    return mem_area_per_bit * bits + mem_port_overhead * ports;
+  }
+
+  // A representative 90nm-class ASIC library (the paper's 100 MHz target
+  // leaves ~10 ns per cycle; a 10x10 multiply-accumulate chains comfortably).
+  static TechLibrary asic90();
+  // A generic LUT4 FPGA: ~3x slower cells, register-rich (experiment S5c).
+  static TechLibrary fpga_lut4();
+};
+
+}  // namespace hlsw::hls

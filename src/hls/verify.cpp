@@ -1,0 +1,181 @@
+#include "hls/verify.h"
+
+#include <map>
+#include <sstream>
+
+namespace hlsw::hls {
+
+namespace {
+
+void violation(std::vector<std::string>* out, const std::string& region,
+               const std::string& what) {
+  out->push_back("region '" + region + "': " + what);
+}
+
+void verify_block(const Function& f, const Directives& dir,
+                  const TechLibrary& tech, const std::string& label,
+                  const Block& b, const BlockSchedule& bs, int trip,
+                  std::vector<std::string>* out) {
+  const double budget = dir.clock_period_ns - tech.reg_margin;
+  if (bs.place.size() != b.ops.size()) {
+    violation(out, label, "placement count mismatch");
+    return;
+  }
+
+  // Rule 1: data operands available — producer cycle <= consumer cycle,
+  // and same-cycle producers finish before the consumer starts.
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const Op& op = b.ops[i];
+    for (int a : op.args) {
+      const auto& pp = bs.place[static_cast<size_t>(a)];
+      const auto& pc = bs.place[i];
+      if (pp.cycle > pc.cycle) {
+        std::ostringstream os;
+        os << "op %" << i << " consumes %" << a
+           << " scheduled in a later cycle";
+        violation(out, label, os.str());
+      } else if (pp.cycle == pc.cycle && pp.end > pc.start + 1e-9) {
+        std::ostringstream os;
+        os << "op %" << i << " starts at " << pc.start
+           << " ns before same-cycle producer %" << a << " ends at "
+           << pp.end << " ns";
+        violation(out, label, os.str());
+      }
+    }
+  }
+
+  // Rule 2: memory ordering.
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const Op& op = b.ops[i];
+    for (std::size_t e = 0; e < i; ++e) {
+      const Op& prev = b.ops[e];
+      // Scalars: read-after-write may share a cycle (forwarding); a write
+      // must never be scheduled before a program-earlier read or write.
+      if (op.var >= 0 && prev.var == op.var) {
+        const bool later_write = op.kind == OpKind::kVarWrite;
+        if (later_write && bs.place[i].cycle < bs.place[e].cycle) {
+          std::ostringstream os;
+          os << "var write %" << i << " precedes program-earlier access %"
+             << e;
+          violation(out, label, os.str());
+        }
+        if (op.kind == OpKind::kVarRead && prev.kind == OpKind::kVarWrite &&
+            bs.place[i].cycle < bs.place[e].cycle) {
+          std::ostringstream os;
+          os << "var read %" << i << " precedes its writer %" << e;
+          violation(out, label, os.str());
+        }
+      }
+      // Arrays: committed at cycle edges.
+      if (op.array >= 0 && prev.array == op.array &&
+          may_alias(prev, op, 0, trip)) {
+        if (prev.kind == OpKind::kArrayWrite &&
+            op.kind == OpKind::kArrayRead &&
+            bs.place[i].cycle <= bs.place[e].cycle) {
+          std::ostringstream os;
+          os << "array read %" << i << " in the same cycle as (or before) "
+             << "its writer %" << e << " — registers cannot forward";
+          violation(out, label, os.str());
+        }
+        if (prev.kind == OpKind::kArrayRead &&
+            op.kind == OpKind::kArrayWrite &&
+            bs.place[i].cycle < bs.place[e].cycle) {
+          std::ostringstream os;
+          os << "array write %" << i << " precedes program-earlier read %"
+             << e;
+          violation(out, label, os.str());
+        }
+        if (prev.kind == OpKind::kArrayWrite &&
+            op.kind == OpKind::kArrayWrite &&
+            bs.place[i].cycle <= bs.place[e].cycle) {
+          std::ostringstream os;
+          os << "conflicting array writes %" << e << " and %" << i
+             << " share a cycle";
+          violation(out, label, os.str());
+        }
+      }
+    }
+  }
+
+  // Rule 3: chaining budget — end = start + delay within the cycle, and
+  // within the budget unless the op alone exceeds it (reported already by
+  // the scheduler as unachievable; here it is a violation).
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const OpCost cost = op_cost(f, b, static_cast<int>(i), tech);
+    const auto& p = bs.place[i];
+    if (p.end < p.start + cost.delay - 1e-9) {
+      std::ostringstream os;
+      os << "op %" << i << " end time underestimates its delay";
+      violation(out, label, os.str());
+    }
+    if (cost.delay <= budget && p.end > budget + 1e-9) {
+      std::ostringstream os;
+      os << "op %" << i << " chain exceeds the cycle budget (" << p.end
+         << " > " << budget << " ns)";
+      violation(out, label, os.str());
+    }
+  }
+
+  // Rule 4: resource caps per cycle.
+  std::map<int, int> mults;
+  std::map<std::pair<int, int>, std::pair<int, int>> mem_use;  // (arr,cyc)->(r,w)
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const OpCost cost = op_cost(f, b, static_cast<int>(i), tech);
+    mults[bs.place[i].cycle] += cost.real_mults;
+    const Op& op = b.ops[i];
+    if (op.array >= 0 &&
+        f.arrays[static_cast<size_t>(op.array)].mapping ==
+            ArrayMapping::kMemory) {
+      auto& use = mem_use[{op.array, bs.place[i].cycle}];
+      if (op.kind == OpKind::kArrayRead) ++use.first;
+      if (op.kind == OpKind::kArrayWrite) ++use.second;
+    }
+  }
+  if (dir.max_real_multipliers > 0)
+    for (const auto& [cycle, n] : mults)
+      if (n > dir.max_real_multipliers) {
+        std::ostringstream os;
+        os << "cycle " << cycle << " uses " << n << " multipliers (cap "
+           << dir.max_real_multipliers << ")";
+        violation(out, label, os.str());
+      }
+  for (const auto& [key, use] : mem_use) {
+    const Array& arr = f.arrays[static_cast<size_t>(key.first)];
+    if (use.first > arr.mem_read_ports || use.second > arr.mem_write_ports) {
+      std::ostringstream os;
+      os << "memory '" << arr.name << "' over-subscribed in cycle "
+         << key.second;
+      violation(out, label, os.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> verify_schedule(const Function& f,
+                                         const Directives& dir,
+                                         const TechLibrary& tech,
+                                         const Schedule& s) {
+  std::vector<std::string> out;
+  if (f.regions.size() != s.regions.size()) {
+    out.push_back("region count mismatch between function and schedule");
+    return out;
+  }
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    const Region& region = f.regions[r];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    verify_block(f, dir, tech, s.regions[r].label, b, s.regions[r].body,
+                 region.is_loop ? region.loop.trip : 1, &out);
+    // Loop accounting.
+    const auto& rs = s.regions[r];
+    if (region.is_loop) {
+      const int expect = rs.ii > 0 ? rs.body.cycles + (rs.trip - 1) * rs.ii
+                                   : rs.trip * rs.body.cycles;
+      if (rs.total_cycles != expect)
+        out.push_back("loop '" + rs.label + "' total_cycles inconsistent");
+    }
+  }
+  return out;
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,30 @@
+// Independent schedule verifier: re-derives every constraint the scheduler
+// must satisfy — dependence ordering, register-commit boundaries, operator
+// chaining within the clock budget, and resource caps — directly from the
+// IR and reports violations. Used as a property check in tests (every
+// architecture's schedule must verify clean) and available to users as a
+// sanity gate before trusting generated RTL.
+//
+// The verifier shares no code with the scheduler's placement loop: it
+// re-implements the rules from the definitions in schedule.h, so a bug in
+// the scheduler cannot hide itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+#include "hls/ir.h"
+#include "hls/schedule.h"
+#include "hls/tech.h"
+
+namespace hlsw::hls {
+
+// Returns a list of human-readable violations; empty means the schedule
+// satisfies every rule.
+std::vector<std::string> verify_schedule(const Function& f,
+                                         const Directives& dir,
+                                         const TechLibrary& tech,
+                                         const Schedule& s);
+
+}  // namespace hlsw::hls

@@ -1,0 +1,134 @@
+#include "qam/architectures.h"
+
+namespace hlsw::qam {
+
+std::vector<std::vector<std::string>> default_merge_groups() {
+  return {{"ffe", "dfe"},
+          {"ffe_adapt", "dfe_adapt", "ffe_shift", "dfe_shift"}};
+}
+
+std::vector<Architecture> table1_architectures() {
+  std::vector<Architecture> out;
+
+  {
+    Architecture a;
+    a.name = "merge";
+    a.description = "all loops merged (Catapult default constraints)";
+    a.dir.clock_period_ns = 10.0;
+    a.dir.merge_groups = default_merge_groups();
+    a.paper_latency_ns = 350;
+    a.paper_rate_mbps = 17.1;
+    a.paper_area_norm = 1.17;
+    out.push_back(std::move(a));
+  }
+  {
+    Architecture a;
+    a.name = "none";
+    a.description = "no merging, no unrolling (fully sequential loops)";
+    a.dir.clock_period_ns = 10.0;
+    a.paper_latency_ns = 690;
+    a.paper_rate_mbps = 8.6;
+    a.paper_area_norm = 1.00;
+    out.push_back(std::move(a));
+  }
+  {
+    Architecture a;
+    a.name = "merge+U2";
+    a.description = "merged; dfe, dfe_adapt, dfe_shift unrolled by 2";
+    a.dir.clock_period_ns = 10.0;
+    a.dir.merge_groups = default_merge_groups();
+    a.dir.loops["dfe"].unroll = 2;
+    a.dir.loops["dfe_adapt"].unroll = 2;
+    a.dir.loops["dfe_shift"].unroll = 2;
+    a.paper_latency_ns = 190;
+    a.paper_rate_mbps = 31.5;
+    a.paper_area_norm = 1.61;
+    out.push_back(std::move(a));
+  }
+  {
+    Architecture a;
+    a.name = "merge+U2/U4";
+    a.description =
+        "merged; dfe U2, ffe_adapt U2, dfe_adapt U4, dfe_shift U4";
+    a.dir.clock_period_ns = 10.0;
+    a.dir.merge_groups = default_merge_groups();
+    a.dir.loops["dfe"].unroll = 2;
+    a.dir.loops["ffe_adapt"].unroll = 2;
+    a.dir.loops["dfe_adapt"].unroll = 4;
+    a.dir.loops["dfe_shift"].unroll = 4;
+    a.paper_latency_ns = 150;
+    a.paper_rate_mbps = 40;
+    a.paper_area_norm = 1.88;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<Architecture> exploration_architectures() {
+  std::vector<Architecture> out = table1_architectures();
+
+  // Unroll sweep on the merged architecture.
+  for (int u : {4, 8}) {
+    Architecture a;
+    a.name = "merge+U" + std::to_string(u) + "all";
+    a.description = "merged; all 16-iteration loops unrolled by " +
+                    std::to_string(u) + ", 8-iteration ones by " +
+                    std::to_string(u / 2);
+    a.dir.clock_period_ns = 10.0;
+    a.dir.merge_groups = default_merge_groups();
+    a.dir.loops["dfe"].unroll = u;
+    a.dir.loops["ffe"].unroll = u / 2;
+    a.dir.loops["dfe_adapt"].unroll = u;
+    a.dir.loops["ffe_adapt"].unroll = u / 2;
+    a.dir.loops["dfe_shift"].unroll = u;
+    a.dir.loops["ffe_shift"].unroll = u / 2;
+    out.push_back(std::move(a));
+  }
+
+  // Pipelining instead of unrolling (paper section 5's comparison).
+  {
+    Architecture a;
+    a.name = "merge+pipe";
+    a.description = "merged; both merged loops pipelined at II=1";
+    a.dir.clock_period_ns = 10.0;
+    a.dir.merge_groups = default_merge_groups();
+    a.dir.loops["ffe"].pipeline_ii = 1;
+    a.dir.loops["ffe_adapt"].pipeline_ii = 1;
+    out.push_back(std::move(a));
+  }
+
+  // Tighter clock: forces multi-cycle MAC bodies.
+  {
+    Architecture a;
+    a.name = "merge@5ns";
+    a.description = "merged at a 200 MHz clock (multi-cycle loop bodies)";
+    a.dir.clock_period_ns = 5.0;
+    a.dir.merge_groups = default_merge_groups();
+    out.push_back(std::move(a));
+  }
+
+  // Coefficient arrays in memories instead of registers.
+  {
+    Architecture a;
+    a.name = "none+mem";
+    a.description = "sequential; coefficient arrays mapped to 1R1W SRAMs";
+    a.dir.clock_period_ns = 10.0;
+    a.dir.arrays["ffe_c"].mapping = hls::ArrayMapping::kMemory;
+    a.dir.arrays["dfe_c"].mapping = hls::ArrayMapping::kMemory;
+    out.push_back(std::move(a));
+  }
+
+  // Multiplier-constrained variant: one complex MAC's worth of multipliers.
+  {
+    Architecture a;
+    a.name = "merge+mul4";
+    a.description = "merged with a 4-real-multiplier resource cap";
+    a.dir.clock_period_ns = 10.0;
+    a.dir.merge_groups = default_merge_groups();
+    a.dir.max_real_multipliers = 4;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace hlsw::qam

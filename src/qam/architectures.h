@@ -1,0 +1,36 @@
+// The architectural configurations of the paper's Table 1, plus the wider
+// exploration set used by the exploration/ablation benches. Each entry is a
+// named Directives value; applying it to the qam_decoder IR regenerates the
+// corresponding Table 1 row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+
+namespace hlsw::qam {
+
+struct Architecture {
+  std::string name;         // e.g. "merge+U2"
+  std::string description;  // the Table 1 "Architectural Loop Constraints"
+  hls::Directives dir;
+  // Paper-reported values for this row (0 when the paper has none).
+  double paper_latency_ns = 0;
+  double paper_rate_mbps = 0;
+  double paper_area_norm = 0;
+};
+
+// The four rows of Table 1, in paper order. 100 MHz clock.
+std::vector<Architecture> table1_architectures();
+
+// The merge groups the paper reports Catapult chose by default: {ffe, dfe}
+// and {ffe_adapt, dfe_adapt, ffe_shift, dfe_shift}.
+std::vector<std::vector<std::string>> default_merge_groups();
+
+// Extended exploration set: unroll sweeps with/without merging, pipelining
+// variants, memory mapping — the "variety of micro architectures ...
+// rapidly explored" of the paper's abstract.
+std::vector<Architecture> exploration_architectures();
+
+}  // namespace hlsw::qam

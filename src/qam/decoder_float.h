@@ -1,0 +1,106 @@
+// Double-precision twin of Figure 4: identical control flow and update
+// ordering (including the dfe_shift quirk), with all quantization removed.
+// This is the "MATLAB/C floating-point model" of the paper's flow; the
+// difference between this model and QamDecoderFixed isolates quantization
+// noise, which the precision-exploration experiment (D2) sweeps.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+namespace hlsw::qam {
+
+class QamDecoderFloat {
+ public:
+  static constexpr int kNffe = 8;
+  static constexpr int kNdfe = 16;
+
+  // bits_per_axis = 3 is the paper's 64-QAM; 2 and 4 give 16/256-QAM with
+  // the same parameterized slicer (section 4.1's reuse argument).
+  explicit QamDecoderFloat(int bits_per_axis = 3)
+      : levels_(1 << bits_per_axis) {}
+
+  // Two new T/2 inputs -> one decision; returns the 6-bit data word using
+  // the paper's two's-complement mapping (data = r*64 + i*8 mod 64).
+  // When `train` is non-null it points at the known transmitted
+  // constellation point: the feedback path and the error then use the true
+  // symbol instead of the slicer decision (Figure 3's training switch,
+  // which the paper leaves out of the listing).
+  int decode(std::complex<double> in0, std::complex<double> in1,
+             const std::complex<double>* train = nullptr) {
+    const double mu_ffe = 1.0 / 256;
+    const double mu_dfe = 1.0 / 256;
+
+    x_[0] = in0;
+    x_[1] = in1;
+
+    std::complex<double> yffe{0, 0};
+    for (int k = 0; k < kNffe; ++k) yffe += x_[k] * ffe_c_[k];
+    std::complex<double> ydfe{0, 0};
+    for (int k = 0; k < kNdfe; ++k) ydfe += sv_[k] * dfe_c_[k];
+    const std::complex<double> y = yffe - ydfe;
+    y_ = y;
+
+    // Slicer: subtract the half-LSB offset, round to the 1/L grid with
+    // saturation, add the offset back — the float rendition of the
+    // RND_ZERO/SAT chain in Figure 4, generalized to L = 2^bits levels.
+    const double offset = 0.5 / levels_;
+    const double r = slice_axis(y.real() - offset);
+    const double i = slice_axis(y.imag() - offset);
+    sv_[0] = train ? *train : std::complex<double>{r + offset, i + offset};
+    e_ = sv_[0] - y;
+    const int ri = static_cast<int>(std::lround(r * levels_));
+    const int ii = static_cast<int>(std::lround(i * levels_));
+    // Arithmetic composition, exactly like the fixed model's r*64 + i*8
+    // wrapped to 2*bits bits (negative i borrows from the r field).
+    const int data = (ri * levels_ + ii) & (levels_ * levels_ - 1);
+
+    for (int k = 0; k < kNffe; ++k)
+      ffe_c_[k] += mu_ffe * e_ * sign_conj(x_[k]);
+    for (int k = 0; k < kNdfe; ++k)
+      dfe_c_[k] -= mu_dfe * e_ * sign_conj(sv_[k]);
+
+    for (int k = kNffe - 4; k >= 0; k -= 2) {
+      x_[k + 3] = x_[k + 1];
+      x_[k + 2] = x_[k];
+    }
+    for (int k = kNdfe - 2; k >= 0; --k) sv_[k + 1] = sv_[k];
+    return data;
+  }
+
+  std::complex<double> last_error() const { return e_; }
+  std::complex<double> last_output() const { return y_; }
+  std::complex<double> ffe_coeff(int k) const { return ffe_c_[k]; }
+  std::complex<double> dfe_coeff(int k) const { return dfe_c_[k]; }
+
+  void reset() { *this = QamDecoderFloat(); }
+
+ private:
+  double slice_axis(double v) const {
+    // Round to the nearest multiple of 1/L with ties toward zero (the
+    // RND_ZERO of the fixed model), saturated to [-1/2, 1/2 - 1/L].
+    const double t = v * levels_;
+    const double fl = std::floor(t);
+    const double frac = t - fl;
+    double f = (frac > 0.5 || (frac == 0.5 && t < 0)) ? fl + 1 : fl;
+    f /= levels_;
+    if (f < -0.5) f = -0.5;
+    const double top = 0.5 - 1.0 / levels_;
+    if (f > top) f = top;
+    return f;
+  }
+
+  int levels_ = 8;
+  static std::complex<double> sign_conj(std::complex<double> v) {
+    return {v.real() >= 0 ? 1.0 : -1.0, v.imag() >= 0 ? -1.0 : 1.0};
+  }
+
+  std::complex<double> ffe_c_[kNffe]{};
+  std::complex<double> dfe_c_[kNdfe]{};
+  std::complex<double> x_[kNffe]{};
+  std::complex<double> sv_[kNdfe]{};
+  std::complex<double> e_{};
+  std::complex<double> y_{};
+};
+
+}  // namespace hlsw::qam

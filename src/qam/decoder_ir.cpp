@@ -1,0 +1,140 @@
+#include "qam/decoder_ir.h"
+
+#include "hls/builder.h"
+
+namespace hlsw::qam {
+
+using hls::AffineIdx;
+using hls::cfx;
+using hls::FunctionBuilder;
+using hls::fx;
+using hls::FxType;
+using hls::PortDir;
+using fixpt::Ovf;
+using fixpt::Quant;
+
+hls::Function build_qam_decoder_ir(const DecoderWidths& w) {
+  constexpr int kNffe = 8;
+  constexpr int kNdfe = 16;
+  // mu = 2^-8 must be representable at the coefficient scale; below 8
+  // fractional bits the paper's adaptation step underflows to zero (the
+  // native model then freezes adaptation; here we reject the IR build).
+  assert(w.ffe_c_w >= 8 && w.dfe_c_w >= 8 &&
+         "coefficient width must hold mu = 2^-8");
+
+  FunctionBuilder fb("qam_decoder");
+
+  // Ports and statics (Figure 4 declarations).
+  const int x_in = fb.add_array("x_in", 2, cfx(w.x_w, 0), false, PortDir::kIn);
+  const int data = fb.add_var("data", FxType{6, 6, false, false},
+                              false, PortDir::kOut);
+  // Coefficient storage rounds-to-nearest and saturates (finding F4-bias,
+  // see decoder_fixed.h): plain TRN/WRAP storage makes sign-LMS drift.
+  const int ffe_c = fb.add_array(
+      "ffe_c", kNffe, cfx(w.ffe_c_w, 0, Quant::kRnd, Ovf::kSat), true);
+  const int dfe_c = fb.add_array(
+      "dfe_c", kNdfe, cfx(w.dfe_c_w, 0, Quant::kRnd, Ovf::kSat), true);
+  const int x = fb.add_array("x", kNffe, cfx(w.x_w, 0), true);
+  const int sv = fb.add_array("SV", kNdfe, cfx(4, 0), true);
+  // Locals communicated between regions.
+  const int yffe = fb.add_var("yffe", cfx(w.ffe_w + 1, 1));
+  const int ydfe = fb.add_var("ydfe", cfx(w.dfe_w + 1, 1));
+  const int y = fb.add_var("y", cfx(w.ffe_w + 1, 1));
+  const int e = fb.add_var("e", cfx(w.ffe_w, 0));
+
+  // -- Input block: x[0] = x_in[0]; x[1] = x_in[1]; accumulators cleared.
+  {
+    auto b = fb.block("in");
+    b.array_write(x, {0, 0}, b.array_read(x_in, {0, 0}));
+    b.array_write(x, {0, 1}, b.array_read(x_in, {0, 1}));
+    b.var_write(yffe, b.cnst(cfx(w.ffe_w + 1, 1), 0.0, "yffe0"));
+    b.var_write(ydfe, b.cnst(cfx(w.dfe_w + 1, 1), 0.0, "ydfe0"));
+  }
+
+  // -- ffe: yffe += x[k] * ffe_c[k]
+  {
+    auto b = fb.loop("ffe", kNffe);
+    const int p = b.mul(b.array_read(x, {1, 0}), b.array_read(ffe_c, {1, 0}),
+                        "x*c");
+    b.var_write(yffe, b.add(b.var_read(yffe), p, "yffe_acc"));
+  }
+
+  // -- dfe: ydfe += SV[k] * dfe_c[k]
+  {
+    auto b = fb.loop("dfe", kNdfe);
+    const int p = b.mul(b.array_read(sv, {1, 0}), b.array_read(dfe_c, {1, 0}),
+                        "sv*c");
+    b.var_write(ydfe, b.add(b.var_read(ydfe), p, "ydfe_acc"));
+  }
+
+  // -- Slicer block.
+  {
+    auto b = fb.block("slicer");
+    const int yv = b.sub(b.var_read(yffe), b.var_read(ydfe), "y");
+    b.var_write(y, yv);
+    const int yr = b.real(b.var_read(y));
+    const int yi = b.imag(b.var_read(y));
+    const int offset = b.cnst_raw(fx(4, 0), 1, 0, "offset");  // 2^-4
+    // See decoder_fixed.h (finding F4-slicer): the 3-bit conversion carries
+    // the RND_ZERO/SAT so the slicer boundaries land midway between levels.
+    const FxType sat_t{w.ffe_w, 0, true, false, Quant::kRndZero, Ovf::kSat};
+    const FxType grid_t{3, 0, true, false, Quant::kRndZero, Ovf::kSat};
+    const int r10 = b.cast(sat_t, b.sub(yr, offset, "yr-off"), "r_sat");
+    const int i10 = b.cast(sat_t, b.sub(yi, offset, "yi-off"), "i_sat");
+    const int r3 = b.cast(grid_t, r10, "r");
+    const int i3 = b.cast(grid_t, i10, "i");
+    const int point = b.make_complex(r3, i3);
+    const int off_c = b.cnst_raw(cfx(4, 0), 1, 1, "offset_c");
+    b.array_write(sv, {0, 0}, b.add(point, off_c, "SV0"));
+    // e = SV[0] - y (reads the just-written element: next cycle in RTL).
+    b.var_write(e, b.sub(b.array_read(sv, {0, 0}), b.var_read(y), "e"));
+    // data = r*64 + i*8 (6-bit wrap), pure shifts in hardware.
+    const int c64 = b.cnst_raw(fx(8, 8), 64, 0, "64");
+    const int c8 = b.cnst_raw(fx(8, 8), 8, 0, "8");
+    const int data_f =
+        b.cast(FxType{6, 6, true, false},
+               b.add(b.mul(r3, c64, "r*64"), b.mul(i3, c8, "i*8"), "data_f"));
+    b.var_write(data, data_f);
+  }
+
+  // -- ffe_adapt: ffe_c[k] += mu_ffe * e * sign_conj(x[k])
+  {
+    auto b = fb.loop("ffe_adapt", kNffe);
+    const int mu = b.cnst_raw(fx(w.ffe_c_w, 0), 1 << (w.ffe_c_w - 8), 0,
+                              "mu_ffe");  // 2^-8 at fw = ffe_c_w
+    const int mue = b.mul(mu, b.var_read(e), "mu*e");
+    const int upd = b.mul(mue, b.sign_conj(b.array_read(x, {1, 0})), "upd");
+    b.array_write(ffe_c, {1, 0},
+                  b.add(b.array_read(ffe_c, {1, 0}), upd, "c+upd"));
+  }
+
+  // -- dfe_adapt: dfe_c[k] -= mu_dfe * e * sign_conj(SV[k])
+  {
+    auto b = fb.loop("dfe_adapt", kNdfe);
+    const int mu = b.cnst_raw(fx(w.dfe_c_w, 0), 1 << (w.dfe_c_w - 8), 0,
+                              "mu_dfe");
+    const int mue = b.mul(mu, b.var_read(e), "mu*e");
+    const int upd = b.mul(mue, b.sign_conj(b.array_read(sv, {1, 0})), "upd");
+    b.array_write(dfe_c, {1, 0},
+                  b.sub(b.array_read(dfe_c, {1, 0}), upd, "c-upd"));
+  }
+
+  // -- ffe_shift: for k = nffe-4 down to 0 step -2: x[k+3]=x[k+1];
+  //    x[k+2]=x[k]. Canonical k' = 0..2 with source k = 4 - 2k'.
+  {
+    auto b = fb.loop("ffe_shift", (kNffe - 2) / 2);
+    b.array_write(x, {-2, kNffe - 1}, b.array_read(x, {-2, kNffe - 3}));
+    b.array_write(x, {-2, kNffe - 2}, b.array_read(x, {-2, kNffe - 4}));
+  }
+
+  // -- dfe_shift: for k = ndfe-2 down to 0: SV[k+1] = SV[k].
+  //    Canonical k' = 0..14 with source k = 14 - k'.
+  {
+    auto b = fb.loop("dfe_shift", kNdfe - 1);
+    b.array_write(sv, {-1, kNdfe - 1}, b.array_read(sv, {-1, kNdfe - 2}));
+  }
+
+  return fb.build();
+}
+
+}  // namespace hlsw::qam

@@ -1,0 +1,30 @@
+// The Figure 4 algorithm captured as HLS IR — the synthesis engine's input,
+// corresponding to the C source Catapult consumes. The region/loop
+// structure mirrors the listing exactly: six labeled loops (nfe -> "ffe"
+// here for symmetry with the paper's Table 1 column names, dfe, ffe_adapt,
+// dfe_adapt, ffe_shift, dfe_shift) plus the input block and the slicer
+// block between the filter and adaptation loops.
+//
+// Every op's fixed-point type reproduces the corresponding expression type
+// in decoder_fixed.h, so the IR interpreter, the RTL simulator and the
+// native fixpt model are bit-exact against each other (enforced in
+// tests/qam/decoder_equivalence_test.cpp).
+#pragma once
+
+#include "hls/ir.h"
+
+namespace hlsw::qam {
+
+struct DecoderWidths {
+  int x_w = 10;      // X_W
+  int ffe_w = 10;    // FFE_W
+  int dfe_w = 10;    // DFE_W
+  int ffe_c_w = 10;  // FFE_C_W
+  int dfe_c_w = 10;  // DFE_C_W
+};
+
+// Builds the qam_decoder IR. Ports: input array "x_in" (2 complex samples),
+// output var "data" (6-bit unsigned).
+hls::Function build_qam_decoder_ir(const DecoderWidths& w = {});
+
+}  // namespace hlsw::qam

@@ -1,0 +1,205 @@
+#include "rtl/sim.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hlsw::rtl {
+
+using hls::Array;
+using hls::Block;
+using hls::BlockSchedule;
+using hls::FxValue;
+using hls::Op;
+using hls::OpKind;
+using hls::PortDir;
+using hls::PortIo;
+using hls::Region;
+
+Simulator::Simulator(hls::Function f, hls::Schedule s)
+    : f_(std::move(f)), s_(std::move(s)) {
+  assert(f_.regions.size() == s_.regions.size());
+  reset();
+}
+
+void Simulator::reset() {
+  var_state_.clear();
+  array_state_.clear();
+  pending_.clear();
+  cycles_ = 0;
+  for (const auto& v : f_.vars) {
+    FxValue init = v.init;
+    init.fw = v.type.fw();
+    init.cplx = v.type.cplx;
+    var_state_.push_back(init);
+  }
+  for (const auto& a : f_.arrays) {
+    FxValue zero;
+    zero.fw = a.elem.fw();
+    zero.cplx = a.elem.cplx;
+    array_state_.emplace_back(static_cast<size_t>(a.length), zero);
+  }
+}
+
+const std::vector<FxValue>& Simulator::array_state(
+    const std::string& name) const {
+  const int i = f_.array_index(name);
+  assert(i >= 0);
+  return array_state_[static_cast<size_t>(i)];
+}
+
+void Simulator::set_array_state(const std::string& name,
+                                const std::vector<FxValue>& values) {
+  const int i = f_.array_index(name);
+  assert(i >= 0);
+  const Array& a = f_.arrays[static_cast<size_t>(i)];
+  assert(static_cast<int>(values.size()) == a.length);
+  for (int j = 0; j < a.length; ++j)
+    array_state_[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+        fx_convert(values[static_cast<size_t>(j)], a.elem);
+}
+
+void Simulator::exec_cycle(const Block& b, const BlockSchedule& sched,
+                           IterationCtx* ctx, int body_cycle) {
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    if (sched.place[i].cycle != body_cycle) continue;
+    const Op& op = b.ops[i];
+    if (op.guard_trip >= 0 && ctx->k >= op.guard_trip) continue;
+    switch (op.kind) {
+      case OpKind::kVarRead:
+        // Scalar registers forward: reads observe the latest write.
+        ctx->vals[i] = var_state_[static_cast<size_t>(op.var)];
+        break;
+      case OpKind::kVarWrite:
+        var_state_[static_cast<size_t>(op.var)] = fx_convert(
+            ctx->vals[static_cast<size_t>(op.args[0])],
+            f_.vars[static_cast<size_t>(op.var)].type);
+        break;
+      case OpKind::kArrayRead: {
+        const int idx = op.idx.eval(ctx->k);
+        const auto& arr = array_state_[static_cast<size_t>(op.array)];
+        if (idx < 0 || idx >= static_cast<int>(arr.size()))
+          throw std::out_of_range("rtl: array read out of bounds");
+        // Start-of-cycle state only: pending writes are not visible.
+        ctx->vals[i] = arr[static_cast<size_t>(idx)];
+        break;
+      }
+      case OpKind::kArrayWrite: {
+        const int idx = op.idx.eval(ctx->k);
+        if (idx < 0 ||
+            idx >= f_.arrays[static_cast<size_t>(op.array)].length)
+          throw std::out_of_range("rtl: array write out of bounds");
+        const Array& a = f_.arrays[static_cast<size_t>(op.array)];
+        pending_.push_back(
+            {{op.array, idx},
+             fx_convert(ctx->vals[static_cast<size_t>(op.args[0])], a.elem)});
+        break;
+      }
+      default: {
+        const FxValue* a0 =
+            !op.args.empty() ? &ctx->vals[static_cast<size_t>(op.args[0])]
+                             : nullptr;
+        const FxValue* a1 = op.args.size() > 1
+                                ? &ctx->vals[static_cast<size_t>(op.args[1])]
+                                : nullptr;
+        ctx->vals[i] = exec_op(op, a0, a1);
+        break;
+      }
+    }
+  }
+}
+
+void Simulator::commit_pending() {
+  // Last write (program order) wins, like a priority-encoded register load.
+  for (const auto& [loc, value] : pending_)
+    array_state_[static_cast<size_t>(loc.first)]
+                [static_cast<size_t>(loc.second)] = value;
+  pending_.clear();
+  ++cycles_;
+  if (trace_) trace_(cycles_ - 1, var_state_, array_state_);
+}
+
+PortIo Simulator::run(const PortIo& in) {
+  // Load input ports (the environment drives them before start).
+  for (std::size_t i = 0; i < f_.arrays.size(); ++i) {
+    const Array& a = f_.arrays[i];
+    if (a.port != PortDir::kIn && a.port != PortDir::kInOut) continue;
+    auto it = in.arrays.find(a.name);
+    if (it == in.arrays.end())
+      throw std::invalid_argument("rtl: missing input array port: " + a.name);
+    for (int j = 0; j < a.length; ++j)
+      array_state_[i][static_cast<size_t>(j)] =
+          fx_convert(it->second[static_cast<size_t>(j)], a.elem);
+  }
+  for (std::size_t i = 0; i < f_.vars.size(); ++i) {
+    const auto& v = f_.vars[i];
+    if (v.port != PortDir::kIn && v.port != PortDir::kInOut) continue;
+    auto it = in.vars.find(v.name);
+    if (it == in.vars.end())
+      throw std::invalid_argument("rtl: missing input var port: " + v.name);
+    var_state_[i] = fx_convert(it->second, v.type);
+  }
+
+  for (std::size_t r = 0; r < f_.regions.size(); ++r) {
+    const Region& region = f_.regions[r];
+    const auto& rs = s_.regions[r];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+
+    if (!region.is_loop) {
+      IterationCtx ctx;
+      ctx.vals.resize(b.ops.size());
+      for (int c = 0; c < rs.body.cycles; ++c) {
+        exec_cycle(b, rs.body, &ctx, c);
+        commit_pending();
+      }
+      continue;
+    }
+
+    if (rs.ii <= 0) {
+      // Sequential loop: iterations back to back.
+      for (int k = 0; k < rs.trip; ++k) {
+        IterationCtx ctx;
+        ctx.k = k;
+        ctx.vals.resize(b.ops.size());
+        for (int c = 0; c < rs.body.cycles; ++c) {
+          exec_cycle(b, rs.body, &ctx, c);
+          commit_pending();
+        }
+      }
+      continue;
+    }
+
+    // Pipelined loop: iteration k occupies global cycles
+    // [k*ii, k*ii + depth); earlier iterations execute first in a cycle.
+    const int depth = rs.body.cycles;
+    const int total = depth + (rs.trip - 1) * rs.ii;
+    std::vector<IterationCtx> iters(static_cast<size_t>(rs.trip));
+    for (int k = 0; k < rs.trip; ++k) {
+      iters[static_cast<size_t>(k)].k = k;
+      iters[static_cast<size_t>(k)].vals.resize(b.ops.size());
+    }
+    for (int t = 0; t < total; ++t) {
+      for (int k = 0; k < rs.trip; ++k) {
+        const int local = t - k * rs.ii;
+        if (local < 0 || local >= depth) continue;
+        exec_cycle(b, rs.body, &iters[static_cast<size_t>(k)], local);
+      }
+      commit_pending();
+    }
+  }
+
+  PortIo out;
+  for (std::size_t i = 0; i < f_.arrays.size(); ++i) {
+    const Array& a = f_.arrays[i];
+    if (a.port == PortDir::kOut || a.port == PortDir::kInOut)
+      out.arrays[a.name] = array_state_[i];
+  }
+  for (std::size_t i = 0; i < f_.vars.size(); ++i) {
+    const auto& v = f_.vars[i];
+    if (v.port == PortDir::kOut || v.port == PortDir::kInOut)
+      out.vars[v.name] = var_state_[i];
+  }
+  return out;
+}
+
+}  // namespace hlsw::rtl

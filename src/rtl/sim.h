@@ -1,0 +1,77 @@
+// Cycle-accurate simulator of a scheduled design: executes the generated
+// micro-architecture (FSM + datapath) with hardware register semantics and
+// plays the role of the paper's RTL/FPGA verification stage (Figure 1:
+// "the generated RTL ... used for functional verification").
+//
+// Register semantics:
+//  * scalar variables update as they execute (wires forward within a
+//    cycle; the register commit at the edge holds the final value);
+//  * array elements (register files / RAMs) commit at the END of each
+//    cycle: reads always observe start-of-cycle state — which is exactly
+//    why the scheduler's write->read next-cycle rule exists;
+//  * within a cycle, operations execute in program order (earlier loop
+//    iterations first when pipelining overlaps them).
+//
+// Because the simulator consumes the *transformed* function and its
+// schedule, comparing it against hls::Interpreter on the same transformed
+// IR verifies the scheduler (every dependence honored); comparing against
+// the interpreter on the ORIGINAL IR verifies the whole flow end to end.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/interp.h"
+#include "hls/ir.h"
+#include "hls/schedule.h"
+
+namespace hlsw::rtl {
+
+class Simulator {
+ public:
+  // Takes the post-transform function and the schedule produced for it.
+  Simulator(hls::Function f, hls::Schedule s);
+
+  // One invocation (one "start" of the block). Advances the cycle counter
+  // by exactly the schedule's latency.
+  hls::PortIo run(const hls::PortIo& in);
+
+  long long cycles() const { return cycles_; }
+  void reset();
+
+  const std::vector<hls::FxValue>& array_state(const std::string& name) const;
+  void set_array_state(const std::string& name,
+                       const std::vector<hls::FxValue>& values);
+
+  // Optional per-cycle observer, invoked after every clock-edge commit
+  // with the cycle index and full architectural state — the hook the VCD
+  // waveform writer (rtl/vcd.h) attaches to.
+  using TraceFn =
+      std::function<void(long long cycle, const std::vector<hls::FxValue>&,
+                         const std::vector<std::vector<hls::FxValue>>&)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+ private:
+  struct IterationCtx {
+    int k = 0;
+    std::vector<hls::FxValue> vals;
+  };
+
+  // Executes ops of `body_cycle` for iteration ctx, in program order.
+  void exec_cycle(const hls::Block& b, const hls::BlockSchedule& sched,
+                  IterationCtx* ctx, int body_cycle);
+  void commit_pending();
+
+  const hls::Function f_;
+  const hls::Schedule s_;
+  std::vector<hls::FxValue> var_state_;
+  std::vector<std::vector<hls::FxValue>> array_state_;
+  // Pending array writes for the current cycle: (array, index) -> value.
+  std::vector<std::pair<std::pair<int, int>, hls::FxValue>> pending_;
+  long long cycles_ = 0;
+  TraceFn trace_;
+};
+
+}  // namespace hlsw::rtl

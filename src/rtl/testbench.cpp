@@ -1,0 +1,156 @@
+#include "rtl/testbench.h"
+
+#include <sstream>
+
+#include "rtl/sim.h"
+
+namespace hlsw::rtl {
+
+using hls::Array;
+using hls::Function;
+using hls::FxValue;
+using hls::PortDir;
+using hls::PortIo;
+using hls::Var;
+
+std::vector<TestVector> capture_vectors(const Function& f,
+                                        const hls::Schedule& s,
+                                        const std::vector<PortIo>& inputs) {
+  Simulator sim(f, s);
+  std::vector<TestVector> out;
+  out.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    TestVector tv;
+    tv.inputs = in;
+    tv.outputs = sim.run(in);
+    out.push_back(std::move(tv));
+  }
+  return out;
+}
+
+namespace {
+
+long long component(const FxValue& v, bool re) {
+  return static_cast<long long>(re ? v.re : v.im);
+}
+
+// Flattened (pin name, width, value-extractor) descriptions.
+struct Pin {
+  std::string name;
+  int width;
+  bool is_input;
+  // Locates the value in a PortIo.
+  bool from_array;
+  std::string port;
+  int index;
+  bool re;
+};
+
+std::vector<Pin> flatten_pins(const Function& f) {
+  std::vector<Pin> pins;
+  for (const auto& v : f.vars) {
+    if (v.port == PortDir::kNone) continue;
+    const bool in = v.port == PortDir::kIn;
+    if (v.type.cplx) {
+      pins.push_back({v.name + "_re", v.type.w, in, false, v.name, 0, true});
+      pins.push_back({v.name + "_im", v.type.w, in, false, v.name, 0, false});
+    } else {
+      pins.push_back({v.name, v.type.w, in, false, v.name, 0, true});
+    }
+  }
+  for (const auto& a : f.arrays) {
+    if (a.port == PortDir::kNone) continue;
+    const bool in = a.port == PortDir::kIn;
+    for (int j = 0; j < a.length; ++j) {
+      const std::string base = a.name + "_" + std::to_string(j);
+      if (a.elem.cplx) {
+        pins.push_back({base + "_re", a.elem.w, in, true, a.name, j, true});
+        pins.push_back({base + "_im", a.elem.w, in, true, a.name, j, false});
+      } else {
+        pins.push_back({base, a.elem.w, in, true, a.name, j, true});
+      }
+    }
+  }
+  return pins;
+}
+
+long long pin_value(const Pin& p, const PortIo& io) {
+  if (p.from_array) {
+    auto it = io.arrays.find(p.port);
+    if (it == io.arrays.end()) return 0;
+    return component(it->second[static_cast<size_t>(p.index)], p.re);
+  }
+  auto it = io.vars.find(p.port);
+  if (it == io.vars.end()) return 0;
+  return component(it->second, p.re);
+}
+
+std::string vlit(int width, long long v) {
+  std::ostringstream os;
+  // Two's-complement literal of the pin width.
+  const unsigned long long mask =
+      width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  os << width << "'h" << std::hex
+     << (static_cast<unsigned long long>(v) & mask);
+  return os.str();
+}
+
+}  // namespace
+
+std::string emit_testbench(const Function& f,
+                           const std::vector<TestVector>& vectors,
+                           const std::string& module_name) {
+  const auto pins = flatten_pins(f);
+  std::ostringstream os;
+  os << "// Self-checking testbench for " << module_name << " ("
+     << vectors.size() << " vectors captured from the hlsw RTL simulator)\n";
+  os << "`timescale 1ns/1ps\n";
+  os << "module " << module_name << "_tb;\n";
+  os << "  reg clk = 0, rst = 1, start = 0;\n  wire done;\n";
+  for (const auto& p : pins) {
+    os << "  " << (p.is_input ? "reg" : "wire") << " signed [" << p.width - 1
+       << ":0] " << p.name << ";\n";
+  }
+  os << "  integer errors = 0;\n\n";
+  os << "  " << module_name << " dut (.clk(clk), .rst(rst), .start(start), "
+     << ".done(done)";
+  for (const auto& p : pins) os << ", ." << p.name << "(" << p.name << ")";
+  os << ");\n\n";
+  os << "  always #5 clk = ~clk;\n\n";
+  os << "  task run_vector(input integer idx);\n"
+     << "    begin\n"
+     << "      @(negedge clk); start = 1;\n"
+     << "      @(negedge clk); start = 0;\n"
+     << "      @(posedge done);\n"
+     << "      @(negedge clk);\n"
+     << "    end\n"
+     << "  endtask\n\n";
+  os << "  initial begin\n";
+  os << "    repeat (3) @(negedge clk); rst = 0;\n";
+  int idx = 0;
+  for (const auto& tv : vectors) {
+    os << "    // vector " << idx << "\n";
+    for (const auto& p : pins) {
+      if (!p.is_input) continue;
+      os << "    " << p.name << " = " << vlit(p.width, pin_value(p, tv.inputs))
+         << ";\n";
+    }
+    os << "    run_vector(" << idx << ");\n";
+    for (const auto& p : pins) {
+      if (p.is_input) continue;
+      const long long expect = pin_value(p, tv.outputs);
+      os << "    if (" << p.name << " !== " << vlit(p.width, expect)
+         << ") begin errors = errors + 1; $display(\"FAIL v" << idx << " "
+         << p.name << ": got %0d expected " << expect << "\", " << p.name
+         << "); end\n";
+    }
+    ++idx;
+  }
+  os << "    if (errors == 0) $display(\"PASS: all " << vectors.size()
+     << " vectors matched\");\n"
+     << "    else $display(\"FAIL: %0d mismatches\", errors);\n"
+     << "    $finish;\n  end\nendmodule\n";
+  return os.str();
+}
+
+}  // namespace hlsw::rtl

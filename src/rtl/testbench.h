@@ -1,0 +1,35 @@
+// Self-checking Verilog testbench generator: captures stimulus/response
+// vectors from the cycle-accurate rtl::Simulator and renders a testbench
+// that drives the emitted module and compares every output — so the
+// generated RTL can be verified bit-for-bit in any external Verilog
+// simulator, completing the paper's "verify the generated RTL" flow for
+// users who do have one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/interp.h"
+#include "hls/ir.h"
+#include "hls/schedule.h"
+
+namespace hlsw::rtl {
+
+struct TestVector {
+  hls::PortIo inputs;
+  hls::PortIo outputs;  // expected (from the simulator)
+};
+
+// Runs the simulator over `inputs` and returns paired vectors.
+std::vector<TestVector> capture_vectors(const hls::Function& f,
+                                        const hls::Schedule& s,
+                                        const std::vector<hls::PortIo>& inputs);
+
+// Emits a self-checking testbench for the module produced by emit_verilog
+// with the same function/schedule. The testbench pulses start, waits for
+// done, and $display's PASS/FAIL per vector plus a summary.
+std::string emit_testbench(const hls::Function& f,
+                           const std::vector<TestVector>& vectors,
+                           const std::string& module_name);
+
+}  // namespace hlsw::rtl

@@ -1,0 +1,105 @@
+#include "rtl/vcd.h"
+
+#include <sstream>
+
+namespace hlsw::rtl {
+
+using hls::FxValue;
+
+std::string VcdWriter::make_id(int n) {
+  // Printable VCD identifiers: base-94 over '!'..'~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+VcdWriter::VcdWriter(const hls::Function& f, double timescale_ns)
+    : timescale_ns_(timescale_ns) {
+  int serial = 0;
+  auto add = [&](const std::string& name, int width, bool is_array, int index,
+                 int element, bool imag) {
+    Signal s;
+    s.name = name;
+    s.width = width;
+    s.is_array = is_array;
+    s.index = index;
+    s.element = element;
+    s.imag = imag;
+    s.id = make_id(serial++);
+    signals_.push_back(std::move(s));
+  };
+  for (std::size_t v = 0; v < f.vars.size(); ++v) {
+    const auto& var = f.vars[v];
+    if (var.type.cplx) {
+      add(var.name + "_re", var.type.w, false, static_cast<int>(v), 0, false);
+      add(var.name + "_im", var.type.w, false, static_cast<int>(v), 0, true);
+    } else {
+      add(var.name, var.type.w, false, static_cast<int>(v), 0, false);
+    }
+  }
+  for (std::size_t a = 0; a < f.arrays.size(); ++a) {
+    const auto& arr = f.arrays[a];
+    for (int j = 0; j < arr.length; ++j) {
+      const std::string base = arr.name + "[" + std::to_string(j) + "]";
+      if (arr.elem.cplx) {
+        add(base + "_re", arr.elem.w, true, static_cast<int>(a), j, false);
+        add(base + "_im", arr.elem.w, true, static_cast<int>(a), j, true);
+      } else {
+        add(base, arr.elem.w, true, static_cast<int>(a), j, false);
+      }
+    }
+  }
+}
+
+long long VcdWriter::fetch(
+    const Signal& s, const std::vector<FxValue>& vars,
+    const std::vector<std::vector<FxValue>>& arrays) {
+  const FxValue& v =
+      s.is_array ? arrays[static_cast<size_t>(s.index)]
+                         [static_cast<size_t>(s.element)]
+                 : vars[static_cast<size_t>(s.index)];
+  return static_cast<long long>(s.imag ? v.im : v.re);
+}
+
+void VcdWriter::sample(long long cycle, const std::vector<FxValue>& vars,
+                       const std::vector<std::vector<FxValue>>& arrays) {
+  std::ostringstream os;
+  bool stamped = false;
+  for (auto& s : signals_) {
+    const long long value = fetch(s, vars, arrays);
+    if (s.has_last && value == s.last) continue;
+    if (!stamped) {
+      os << "#" << cycle << "\n";
+      stamped = true;
+    }
+    os << "b";
+    for (int bit = s.width - 1; bit >= 0; --bit)
+      os << ((value >> bit) & 1 ? '1' : '0');
+    os << " " << s.id << "\n";
+    s.last = value;
+    s.has_last = true;
+  }
+  body_ += os.str();
+  last_cycle_ = cycle;
+}
+
+std::string VcdWriter::str() const {
+  std::ostringstream os;
+  os << "$date hlsw $end\n";
+  os << "$version hlsw rtl simulator $end\n";
+  os << "$timescale " << static_cast<long long>(timescale_ns_ * 1000)
+     << "ps $end\n";
+  os << "$scope module dut $end\n";
+  for (const auto& s : signals_)
+    os << "$var wire " << s.width << " " << s.id << " " << s.name
+       << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+  os << body_;
+  if (last_cycle_ >= 0) os << "#" << last_cycle_ + 1 << "\n";
+  return os.str();
+}
+
+}  // namespace hlsw::rtl

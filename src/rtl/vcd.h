@@ -1,0 +1,56 @@
+// VCD (Value Change Dump) waveform writer: records the architectural state
+// (vars and array elements) of an rtl::Simulator run cycle by cycle in the
+// standard IEEE 1364 VCD format, viewable in GTKWave or any waveform
+// viewer — the debugging artifact every RTL flow hands its users.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hls/ir.h"
+
+namespace hlsw::rtl {
+
+class VcdWriter {
+ public:
+  // Declares one scalar signal per (var component) and per (array element
+  // component). `timescale_ns` is the clock period used for timestamps.
+  VcdWriter(const hls::Function& f, double timescale_ns);
+
+  // Records the state at the given cycle; emits change records only for
+  // signals that differ from the previous sample.
+  void sample(long long cycle, const std::vector<hls::FxValue>& vars,
+              const std::vector<std::vector<hls::FxValue>>& arrays);
+
+  // Full VCD text (header + all recorded changes).
+  std::string str() const;
+
+  int signal_count() const { return static_cast<int>(signals_.size()); }
+
+ private:
+  struct Signal {
+    std::string name;
+    int width;
+    // Locator into the state snapshot.
+    bool is_array;
+    int index;    // var index or array index
+    int element;  // array element (unused for vars)
+    bool imag;
+    std::string id;  // VCD short identifier
+    long long last = 0;
+    bool has_last = false;
+  };
+
+  static std::string make_id(int n);
+  static long long fetch(const Signal& s,
+                         const std::vector<hls::FxValue>& vars,
+                         const std::vector<std::vector<hls::FxValue>>& arrays);
+
+  double timescale_ns_;
+  std::vector<Signal> signals_;
+  std::string body_;
+  long long last_cycle_ = -1;
+};
+
+}  // namespace hlsw::rtl

@@ -1,0 +1,37 @@
+// Verilog-2001 emitter: renders a scheduled design as a synthesizable
+// FSM + datapath module — the "generated RTL" of the paper's flow, suitable
+// for RTL synthesis or FPGA prototyping (paper section 1: the generated RTL
+// is used to obtain an FPGA prototype for functional verification).
+//
+// Generated module shape:
+//  * start/done handshake around one invocation;
+//  * one always-block FSM, one state per scheduled (region, cycle), loop
+//    regions driven by an iteration counter;
+//  * arrays as register files (`reg [..] name [0:N-1]`), variables and
+//    per-op pipeline values as registers;
+//  * all datapath values carried as 64-bit signed wires at their natural
+//    binary scale, with quantization/overflow logic emitted inline per the
+//    destination type (the same rounding rules as fixpt::round_increment).
+//
+// hlsw::rtl::Simulator is the executable semantics of this text; the
+// emitter and simulator are generated from the same schedule, and the
+// structural tests in tests/rtl/verilog_test.cpp keep them aligned.
+#pragma once
+
+#include <string>
+
+#include "hls/ir.h"
+#include "hls/schedule.h"
+
+namespace hlsw::rtl {
+
+struct VerilogOptions {
+  std::string module_name;  // defaults to the function name when empty
+  bool include_header_comment = true;
+};
+
+// Emits the full module text for a scheduled (post-transform) function.
+std::string emit_verilog(const hls::Function& f, const hls::Schedule& s,
+                         const VerilogOptions& opts = {});
+
+}  // namespace hlsw::rtl

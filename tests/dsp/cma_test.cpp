@@ -1,0 +1,93 @@
+// Tests for CMA blind equalization — the adaptation mode the paper leaves
+// out of scope. CMA must open the eye (reduce the modulus dispersion) from
+// a cold start with no training symbols; it is phase-blind, so the test
+// measures dispersion, not SER.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "dsp/channel.h"
+#include "dsp/lms.h"
+#include "dsp/prbs.h"
+#include "dsp/qam.h"
+
+namespace hlsw::dsp {
+namespace {
+
+TEST(Cma, R2Constants) {
+  // QPSK at levels +-1/4: |a|^2 = 1/8 always -> R2 = E|a|^4/E|a|^2 = 1/8.
+  EXPECT_NEAR(cma_r2(4), 0.125, 1e-12);
+  // 64-QAM: per-axis m2 = 21/256, m4 = 777/65536.
+  const double m2 = 21.0 / 256, m4 = 777.0 / 65536;
+  EXPECT_NEAR(cma_r2(64), (2 * m4 + 2 * m2 * m2) / (2 * m2), 1e-12);
+}
+
+TEST(Cma, ErrorVanishesOnModulusCircle) {
+  const double r2 = cma_r2(4);
+  const std::complex<double> on_circle =
+      std::sqrt(r2) * std::exp(std::complex<double>(0, 0.7));
+  EXPECT_NEAR(std::abs(cma_error(on_circle, r2)), 0.0, 1e-12);
+  // Inside the circle the error pushes outward, outside it pulls inward.
+  const std::complex<double> inside(0.1, 0.0);
+  EXPECT_GT(cma_error(inside, r2).real(), 0);
+  const std::complex<double> outside(0.9, 0.0);
+  EXPECT_LT(cma_error(outside, r2).real(), 0);
+}
+
+// Mean CMA cost E[(|y|^2 - R2)^2] of a T/2 FFE over the link channel.
+double dispersion_after(int train_symbols, double mu) {
+  QamConstellation qam(64);
+  const double r2 = cma_r2(64);
+  ChannelConfig ccfg;
+  ccfg.taps = {{1.10, 0.0}, {1.06, 0.0}, {0.08, 0.05}, {-0.04, 0.02}};
+  ccfg.snr_db = 34;
+  ccfg.symbol_energy = qam.average_energy();
+  MultipathChannel ch(ccfg);
+  Prbs prbs(Prbs::kPrbs15, 0x7B);
+
+  const int taps = 8;
+  std::vector<std::complex<double>> c(taps, {0, 0});
+  c[taps / 2] = {0.45, 0};  // blind-friendly center spike
+  std::vector<std::complex<double>> line(taps, {0, 0});
+
+  double cost = 0;
+  int counted = 0;
+  const int measure = 2000;
+  for (int n = 0; n < train_symbols + measure; ++n) {
+    const auto pt = qam.map(prbs.next_word(6));
+    const auto pair = ch.send(pt);
+    for (int k = taps - 1; k >= 2; --k) line[static_cast<size_t>(k)] =
+        line[static_cast<size_t>(k - 2)];
+    line[0] = pair.s0;
+    line[1] = pair.s1;
+    std::complex<double> y{0, 0};
+    for (int k = 0; k < taps; ++k)
+      y += c[static_cast<size_t>(k)] * line[static_cast<size_t>(k)];
+    if (n < train_symbols) {
+      adapt_taps(AdaptAlgo::kLms, c, line, cma_error(y, r2), mu);
+    } else {
+      const double d = std::norm(y) - r2;
+      cost += d * d;
+      ++counted;
+    }
+  }
+  return cost / counted;
+}
+
+TEST(Cma, BlindAdaptationOpensTheEye) {
+  const double before = dispersion_after(0, 0.0);
+  const double after = dispersion_after(30000, 0.05);
+  EXPECT_LT(after, before * 0.5)
+      << "CMA must at least halve the modulus dispersion from cold start";
+}
+
+TEST(Cma, LongerBlindTrainingKeepsImproving) {
+  const double mid = dispersion_after(5000, 0.05);
+  const double late = dispersion_after(40000, 0.05);
+  EXPECT_LE(late, mid * 1.05) << "dispersion must not regress with training";
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

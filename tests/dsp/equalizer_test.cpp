@@ -1,0 +1,181 @@
+// Tests for the floating-point FFE+DFE reference model (Figure 3): identity
+// behaviour on a clean channel, convergence on ISI channels under every
+// adaptation algorithm, and error-free decision-directed tracking after
+// training — the behaviour the paper's case study presumes.
+#include "dsp/equalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/channel.h"
+#include "dsp/metrics.h"
+#include "dsp/prbs.h"
+
+namespace hlsw::dsp {
+namespace {
+
+// Drives symbols from a PRBS through the channel into the equalizer.
+struct Link {
+  explicit Link(const EqualizerConfig& ecfg, const ChannelConfig& ccfg)
+      : eq(ecfg), ch(ccfg), prbs(Prbs::kPrbs15, 0x3FF) {}
+
+  // Returns sent symbol index; fills `out`.
+  int step(EqualizerOutput* out, bool training) {
+    const int sym = prbs.next_word(eq.constellation().bits_per_symbol());
+    const auto point = eq.constellation().map(sym);
+    const auto pair = ch.send(point);
+    const std::complex<double>* ref = training ? &point : nullptr;
+    // The channel has a one-sample group delay of zero; the FFE's center
+    // tap initialization absorbs the alignment.
+    *out = eq.step(pair.s0, pair.s1, ref);
+    return sym;
+  }
+
+  DfeEqualizer eq;
+  MultipathChannel ch;
+  Prbs prbs;
+};
+
+TEST(Equalizer, CleanChannelIsDelayedPassThrough) {
+  // Ideal channel, adaptation frozen (mu = 0): the center-tap FFE is a pure
+  // delay of ffe_taps/2 half-symbols = 2 symbols, so decisions must equal
+  // the sent stream delayed by exactly 2 with zero errors.
+  EqualizerConfig ecfg;
+  ecfg.mu_ffe = 0;
+  ecfg.mu_dfe = 0;
+  ChannelConfig ccfg;
+  ccfg.taps = {{1.0, 0.0}};
+  ccfg.snr_db = 300;
+  Link link(ecfg, ccfg);
+  EqualizerOutput out;
+  std::vector<int> sent;
+  ErrorCounter errs;
+  for (int n = 0; n < 500; ++n) {
+    sent.push_back(link.step(&out, false));
+    if (n >= 2) errs.update(sent[static_cast<size_t>(n) - 2], out.symbol, 6);
+  }
+  EXPECT_EQ(errs.symbol_errors(), 0u);
+  EXPECT_EQ(errs.symbols(), 498u);
+}
+
+// Measures post-convergence windowed MSE on the default ISI channel.
+double converged_mse(AdaptAlgo algo, double snr_db, int train = 4000,
+                     int measure = 2000) {
+  EqualizerConfig ecfg;
+  ecfg.algo = algo;
+  ChannelConfig ccfg;
+  ccfg.snr_db = snr_db;
+  ccfg.symbol_energy = QamConstellation(64).average_energy();
+  Link link(ecfg, ccfg);
+  EqualizerOutput out;
+  for (int n = 0; n < train; ++n) link.step(&out, true);
+  MseTracker mse(0.02, 1 << 30);
+  for (int n = 0; n < measure; ++n) {
+    link.step(&out, true);
+    mse.update(out.error);
+  }
+  return mse.windowed_mse();
+}
+
+class EqConvergence : public ::testing::TestWithParam<AdaptAlgo> {};
+
+TEST_P(EqConvergence, TrainingDrivesMseBelowSlicerMargin) {
+  // 64-QAM decision regions have half-spacing 1/16; the converged RMS error
+  // must be well inside that for reliable slicing.
+  const double mse = converged_mse(GetParam(), 35.0);
+  EXPECT_LT(std::sqrt(mse), 0.5 / 16)
+      << "rms error exceeds half the decision distance";
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, EqConvergence,
+                         ::testing::Values(AdaptAlgo::kLms, AdaptAlgo::kSignLms,
+                                           AdaptAlgo::kNlms),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AdaptAlgo::kLms: return "Lms";
+                             case AdaptAlgo::kSignLms: return "SignLms";
+                             case AdaptAlgo::kSignSign: return "SignSign";
+                             case AdaptAlgo::kNlms: return "Nlms";
+                           }
+                           return "?";
+                         });
+
+TEST(Equalizer, MseDecreasesDuringTraining) {
+  EqualizerConfig ecfg;  // sign-LMS default, as the paper uses
+  ChannelConfig ccfg;
+  ccfg.snr_db = 35;
+  ccfg.symbol_energy = QamConstellation(64).average_energy();
+  Link link(ecfg, ccfg);
+  EqualizerOutput out;
+  MseTracker early(0.05, 200), late(0.05, 200);
+  for (int n = 0; n < 400; ++n) {
+    link.step(&out, true);
+    if (n >= 200) early.update(out.error);
+  }
+  for (int n = 0; n < 6000; ++n) {
+    link.step(&out, true);
+    if (n >= 5800) late.update(out.error);
+  }
+  EXPECT_LT(late.windowed_mse(), early.windowed_mse() * 0.5)
+      << "adaptation should reduce MSE substantially";
+}
+
+TEST(Equalizer, DecisionDirectedTrackingIsErrorFreeAtHighSnr) {
+  EqualizerConfig ecfg;
+  ChannelConfig ccfg;
+  ccfg.snr_db = 40;
+  ccfg.symbol_energy = QamConstellation(64).average_energy();
+  Link link(ecfg, ccfg);
+  EqualizerOutput out;
+  for (int n = 0; n < 6000; ++n) link.step(&out, true);
+  // Switch to decision-directed: the slicer error must stay small, meaning
+  // decisions equal what training would have provided.
+  MseTracker mse(0.02, 1 << 30);
+  for (int n = 0; n < 3000; ++n) {
+    link.step(&out, false);
+    mse.update(out.error);
+  }
+  EXPECT_LT(std::sqrt(mse.windowed_mse()), 0.5 / 16);
+}
+
+TEST(Equalizer, DfeCancelsPostCursorIsi) {
+  // A channel with a strong T-spaced post-cursor that a linear FFE alone
+  // would struggle with; the DFE must absorb it.
+  EqualizerConfig ecfg;
+  ChannelConfig ccfg;
+  ccfg.taps = {{1.0, 0.0}, {0.0, 0.0}, {0.5, 0.2}};  // echo at exactly T
+  ccfg.snr_db = 38;
+  ccfg.symbol_energy = QamConstellation(64).average_energy();
+  Link link(ecfg, ccfg);
+  EqualizerOutput out;
+  for (int n = 0; n < 8000; ++n) link.step(&out, true);
+  MseTracker mse(0.02, 1 << 30);
+  for (int n = 0; n < 2000; ++n) {
+    link.step(&out, true);
+    mse.update(out.error);
+  }
+  EXPECT_LT(std::sqrt(mse.windowed_mse()), 0.5 / 16);
+  // The DFE should have picked up a significant tap for the echo.
+  double dfe_energy = 0;
+  for (const auto& c : link.eq.dfe_coeffs()) dfe_energy += std::norm(c);
+  EXPECT_GT(dfe_energy, 0.01) << "DFE did not engage on post-cursor ISI";
+}
+
+TEST(Equalizer, ResetRestoresColdStart) {
+  EqualizerConfig ecfg;
+  DfeEqualizer eq(ecfg);
+  eq.step({0.3, 0.1}, {-0.2, 0.05});
+  eq.reset();
+  const auto& c = eq.ffe_coeffs();
+  for (int k = 0; k < ecfg.ffe_taps; ++k) {
+    if (k == ecfg.ffe_taps / 2) {
+      EXPECT_EQ(c[k], std::complex<double>(1, 0));
+    } else {
+      EXPECT_EQ(c[k], std::complex<double>(0, 0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

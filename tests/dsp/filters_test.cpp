@@ -1,0 +1,224 @@
+// Tests for the FIR filter, adaptive algorithms, PRBS source, channel
+// model, and metrics — the DSP substrate under the equalizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "dsp/channel.h"
+#include "dsp/fir.h"
+#include "dsp/lms.h"
+#include "dsp/metrics.h"
+#include "dsp/prbs.h"
+
+namespace hlsw::dsp {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Fir, ImpulseResponseIsCoefficients) {
+  FirFilter<cplx> f({{1, 0}, {0.5, -0.5}, {0, 0.25}});
+  std::vector<cplx> got;
+  got.push_back(f.step({1, 0}));
+  got.push_back(f.step({0, 0}));
+  got.push_back(f.step({0, 0}));
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(got[k], f.coeffs()[k]);
+}
+
+TEST(Fir, KnownConvolution) {
+  FirFilter<double> f(std::vector<double>{1, 2, 3});
+  EXPECT_DOUBLE_EQ(f.step(1), 1);       // 1*1
+  EXPECT_DOUBLE_EQ(f.step(10), 12);     // 1*10 + 2*1
+  EXPECT_DOUBLE_EQ(f.step(100), 123);   // 1*100 + 2*10 + 3*1
+  EXPECT_DOUBLE_EQ(f.step(0), 230);     // 2*100 + 3*10
+}
+
+TEST(Fir, ResetClearsState) {
+  FirFilter<double> f(std::vector<double>{1, 1});
+  f.step(5);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.step(0), 0);
+}
+
+// -- LMS family: system identification converges -----------------------------
+
+class AdaptAlgoTest : public ::testing::TestWithParam<AdaptAlgo> {};
+
+TEST_P(AdaptAlgoTest, IdentifiesUnknownFir) {
+  const AdaptAlgo algo = GetParam();
+  // Unknown plant: 4-tap complex FIR. Adaptive filter must converge to it.
+  const std::vector<cplx> plant = {
+      {0.9, 0.1}, {-0.3, 0.2}, {0.1, -0.1}, {0.05, 0.0}};
+  FirFilter<cplx> unknown(plant);
+  std::vector<cplx> w(4, cplx{0, 0});
+  std::vector<cplx> line(4, cplx{0, 0});
+  GaussianNoise src(123, 0.5);
+  const double mu = algo == AdaptAlgo::kNlms ? 0.2 : 0.01;
+  for (int n = 0; n < 20000; ++n) {
+    const cplx x = src.next_complex();
+    for (int k = 3; k > 0; --k) line[k] = line[k - 1];
+    line[0] = x;
+    const cplx d = unknown.step(x);
+    cplx y{0, 0};
+    for (int k = 0; k < 4; ++k) y += w[k] * line[k];
+    const cplx e = d - y;
+    adapt_taps(algo, w, line, e, mu);
+  }
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(w[k].real(), plant[k].real(), 0.05) << "tap " << k;
+    EXPECT_NEAR(w[k].imag(), plant[k].imag(), 0.05) << "tap " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AdaptAlgoTest,
+                         ::testing::Values(AdaptAlgo::kLms, AdaptAlgo::kSignLms,
+                                           AdaptAlgo::kSignSign,
+                                           AdaptAlgo::kNlms),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AdaptAlgo::kLms: return "Lms";
+                             case AdaptAlgo::kSignLms: return "SignLms";
+                             case AdaptAlgo::kSignSign: return "SignSign";
+                             case AdaptAlgo::kNlms: return "Nlms";
+                           }
+                           return "?";
+                         });
+
+TEST(Lms, SignLmsStepIsQuantizedToMu) {
+  // Every sign-LMS tap update moves each component by exactly ±mu or ±2mu
+  // (sum of two ±mu terms) scaled by |e| components — with sign regressor
+  // the update is mu * e * (\pm1 \mp j), so each real component changes by
+  // mu*(±e_r ± e_i).
+  std::vector<cplx> w(1, cplx{0, 0});
+  std::vector<cplx> x(1, cplx{-0.7, 0.3});
+  const cplx e{0.5, -0.25};
+  adapt_taps(AdaptAlgo::kSignLms, w, x, e, 1.0 / 256);
+  // sign_conj(x) = conj(csign(x)) = conj(-1, 1) = (-1, -j... ) = (-1,-1j)*...
+  const cplx expected = (1.0 / 256) * e * std::conj(csign(x[0]));
+  EXPECT_DOUBLE_EQ(w[0].real(), expected.real());
+  EXPECT_DOUBLE_EQ(w[0].imag(), expected.imag());
+}
+
+TEST(Lms, CsignConvention) {
+  EXPECT_EQ(csign({0.0, 0.0}), cplx(1, 1)) << "zero counts as non-negative";
+  EXPECT_EQ(csign({-0.1, 0.1}), cplx(-1, 1));
+}
+
+// -- PRBS ---------------------------------------------------------------------
+
+TEST(Prbs, Prbs7HasMaximalPeriod) {
+  Prbs p(Prbs::kPrbs7, 1);
+  const uint32_t start = p.state();
+  int period = 0;
+  do {
+    p.next_bit();
+    ++period;
+  } while (p.state() != start && period < 1000);
+  EXPECT_EQ(period, 127);
+}
+
+TEST(Prbs, BitsAreBalanced) {
+  Prbs p(Prbs::kPrbs15, 0x1234);
+  int ones = 0;
+  const int n = 32767;
+  for (int i = 0; i < n; ++i) ones += p.next_bit();
+  // Maximal-length LFSR: exactly 2^(n-1) ones per period.
+  EXPECT_EQ(ones, 16384);
+}
+
+TEST(Prbs, NextWordComposesBits) {
+  Prbs a(Prbs::kPrbs15, 77), b(Prbs::kPrbs15, 77);
+  const int w = a.next_word(6);
+  int ref = 0;
+  for (int i = 0; i < 6; ++i) ref = (ref << 1) | b.next_bit();
+  EXPECT_EQ(w, ref);
+  EXPECT_LT(w, 64);
+  EXPECT_GE(w, 0);
+}
+
+// -- Channel ------------------------------------------------------------------
+
+TEST(Channel, DeterministicForSameSeed) {
+  ChannelConfig cfg;
+  MultipathChannel a(cfg), b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const auto pa = a.send({0.3, -0.2});
+    const auto pb = b.send({0.3, -0.2});
+    EXPECT_EQ(pa.s0, pb.s0);
+    EXPECT_EQ(pa.s1, pb.s1);
+  }
+}
+
+TEST(Channel, ImpulseRevealsTapsWhenNoiseless) {
+  ChannelConfig cfg;
+  cfg.snr_db = 300;  // effectively noiseless
+  MultipathChannel ch(cfg);
+  const auto p0 = ch.send({1, 0});
+  const auto p1 = ch.send({0, 0});
+  EXPECT_NEAR(std::abs(p0.s0 - cfg.taps[0]), 0, 1e-10);
+  EXPECT_NEAR(std::abs(p0.s1 - cfg.taps[1]), 0, 1e-10);
+  EXPECT_NEAR(std::abs(p1.s0 - cfg.taps[2]), 0, 1e-10);
+  EXPECT_NEAR(std::abs(p1.s1 - cfg.taps[3]), 0, 1e-10);
+}
+
+TEST(Channel, NoiseVarianceMatchesSnr) {
+  ChannelConfig cfg;
+  cfg.taps = {{1.0, 0.0}};
+  cfg.snr_db = 10.0;
+  cfg.symbol_energy = 1.0;
+  MultipathChannel ch(cfg);
+  double sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = ch.send({0, 0});  // pure noise
+    sum2 += std::norm(p.s0) + std::norm(p.s1);
+  }
+  const double measured = sum2 / (2 * n);
+  EXPECT_NEAR(measured, 0.1, 0.005) << "complex noise power per sample";
+}
+
+TEST(GaussianNoiseTest, MomentsAreGaussian) {
+  GaussianNoise g(999, 2.0);
+  double m1 = 0, m2 = 0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    const double v = g.next();
+    m1 += v;
+    m2 += v * v;
+  }
+  m1 /= n;
+  m2 /= n;
+  EXPECT_NEAR(m1, 0.0, 0.02);
+  EXPECT_NEAR(m2, 4.0, 0.05);
+}
+
+// -- Metrics --------------------------------------------------------------------
+
+TEST(Metrics, MseTrackerWindowedMean) {
+  MseTracker t(0.5, 4);
+  t.update({1.0, 0.0});  // |e|^2 = 1
+  t.update({0.0, 1.0});  // 1
+  t.update({1.0, 1.0});  // 2
+  EXPECT_DOUBLE_EQ(t.windowed_mse(), 4.0 / 3.0);
+  t.update({0.0, 0.0});
+  t.update({0.0, 0.0});  // window of 4 drops the first sample
+  EXPECT_DOUBLE_EQ(t.windowed_mse(), 3.0 / 4.0);
+  EXPECT_EQ(t.count(), 5u);
+}
+
+TEST(Metrics, ErrorCounter) {
+  ErrorCounter c;
+  c.update(0b101010, 0b101010, 6);
+  c.update(0b101010, 0b101000, 6);
+  c.update(0b111111, 0b000000, 6);
+  EXPECT_EQ(c.symbols(), 3u);
+  EXPECT_EQ(c.symbol_errors(), 2u);
+  EXPECT_EQ(c.bit_errors(), 7u);
+  EXPECT_DOUBLE_EQ(c.ser(), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(c.ber(), 7.0 / 18);
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

@@ -1,0 +1,80 @@
+// Tests for decision-directed carrier phase recovery: static phase lock,
+// frequency-offset tracking, and QPSK-assisted acquisition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/metrics.h"
+#include "dsp/phase.h"
+#include "dsp/prbs.h"
+#include "dsp/qam.h"
+
+namespace hlsw::dsp {
+namespace {
+
+// Runs the loop over rotated QPSK symbols; returns residual |theta error|.
+double run_loop(double theta, double freq, int symbols,
+                CarrierPhaseLoop* loop) {
+  QamConstellation qpsk(4);
+  Prbs prbs(Prbs::kPrbs15, 0x99);
+  double rot = theta;
+  for (int n = 0; n < symbols; ++n) {
+    const auto a = qpsk.map(prbs.next_word(2));
+    const auto y = a * std::exp(std::complex<double>(0, rot));
+    const auto yc = loop->correct(y);
+    const auto dec = qpsk.slice_point(yc);
+    loop->update(yc, dec);
+    rot += freq;
+  }
+  double err = rot - loop->theta();
+  while (err > M_PI) err -= 2 * M_PI;
+  while (err <= -M_PI) err += 2 * M_PI;
+  // Phase ambiguity of pi/2 for QPSK: fold into [-pi/4, pi/4].
+  while (err > M_PI / 4) err -= M_PI / 2;
+  while (err < -M_PI / 4) err += M_PI / 2;
+  return std::abs(err);
+}
+
+TEST(PhaseLoop, LocksOnStaticOffsets) {
+  for (double theta : {0.1, 0.3, -0.25, 0.6}) {
+    CarrierPhaseLoop loop;
+    const double err = run_loop(theta, 0.0, 3000, &loop);
+    EXPECT_LT(err, 0.02) << "theta=" << theta;
+  }
+}
+
+TEST(PhaseLoop, TracksFrequencyOffset) {
+  CarrierPhaseLoop loop;
+  const double err = run_loop(0.2, 0.001, 8000, &loop);
+  EXPECT_LT(err, 0.03) << "loop must track 1 mrad/symbol CFO";
+  EXPECT_NEAR(loop.freq(), 0.001, 3e-4) << "integrator estimates the CFO";
+}
+
+TEST(PhaseLoop, CorrectedSymbolsAreDecodable) {
+  QamConstellation qam(64);
+  Prbs prbs(Prbs::kPrbs15, 0x7);
+  CarrierPhaseLoop loop;
+  ErrorCounter errs;
+  double rot = 0.15;  // within 64-QAM pull-in range
+  for (int n = 0; n < 4000; ++n) {
+    const int sym = prbs.next_word(6);
+    const auto y = qam.map(sym) * std::exp(std::complex<double>(0, rot));
+    const auto yc = loop.correct(y);
+    loop.update(yc, qam.slice_point(yc));
+    if (n > 500) errs.update(sym, qam.slice(yc), 6);
+  }
+  EXPECT_LT(errs.ser(), 1e-3)
+      << "after acquisition every 64-QAM symbol slices correctly";
+}
+
+TEST(PhaseLoop, ZeroErrorLeavesEstimateUntouched) {
+  CarrierPhaseLoop loop;
+  loop.update({0.25, 0.0}, {0.25, 0.0});
+  EXPECT_DOUBLE_EQ(loop.theta(), 0.0);
+  loop.update({0, 0}, {0, 0});  // degenerate decision: must not blow up
+  EXPECT_DOUBLE_EQ(loop.theta(), 0.0);
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

@@ -1,0 +1,93 @@
+// Tests for RRC pulse design: symmetry, unit energy, the Nyquist
+// (zero-ISI) property of the matched cascade, and an end-to-end link over
+// an RRC-shaped channel.
+#include "dsp/pulse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/channel.h"
+#include "dsp/equalizer.h"
+#include "dsp/metrics.h"
+#include "dsp/prbs.h"
+
+namespace hlsw::dsp {
+namespace {
+
+TEST(Rrc, SymmetricAndUnitEnergy) {
+  for (double beta : {0.2, 0.35, 0.5, 1.0}) {
+    const auto h = rrc_taps(4, 6, beta);
+    ASSERT_EQ(h.size(), 2u * 6 * 4 + 1);
+    double energy = 0;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      energy += h[i] * h[i];
+      EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12) << "beta " << beta;
+    }
+    EXPECT_NEAR(energy, 1.0, 1e-12);
+    // Peak at the center.
+    for (double v : h) EXPECT_LE(std::abs(v), h[h.size() / 2] + 1e-12);
+  }
+}
+
+TEST(Rrc, MatchedCascadeIsNyquist) {
+  // RRC convolved with itself = raised cosine: zero crossings at every
+  // nonzero symbol-spaced offset (no ISI after the matched filter).
+  const int sps = 4;
+  const auto h = rrc_taps(sps, 8, 0.35);
+  const auto rc = convolve(h, h);
+  const std::size_t center = rc.size() / 2;
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(rc[center + static_cast<size_t>(k * sps)], 0.0, 5e-3)
+        << "ISI at offset " << k;
+    EXPECT_NEAR(rc[center - static_cast<size_t>(k * sps)], 0.0, 5e-3);
+  }
+  EXPECT_NEAR(rc[center], 1.0, 5e-3) << "unit gain at the symbol point";
+}
+
+TEST(Rrc, ConvolveKnownValues) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {3, 4, 5};
+  const auto c = convolve(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], 3);
+  EXPECT_DOUBLE_EQ(c[1], 10);
+  EXPECT_DOUBLE_EQ(c[2], 13);
+  EXPECT_DOUBLE_EQ(c[3], 10);
+}
+
+TEST(Rrc, ShapedChannelLinkConverges) {
+  // The reference equalizer must converge over an RRC-shaped multipath
+  // channel (longer, smoother impulse response than the default profile).
+  EqualizerConfig ecfg;
+  ecfg.mapping = QamMapping::kTwosComplement;
+  ChannelConfig ccfg;
+  ccfg.taps = shaped_channel({{1.0, 0.0}, {0.0, 0.0}, {0.25, 0.1}}, 0.35, 4,
+                             1.5);
+  ccfg.snr_db = 36;
+  ccfg.symbol_energy = QamConstellation(64).average_energy();
+  DfeEqualizer eq(ecfg);
+  MultipathChannel ch(ccfg);
+  Prbs prbs(Prbs::kPrbs15, 0x41);
+  MseTracker mse(0.02, 1 << 30);
+  std::vector<std::complex<double>> hist;
+  // The shaped response delays the signal by span_symbols*2 half-samples;
+  // train with a generous decision delay.
+  const int delay = 6;
+  for (int n = 0; n < 12000; ++n) {
+    const auto pt = eq.constellation().map(prbs.next_word(6));
+    hist.push_back(pt);
+    const auto pair = ch.send(pt);
+    const std::complex<double>* tr =
+        static_cast<int>(hist.size()) > delay
+            ? &hist[hist.size() - 1 - static_cast<size_t>(delay)]
+            : nullptr;
+    const auto out = eq.step(pair.s0, pair.s1, tr);
+    if (n >= 10000) mse.update(out.error);
+  }
+  EXPECT_LT(std::sqrt(mse.windowed_mse()), 0.5 / 16)
+      << "RMS error must stay inside the 64-QAM decision margin";
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

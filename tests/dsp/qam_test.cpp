@@ -1,0 +1,129 @@
+// Tests for the M-QAM constellation: mapper/slicer inverse property, gray
+// adjacency, the paper's 8x8 grid geometry, and noise tolerance bounds.
+#include "dsp/qam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hlsw::dsp {
+namespace {
+
+TEST(Qam, Paper64QamGridGeometry) {
+  QamConstellation q(64);
+  EXPECT_EQ(q.levels(), 8);
+  EXPECT_EQ(q.bits_per_symbol(), 6);
+  // Levels are odd multiples of 1/16 spanning (-0.5, 0.5) — the scaling that
+  // makes every Figure 4 signal fit sc_fixed<*,0>.
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(q.level(k), (2 * k - 7) / 16.0);
+  }
+  EXPECT_DOUBLE_EQ(q.level(0), -7.0 / 16);
+  EXPECT_DOUBLE_EQ(q.level(7), 7.0 / 16);
+}
+
+class QamRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, QamMapping>> {};
+
+TEST_P(QamRoundTrip, MapThenSliceIsIdentity) {
+  const auto [m, mapping] = GetParam();
+  QamConstellation q(m, mapping);
+  for (int s = 0; s < m; ++s) {
+    EXPECT_EQ(q.slice(q.map(s)), s) << "symbol " << s;
+    EXPECT_EQ(q.slice_point(q.map(s)), q.map(s));
+  }
+}
+
+TEST_P(QamRoundTrip, MappingIsBijective) {
+  const auto [m, mapping] = GetParam();
+  QamConstellation q(m, mapping);
+  std::set<std::pair<double, double>> points;
+  for (int s = 0; s < m; ++s) {
+    const auto p = q.map(s);
+    points.insert({p.real(), p.imag()});
+  }
+  EXPECT_EQ(static_cast<int>(points.size()), m);
+}
+
+TEST_P(QamRoundTrip, SliceToleratesHalfSpacingNoise) {
+  const auto [m, mapping] = GetParam();
+  QamConstellation q(m, mapping);
+  const double spacing = 1.0 / q.levels();
+  for (int s = 0; s < m; ++s) {
+    const auto p = q.map(s);
+    // Perturb by just under half the grid spacing in the worst direction.
+    const std::complex<double> noisy(p.real() + 0.49 * spacing,
+                                     p.imag() - 0.49 * spacing);
+    EXPECT_EQ(q.slice(noisy), s) << "symbol " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constellations, QamRoundTrip,
+    ::testing::Combine(::testing::Values(4, 16, 64, 256),
+                       ::testing::Values(QamMapping::kGray,
+                                         QamMapping::kTwosComplement)),
+    [](const auto& info) {
+      return "Qam" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == QamMapping::kGray ? "Gray" : "Twos");
+    });
+
+TEST(Qam, GrayAdjacencyProperty) {
+  // Horizontally or vertically adjacent constellation points must differ in
+  // exactly one bit under gray mapping.
+  QamConstellation q(64, QamMapping::kGray);
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      const int s = q.slice({q.level(r), q.level(i)});
+      if (r + 1 < 8) {
+        const int s2 = q.slice({q.level(r + 1), q.level(i)});
+        EXPECT_EQ(QamConstellation::bit_errors(s, s2), 1);
+      }
+      if (i + 1 < 8) {
+        const int s2 = q.slice({q.level(r), q.level(i + 1)});
+        EXPECT_EQ(QamConstellation::bit_errors(s, s2), 1);
+      }
+    }
+  }
+}
+
+TEST(Qam, TwosComplementFieldComposition) {
+  // The DSP library's two's-complement mapping is per-axis bit fields:
+  // data = {(kr-4) mod 8 : 3 bits}{(ki-4) mod 8 : 3 bits}. (Figure 4's
+  // decoder uses the *arithmetic* composition r*64 + i*8 instead, where a
+  // negative i borrows into the r field — that convention lives in
+  // qam/link.h as paper_word/paper_map and is tested there.)
+  QamConstellation q(64, QamMapping::kTwosComplement);
+  for (int kr = 0; kr < 8; ++kr) {
+    for (int ki = 0; ki < 8; ++ki) {
+      const int expected = (((kr - 4) & 7) << 3) | ((ki - 4) & 7);
+      EXPECT_EQ(q.slice({q.level(kr), q.level(ki)}), expected);
+    }
+  }
+}
+
+TEST(Qam, SliceSaturatesOutsideGrid) {
+  QamConstellation q(64, QamMapping::kGray);
+  const int corner = q.slice({10.0, -10.0});
+  EXPECT_EQ(corner, q.slice({q.level(7), q.level(0)}));
+}
+
+TEST(Qam, AverageEnergy) {
+  QamConstellation q(4);
+  // QPSK at levels +-1/4: energy = 2 * (1/16) = 1/8.
+  EXPECT_DOUBLE_EQ(q.average_energy(), 0.125);
+  QamConstellation q64(64);
+  double e = 0;
+  for (int s = 0; s < 64; ++s) e += std::norm(q64.map(s));
+  EXPECT_NEAR(q64.average_energy(), e / 64, 1e-12);
+}
+
+TEST(Qam, BitErrors) {
+  EXPECT_EQ(QamConstellation::bit_errors(0b101010, 0b101010), 0);
+  EXPECT_EQ(QamConstellation::bit_errors(0b101010, 0b101011), 1);
+  EXPECT_EQ(QamConstellation::bit_errors(0, 63), 6);
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

@@ -1,0 +1,143 @@
+// Tests for the timing-recovery extension: Farrow interpolator accuracy,
+// Gardner S-curve polarity, and closed-loop lock onto a static fractional
+// timing offset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "dsp/prbs.h"
+#include "dsp/qam.h"
+#include "dsp/timing.h"
+
+namespace hlsw::dsp {
+namespace {
+
+TEST(Farrow, ExactOnCubicPolynomials) {
+  // Cubic Lagrange interpolation reproduces any cubic exactly.
+  auto poly = [](double t) { return 0.3 * t * t * t - t * t + 2 * t - 0.5; };
+  FarrowInterpolator<std::complex<double>> f;
+  // Push samples at t = -2..1 relative to the interpolation interval
+  // (push order: oldest first ends deepest).
+  for (int t = -2; t <= 1; ++t) f.push({poly(t), -poly(t)});
+  for (double mu = 0.0; mu < 1.0; mu += 0.125) {
+    const auto v = f.at(mu);
+    EXPECT_NEAR(v.real(), poly(-1 + mu), 1e-12) << mu;
+    EXPECT_NEAR(v.imag(), -poly(-1 + mu), 1e-12) << mu;
+  }
+}
+
+TEST(Farrow, EndpointsHitSamples) {
+  FarrowInterpolator<std::complex<double>> f;
+  f.push({1, 0});
+  f.push({2, 0});
+  f.push({3, 0});
+  f.push({4, 0});  // line: [4,3,2,1] newest-first
+  EXPECT_NEAR(f.at(0.0).real(), 2.0, 1e-12) << "mu=0 is the older midpoint";
+  EXPECT_NEAR(f.at(1.0).real(), 3.0, 1e-12) << "mu=1 is the newer midpoint";
+}
+
+TEST(Gardner, SCurvePolarityOnSinusoid) {
+  // Sample a raised-cosine-like pulse train: late sampling gives a positive
+  // product with the falling transition. Use a simple BPSK square wave
+  // through a half-sine pulse to check the error sign flips with offset.
+  auto wave = [](double t) { return std::sin(M_PI * t); };  // one pulse/2
+  auto ted_at = [&](double tau) {
+    // Strobes at t = k + tau, halves at t = k + tau - 0.5 over alternating
+    // symbols +1, -1 -> y(t) = sin(pi t).
+    const std::complex<double> strobe(wave(1.0 + tau), 0);
+    const std::complex<double> half(wave(0.5 + tau), 0);
+    const std::complex<double> prev(wave(0.0 + tau), 0);
+    return gardner_ted(strobe, half, prev);
+  };
+  EXPECT_NEAR(ted_at(0.0), 0.0, 1e-12) << "zero error at perfect timing";
+  EXPECT_LT(ted_at(0.1), 0) << "late sampling drives mu down";
+  EXPECT_GT(ted_at(-0.1), 0) << "early sampling drives mu up";
+}
+
+// Runs the closed loop over a T/2 QPSK stream delayed by `tau`
+// half-samples; returns the settled mu (mean of the last 1000 strobes).
+double settled_mu(double tau, uint32_t seed) {
+  QamConstellation qpsk(4);
+  Prbs prbs(Prbs::kPrbs15, seed);
+  // Linear-transition pulse: on-time sample = symbol, half-symbol sample =
+  // midpoint of adjacent symbols. Piecewise-linear signals interpolate
+  // cleanly and give the Gardner TED its textbook S-curve.
+  std::vector<std::complex<double>> syms;
+  for (int n = 0; n < 12001; ++n) syms.push_back(qpsk.map(prbs.next_word(2)));
+  FarrowInterpolator<> delayer;
+  TimingLoopConfig cfg;
+  cfg.kp = 0.05;
+  cfg.ki = 0.001;
+  TimingRecovery loop(cfg);
+  std::vector<double> mus;
+  for (std::size_t n = 0; n + 1 < syms.size(); ++n) {
+    const std::complex<double> samples[2] = {syms[n],
+                                             0.5 * (syms[n] + syms[n + 1])};
+    for (const auto& x : samples) {
+      delayer.push(x);
+      const auto out = loop.push(delayer.at(tau));
+      if (out.strobe) mus.push_back(out.mu);
+    }
+  }
+  // Circular mean (mu is a phase: values straddling the 0/1 wrap must not
+  // average to 0.5).
+  double cs = 0, sn = 0;
+  for (std::size_t i = mus.size() - 1000; i < mus.size(); ++i) {
+    cs += std::cos(2 * M_PI * mus[i]);
+    sn += std::sin(2 * M_PI * mus[i]);
+  }
+  double mean = std::atan2(sn, cs) / (2 * M_PI);
+  if (mean < 0) mean += 1.0;
+  return mean;
+}
+
+TEST(TimingLoop, SettledPhaseTracksTheInjectedOffset) {
+  // A signal delayed by tau is re-timed by interpolating tau earlier, so
+  // the loop must settle at mu = 1 - tau: the loop ESTIMATES tau, it does
+  // not merely settle somewhere. (tau = 0 is excluded: its lock point sits
+  // exactly on the mu wrap boundary, a degenerate marginal equilibrium.)
+  for (double tau : {0.15, 0.35, 0.6, 0.8}) {
+    const double mu = settled_mu(tau, 0x51);
+    double diff = mu - (1.0 - tau);
+    diff -= std::round(diff);  // wrap to [-0.5, 0.5)
+    EXPECT_LT(std::abs(diff), 0.05) << "tau=" << tau << " mu=" << mu;
+  }
+}
+
+TEST(TimingLoop, MuSettlesToAStableLockPoint) {
+  // With an interior lock point (tau = 0.35 -> mu = 0.65) the settled mu
+  // must stop moving: tiny tail variance.
+  QamConstellation qpsk(4);
+  Prbs prbs(Prbs::kPrbs15, 0x33);
+  std::vector<std::complex<double>> syms;
+  for (int n = 0; n < 8001; ++n) syms.push_back(qpsk.map(prbs.next_word(2)));
+  FarrowInterpolator<> delayer;
+  TimingLoopConfig cfg;
+  cfg.kp = 0.05;
+  cfg.ki = 0.001;
+  TimingRecovery loop(cfg);
+  std::vector<double> mus;
+  for (std::size_t n = 0; n + 1 < syms.size(); ++n) {
+    const std::complex<double> samples[2] = {syms[n],
+                                             0.5 * (syms[n] + syms[n + 1])};
+    for (const auto& x : samples) {
+      delayer.push(x);
+      const auto out = loop.push(delayer.at(0.35));
+      if (out.strobe) mus.push_back(out.mu);
+    }
+  }
+  double mean = 0, var = 0;
+  const std::size_t n = mus.size();
+  for (std::size_t i = n - 1000; i < n; ++i) mean += mus[i];
+  mean /= 1000;
+  for (std::size_t i = n - 1000; i < n; ++i)
+    var += (mus[i] - mean) * (mus[i] - mean);
+  var /= 1000;
+  EXPECT_LT(std::sqrt(var), 0.02) << "mu must stop moving once locked";
+  EXPECT_NEAR(mean, 0.65, 0.05);
+}
+
+}  // namespace
+}  // namespace hlsw::dsp

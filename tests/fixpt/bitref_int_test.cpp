@@ -1,0 +1,72 @@
+// Cross-validation of the deliberately slow bitref_int against wide_int.
+// bitref_int exists only as the "slow sc_bigint" comparator for experiment
+// D1; these tests establish it computes the same values as wide_int so the
+// speed benchmark compares equivalent work.
+#include "fixpt/bitref_int.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fixpt/wide_int.h"
+
+namespace hlsw::fixpt {
+namespace {
+
+TEST(BitrefInt, ConstructRoundTrip) {
+  EXPECT_EQ(bitref_int(16, 1234).to_int64(), 1234);
+  EXPECT_EQ(bitref_int(16, -1234).to_int64(), -1234);
+  EXPECT_EQ(bitref_int(8, 200).to_int64(), -56) << "wraps modulo 2^8";
+  EXPECT_EQ(bitref_int(80, -5).to_int64(), -5);
+}
+
+TEST(BitrefInt, AddSubKnown) {
+  EXPECT_EQ(add(bitref_int(8, 100), bitref_int(8, 27)).to_int64(), 127);
+  EXPECT_EQ(add(bitref_int(8, -100), bitref_int(8, -28)).to_int64(), -128);
+  EXPECT_EQ(sub(bitref_int(8, 100), bitref_int(8, 27)).to_int64(), 73);
+  EXPECT_EQ(negate(bitref_int(8, -128)).to_int64(), 128);
+}
+
+TEST(BitrefInt, MulKnown) {
+  EXPECT_EQ(mul(bitref_int(8, 12), bitref_int(8, -11)).to_int64(), -132);
+  EXPECT_EQ(mul(bitref_int(8, -128), bitref_int(8, -128)).to_int64(), 16384);
+  EXPECT_EQ(mul(bitref_int(8, 0), bitref_int(8, 99)).to_int64(), 0);
+}
+
+class BitrefCross : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitrefCross, AgreesWithWideInt) {
+  const int w = GetParam();
+  std::mt19937_64 rng(1000 + w);
+  for (int iter = 0; iter < 300; ++iter) {
+    const long long a = static_cast<long long>(rng()) >> (64 - w);
+    const long long b = static_cast<long long>(rng()) >> (64 - w);
+    const bitref_int ba(w, a), bb(w, b);
+    EXPECT_EQ(add(ba, bb).to_int64(), a + b);
+    EXPECT_EQ(sub(ba, bb).to_int64(), a - b);
+    const __int128 prod = static_cast<__int128>(a) * b;
+    EXPECT_EQ(mul(ba, bb).to_int64(), static_cast<long long>(prod));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitrefCross,
+                         ::testing::Values(8, 10, 17, 24, 31));
+
+TEST(BitrefCross, WideWidthsAgreeWithWideInt) {
+  std::mt19937_64 rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    const long long a = static_cast<long long>(rng()) >> 4;
+    const long long b = static_cast<long long>(rng()) >> 4;
+    const bitref_int ba(80, a), bb(80, b);
+    const wide_int<80> wa(a), wb(b);
+    EXPECT_EQ(add(ba, bb).to_int64(), (wa + wb).to_int64());
+    const auto wp = wa * wb;
+    const auto bp = mul(ba, bb);
+    // Compare all 160 bits limb by limb.
+    for (int bit = 0; bit < 160; ++bit)
+      ASSERT_EQ(bp.bit(bit), wp.bit(bit)) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

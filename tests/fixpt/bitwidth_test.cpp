@@ -1,0 +1,71 @@
+// Tests for the Figure 2 bitwidth-inference arithmetic.
+#include "fixpt/bitwidth.h"
+
+#include <gtest/gtest.h>
+
+namespace hlsw::fixpt {
+namespace {
+
+TEST(Bitwidth, Clog2) {
+  EXPECT_EQ(clog2(1), 0);
+  EXPECT_EQ(clog2(2), 1);
+  EXPECT_EQ(clog2(3), 2);
+  EXPECT_EQ(clog2(8), 3);
+  EXPECT_EQ(clog2(9), 4);
+  EXPECT_EQ(clog2(1024), 10);
+  EXPECT_EQ(clog2(1025), 11);
+}
+
+TEST(Bitwidth, BitsForUnsigned) {
+  EXPECT_EQ(bits_for_unsigned(0), 1);
+  EXPECT_EQ(bits_for_unsigned(1), 1);
+  EXPECT_EQ(bits_for_unsigned(2), 2);
+  EXPECT_EQ(bits_for_unsigned(255), 8);
+  EXPECT_EQ(bits_for_unsigned(256), 9);
+}
+
+TEST(Bitwidth, Figure2LoopCounter) {
+  // Figure 2: for (i = 0; i < N; i++) — the counter must hold N itself for
+  // the exit comparison. For N=1024 Catapult infers an 11-bit counter.
+  EXPECT_EQ(loop_counter_width(1024), 11);
+  EXPECT_EQ(loop_counter_width(8), 4);
+  EXPECT_EQ(loop_counter_width(16), 5);
+  EXPECT_EQ(loop_counter_width(1), 1);
+}
+
+TEST(Bitwidth, Figure2Accumulator) {
+  // Summing N 10-bit values needs 10 + clog2(N) bits; for the paper's int
+  // accumulator `a` this is how synthesis narrows 32 bits down.
+  EXPECT_EQ(accumulator_width(10, 8), 13);
+  EXPECT_EQ(accumulator_width(10, 1024), 20);
+  EXPECT_EQ(accumulator_width(32, 1), 32);
+}
+
+TEST(Bitwidth, BitsForRange) {
+  EXPECT_EQ(bits_for_range(0, 0), 1);
+  EXPECT_EQ(bits_for_range(-1, 0), 1);
+  EXPECT_EQ(bits_for_range(-8, 7), 4);
+  EXPECT_EQ(bits_for_range(-9, 7), 5);
+  EXPECT_EQ(bits_for_range(0, 7), 4) << "signed range includes sign bit";
+  EXPECT_EQ(bits_for_range(-128, 127), 8);
+}
+
+// Property sweep: the counter must be able to hold the bound `n` itself
+// (the exit comparison evaluates i == n), and be the minimal such width.
+class CounterWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterWidthSweep, WidthIsMinimal) {
+  const unsigned long long n = GetParam();
+  const int w = loop_counter_width(n);
+  EXPECT_GE((1ULL << w), n + 1) << "must hold the bound value itself";
+  if (w > 1) {
+    EXPECT_LT((1ULL << (w - 1)), n + 1) << "must be minimal";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CounterWidthSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 9, 15, 16, 17,
+                                           1023, 1024, 1025, 4096));
+
+}  // namespace
+}  // namespace hlsw::fixpt

@@ -1,0 +1,136 @@
+// Tests for complex_fixed (the reconstruction of the authors' sc_complex):
+// arithmetic against std::complex<double>, sign_conj in all quadrants, and
+// the adaptation-step idiom from Figure 4.
+#include "fixpt/complex_fixed.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+namespace hlsw::fixpt {
+namespace {
+
+using C10 = complex_fixed<10, 0>;
+
+TEST(ComplexFixed, ConstructAndAccess) {
+  complex_fixed<8, 3> v(1.5, -2.25);
+  EXPECT_DOUBLE_EQ(v.r().to_double(), 1.5);
+  EXPECT_DOUBLE_EQ(v.i().to_double(), -2.25);
+  complex_fixed<8, 3> z(0);
+  EXPECT_DOUBLE_EQ(z.r().to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(z.i().to_double(), 0.0);
+}
+
+TEST(ComplexFixed, ArithmeticMatchesStdComplex) {
+  std::mt19937_64 rng(321);
+  for (int iter = 0; iter < 3000; ++iter) {
+    auto draw = [&]() {
+      return C10::scalar::from_raw(
+          wide_int<10>(static_cast<int>(rng() % 1024) - 512));
+    };
+    const C10 a(draw(), draw()), b(draw(), draw());
+    const std::complex<double> ad = a.to_complex_double();
+    const std::complex<double> bd = b.to_complex_double();
+    const auto sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.r().to_double(), (ad + bd).real());
+    EXPECT_DOUBLE_EQ(sum.i().to_double(), (ad + bd).imag());
+    const auto diff = a - b;
+    EXPECT_DOUBLE_EQ(diff.r().to_double(), (ad - bd).real());
+    EXPECT_DOUBLE_EQ(diff.i().to_double(), (ad - bd).imag());
+    const auto prod = a * b;  // full precision, must be exact
+    EXPECT_DOUBLE_EQ(prod.r().to_double(), (ad * bd).real());
+    EXPECT_DOUBLE_EQ(prod.i().to_double(), (ad * bd).imag());
+  }
+}
+
+TEST(ComplexFixed, SignConjQuadrants) {
+  auto sc = [](double re, double im) {
+    return complex_fixed<10, 1>(re, im).sign_conj().to_complex_double();
+  };
+  EXPECT_EQ(sc(0.5, 0.5), std::complex<double>(1, -1));
+  EXPECT_EQ(sc(-0.5, 0.5), std::complex<double>(-1, -1));
+  EXPECT_EQ(sc(-0.5, -0.5), std::complex<double>(-1, 1));
+  EXPECT_EQ(sc(0.5, -0.5), std::complex<double>(1, 1));
+  // Zero counts as non-negative in the hardware sign convention.
+  EXPECT_EQ(sc(0.0, 0.0), std::complex<double>(1, -1));
+}
+
+TEST(ComplexFixed, SignConjIsConjugateOfSign) {
+  // For any x: sign_conj(x) == conj(sign(re) + j*sign(im)).
+  std::mt19937_64 rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    const double re = (static_cast<int>(rng() % 200) - 100) / 100.0;
+    const double im = (static_cast<int>(rng() % 200) - 100) / 100.0;
+    complex_fixed<12, 2> x(re, im);
+    const auto sc = x.sign_conj().to_complex_double();
+    const std::complex<double> s(re >= 0 ? 1 : -1, im >= 0 ? 1 : -1);
+    EXPECT_EQ(sc, std::conj(s));
+  }
+}
+
+TEST(ComplexFixed, ConjNegatesImaginary) {
+  complex_fixed<8, 3> v(1.5, -2.25);
+  const auto c = v.conj();
+  EXPECT_DOUBLE_EQ(c.r().to_double(), 1.5);
+  EXPECT_DOUBLE_EQ(c.i().to_double(), 2.25);
+}
+
+TEST(ComplexFixed, MagSqr) {
+  complex_fixed<8, 3> v(3.0, -4.0);
+  EXPECT_DOUBLE_EQ(v.mag_sqr().to_double(), 25.0);
+}
+
+TEST(ComplexFixed, ScalarTimesComplex) {
+  fixed<10, 0> mu(0.25);
+  complex_fixed<10, 0> e(0.125, -0.25);
+  const auto p = mu * e;
+  EXPECT_DOUBLE_EQ(p.r().to_double(), 0.03125);
+  EXPECT_DOUBLE_EQ(p.i().to_double(), -0.0625);
+  const auto p2 = e * mu;
+  EXPECT_TRUE(p == p2);
+}
+
+TEST(ComplexFixed, AdaptationStepIdiom) {
+  // Figure 4: ffe_c[k] += mu_ffe * e * x[k].sign_conj().
+  complex_fixed<10, 0> coeff(0.125, 0.125);
+  fixed<10, 0> mu(std::pow(2.0, -8));
+  complex_fixed<10, 0> e(-0.25, 0.25);
+  complex_fixed<10, 0> x(-0.3, 0.2);
+  coeff += mu * e * x.sign_conj();
+  // mu*e = (-2^-10, 2^-10); sign_conj(x) = (-1, -1).
+  // re = (-2^-10)(-1) - (2^-10)(-1) = 2^-9;  im = (2^-10) + (-2^-10) = 0.
+  EXPECT_DOUBLE_EQ(coeff.r().to_double(), 0.125 + std::pow(2, -9));
+  EXPECT_DOUBLE_EQ(coeff.i().to_double(), 0.125);
+}
+
+TEST(ComplexFixed, MultiplyBySignConjCostsOnlyAdds) {
+  // Multiplying by sign_conj() output must equal the explicitly-negated
+  // component combination (what the hardware implements with adders).
+  std::mt19937_64 rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    auto draw = [&]() {
+      return fixed<10, 0>::from_raw(
+          wide_int<10>(static_cast<int>(rng() % 1024) - 512));
+    };
+    complex_fixed<10, 0> e(draw(), draw());
+    complex_fixed<10, 0> x(draw(), draw());
+    const auto full = e * x.sign_conj();
+    const double sr = x.r().is_neg() ? -1 : 1;
+    const double si = x.i().is_neg() ? 1 : -1;
+    EXPECT_DOUBLE_EQ(full.r().to_double(),
+                     e.r().to_double() * sr - e.i().to_double() * si);
+    EXPECT_DOUBLE_EQ(full.i().to_double(),
+                     e.r().to_double() * si + e.i().to_double() * sr);
+  }
+}
+
+TEST(ComplexFixed, AssignmentQuantizesComponents) {
+  complex_fixed<16, 2> wide(1.2345678, -0.7654321);
+  complex_fixed<6, 2, Quant::kRnd, Ovf::kSat> narrow(wide);
+  EXPECT_NEAR(narrow.r().to_double(), 1.2345678, std::pow(2.0, -5));
+  EXPECT_NEAR(narrow.i().to_double(), -0.7654321, std::pow(2.0, -5));
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

@@ -1,0 +1,62 @@
+// Cross-validation of dynamic_int (the word-based sc_bigint analogue)
+// against native arithmetic and wide_int.
+#include "fixpt/dynamic_int.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fixpt/wide_int.h"
+
+namespace hlsw::fixpt {
+namespace {
+
+TEST(DynamicInt, RoundTripAndWrap) {
+  EXPECT_EQ(dynamic_int(16, 1234).to_int64(), 1234);
+  EXPECT_EQ(dynamic_int(16, -1234).to_int64(), -1234);
+  EXPECT_EQ(dynamic_int(8, 200).to_int64(), -56);
+  EXPECT_TRUE(dynamic_int(80, -5).is_neg());
+}
+
+TEST(DynamicInt, KnownArithmetic) {
+  EXPECT_EQ(add(dynamic_int(8, 100), dynamic_int(8, 27)).to_int64(), 127);
+  EXPECT_EQ(sub(dynamic_int(8, -100), dynamic_int(8, 28)).to_int64(), -128);
+  EXPECT_EQ(mul(dynamic_int(8, -128), dynamic_int(8, -128)).to_int64(),
+            16384);
+}
+
+class DynIntCross : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynIntCross, AgreesWithNative) {
+  const int w = GetParam();
+  std::mt19937_64 rng(500 + static_cast<uint64_t>(w));
+  for (int iter = 0; iter < 500; ++iter) {
+    const long long a = static_cast<long long>(rng()) >> (64 - w);
+    const long long b = static_cast<long long>(rng()) >> (64 - w);
+    const dynamic_int da(w, a), db(w, b);
+    EXPECT_EQ(add(da, db).to_int64(), a + b);
+    EXPECT_EQ(sub(da, db).to_int64(), a - b);
+    EXPECT_EQ(mul(da, db).to_int64(),
+              static_cast<long long>(static_cast<__int128>(a) * b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DynIntCross,
+                         ::testing::Values(8, 17, 24, 31));
+
+TEST(DynIntCross, WideWidthsAgreeWithWideInt) {
+  std::mt19937_64 rng(31337);
+  for (int iter = 0; iter < 100; ++iter) {
+    const long long a = static_cast<long long>(rng()) >> 2;
+    const long long b = static_cast<long long>(rng()) >> 2;
+    const dynamic_int da(96, a), db(96, b);
+    const wide_int<96> wa(a), wb(b);
+    const auto dp = mul(da, db);
+    const auto wp = wa * wb;
+    for (std::size_t i = 0; i < 3; ++i)
+      ASSERT_EQ(dp.limb(i), wp.ext_limb(static_cast<int>(i))) << "limb " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

@@ -1,0 +1,319 @@
+// Tests for the fixed-point datatype: quantization/overflow mode semantics
+// (exhaustively, against a rational-arithmetic reference), full-precision
+// operator results, and the exact idioms Figure 4 of the paper relies on.
+#include "fixpt/fixed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+namespace hlsw::fixpt {
+namespace {
+
+TEST(Fixed, BasicValueRoundTrip) {
+  fixed<8, 3> v(2.5);  // bbb.bbbbb
+  EXPECT_DOUBLE_EQ(v.to_double(), 2.5);
+  fixed<8, 3> n(-2.5);
+  EXPECT_DOUBLE_EQ(n.to_double(), -2.5);
+  fixed<10, 0> f(0.25);
+  EXPECT_DOUBLE_EQ(f.to_double(), 0.25);
+}
+
+TEST(Fixed, PaperRangeConventions) {
+  // sc_fixed<3,0>: .bbb, range [-0.5, 0.375], lsb 1/8 — the slicer output.
+  fixed<3, 0> lo(-0.5), hi(0.375);
+  EXPECT_DOUBLE_EQ(lo.to_double(), -0.5);
+  EXPECT_DOUBLE_EQ(hi.to_double(), 0.375);
+}
+
+TEST(Fixed, Figure4OffsetIdiom) {
+  // Figure 4: sc_fixed<4,0> offset = 0; offset[0] = 1;  => 2^-4.
+  fixed<4, 0> offset(0LL);
+  offset[0] = 1;
+  EXPECT_DOUBLE_EQ(offset.to_double(), 0.0625);
+}
+
+TEST(Fixed, Figure4MuIdiom) {
+  // Figure 4: mu = (sc_fixed<FFE_W+2,2>)1 >> 8 with FFE_W=10  => 2^-8.
+  fixed<12, 2> mu = fixed<12, 2>(1LL) >> 8;
+  EXPECT_DOUBLE_EQ(mu.to_double(), std::pow(2.0, -8));
+  fixed<10, 0> mu_c(mu);  // assignment into the coefficient step type
+  EXPECT_DOUBLE_EQ(mu_c.to_double(), std::pow(2.0, -8));
+}
+
+TEST(Fixed, NegativeIntegerWidthsAndWideIW) {
+  // IW > W: lsb above 1. fixed<4,6>: values are multiples of 4, range
+  // [-32, 28].
+  fixed<4, 6> v(12LL);
+  EXPECT_DOUBLE_EQ(v.to_double(), 12.0);
+  fixed<4, 6, Quant::kRnd, Ovf::kSat> sat(100.0);
+  EXPECT_DOUBLE_EQ(sat.to_double(), 28.0);
+  // IW < 0: all bits below 2^-1. fixed<4,-2>: lsb 2^-6, max 7/64.
+  fixed<4, -2> tiny(0.109375);  // 7 * 2^-6
+  EXPECT_DOUBLE_EQ(tiny.to_double(), 0.109375);
+}
+
+// -- Quantization modes, exhaustively against a rational reference ----------
+
+double ref_round(Quant q, double x) {
+  const double fl = std::floor(x);
+  const double frac = x - fl;
+  const bool msb = frac >= 0.5;
+  const bool rest = frac != 0.0 && frac != 0.5;
+  const bool lsb = std::fmod(fl, 2.0) != 0.0;
+  return fl + (round_increment(q, msb, rest, x < 0, lsb) ? 1.0 : 0.0);
+}
+
+class QuantModeTest : public ::testing::TestWithParam<Quant> {};
+
+TEST_P(QuantModeTest, MatchesReferenceExhaustively) {
+  const Quant q = GetParam();
+  // Source: fixed<10,2> (fw=8); destination fw=3 => drop 5 bits.
+  for (int raw = -512; raw < 512; ++raw) {
+    const double val = raw / 256.0;
+    const double expect = ref_round(q, val * 8.0) / 8.0;
+    fixed<10, 2> src = fixed<10, 2>::from_raw(wide_int<10>(raw));
+    double got = NAN;
+    switch (q) {
+      case Quant::kRnd:
+        got = fixed<8, 5, Quant::kRnd>(src).to_double();
+        break;
+      case Quant::kRndZero:
+        got = fixed<8, 5, Quant::kRndZero>(src).to_double();
+        break;
+      case Quant::kRndMinInf:
+        got = fixed<8, 5, Quant::kRndMinInf>(src).to_double();
+        break;
+      case Quant::kRndInf:
+        got = fixed<8, 5, Quant::kRndInf>(src).to_double();
+        break;
+      case Quant::kRndConv:
+        got = fixed<8, 5, Quant::kRndConv>(src).to_double();
+        break;
+      case Quant::kTrn:
+        got = fixed<8, 5, Quant::kTrn>(src).to_double();
+        break;
+      case Quant::kTrnZero:
+        got = fixed<8, 5, Quant::kTrnZero>(src).to_double();
+        break;
+    }
+    EXPECT_DOUBLE_EQ(got, expect)
+        << to_string(q) << " of " << val << " (raw " << raw << ")";
+  }
+}
+
+TEST_P(QuantModeTest, DoubleCtorAgreesWithFixedConversion) {
+  const Quant q = GetParam();
+  for (int raw = -512; raw < 512; ++raw) {
+    const double val = raw / 256.0;
+    fixed<10, 2> src = fixed<10, 2>::from_raw(wide_int<10>(raw));
+    double via_fixed = NAN, via_double = NAN;
+    switch (q) {
+      case Quant::kRnd:
+        via_fixed = fixed<8, 5, Quant::kRnd>(src).to_double();
+        via_double = fixed<8, 5, Quant::kRnd>(val).to_double();
+        break;
+      case Quant::kRndZero:
+        via_fixed = fixed<8, 5, Quant::kRndZero>(src).to_double();
+        via_double = fixed<8, 5, Quant::kRndZero>(val).to_double();
+        break;
+      case Quant::kRndMinInf:
+        via_fixed = fixed<8, 5, Quant::kRndMinInf>(src).to_double();
+        via_double = fixed<8, 5, Quant::kRndMinInf>(val).to_double();
+        break;
+      case Quant::kRndInf:
+        via_fixed = fixed<8, 5, Quant::kRndInf>(src).to_double();
+        via_double = fixed<8, 5, Quant::kRndInf>(val).to_double();
+        break;
+      case Quant::kRndConv:
+        via_fixed = fixed<8, 5, Quant::kRndConv>(src).to_double();
+        via_double = fixed<8, 5, Quant::kRndConv>(val).to_double();
+        break;
+      case Quant::kTrn:
+        via_fixed = fixed<8, 5, Quant::kTrn>(src).to_double();
+        via_double = fixed<8, 5, Quant::kTrn>(val).to_double();
+        break;
+      case Quant::kTrnZero:
+        via_fixed = fixed<8, 5, Quant::kTrnZero>(src).to_double();
+        via_double = fixed<8, 5, Quant::kTrnZero>(val).to_double();
+        break;
+    }
+    EXPECT_DOUBLE_EQ(via_fixed, via_double) << to_string(q) << " of " << val;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, QuantModeTest,
+    ::testing::Values(Quant::kRnd, Quant::kRndZero, Quant::kRndMinInf,
+                      Quant::kRndInf, Quant::kRndConv, Quant::kTrn,
+                      Quant::kTrnZero),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(Quantization, KnownTieCases) {
+  // Value 2.5 quantized to integer grid under each mode.
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRnd>(2.5).to_double()), 3.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndZero>(2.5).to_double()), 2.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndMinInf>(2.5).to_double()), 2.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndInf>(2.5).to_double()), 3.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndConv>(2.5).to_double()), 2.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndConv>(3.5).to_double()), 4.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kTrn>(2.5).to_double()), 2.0);
+  // And at -2.5:
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRnd>(-2.5).to_double()), -2.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndZero>(-2.5).to_double()), -2.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndMinInf>(-2.5).to_double()), -3.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndInf>(-2.5).to_double()), -3.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kRndConv>(-2.5).to_double()), -2.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kTrn>(-2.5).to_double()), -3.0);
+  EXPECT_DOUBLE_EQ((fixed<8, 8, Quant::kTrnZero>(-2.5).to_double()), -2.0);
+}
+
+// -- Overflow modes ----------------------------------------------------------
+
+TEST(Overflow, Saturate) {
+  using Sat = fixed<4, 4, Quant::kTrn, Ovf::kSat>;  // integer range [-8, 7]
+  EXPECT_EQ(Sat(100LL).to_int(), 7);
+  EXPECT_EQ(Sat(-100LL).to_int(), -8);
+  EXPECT_EQ(Sat(7LL).to_int(), 7);
+  EXPECT_EQ(Sat(-8LL).to_int(), -8);
+}
+
+TEST(Overflow, SaturateSymmetric) {
+  using SatSym = fixed<4, 4, Quant::kTrn, Ovf::kSatSym>;
+  EXPECT_EQ(SatSym(-100LL).to_int(), -7);
+  EXPECT_EQ(SatSym(-8LL).to_int(), -7) << "-8 overflows the symmetric range";
+  EXPECT_EQ(SatSym(100LL).to_int(), 7);
+}
+
+TEST(Overflow, SaturateZero) {
+  using SatZ = fixed<4, 4, Quant::kTrn, Ovf::kSatZero>;
+  EXPECT_EQ(SatZ(100LL).to_int(), 0);
+  EXPECT_EQ(SatZ(-100LL).to_int(), 0);
+  EXPECT_EQ(SatZ(5LL).to_int(), 5);
+}
+
+TEST(Overflow, Wrap) {
+  using Wrap = fixed<4, 4, Quant::kTrn, Ovf::kWrap>;
+  EXPECT_EQ(Wrap(8LL).to_int(), -8);
+  EXPECT_EQ(Wrap(17LL).to_int(), 1);
+  EXPECT_EQ(Wrap(-9LL).to_int(), 7);
+}
+
+TEST(Overflow, UnsignedSaturate) {
+  using USat = fixed<4, 4, Quant::kTrn, Ovf::kSat, false>;  // [0, 15]
+  EXPECT_EQ(USat(100LL).to_int(), 15);
+  EXPECT_EQ(USat(-3LL).to_int(), 0);
+}
+
+TEST(Overflow, PaperSlicerMode) {
+  // Figure 4 slicer: (sc_fixed<FFE_W,0,SC_RND_ZERO,SC_SAT>)(y.r() - offset)
+  // then assigned into sc_fixed<3,0>. An out-of-range equalizer output must
+  // clamp to the outermost constellation row, not wrap.
+  using SliceT = fixed<3, 0, Quant::kRndZero, Ovf::kSat>;
+  EXPECT_DOUBLE_EQ(SliceT(0.9).to_double(), 0.375);
+  EXPECT_DOUBLE_EQ(SliceT(-0.9).to_double(), -0.5);
+}
+
+// -- Full-precision arithmetic ------------------------------------------------
+
+TEST(FixedArith, AdditionIsExact) {
+  fixed<8, 3> a(3.96875), b(3.96875);  // max value
+  auto c = a + b;
+  static_assert(decltype(c)::kW == 9 && decltype(c)::kIW == 4);
+  EXPECT_DOUBLE_EQ(c.to_double(), 7.9375);
+}
+
+TEST(FixedArith, MultiplicationIsExact) {
+  fixed<8, 3> a(-4.0), b(-4.0);
+  auto c = a * b;
+  static_assert(decltype(c)::kW == 16 && decltype(c)::kIW == 6);
+  EXPECT_DOUBLE_EQ(c.to_double(), 16.0);
+}
+
+TEST(FixedArith, MixedSignednessPromotion) {
+  ufixed<8, 4> u(15.9375);
+  sfixed<8, 4> s(-8.0);
+  auto c = u + s;
+  static_assert(decltype(c)::kS);
+  EXPECT_DOUBLE_EQ(c.to_double(), 7.9375);
+  auto p = u * s;
+  EXPECT_DOUBLE_EQ(p.to_double(), -127.5);
+}
+
+TEST(FixedArith, RandomizedAgainstDouble) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const int ra = static_cast<int>(rng() % 4096) - 2048;
+    const int rb = static_cast<int>(rng() % 4096) - 2048;
+    fixed<12, 4> a = fixed<12, 4>::from_raw(wide_int<12>(ra));
+    fixed<12, 6> b = fixed<12, 6>::from_raw(wide_int<12>(rb));
+    EXPECT_DOUBLE_EQ((a + b).to_double(), a.to_double() + b.to_double());
+    EXPECT_DOUBLE_EQ((a - b).to_double(), a.to_double() - b.to_double());
+    EXPECT_DOUBLE_EQ((a * b).to_double(), a.to_double() * b.to_double());
+    EXPECT_EQ(a < b, a.to_double() < b.to_double());
+    EXPECT_DOUBLE_EQ((-a).to_double(), -a.to_double());
+  }
+}
+
+TEST(FixedArith, CompoundAccumulateMatchesPaperFilterPattern) {
+  // The FIR accumulation in Figure 4: acc is wider than the products; the
+  // += wraps into acc's own type each step.
+  fixed<11, 1> acc(0LL);  // sc_complex<FFE_W+1,1>-style accumulator (scalar)
+  double ref = 0;
+  std::mt19937_64 rng(5);
+  for (int k = 0; k < 8; ++k) {
+    const int xr = static_cast<int>(rng() % 512) - 256;
+    const int cr = static_cast<int>(rng() % 512) - 256;
+    fixed<10, 0> x = fixed<10, 0>::from_raw(wide_int<10>(xr));
+    fixed<10, 0> c = fixed<10, 0>::from_raw(wide_int<10>(cr));
+    acc += x * c;
+    ref += x.to_double() * c.to_double();
+    // fixed<11,1> has fw=10; products have fw=20 -> truncation may occur.
+    EXPECT_NEAR(acc.to_double(), ref, 8 * std::pow(2.0, -10));
+  }
+}
+
+TEST(FixedArith, ToIntTruncatesTowardZero) {
+  EXPECT_EQ((fixed<8, 4>(3.75).to_int()), 3);
+  EXPECT_EQ((fixed<8, 4>(-3.75).to_int()), -3);
+  EXPECT_EQ((fixed<8, 4>(-0.25).to_int()), 0);
+  EXPECT_EQ((fixed<6, 6>(-17LL).to_int()), -17);
+}
+
+TEST(FixedArith, IntegerMixedOps) {
+  // Figure 4: data_f = r*64 + i*8 with fixed<3,0> r, i.
+  fixed<3, 0> r(-0.5), i(0.375);  // raws -4 and 3
+  auto data_f = fixed<6, 6>(r * 64 + i * 8);
+  // -0.5*64 + 0.375*8 = -32 + 3 = -29; 6-bit wrap keeps -29.
+  EXPECT_EQ(data_f.to_int(), -29);
+}
+
+TEST(FixedArith, ComparisonAcrossFormats) {
+  EXPECT_TRUE((fixed<8, 4>(1.5) == fixed<16, 2>(1.5)));
+  EXPECT_TRUE((fixed<8, 4>(1.25) < fixed<16, 2>(1.5)));
+  EXPECT_TRUE((fixed<8, 4>(-1.25) >= fixed<4, 2>(-1.5)));
+  EXPECT_TRUE((fixed<8, 4>(2.0) == 2));
+  EXPECT_TRUE((fixed<8, 4>(-2.5) < 0));
+}
+
+TEST(Fixed, BitAccessReadBack) {
+  fixed<8, 4> v(0LL);
+  v[7] = 1;  // sign bit => -8.0
+  EXPECT_DOUBLE_EQ(v.to_double(), -8.0);
+  EXPECT_TRUE(v[7]);
+  v[7] = 0;
+  EXPECT_DOUBLE_EQ(v.to_double(), 0.0);
+}
+
+TEST(Fixed, InfAndNanSaturate) {
+  using Sat = fixed<8, 4, Quant::kRnd, Ovf::kSat>;
+  EXPECT_DOUBLE_EQ(Sat(1e30).to_double(), 7.9375);
+  EXPECT_DOUBLE_EQ(Sat(-1e30).to_double(), -8.0);
+  EXPECT_DOUBLE_EQ(Sat(std::numeric_limits<double>::infinity()).to_double(),
+                   7.9375);
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

@@ -1,0 +1,89 @@
+// Tests for the fixpt stream/value helpers: ostream formats, abs, clamp,
+// and caller-precision division.
+#include "fixpt/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+namespace hlsw::fixpt {
+namespace {
+
+TEST(Io, StreamWideInt) {
+  std::ostringstream os;
+  os << wide_int<16>(-1234) << " " << wide_int<80>(7);
+  EXPECT_EQ(os.str(), "-1234 7");
+}
+
+TEST(Io, StreamFixed) {
+  std::ostringstream os;
+  os << fixed<8, 3>(2.5);
+  EXPECT_EQ(os.str(), "2.5");
+}
+
+TEST(Io, StreamComplex) {
+  std::ostringstream os;
+  os << complex_fixed<8, 3>(1.5, -0.25);
+  EXPECT_EQ(os.str(), "1.5-j0.25");
+  std::ostringstream os2;
+  os2 << complex_fixed<8, 3>(0.5, 0.75);
+  EXPECT_EQ(os2.str(), "0.5+j0.75");
+}
+
+TEST(Io, Describe) {
+  EXPECT_EQ(describe(fixed<10, 0>(0.4375)), "0.4375 <10,0>");
+}
+
+TEST(Io, AbsIsExactIncludingMin) {
+  EXPECT_DOUBLE_EQ(abs(fixed<8, 4>(-3.25)).to_double(), 3.25);
+  EXPECT_DOUBLE_EQ(abs(fixed<8, 4>(3.25)).to_double(), 3.25);
+  // |most negative| would overflow the same width; abs grows one bit.
+  EXPECT_DOUBLE_EQ(abs(fixed<8, 4>(-8.0)).to_double(), 8.0);
+}
+
+TEST(Io, Clamp) {
+  const fixed<10, 2> lo(-1.0), hi(1.0);
+  EXPECT_DOUBLE_EQ(clamp(fixed<10, 2>(1.75), lo, hi).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(fixed<10, 2>(-1.75), lo, hi).to_double(), -1.0);
+  EXPECT_DOUBLE_EQ(clamp(fixed<10, 2>(0.25), lo, hi).to_double(), 0.25);
+}
+
+TEST(Io, DivideKnownValues) {
+  const auto q = divide<16, 4>(fixed<10, 2>(1.5), fixed<10, 2>(0.5));
+  EXPECT_DOUBLE_EQ(q.to_double(), 3.0);
+  const auto t = divide<16, 4>(fixed<10, 2>(1.0), fixed<10, 2>(1.5));
+  // 2/3 truncated to 12 fractional bits.
+  EXPECT_NEAR(t.to_double(), 2.0 / 3, std::pow(2.0, -12));
+  EXPECT_LE(t.to_double(), 2.0 / 3);
+}
+
+TEST(Io, DivideSignsTruncateTowardZero) {
+  const auto a = divide<12, 6>(fixed<10, 4>(7.0), fixed<10, 4>(2.0));
+  const auto b = divide<12, 6>(fixed<10, 4>(-7.0), fixed<10, 4>(2.0));
+  const auto c = divide<12, 6>(fixed<10, 4>(7.0), fixed<10, 4>(-2.0));
+  EXPECT_DOUBLE_EQ(a.to_double(), 3.5);
+  EXPECT_DOUBLE_EQ(b.to_double(), -3.5);
+  EXPECT_DOUBLE_EQ(c.to_double(), -3.5);
+}
+
+TEST(Io, DivideRandomizedAgainstDouble) {
+  std::mt19937_64 rng(8);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int ra = static_cast<int>(rng() % 1024) - 512;
+    const int rb = static_cast<int>(rng() % 1024) - 512;
+    if (rb == 0) continue;
+    const auto a = fixed<10, 4>::from_raw(wide_int<10>(ra));
+    const auto b = fixed<10, 4>::from_raw(wide_int<10>(rb));
+    const auto q = divide<24, 10>(a, b);
+    const double expect = a.to_double() / b.to_double();
+    EXPECT_NEAR(q.to_double(), expect, std::pow(2.0, -14) + 1e-12)
+        << ra << "/" << rb;
+    // Truncation toward zero: |q| <= |expect|.
+    EXPECT_LE(std::abs(q.to_double()), std::abs(expect) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

@@ -1,0 +1,161 @@
+// Property tests over the quantization/overflow machinery — the invariants
+// every rounding mode must satisfy regardless of width combination:
+//
+//   * bounded error: |Q(x) - x| < 1 ulp (truncation) or <= 1/2 ulp
+//     (round-to-nearest), when x is in range;
+//   * idempotence: re-converting a converted value changes nothing;
+//   * monotonicity: x <= y implies Q(x) <= Q(y) for saturating modes;
+//   * saturation clamps exactly to the representable extremes;
+//   * WRAP is exact arithmetic modulo 2^W.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fixpt/fixed.h"
+
+namespace hlsw::fixpt {
+namespace {
+
+template <Quant Q, Ovf O>
+void check_properties() {
+  using Src = fixed<14, 4>;   // fw = 10
+  using Dst = fixed<9, 4, Q, O>;  // fw = 5: drops 5 bits
+  const double ulp = std::pow(2.0, -5);
+  const double dst_max = Dst::from_raw(wide_int<9>(255)).to_double();
+  // SAT_SYM's legal range is symmetric: min = -max.
+  const double dst_min = O == Ovf::kSatSym
+                             ? -dst_max
+                             : Dst::from_raw(wide_int<9>(-256)).to_double();
+
+  std::mt19937_64 rng(static_cast<uint64_t>(static_cast<int>(Q)) * 31 +
+                      static_cast<uint64_t>(static_cast<int>(O)));
+  double prev_in = -1e9, prev_out = -1e9;
+  bool have_prev = false;
+  for (int raw = -8192; raw < 8192; raw += 3) {
+    const Src s = Src::from_raw(wide_int<14>(raw));
+    const Dst d(s);
+    const double x = s.to_double();
+    const double q = d.to_double();
+
+    const bool in_range = x <= dst_max + ulp / 2 && x >= dst_min - ulp / 2;
+    if (in_range && x <= dst_max && x >= dst_min) {
+      // Bounded error.
+      const bool nearest = Q != Quant::kTrn && Q != Quant::kTrnZero;
+      EXPECT_LE(std::abs(q - x), nearest ? ulp / 2 + 1e-12 : ulp - 1e-12)
+          << "mode " << to_string(Q) << " raw " << raw;
+      // Idempotence.
+      EXPECT_DOUBLE_EQ(Dst(d).to_double(), q);
+    }
+    // Monotonicity for clamping modes (WRAP legitimately wraps and
+    // SAT_ZERO legitimately jumps to zero on overflow).
+    if (O != Ovf::kWrap && O != Ovf::kSatZero && have_prev) {
+      EXPECT_LE(prev_out, q + 1e-12)
+          << "mode " << to_string(Q) << "/" << to_string(O) << ": Q("
+          << prev_in << ")=" << prev_out << " > Q(" << x << ")=" << q;
+    }
+    prev_in = x;
+    prev_out = q;
+    have_prev = true;
+  }
+
+  // Saturation extremes.
+  if (O == Ovf::kSat) {
+    EXPECT_DOUBLE_EQ(Dst(Src(7.96875)).to_double(), dst_max);
+    EXPECT_DOUBLE_EQ(Dst(Src(-8.0)).to_double(), dst_min);
+  }
+}
+
+TEST(QuantProperty, AllModeCombinations) {
+  check_properties<Quant::kRnd, Ovf::kSat>();
+  check_properties<Quant::kRndZero, Ovf::kSat>();
+  check_properties<Quant::kRndMinInf, Ovf::kSat>();
+  check_properties<Quant::kRndInf, Ovf::kSat>();
+  check_properties<Quant::kRndConv, Ovf::kSat>();
+  check_properties<Quant::kTrn, Ovf::kSat>();
+  check_properties<Quant::kTrnZero, Ovf::kSat>();
+  check_properties<Quant::kRnd, Ovf::kWrap>();
+  check_properties<Quant::kTrn, Ovf::kWrap>();
+  check_properties<Quant::kRnd, Ovf::kSatZero>();
+  check_properties<Quant::kRnd, Ovf::kSatSym>();
+}
+
+TEST(QuantProperty, WrapIsExactModulo) {
+  // WRAP: Q(x) === x (mod 2^IW-range) at the destination scale, after
+  // truncation of the dropped bits.
+  using Src = fixed<16, 8>;
+  using Dst = fixed<8, 8, Quant::kTrn, Ovf::kWrap>;  // integers mod 256
+  std::mt19937_64 rng(3);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int raw = static_cast<int>(rng() % 65536) - 32768;
+    const Src s = Src::from_raw(wide_int<16>(raw));
+    const Dst d(s);
+    const long long floor_x =
+        static_cast<long long>(std::floor(s.to_double()));
+    long long wrapped = ((floor_x % 256) + 256 + 128) % 256 - 128;
+    EXPECT_EQ(d.to_int(), wrapped) << "raw " << raw;
+  }
+}
+
+TEST(QuantProperty, TruncationNeverIncreasesMagnitudeTowardZero) {
+  // kTrnZero: |Q(x)| <= |x| always (it truncates toward zero).
+  using Src = fixed<14, 4>;
+  using Dst = fixed<9, 4, Quant::kTrnZero, Ovf::kSat>;
+  for (int raw = -8192; raw < 8192; raw += 7) {
+    const Src s = Src::from_raw(wide_int<14>(raw));
+    const Dst d(s);
+    EXPECT_LE(std::abs(d.to_double()), std::abs(s.to_double()) + 1e-12)
+        << "raw " << raw;
+  }
+}
+
+TEST(QuantProperty, RoundConvIsTieFreeUnbiased) {
+  // Over all exact ties, RND_CONV rounds half of them up and half down
+  // (ties-to-even): the mean tie error is zero.
+  using Src = fixed<12, 4>;  // fw 8
+  using Dst = fixed<8, 4, Quant::kRndConv, Ovf::kSat>;  // fw 4: tie at 8
+  double sum_err = 0;
+  int ties = 0;
+  // Stay inside [-4, 4): no saturation at the extremes, and an equal count
+  // of odd and even kept-LSBs so the cancellation is exact.
+  for (int raw = -1024; raw < 1024; ++raw) {
+    if ((raw & 15) != 8) continue;  // exact half-ulp ties only
+    const Src s = Src::from_raw(wide_int<12>(raw));
+    const Dst d(s);
+    sum_err += d.to_double() - s.to_double();
+    ++ties;
+  }
+  ASSERT_GT(ties, 100);
+  EXPECT_NEAR(sum_err / ties, 0.0, 1e-12)
+      << "convergent rounding must be unbiased on ties";
+}
+
+TEST(QuantProperty, RndIsBiasedOnTiesButTrnIsBiasedEverywhere) {
+  // The bias ranking that matters for LMS accumulators (finding F4-bias):
+  // TRN has a -1/2 ulp mean error, RND only biases on exact ties, RND_CONV
+  // has no tie bias at all.
+  using Src = fixed<12, 4>;
+  auto mean_err = [](auto dst_tag) {
+    using Dst = decltype(dst_tag);
+    double sum = 0;
+    int n = 0;
+    for (int raw = -2048; raw < 2048; ++raw) {
+      const Src s = Src::from_raw(wide_int<12>(raw));
+      const Dst d(s);
+      sum += d.to_double() - s.to_double();
+      ++n;
+    }
+    return sum / n;
+  };
+  const double ulp = std::pow(2.0, -4);
+  const double e_trn = mean_err(fixed<8, 4, Quant::kTrn, Ovf::kSat>{});
+  const double e_rnd = mean_err(fixed<8, 4, Quant::kRnd, Ovf::kSat>{});
+  const double e_conv = mean_err(fixed<8, 4, Quant::kRndConv, Ovf::kSat>{});
+  EXPECT_NEAR(e_trn, -ulp / 2 * (15.0 / 16), ulp / 8)
+      << "truncation bias ~ -ulp/2";
+  EXPECT_LT(std::abs(e_rnd), std::abs(e_trn) / 4);
+  EXPECT_LT(std::abs(e_conv), std::abs(e_rnd) + 1e-12);
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

@@ -1,0 +1,304 @@
+// Unit and property tests for wide_int: cross-checked against native
+// __int128 arithmetic on randomized operands, plus targeted tests for
+// multi-limb (>64 bit) behaviour, canonical form, and string conversion.
+#include "fixpt/wide_int.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+#include <random>
+
+namespace hlsw::fixpt {
+namespace {
+
+TEST(WideInt, ConstructAndRoundTripSmall) {
+  EXPECT_EQ(wide_int<8>(0).to_int64(), 0);
+  EXPECT_EQ(wide_int<8>(127).to_int64(), 127);
+  EXPECT_EQ(wide_int<8>(-128).to_int64(), -128);
+  EXPECT_EQ(wide_int<8>(-1).to_int64(), -1);
+  EXPECT_EQ(wide_int<1>(1).to_int64(), -1) << "1-bit signed: 1 wraps to -1";
+  EXPECT_EQ((wide_int<1, false>(1).to_uint64()), 1u);
+}
+
+TEST(WideInt, WrapsModuloWidth) {
+  EXPECT_EQ(wide_int<8>(128).to_int64(), -128);
+  EXPECT_EQ(wide_int<8>(256).to_int64(), 0);
+  EXPECT_EQ(wide_int<8>(257).to_int64(), 1);
+  EXPECT_EQ((wide_int<6, false>(64).to_uint64()), 0u);
+  EXPECT_EQ((wide_int<6, false>(65).to_uint64()), 1u);
+  EXPECT_EQ((wide_int<6, false>(-1).to_uint64()), 63u);
+}
+
+TEST(WideInt, ConversionPreservesValueWhenWideEnough) {
+  wide_int<10> a(-300);
+  wide_int<32> b(a);
+  EXPECT_EQ(b.to_int64(), -300);
+  wide_int<100> c(a);
+  EXPECT_EQ(c.to_int64(), -300);
+  EXPECT_TRUE(c.is_neg());
+}
+
+TEST(WideInt, UnsignedToSignedConversion) {
+  wide_int<8, false> u(200);
+  wide_int<16, true> s(u);
+  EXPECT_EQ(s.to_int64(), 200) << "zero extension from unsigned";
+  wide_int<8, true> narrow(u);
+  EXPECT_EQ(narrow.to_int64(), -56) << "same-width reinterpretation wraps";
+}
+
+TEST(WideInt, AdditionGrowsByOneBit) {
+  wide_int<8> a(127), b(127);
+  auto c = a + b;
+  static_assert(decltype(c)::kWidth == 9);
+  EXPECT_EQ(c.to_int64(), 254);
+}
+
+TEST(WideInt, MixedSignAdditionPromotes) {
+  wide_int<8, false> u(255);
+  wide_int<8, true> s(-128);
+  auto c = u + s;
+  static_assert(decltype(c)::kSigned);
+  static_assert(decltype(c)::kWidth == 10);
+  EXPECT_EQ(c.to_int64(), 127);
+}
+
+TEST(WideInt, MultiplicationFullPrecision) {
+  wide_int<8> a(-128), b(-128);
+  auto c = a * b;
+  static_assert(decltype(c)::kWidth == 16);
+  EXPECT_EQ(c.to_int64(), 16384);
+}
+
+TEST(WideInt, UnaryMinusOfMostNegativeIsExact) {
+  wide_int<8> a(-128);
+  auto b = -a;
+  static_assert(decltype(b)::kWidth == 9);
+  EXPECT_EQ(b.to_int64(), 128);
+}
+
+TEST(WideInt, MultiLimbShiftAndBits) {
+  wide_int<130> a(1);
+  a <<= 100;
+  EXPECT_TRUE(a.bit(100));
+  EXPECT_FALSE(a.bit(99));
+  EXPECT_FALSE(a.bit(101));
+  a >>= 37;
+  EXPECT_TRUE(a.bit(63));
+  EXPECT_EQ(a.min_width(), 65);
+}
+
+TEST(WideInt, ArithmeticShiftRightPropagatesSign) {
+  wide_int<100> a(-1);
+  a <<= 90;  // -2^90
+  a >>= 95;
+  EXPECT_EQ(a.to_int64(), -1) << "shifting a negative past its msb gives -1";
+}
+
+TEST(WideInt, MultiLimbMultiplication) {
+  // (2^70 + 3) * (2^70 - 3) == 2^140 - 9
+  wide_int<80> p70(1);
+  p70 <<= 70;
+  auto a = p70 + wide_int<3>(3);
+  auto b = p70 - wide_int<3>(3);
+  auto prod = a * b;
+  wide_int<170> expect(1);
+  expect <<= 140;
+  expect -= wide_int<5>(9);
+  EXPECT_EQ(prod.compare(expect), 0);
+}
+
+TEST(WideInt, ToStringDecimal) {
+  EXPECT_EQ(wide_int<8>(0).to_string(), "0");
+  EXPECT_EQ(wide_int<8>(-128).to_string(), "-128");
+  EXPECT_EQ(wide_int<64>(1234567890123456789LL).to_string(),
+            "1234567890123456789");
+  wide_int<130> big(1);
+  big <<= 100;
+  EXPECT_EQ(big.to_string(), "1267650600228229401496703205376");  // 2^100
+}
+
+TEST(WideInt, ToHexString) {
+  EXPECT_EQ(wide_int<16>(0x1a2b).to_hex_string(), "0x1a2b");
+  EXPECT_EQ(wide_int<8>(0).to_hex_string(), "0x0");
+}
+
+TEST(WideInt, FromDoubleTruncatesTowardZero) {
+  EXPECT_EQ(wide_int<32>::from_double(3.9).to_int64(), 3);
+  EXPECT_EQ(wide_int<32>::from_double(-3.9).to_int64(), -3);
+  EXPECT_EQ(wide_int<96>::from_double(std::ldexp(1.0, 80)).to_string(),
+            "1208925819614629174706176");  // 2^80
+}
+
+TEST(WideInt, ToDoubleLarge) {
+  wide_int<130> a(1);
+  a <<= 100;
+  EXPECT_DOUBLE_EQ(a.to_double(), std::ldexp(1.0, 100));
+  EXPECT_DOUBLE_EQ(wide_int<130>(-a).to_double(), -std::ldexp(1.0, 100));
+}
+
+TEST(WideInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((wide_int<16>(7) / wide_int<16>(2)).to_int64(), 3);
+  EXPECT_EQ((wide_int<16>(-7) / wide_int<16>(2)).to_int64(), -3);
+  EXPECT_EQ((wide_int<16>(7) / wide_int<16>(-2)).to_int64(), -3);
+  EXPECT_EQ((wide_int<16>(-7) / wide_int<16>(-2)).to_int64(), 3);
+  EXPECT_EQ((wide_int<16>(7) % wide_int<16>(2)).to_int64(), 1);
+  EXPECT_EQ((wide_int<16>(-7) % wide_int<16>(2)).to_int64(), -1);
+}
+
+TEST(WideInt, SliceExtraction) {
+  wide_int<32> v(0x12345678);
+  EXPECT_EQ((v.slc<8>(8).to_uint64()), 0x56u);
+  EXPECT_EQ((v.slc<16>(16).to_uint64()), 0x1234u);
+  auto sl = v.slc<4, true>(4);  // nibble 7 -> signed -> -9
+  EXPECT_EQ(sl.to_int64(), 7);
+}
+
+TEST(WideInt, BitwiseOps) {
+  wide_int<12, false> a(0xF0F), b(0x0FF);
+  EXPECT_EQ((a & b).to_uint64(), 0x00Fu);
+  EXPECT_EQ((a | b).to_uint64(), 0xFFFu);
+  EXPECT_EQ((a ^ b).to_uint64(), 0xFF0u);
+  EXPECT_EQ((~a).to_uint64(), 0x0F0u);
+}
+
+TEST(WideInt, MinWidth) {
+  EXPECT_EQ(wide_int<32>(0).min_width(), 1);
+  EXPECT_EQ(wide_int<32>(1).min_width(), 2);
+  EXPECT_EQ(wide_int<32>(-1).min_width(), 1);
+  EXPECT_EQ(wide_int<32>(-2).min_width(), 2);
+  EXPECT_EQ(wide_int<32>(127).min_width(), 8);
+  EXPECT_EQ(wide_int<32>(-128).min_width(), 8);
+  EXPECT_EQ((wide_int<32, false>(255).min_width()), 8);
+}
+
+TEST(WideInt, ComparisonAcrossWidths) {
+  EXPECT_TRUE(wide_int<8>(-5) < wide_int<100>(3));
+  EXPECT_TRUE(wide_int<100>(3) > wide_int<8>(-5));
+  EXPECT_TRUE((wide_int<8, false>(200) > wide_int<16, true>(100)));
+  EXPECT_TRUE(wide_int<8>(5) == wide_int<64>(5));
+  EXPECT_TRUE(wide_int<8>(5) == 5);
+  EXPECT_TRUE(wide_int<8>(-5) < 0);
+}
+
+// Randomized property check against __int128 for widths that fit.
+class WideIntRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(WideIntRandom, MatchesInt128Reference) {
+  const int bits = GetParam();
+  std::mt19937_64 rng(0xC0FFEE + bits);
+  auto draw = [&]() -> long long {
+    const uint64_t raw = rng();
+    // Random value within `bits` bits, signed.
+    const long long v = static_cast<long long>(raw);
+    return v >> (64 - bits);
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    const long long a = draw(), b = draw();
+    const wide_int<40> wa(a), wb(b);
+    EXPECT_EQ((wa + wb).to_int64(), a + b);
+    EXPECT_EQ((wa - wb).to_int64(), a - b);
+    const __int128 prod = static_cast<__int128>(a) * b;
+    EXPECT_EQ((wa * wb).to_int64(), static_cast<long long>(prod));
+    if (b != 0) {
+      EXPECT_EQ((wa / wb).to_int64(), a / b);
+      EXPECT_EQ((wa % wb).to_int64(), a % b);
+    }
+    EXPECT_EQ(wa < wb, a < b);
+    const int sh = static_cast<int>(rng() % 17);
+    EXPECT_EQ((wa >> sh).to_int64(), a >> sh);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WideIntRandom,
+                         ::testing::Values(8, 12, 17, 24, 31, 40));
+
+// Multi-limb randomized check: verify a*b via reconstruction from halves.
+TEST(WideIntRandom, MultiLimbMulMatchesSchoolbookReference) {
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 500; ++iter) {
+    const uint64_t a_lo = rng(), a_hi = rng() >> 32;  // 96-bit operand
+    const uint64_t b_lo = rng(), b_hi = rng() >> 32;
+    wide_int<96, false> a(a_lo);
+    wide_int<96, false> hi_part(a_hi);
+    hi_part <<= 64;
+    a += hi_part;
+    wide_int<96, false> b(b_lo);
+    wide_int<96, false> bh(b_hi);
+    bh <<= 64;
+    b += bh;
+    auto p = a * b;  // 192 bits, exact
+    // Reference: (a_hi*2^64 + a_lo)(b_hi*2^64 + b_lo) recomposed limb-wise.
+    auto part = [&](uint64_t x, uint64_t y, int shift) {
+      wide_int<192, false> t(wide_int<64, false>(x) * wide_int<64, false>(y));
+      t <<= shift;
+      return t;
+    };
+    wide_int<192, false> ref(0);
+    ref += part(a_lo, b_lo, 0);
+    ref += part(a_hi, b_lo, 64);
+    ref += part(a_lo, b_hi, 64);
+    ref += part(a_hi, b_hi, 128);
+    EXPECT_EQ(p.compare(ref), 0) << "iter " << iter;
+  }
+}
+
+TEST(WideIntRandom, StringRoundTripViaDouble) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const long long v = static_cast<long long>(rng()) >> 20;
+    EXPECT_EQ(wide_int<50>(v).to_string(), std::to_string(v));
+  }
+}
+
+TEST(WideIntEdge, ShiftByZeroAndBeyondWidth) {
+  wide_int<20> v(-12345);
+  EXPECT_EQ((v << 0).to_int64(), -12345);
+  EXPECT_EQ((v >> 0).to_int64(), -12345);
+  EXPECT_EQ((v << 64).to_int64(), 0) << "shift past width clears";
+  EXPECT_EQ((v >> 64).to_int64(), -1) << "arithmetic shift saturates to sign";
+  wide_int<20, false> u(12345);
+  EXPECT_EQ((u >> 64).to_uint64(), 0u) << "logical shift clears unsigned";
+}
+
+TEST(WideIntEdge, DivisionOfMostNegative) {
+  // |INT_MIN| is representable because the quotient grows one bit.
+  wide_int<8> min8(-128);
+  EXPECT_EQ((min8 / wide_int<8>(-1)).to_int64(), 128);
+  EXPECT_EQ((min8 / wide_int<8>(1)).to_int64(), -128);
+  EXPECT_EQ((min8 % wide_int<8>(-1)).to_int64(), 0);
+}
+
+TEST(WideIntEdge, CompareEqualValuesAcrossSignedness) {
+  EXPECT_TRUE((wide_int<8, false>(127) == wide_int<8, true>(127)));
+  EXPECT_FALSE((wide_int<8, false>(128) == wide_int<8, true>(-128)))
+      << "value comparison, not bit-pattern comparison";
+  EXPECT_TRUE((wide_int<8, false>(128) > wide_int<8, true>(-128)));
+}
+
+TEST(WideIntEdge, MinWidthRoundTripsThroughNarrowing) {
+  // Any value narrowed to its own min_width and widened back is unchanged.
+  std::mt19937_64 rng(55);
+  for (int iter = 0; iter < 500; ++iter) {
+    const long long v = static_cast<long long>(rng()) >> (rng() % 40 + 20);
+    const wide_int<48> w(v);
+    const int mw = w.min_width();
+    // Narrow via slc into exactly mw bits (signed), then widen.
+    ASSERT_LE(mw, 48);
+    const auto narrowed = w.slc<48, true>(0);  // same width sanity
+    EXPECT_EQ(narrowed.to_int64(), v);
+    // Represent in min width using a runtime check: value must fit.
+    const long long hi = (1LL << (mw - 1)) - 1;
+    const long long lo = mw >= 63 ? LLONG_MIN : -(1LL << (mw - 1));
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(WideIntEdge, DumpAndHexStable) {
+  EXPECT_EQ(wide_int<12>(-1).to_hex_string(), "0xfff");
+  EXPECT_EQ((wide_int<12, false>(0xABC).to_hex_string()), "0xabc");
+}
+
+}  // namespace
+}  // namespace hlsw::fixpt

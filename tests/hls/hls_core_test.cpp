@@ -1,0 +1,256 @@
+// Core HLS IR tests: builder type promotion, the runtime fixed-point
+// conversion (cross-checked bit-for-bit against the static fixpt::fixed
+// datatype), and interpreter execution semantics including statics,
+// guards, and port handling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fixpt/complex_fixed.h"
+#include "hls/builder.h"
+#include "hls/interp.h"
+
+namespace hlsw::hls {
+namespace {
+
+using fixpt::Ovf;
+using fixpt::Quant;
+
+// -- fx_convert vs the static datatype ---------------------------------------
+
+template <int W, int IW, Quant Q, Ovf O>
+void check_convert_agreement(int src_w, int src_iw) {
+  std::mt19937_64 rng(static_cast<uint64_t>(W * 131 + IW * 17 + src_w));
+  const FxType dst{W, IW, true, false, Q, O};
+  for (int iter = 0; iter < 400; ++iter) {
+    const long long raw =
+        static_cast<long long>(rng()) >> (64 - src_w);  // src_w-bit value
+    // Static path: fixed<src_w, src_iw> -> fixed<W, IW, Q, O>.
+    using Src = fixpt::fixed<20, 8>;  // fixed format for src_w=20, src_iw=8
+    static_assert(Src::kW == 20);
+    (void)src_iw;
+    const Src s = Src::from_raw(fixpt::wide_int<20>(raw));
+    const fixpt::fixed<W, IW, Q, O> expect(s);
+    // Runtime path.
+    const __int128 got = fx_convert_component(raw, Src::kFW, dst);
+    EXPECT_EQ(static_cast<long long>(got), expect.raw().to_int64())
+        << "raw=" << raw << " dst=" << dst.to_string();
+  }
+}
+
+TEST(FxConvert, AgreesWithStaticFixedAllModes) {
+  check_convert_agreement<8, 3, Quant::kRnd, Ovf::kSat>(20, 8);
+  check_convert_agreement<8, 3, Quant::kRndZero, Ovf::kSat>(20, 8);
+  check_convert_agreement<8, 3, Quant::kRndMinInf, Ovf::kWrap>(20, 8);
+  check_convert_agreement<8, 3, Quant::kRndInf, Ovf::kSatZero>(20, 8);
+  check_convert_agreement<8, 3, Quant::kRndConv, Ovf::kSatSym>(20, 8);
+  check_convert_agreement<8, 3, Quant::kTrn, Ovf::kWrap>(20, 8);
+  check_convert_agreement<8, 3, Quant::kTrnZero, Ovf::kSat>(20, 8);
+  check_convert_agreement<12, 12, Quant::kRnd, Ovf::kSat>(20, 8);
+  check_convert_agreement<16, 2, Quant::kTrn, Ovf::kWrap>(20, 8);
+}
+
+TEST(FxConvert, WideningIsExact) {
+  const FxType dst{20, 4, true, false, Quant::kRnd, Ovf::kSat};
+  EXPECT_EQ(static_cast<long long>(fx_convert_component(-37, 4, dst)),
+            -37LL << 12);
+}
+
+// -- Builder type promotion ----------------------------------------------------
+
+TEST(Builder, PromotionMirrorsFixedTemplates) {
+  const FxType a = fx(10, 0), b = fx(10, 0);
+  const FxType s = promote_add(a, b);
+  EXPECT_EQ(s.w, 11);
+  EXPECT_EQ(s.iw, 1);
+  const FxType m = promote_mul(a, b);
+  EXPECT_EQ(m.w, 20);
+  EXPECT_EQ(m.iw, 0);
+  // Complex x complex grows one extra bit for the cross add.
+  const FxType cm = promote_mul(cfx(10, 0), cfx(10, 0));
+  EXPECT_EQ(cm.w, 21);
+  EXPECT_EQ(cm.iw, 1);
+  EXPECT_TRUE(cm.cplx);
+  // Mixed signedness: unsigned operand needs one more integer bit.
+  FxType u = fx(8, 4);
+  u.sgn = false;
+  const FxType mixed = promote_add(u, fx(8, 4));
+  EXPECT_EQ(mixed.iw, 6);
+  EXPECT_TRUE(mixed.sgn);
+}
+
+// -- Interpreter ----------------------------------------------------------------
+
+// Builds sum = Σ x[k]*c[k] over 8 taps: the ffe loop of Figure 4 in scalar
+// form.
+Function make_dot8() {
+  FunctionBuilder fb("dot8");
+  const int x = fb.add_array("x", 8, fx(10, 0), false, PortDir::kIn);
+  const int c = fb.add_array("c", 8, fx(10, 0), false, PortDir::kIn);
+  const int acc = fb.add_var("acc", fx(24, 4), false, PortDir::kOut);
+  {
+    auto b0 = fb.block("init");
+    const int zero = b0.cnst(fx(24, 4), 0.0);
+    b0.var_write(acc, zero);
+  }
+  {
+    auto body = fb.loop("mac", 8);
+    const int xv = body.array_read(x, {1, 0});
+    const int cv = body.array_read(c, {1, 0});
+    const int p = body.mul(xv, cv);
+    const int a = body.var_read(acc);
+    const int s = body.add(a, p);
+    body.var_write(acc, s);
+  }
+  return fb.build();
+}
+
+PortIo dot8_inputs(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  PortIo io;
+  auto randvec = [&] {
+    std::vector<FxValue> v(8);
+    for (auto& e : v) {
+      e.fw = 10;
+      e.re = static_cast<int>(rng() % 1024) - 512;
+    }
+    return v;
+  };
+  io.arrays["x"] = randvec();
+  io.arrays["c"] = randvec();
+  return io;
+}
+
+TEST(Interp, DotProductMatchesReference) {
+  Function f = make_dot8();
+  Interpreter in(f);
+  const PortIo io = dot8_inputs(7);
+  const PortIo out = in.run(io);
+  double ref = 0;
+  for (int k = 0; k < 8; ++k)
+    ref += io.arrays.at("x")[static_cast<size_t>(k)].re_double() *
+           io.arrays.at("c")[static_cast<size_t>(k)].re_double();
+  EXPECT_DOUBLE_EQ(out.vars.at("acc").re_double(), ref)
+      << "24-bit accumulator holds the exact 20+3 bit sum";
+}
+
+TEST(Interp, StaticsPersistAcrossInvocations) {
+  FunctionBuilder fb("counter");
+  const int n = fb.add_var("n", fx(16, 16), true, PortDir::kOut);
+  auto b = fb.block("inc");
+  const int one = b.cnst(fx(16, 16), 1.0);
+  const int v = b.var_read(n);
+  const int s = b.add(v, one);
+  b.var_write(n, s);
+  Function f = fb.build();
+  Interpreter in(f);
+  PortIo empty;
+  EXPECT_EQ(static_cast<long long>(in.run(empty).vars.at("n").re), 1);
+  EXPECT_EQ(static_cast<long long>(in.run(empty).vars.at("n").re), 2);
+  EXPECT_EQ(static_cast<long long>(in.run(empty).vars.at("n").re), 3);
+  in.reset();
+  EXPECT_EQ(static_cast<long long>(in.run(empty).vars.at("n").re), 1);
+}
+
+TEST(Interp, GuardsSuppressExecution) {
+  FunctionBuilder fb("guarded");
+  const int n = fb.add_var("n", fx(16, 16), false, PortDir::kOut);
+  {
+    auto b0 = fb.block("init");
+    b0.var_write(n, b0.cnst(fx(16, 16), 0.0));
+  }
+  {
+    auto body = fb.loop("l", 10);
+    const int one = body.cnst(fx(16, 16), 1.0);
+    const int v = body.var_read(n);
+    const int s = body.add(v, one);
+    body.var_write(n, s);
+  }
+  // Guard the whole body to the first 4 iterations.
+  Function f = fb.build();
+  for (Op& op : f.regions[1].loop.body.ops) op.guard_trip = 4;
+  Interpreter in(f);
+  PortIo empty;
+  EXPECT_EQ(static_cast<long long>(in.run(empty).vars.at("n").re), 4);
+}
+
+TEST(Interp, ComplexMultiplyMatchesComplexFixed) {
+  FunctionBuilder fb("cmul");
+  const int a = fb.add_var("a", cfx(10, 0), false, PortDir::kIn);
+  const int b_ = fb.add_var("b", cfx(10, 0), false, PortDir::kIn);
+  const int p = fb.add_var("p", cfx(21, 1), false, PortDir::kOut);
+  auto blk = fb.block("main");
+  blk.var_write(p, blk.mul(blk.var_read(a), blk.var_read(b_)));
+  Function f = fb.build();
+  Interpreter in(f);
+  std::mt19937_64 rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    PortIo io;
+    const int ar = static_cast<int>(rng() % 1024) - 512;
+    const int ai = static_cast<int>(rng() % 1024) - 512;
+    const int br = static_cast<int>(rng() % 1024) - 512;
+    const int bi = static_cast<int>(rng() % 1024) - 512;
+    io.vars["a"] = FxValue{ar, ai, 10, true};
+    io.vars["b"] = FxValue{br, bi, 10, true};
+    const PortIo out = in.run(io);
+    using CF = fixpt::complex_fixed<10, 0>;
+    const CF ca(fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(ar)),
+                fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(ai)));
+    const CF cb(fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(br)),
+                fixpt::fixed<10, 0>::from_raw(fixpt::wide_int<10>(bi)));
+    const auto prod = ca * cb;
+    EXPECT_EQ(static_cast<long long>(out.vars.at("p").re),
+              prod.r().raw().to_int64());
+    EXPECT_EQ(static_cast<long long>(out.vars.at("p").im),
+              prod.i().raw().to_int64());
+  }
+}
+
+TEST(Interp, SignConjMatchesComplexFixed) {
+  FunctionBuilder fb("sc");
+  const int a = fb.add_var("a", cfx(10, 0), false, PortDir::kIn);
+  const int s = fb.add_var("s", cfx(2, 2), false, PortDir::kOut);
+  auto blk = fb.block("main");
+  blk.var_write(s, blk.sign_conj(blk.var_read(a)));
+  Function f = fb.build();
+  Interpreter in(f);
+  for (int quad = 0; quad < 4; ++quad) {
+    PortIo io;
+    io.vars["a"] = FxValue{quad & 1 ? -100 : 100, quad & 2 ? -100 : 100, 10,
+                           true};
+    const PortIo out = in.run(io);
+    EXPECT_EQ(static_cast<long long>(out.vars.at("s").re), quad & 1 ? -1 : 1);
+    EXPECT_EQ(static_cast<long long>(out.vars.at("s").im), quad & 2 ? 1 : -1);
+  }
+}
+
+TEST(Interp, OutOfBoundsArrayAccessThrows) {
+  FunctionBuilder fb("oob");
+  const int x = fb.add_array("x", 4, fx(8, 0));
+  auto body = fb.loop("l", 8);
+  body.array_read(x, {1, 0});  // k reaches 7 > 3
+  Function f = fb.build();
+  Interpreter in(f);
+  PortIo empty;
+  EXPECT_THROW(in.run(empty), std::out_of_range);
+}
+
+TEST(Interp, MissingInputPortThrows) {
+  Function f = make_dot8();
+  Interpreter in(f);
+  PortIo incomplete;
+  incomplete.arrays["x"] = std::vector<FxValue>(8);
+  EXPECT_THROW(in.run(incomplete), std::invalid_argument);
+}
+
+TEST(Ir, DumpContainsStructure) {
+  Function f = make_dot8();
+  const std::string d = f.dump();
+  EXPECT_NE(d.find("function dot8"), std::string::npos);
+  EXPECT_NE(d.find("loop mac trip=8"), std::string::npos);
+  EXPECT_NE(d.find("array x[8]"), std::string::npos);
+  EXPECT_NE(d.find("mul"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsw::hls

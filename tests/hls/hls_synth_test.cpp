@@ -1,0 +1,485 @@
+// Tests for the synthesis side of the HLS engine: unrolling and merging
+// (semantics + legality analysis), scheduling rules (chaining, the
+// array-commit cycle boundary, resource constraints, pipelining), binding
+// and the bitwidth-reduction pass.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fixpt/bitwidth.h"
+#include "hls/bitwidth_pass.h"
+#include "hls/builder.h"
+#include "hls/interp.h"
+#include "hls/report.h"
+
+namespace hlsw::hls {
+namespace {
+
+using fixpt::Ovf;
+using fixpt::Quant;
+
+// A two-loop function: MAC over x/c, then a shift of x — a miniature of
+// Figure 4's structure with the same dependence patterns.
+Function make_mac_shift(int taps = 8) {
+  FunctionBuilder fb("mac_shift");
+  const int xin = fb.add_var("x_in", fx(10, 0), false, PortDir::kIn);
+  const int x = fb.add_array("x", taps, fx(10, 0), true);
+  const int c = fb.add_array("c", taps, fx(10, 0), true);
+  const int acc = fb.add_var("acc", fx(26, 6), false, PortDir::kOut);
+  {
+    auto b0 = fb.block("in");
+    b0.array_write(x, {0, 0}, b0.var_read(xin));
+    b0.var_write(acc, b0.cnst(fx(26, 6), 0.0));
+  }
+  {
+    auto mac = fb.loop("mac", taps);
+    const int p = mac.mul(mac.array_read(x, {1, 0}), mac.array_read(c, {1, 0}));
+    mac.var_write(acc, mac.add(mac.var_read(acc), p));
+  }
+  {
+    // shift: for k = taps-2 .. 0 descending: x[k+1] = x[k].
+    // Canonical ascending k' with source k = taps-2-k'.
+    auto sh = fb.loop("shift", taps - 1);
+    const int v = sh.array_read(x, {-1, taps - 2});
+    sh.array_write(x, {-1, taps - 1}, v);
+  }
+  return fb.build();
+}
+
+PortIo mac_inputs(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  PortIo io;
+  io.vars["x_in"] = FxValue{static_cast<int>(rng() % 1024) - 512, 0, 10, false};
+  return io;
+}
+
+// Runs `n` invocations and returns the sequence of acc outputs.
+std::vector<long long> run_sequence(const Function& f, int n) {
+  Interpreter in(f);
+  // Seed the coefficient array state once (statics persist).
+  std::vector<long long> out;
+  for (int i = 0; i < n; ++i) {
+    const PortIo o = in.run(mac_inputs(100 + static_cast<uint64_t>(i)));
+    out.push_back(static_cast<long long>(o.vars.at("acc").re));
+  }
+  return out;
+}
+
+// -- Unrolling -----------------------------------------------------------------
+
+class UnrollFactor : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnrollFactor, PreservesSemanticsOnMacShift) {
+  const int u = GetParam();
+  Function base = make_mac_shift();
+  Directives dir;
+  dir.loops["mac"].unroll = u;
+  dir.loops["shift"].unroll = u;
+  TransformResult t = apply_transforms(base, dir);
+  EXPECT_TRUE(t.warnings.empty());
+  EXPECT_EQ(run_sequence(base, 12), run_sequence(t.func, 12))
+      << "unroll=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollFactor, ::testing::Values(2, 3, 4, 8));
+
+TEST(Unroll, TripBecomesCeil) {
+  Function f = make_mac_shift();  // shift has trip 7
+  Directives dir;
+  dir.loops["shift"].unroll = 2;
+  TransformResult t = apply_transforms(f, dir);
+  const Region* shift = t.func.find_loop("shift");
+  ASSERT_NE(shift, nullptr);
+  EXPECT_EQ(shift->loop.trip, 4);  // ceil(7/2)
+  EXPECT_EQ(shift->loop.unroll_applied, 2);
+  // The second copy of the last iteration must be guarded off.
+  int guarded = 0;
+  for (const Op& op : shift->loop.body.ops)
+    if (op.guard_trip == 3) ++guarded;
+  EXPECT_GT(guarded, 0);
+}
+
+// -- Merging --------------------------------------------------------------------
+
+TEST(Merge, IndependentLoopsMergeWithoutWarnings) {
+  // Two MAC loops over disjoint arrays.
+  FunctionBuilder fb("two_macs");
+  const int a = fb.add_array("a", 8, fx(10, 0), true);
+  const int b_ = fb.add_array("b", 16, fx(10, 0), true);
+  const int s1 = fb.add_var("s1", fx(26, 6), false, PortDir::kOut);
+  const int s2 = fb.add_var("s2", fx(26, 6), false, PortDir::kOut);
+  {
+    auto l1 = fb.loop("l1", 8);
+    l1.var_write(s1, l1.add(l1.var_read(s1), l1.array_read(a, {1, 0})));
+  }
+  {
+    auto l2 = fb.loop("l2", 16);
+    l2.var_write(s2, l2.add(l2.var_read(s2), l2.array_read(b_, {1, 0})));
+  }
+  Function f = fb.build();
+  Directives dir;
+  dir.merge_groups = {{"l1", "l2"}};
+  TransformResult t = apply_transforms(f, dir);
+  EXPECT_TRUE(t.warnings.empty());
+  ASSERT_EQ(t.func.regions.size(), 1u);
+  EXPECT_EQ(t.func.regions[0].loop.trip, 16);
+  // Semantics unchanged.
+  Interpreter i1(f), i2(t.func);
+  PortIo empty;
+  const PortIo o1 = i1.run(empty), o2 = i2.run(empty);
+  EXPECT_EQ(o1.vars.at("s1"), o2.vars.at("s1"));
+  EXPECT_EQ(o1.vars.at("s2"), o2.vars.at("s2"));
+  // The shorter member must be guarded to its own trip.
+  int guarded = 0;
+  for (const Op& op : t.func.regions[0].loop.body.ops)
+    if (op.guard_trip == 8) ++guarded;
+  EXPECT_GT(guarded, 0);
+}
+
+TEST(Merge, ReportsHazardWhenOrderChanges) {
+  // mac reads x[k]; shift writes x[k'] for later-read elements: merging
+  // changes which values the tail of mac sees (the Figure 4 situation).
+  Function f = make_mac_shift();
+  Directives dir;
+  dir.merge_groups = {{"mac", "shift"}};
+  TransformResult t = apply_transforms(f, dir);
+  ASSERT_FALSE(t.warnings.empty());
+  EXPECT_NE(t.warnings[0].find("reorders accesses to array 'x'"),
+            std::string::npos);
+}
+
+TEST(Merge, NonConsecutiveLoopsRejected) {
+  Function f = make_mac_shift();
+  // Insert "in" block between by merging mac with a loop that is not
+  // adjacent: build a function with block between two loops.
+  FunctionBuilder fb("gap");
+  fb.add_array("a", 4, fx(8, 0), true);
+  { auto l1 = fb.loop("l1", 4); (void)l1; }
+  { auto blk = fb.block("between"); (void)blk; }
+  { auto l2 = fb.loop("l2", 4); (void)l2; }
+  Function g = fb.build();
+  std::vector<std::string> warnings;
+  merge_loops(&g, {"l1", "l2"}, &warnings);
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find("not consecutive"), std::string::npos);
+  EXPECT_EQ(g.regions.size(), 3u) << "merge must be skipped";
+}
+
+// -- Scheduling -------------------------------------------------------------------
+
+TEST(Schedule, SingleCycleLoopBodyGivesTripCycles) {
+  Function f = make_mac_shift();
+  Directives dir;  // 10 ns clock
+  const TechLibrary tech = TechLibrary::asic90();
+  Schedule s = schedule_function(f, dir, tech);
+  // mac body: read, read, mul, read-acc, add, write => chains in one cycle.
+  ASSERT_EQ(s.regions.size(), 3u);
+  EXPECT_EQ(s.regions[1].body.cycles, 1);
+  EXPECT_EQ(s.regions[1].total_cycles, 8);
+  EXPECT_EQ(s.regions[2].body.cycles, 1);
+  EXPECT_EQ(s.regions[2].total_cycles, 7);
+}
+
+TEST(Schedule, ArrayWriteThenReadCrossesCycle) {
+  FunctionBuilder fb("war");
+  const int a = fb.add_array("a", 4, fx(8, 0), true);
+  const int out = fb.add_var("o", fx(8, 0), false, PortDir::kOut);
+  auto blk = fb.block("b");
+  blk.array_write(a, {0, 2}, blk.cnst(fx(8, 0), 0.25));
+  blk.var_write(out, blk.array_read(a, {0, 2}));
+  Function f = fb.build();
+  Schedule s = schedule_function(f, Directives{}, TechLibrary::asic90());
+  EXPECT_EQ(s.regions[0].body.cycles, 2)
+      << "register commit forces the read into the next cycle";
+}
+
+TEST(Schedule, VarWriteForwardsSameCycle) {
+  FunctionBuilder fb("fwd");
+  const int v = fb.add_var("v", fx(8, 0));
+  const int out = fb.add_var("o", fx(8, 0), false, PortDir::kOut);
+  auto blk = fb.block("b");
+  blk.var_write(v, blk.cnst(fx(8, 0), 0.25));
+  blk.var_write(out, blk.var_read(v));
+  Function f = fb.build();
+  Schedule s = schedule_function(f, Directives{}, TechLibrary::asic90());
+  EXPECT_EQ(s.regions[0].body.cycles, 1) << "scalar values forward as wires";
+}
+
+TEST(Schedule, ChainingSplitsWhenClockTightens) {
+  Function f = make_mac_shift();
+  Directives fast;
+  fast.clock_period_ns = 3.0;  // mul alone ~2.5 ns: mul + add cannot chain
+  Schedule s = schedule_function(f, fast, TechLibrary::asic90());
+  EXPECT_GE(s.regions[1].body.cycles, 2)
+      << "MAC must split across cycles at a 3 ns clock";
+  Directives slow;
+  slow.clock_period_ns = 20.0;
+  Schedule s2 = schedule_function(f, slow, TechLibrary::asic90());
+  EXPECT_EQ(s2.regions[1].body.cycles, 1);
+}
+
+TEST(Schedule, MultiplierCapSerializes) {
+  // Two independent multiplies in one block: with a cap of 1 real
+  // multiplier they must occupy different cycles.
+  FunctionBuilder fb("mulcap");
+  const int a = fb.add_var("a", fx(10, 0), false, PortDir::kIn);
+  const int o1 = fb.add_var("o1", fx(20, 0), false, PortDir::kOut);
+  const int o2 = fb.add_var("o2", fx(20, 0), false, PortDir::kOut);
+  auto blk = fb.block("b");
+  const int av = blk.var_read(a);
+  blk.var_write(o1, blk.mul(av, av));
+  blk.var_write(o2, blk.mul(av, av));
+  Function f = fb.build();
+  Directives unlimited;
+  EXPECT_EQ(schedule_function(f, unlimited, TechLibrary::asic90())
+                .regions[0].body.cycles,
+            1);
+  Directives capped;
+  capped.max_real_multipliers = 1;
+  EXPECT_EQ(schedule_function(f, capped, TechLibrary::asic90())
+                .regions[0].body.cycles,
+            2);
+}
+
+TEST(Schedule, MemoryPortLimitSerializes) {
+  FunctionBuilder fb("memports");
+  const int a = fb.add_array("a", 16, fx(10, 0), true);
+  const int o = fb.add_var("o", fx(12, 2), false, PortDir::kOut);
+  auto blk = fb.block("b");
+  const int r1 = blk.array_read(a, {0, 0});
+  const int r2 = blk.array_read(a, {0, 5});
+  blk.var_write(o, blk.add(r1, r2));
+  Function f = fb.build();
+  Directives reg_mapped;
+  EXPECT_EQ(schedule_function(f, reg_mapped, TechLibrary::asic90())
+                .regions[0].body.cycles,
+            1)
+      << "register-mapped arrays have unlimited read ports";
+  Directives mem;
+  mem.arrays["a"].mapping = ArrayMapping::kMemory;
+  mem.arrays["a"].mem_read_ports = 1;
+  Function f2 = apply_transforms(f, mem).func;
+  EXPECT_GE(schedule_function(f2, mem, TechLibrary::asic90())
+                .regions[0].body.cycles,
+            2)
+      << "single-port memory allows one read per cycle";
+}
+
+TEST(Schedule, PipeliningOverlapsIterations) {
+  // A loop whose body takes 2 cycles (memory-mapped reads serialized):
+  // pipelined at II=1 the latency approaches trip + depth.
+  Function f = make_mac_shift(8);
+  Directives dir;
+  dir.clock_period_ns = 4.0;  // splits the MAC into >= 2 cycles
+  Schedule base = schedule_function(f, dir, TechLibrary::asic90());
+  const int body_cycles = base.regions[1].body.cycles;
+  ASSERT_GE(body_cycles, 2);
+  Directives piped = dir;
+  piped.loops["mac"].pipeline_ii = 1;
+  Schedule s = schedule_function(f, piped, TechLibrary::asic90());
+  // Recurrence through acc: write at the last body cycle, read at cycle 0
+  // of the next iteration => II is raised to body depth.
+  EXPECT_GE(s.regions[1].ii, 1);
+  EXPECT_LE(s.regions[1].total_cycles, base.regions[1].total_cycles);
+  EXPECT_FALSE(s.notes.empty());
+}
+
+TEST(Schedule, PipeliningNoGainForSingleCycleBody) {
+  // The paper's observation (section 5): when each iteration already
+  // executes in one cycle, pipelining cannot improve on unrolling.
+  Function f = make_mac_shift(8);
+  Directives dir;
+  dir.loops["mac"].pipeline_ii = 1;
+  Schedule s = schedule_function(f, dir, TechLibrary::asic90());
+  EXPECT_EQ(s.regions[1].body.cycles, 1);
+  EXPECT_EQ(s.regions[1].total_cycles, 8) << "II=1 over a 1-cycle body";
+}
+
+// -- Binding / area ---------------------------------------------------------------
+
+TEST(Bind, SharesMultipliersAcrossRegions) {
+  // Two MAC loops in sequence: they can share one multiplier set.
+  FunctionBuilder fb("share");
+  const int x = fb.add_array("x", 8, fx(10, 0), true);
+  const int s1 = fb.add_var("s1", fx(26, 6), false, PortDir::kOut);
+  const int s2 = fb.add_var("s2", fx(26, 6), false, PortDir::kOut);
+  {
+    auto l = fb.loop("l1", 8);
+    const int xv = l.array_read(x, {1, 0});
+    l.var_write(s1, l.add(l.var_read(s1), l.mul(xv, xv)));
+  }
+  {
+    auto l = fb.loop("l2", 8);
+    const int xv = l.array_read(x, {1, 0});
+    l.var_write(s2, l.add(l.var_read(s2), l.mul(xv, xv)));
+  }
+  Function f = fb.build();
+  const TechLibrary tech = TechLibrary::asic90();
+  Directives dir;
+  SynthesisResult r = run_synthesis(f, dir, tech);
+  int mults = 0;
+  for (const auto& fu : r.bind.fus)
+    if (fu.kind == "mul") ++mults;
+  EXPECT_EQ(mults, 1) << "sequential loops share the multiplier";
+  // The shared unit serves two ops => it needs input muxes.
+  EXPECT_GT(r.area.mux, 0);
+}
+
+TEST(Bind, UnrollingAddsMultipliers) {
+  Function f = make_mac_shift();
+  const TechLibrary tech = TechLibrary::asic90();
+  Directives base;
+  Directives u4;
+  u4.loops["mac"].unroll = 4;
+  const SynthesisResult rb = run_synthesis(f, base, tech);
+  const SynthesisResult ru = run_synthesis(f, u4, tech);
+  auto count_mults = [](const SynthesisResult& r) {
+    int n = 0;
+    for (const auto& fu : r.bind.fus)
+      if (fu.kind == "mul") ++n;
+    return n;
+  };
+  EXPECT_EQ(count_mults(rb), 1);
+  EXPECT_EQ(count_mults(ru), 4);
+  EXPECT_GT(ru.area.total, rb.area.total);
+  EXPECT_LT(ru.schedule.latency_cycles, rb.schedule.latency_cycles);
+}
+
+TEST(Area, MemoryMappingTradesRegistersForRam) {
+  FunctionBuilder fb("arr");
+  const int a = fb.add_array("big", 64, fx(16, 0), true);
+  const int o = fb.add_var("o", fx(16, 0), false, PortDir::kOut);
+  auto l = fb.loop("sum", 64);
+  l.var_write(o, l.add(l.var_read(o), l.array_read(a, {1, 0})));
+  Function f = fb.build();
+  const TechLibrary tech = TechLibrary::asic90();
+  Directives regs;
+  Directives mem;
+  mem.arrays["big"].mapping = ArrayMapping::kMemory;
+  const SynthesisResult rr = run_synthesis(f, regs, tech);
+  const SynthesisResult rm = run_synthesis(f, mem, tech);
+  EXPECT_GT(rr.area.reg, rm.area.reg);
+  EXPECT_GT(rm.area.mem, 0.0);
+  EXPECT_LT(rm.area.total, rr.area.total)
+      << "a 1024-bit array is cheaper as SRAM than as flops";
+}
+
+// -- Reports -----------------------------------------------------------------------
+
+TEST(Report, SummaryAndBomRender) {
+  Function f = make_mac_shift();
+  const TechLibrary tech = TechLibrary::asic90();
+  SynthesisResult r = run_synthesis(f, Directives{}, tech);
+  const std::string sum = synthesis_summary(r, tech);
+  EXPECT_NE(sum.find("latency"), std::string::npos);
+  EXPECT_NE(sum.find("mac"), std::string::npos);
+  const std::string bom = bill_of_materials(r);
+  EXPECT_NE(bom.find("mul"), std::string::npos);
+  const std::string gantt = gantt_chart(r);
+  EXPECT_NE(gantt.find("loop mac"), std::string::npos);
+  const std::string cp = critical_path_report(r, tech);
+  EXPECT_NE(cp.find("Critical path"), std::string::npos);
+}
+
+TEST(Report, JsonIsWellFormedAndComplete) {
+  Function f = make_mac_shift();
+  const TechLibrary tech = TechLibrary::asic90();
+  SynthesisResult r = run_synthesis(f, Directives{}, tech);
+  const std::string j = to_json(r, tech);
+  // Structural sanity: balanced braces/brackets, key fields present.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const char c = j[i];
+    if (c == '"' && (i == 0 || j[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  for (const char* key :
+       {"\"function\":\"mac_shift\"", "\"latency_cycles\":", "\"area\":",
+        "\"regions\":", "\"functional_units\":", "\"warnings\":",
+        "\"label\":\"mac\""})
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+}
+
+// -- Bitwidth reduction (Figure 2) ---------------------------------------------------
+
+TEST(Bitwidth, Figure2AccumulatorNarrows) {
+  // Figure 2 with N=8: int (32-bit) accumulator over 10-bit data narrows
+  // to 10 + clog2(8) = 13 bits.
+  FunctionBuilder fb("fig2");
+  const int x = fb.add_array("x", 8, fx(10, 10), false, PortDir::kIn);
+  const int a = fb.add_var("a", fx(32, 32), false, PortDir::kOut);
+  {
+    auto b0 = fb.block("init");
+    b0.var_write(a, b0.cnst(fx(32, 32), 0.0));
+  }
+  {
+    auto l = fb.loop("sum", 8);
+    l.var_write(a, l.add(l.var_read(a), l.array_read(x, {1, 0})));
+  }
+  Function f = fb.build();
+  Function narrowed = f;
+  const BitwidthResult res = reduce_bitwidths(&narrowed);
+  EXPECT_GT(res.bits_saved, 0);
+  // Find the add op in the loop.
+  const Region* loop = narrowed.find_loop("sum");
+  ASSERT_NE(loop, nullptr);
+  int add_w = 0;
+  for (const Op& op : loop->loop.body.ops)
+    if (op.kind == OpKind::kAdd) add_w = op.type.w;
+  EXPECT_EQ(add_w, 13) << "10-bit data, 8 terms -> 13-bit adder";
+
+  // Behaviour unchanged: run both on random inputs. The output port var 'a'
+  // keeps its declared width; only internal arithmetic narrowed.
+  std::mt19937_64 rng(4);
+  Interpreter i1(f), i2(narrowed);
+  for (int iter = 0; iter < 50; ++iter) {
+    PortIo io;
+    std::vector<FxValue> xs(8);
+    for (auto& e : xs) {
+      e.fw = 0;
+      e.re = static_cast<int>(rng() % 1024) - 512;
+    }
+    io.arrays["x"] = xs;
+    EXPECT_EQ(static_cast<long long>(i1.run(io).vars.at("a").re),
+              static_cast<long long>(i2.run(io).vars.at("a").re));
+  }
+}
+
+TEST(Bitwidth, LoopCounterWidthMatchesFigure2Claim) {
+  // The paper's Figure 2 point: counter width follows the template
+  // parameter N. Verified via the fixpt helper used by the engine.
+  EXPECT_EQ(fixpt::loop_counter_width(8), 4);
+  EXPECT_EQ(fixpt::loop_counter_width(1024), 11);
+}
+
+TEST(Bitwidth, SaturatedCastDoesNotNarrowBeyondReachable) {
+  // A cast with saturation bounds the range; downstream ops narrow to the
+  // saturated range, not the input range.
+  FunctionBuilder fb("sat");
+  const int a = fb.add_var("a", fx(16, 8), false, PortDir::kIn);
+  const int o = fb.add_var("o", fx(32, 24), false, PortDir::kOut);
+  auto blk = fb.block("b");
+  const int cast = blk.cast(fx(4, 4, false, Quant::kTrn, Ovf::kSat),
+                            blk.var_read(a));
+  blk.var_write(o, blk.add(cast, cast));
+  Function f = fb.build();
+  const BitwidthResult res = reduce_bitwidths(&f);
+  (void)res;
+  int add_w = 0;
+  for (const Op& op : f.regions[0].straight.ops)
+    if (op.kind == OpKind::kAdd) add_w = op.type.w;
+  EXPECT_EQ(add_w, 5) << "[-8,7] + [-8,7] = [-16,14] needs 5 bits";
+}
+
+}  // namespace
+}  // namespace hlsw::hls

@@ -1,0 +1,108 @@
+// Tests for interface synthesis (paper section 2.1) and automatic loop
+// merging ("default architectural constraints: loop merging enabled").
+#include <gtest/gtest.h>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+
+namespace hlsw::hls {
+namespace {
+
+using qam::build_qam_decoder_ir;
+
+TEST(AutoMerge, DerivesThePaperDefaultGroups) {
+  // With auto_merge, the engine must find exactly the groups the paper
+  // reports Catapult chose: {ffe, dfe} and {ffe_adapt, dfe_adapt,
+  // ffe_shift, dfe_shift} — producing the same 35-cycle schedule.
+  Directives dir;
+  dir.auto_merge = true;
+  const auto r = run_synthesis(build_qam_decoder_ir(), dir,
+                               TechLibrary::asic90());
+  EXPECT_EQ(r.latency_cycles(), 35);
+  ASSERT_EQ(r.transformed.regions.size(), 4u);
+  const Loop& l1 = r.transformed.regions[1].loop;
+  ASSERT_EQ(l1.merged_labels.size(), 2u);
+  EXPECT_EQ(l1.merged_labels[0], "ffe");
+  EXPECT_EQ(l1.merged_labels[1], "dfe");
+  const Loop& l2 = r.transformed.regions[3].loop;
+  ASSERT_EQ(l2.merged_labels.size(), 4u);
+  EXPECT_EQ(l2.merged_labels[0], "ffe_adapt");
+  EXPECT_EQ(l2.merged_labels[3], "dfe_shift");
+}
+
+TEST(AutoMerge, ExplicitGroupsTakePrecedence) {
+  Directives dir;
+  dir.auto_merge = true;
+  dir.merge_groups = {{"ffe", "dfe"}};  // only the filter loops
+  const auto r = run_synthesis(build_qam_decoder_ir(), dir,
+                               TechLibrary::asic90());
+  // 1 + 16 + 2 + 8 + 16 + 3 + 15 = 61.
+  EXPECT_EQ(r.latency_cycles(), 61);
+}
+
+TEST(AutoMerge, MatchesExplicitTable1Row) {
+  Directives autod;
+  autod.auto_merge = true;
+  const auto ra = run_synthesis(build_qam_decoder_ir(), autod,
+                                TechLibrary::asic90());
+  const auto re = run_synthesis(build_qam_decoder_ir(),
+                                qam::table1_architectures()[0].dir,
+                                TechLibrary::asic90());
+  EXPECT_EQ(ra.latency_cycles(), re.latency_cycles());
+  EXPECT_DOUBLE_EQ(ra.area.total, re.area.total);
+}
+
+// -- Interface synthesis ---------------------------------------------------------
+
+TEST(Interface, RegisteredPortAddsRegisterArea) {
+  Directives plain;
+  Directives reg;
+  reg.interfaces["x_in"] = InterfaceKind::kRegistered;
+  const auto f = build_qam_decoder_ir();
+  const auto rp = run_synthesis(f, plain, TechLibrary::asic90());
+  const auto rr = run_synthesis(f, reg, TechLibrary::asic90());
+  EXPECT_EQ(rp.latency_cycles(), rr.latency_cycles());
+  EXPECT_GT(rr.area.reg, rp.area.reg);
+  EXPECT_EQ(rr.bind.io_reg_bits, 2 * 2 * 10) << "2 complex 10-bit samples";
+}
+
+TEST(Interface, HandshakePortAddsControlWires) {
+  Directives hs;
+  hs.interfaces["data"] = InterfaceKind::kHandshake;
+  const auto f = build_qam_decoder_ir();
+  const auto r = run_synthesis(f, hs, TechLibrary::asic90());
+  const auto base = run_synthesis(f, Directives{}, TechLibrary::asic90());
+  EXPECT_EQ(r.bind.io_bits, base.bind.io_bits + 2);
+  EXPECT_EQ(r.bind.io_reg_bits, 6);
+}
+
+TEST(Interface, StreamedArrayPortSerializesTransfers) {
+  // Streaming the x_in array (2 elements): one element-wide lane instead of
+  // both samples in parallel, at the cost of 2 transfer cycles.
+  Directives stream;
+  stream.interfaces["x_in"] = InterfaceKind::kStream;
+  const auto f = build_qam_decoder_ir();
+  const auto rs = run_synthesis(f, stream, TechLibrary::asic90());
+  const auto rb = run_synthesis(f, Directives{}, TechLibrary::asic90());
+  EXPECT_EQ(rs.latency_cycles(), rb.latency_cycles() + 2);
+  EXPECT_LT(rs.bind.io_bits, rb.bind.io_bits)
+      << "one lane is narrower than the full array";
+  bool note = false;
+  for (const auto& w : rs.warnings)
+    if (w.find("streamed port") != std::string::npos) note = true;
+  EXPECT_TRUE(note);
+}
+
+TEST(Interface, GlobalHandshakeAddsIdleState) {
+  Directives hs;
+  hs.handshake = true;
+  const auto f = build_qam_decoder_ir();
+  const auto r = run_synthesis(f, hs, TechLibrary::asic90());
+  const auto base = run_synthesis(f, Directives{}, TechLibrary::asic90());
+  EXPECT_EQ(r.bind.fsm_states, base.bind.fsm_states + 1);
+  EXPECT_GT(r.area.fsm, base.area.fsm);
+}
+
+}  // namespace
+}  // namespace hlsw::hls

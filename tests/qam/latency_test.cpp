@@ -1,0 +1,150 @@
+// The paper's Section 5 latency arithmetic, reproduced exactly (experiment
+// S5a in DESIGN.md): the four Table 1 architectures must yield 35, 69, 19,
+// and 15 cycles at a 10 ns clock, with the per-loop breakdown the paper
+// describes ("3+16+16", "3+8+16+8+16+3+15", "3+8+8", "3+8+4").
+#include <gtest/gtest.h>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+
+namespace hlsw::qam {
+namespace {
+
+using hls::run_synthesis;
+using hls::SynthesisResult;
+using hls::TechLibrary;
+
+SynthesisResult synth(const Architecture& a) {
+  return run_synthesis(build_qam_decoder_ir(), a.dir, TechLibrary::asic90());
+}
+
+TEST(Table1Latency, SequentialBaselineIs69Cycles) {
+  const auto archs = table1_architectures();
+  const SynthesisResult r = synth(archs[1]);  // "none"
+  // Paper: 3 + 8 + 16 + 8 + 16 + 3 + 15 = 69 cycles = 690 ns.
+  EXPECT_EQ(r.latency_cycles(), 69);
+  EXPECT_DOUBLE_EQ(r.latency_ns(), 690.0);
+  // Per-region breakdown.
+  ASSERT_EQ(r.schedule.regions.size(), 8u);
+  EXPECT_EQ(r.schedule.regions[0].total_cycles, 1);   // input block
+  EXPECT_EQ(r.schedule.regions[1].total_cycles, 8);   // ffe
+  EXPECT_EQ(r.schedule.regions[2].total_cycles, 16);  // dfe
+  EXPECT_EQ(r.schedule.regions[3].total_cycles, 2);   // slicer
+  EXPECT_EQ(r.schedule.regions[4].total_cycles, 8);   // ffe_adapt
+  EXPECT_EQ(r.schedule.regions[5].total_cycles, 16);  // dfe_adapt
+  EXPECT_EQ(r.schedule.regions[6].total_cycles, 3);   // ffe_shift
+  EXPECT_EQ(r.schedule.regions[7].total_cycles, 15);  // dfe_shift
+}
+
+TEST(Table1Latency, LoopBodiesExecuteInOneCycleAt100MHz) {
+  // The paper's premise for "unrolling beats pipelining" (section 5): every
+  // loop body is simple enough to execute in a single 10 ns cycle.
+  const SynthesisResult r = synth(table1_architectures()[1]);
+  for (const auto& rs : r.schedule.regions) {
+    if (rs.is_loop) {
+      EXPECT_EQ(rs.body.cycles, 1) << "loop " << rs.label;
+    }
+  }
+}
+
+TEST(Table1Latency, MergedDefaultIs35Cycles) {
+  const SynthesisResult r = synth(table1_architectures()[0]);  // "merge"
+  // Paper: 3 + 16 + 16 = 35 cycles = 350 ns.
+  EXPECT_EQ(r.latency_cycles(), 35);
+  ASSERT_EQ(r.schedule.regions.size(), 4u);
+  EXPECT_EQ(r.schedule.regions[1].total_cycles, 16);  // merged filter loop
+  EXPECT_EQ(r.schedule.regions[3].total_cycles, 16);  // merged adapt loop
+}
+
+TEST(Table1Latency, MergeU2Is19Cycles) {
+  const SynthesisResult r = synth(table1_architectures()[2]);
+  // Paper: 3 + 8 + 8 = 19 cycles = 190 ns.
+  EXPECT_EQ(r.latency_cycles(), 19);
+}
+
+TEST(Table1Latency, MergeU2U4Is15Cycles) {
+  const SynthesisResult r = synth(table1_architectures()[3]);
+  // Paper: 3 + 8 + 4 = 15 cycles = 150 ns.
+  EXPECT_EQ(r.latency_cycles(), 15);
+}
+
+TEST(Table1Latency, DataRatesMatchPaper) {
+  // Data rate = 6 bits per invocation / latency. Paper: 17.1, 8.6, 31.5,
+  // 40 Mbps (one rounds 8.70 down to 8.6; we allow 0.15 Mbps slack).
+  const auto archs = table1_architectures();
+  const double expected[] = {17.1, 8.7, 31.6, 40.0};
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    const SynthesisResult r = synth(archs[i]);
+    EXPECT_NEAR(r.data_rate_mbps(6), expected[i], 0.15) << archs[i].name;
+  }
+}
+
+TEST(Table1Latency, NaiveSequentialLoopSumIs66) {
+  // Section 5's inspection: "a sequential execution of the six loops alone
+  // would take 8+16+8+16+3+15 = 66 cycles".
+  const SynthesisResult r = synth(table1_architectures()[1]);
+  int loop_cycles = 0;
+  for (const auto& rs : r.schedule.regions)
+    if (rs.is_loop) loop_cycles += rs.total_cycles;
+  EXPECT_EQ(loop_cycles, 66);
+}
+
+TEST(Table1Latency, MergeEmitsReorderingWarnings) {
+  // The adapt/shift merge genuinely reorders accesses to x[] and SV[]
+  // relative to the sequential source (reproduction finding S5a-h,
+  // EXPERIMENTS.md); the engine must surface this rather than stay silent.
+  const SynthesisResult r = synth(table1_architectures()[0]);
+  bool x_warn = false, sv_warn = false;
+  for (const auto& w : r.warnings) {
+    if (w.find("array 'x'") != std::string::npos) x_warn = true;
+    if (w.find("array 'SV'") != std::string::npos) sv_warn = true;
+  }
+  EXPECT_TRUE(x_warn);
+  EXPECT_TRUE(sv_warn);
+}
+
+TEST(Table1Latency, AreaOrderingMatchesPaper) {
+  // Normalized to the sequential baseline, the paper reports 1.17 (merge),
+  // 1.00 (none), 1.61 (U2), 1.88 (U2/U4): area strictly grows with
+  // parallelism and the sequential design is smallest.
+  const auto archs = table1_architectures();
+  const double a_merge = synth(archs[0]).area.total;
+  const double a_none = synth(archs[1]).area.total;
+  const double a_u2 = synth(archs[2]).area.total;
+  const double a_u4 = synth(archs[3]).area.total;
+  EXPECT_LT(a_none, a_merge);
+  EXPECT_LT(a_merge, a_u2);
+  EXPECT_LT(a_u2, a_u4);
+}
+
+TEST(Exploration, ExtendedSetSynthesizesClean) {
+  for (const auto& a : exploration_architectures()) {
+    const SynthesisResult r = synth(a);
+    EXPECT_GT(r.latency_cycles(), 0) << a.name;
+    EXPECT_GT(r.area.total, 0) << a.name;
+    // No schedule diagnostics about unachievable clocks.
+    for (const auto& w : r.warnings)
+      EXPECT_EQ(w.find("unachievable"), std::string::npos) << a.name << ": " << w;
+  }
+}
+
+TEST(Exploration, PipeliningNoBetterThanUnrolling) {
+  // Paper section 5: for 1-cycle bodies pipelining cannot beat unrolling.
+  const auto all = exploration_architectures();
+  const Architecture* pipe = nullptr;
+  const Architecture* u2 = nullptr;
+  for (const auto& a : all) {
+    if (a.name == "merge+pipe") pipe = &a;
+    if (a.name == "merge+U2") u2 = &a;
+  }
+  ASSERT_NE(pipe, nullptr);
+  ASSERT_NE(u2, nullptr);
+  const int lat_pipe = synth(*pipe).latency_cycles();
+  const int lat_u2 = synth(*u2).latency_cycles();
+  EXPECT_EQ(lat_pipe, 35) << "II=1 over 1-cycle bodies changes nothing";
+  EXPECT_LT(lat_u2, lat_pipe);
+}
+
+}  // namespace
+}  // namespace hlsw::qam

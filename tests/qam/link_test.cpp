@@ -1,0 +1,265 @@
+// Link-level tests of the Figure 3 system (experiment F3/D2) and the three
+// Figure 4 listing defects documented in EXPERIMENTS.md: the slicer
+// boundary placement (F4-slicer), the coefficient truncation bias
+// (F4-bias), and the arithmetic data-word composition (F4-word).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dsp/metrics.h"
+#include "qam/decoder_fixed.h"
+#include "qam/link.h"
+
+namespace hlsw::qam {
+namespace {
+
+using fixpt::fixed;
+using fixpt::wide_int;
+
+QamDecoderFixed<>::input_type to_input(const hls::FxValue& v) {
+  return {fixed<10, 0>::from_raw(wide_int<10>(static_cast<long long>(v.re))),
+          fixed<10, 0>::from_raw(wide_int<10>(static_cast<long long>(v.im)))};
+}
+
+// -- F4-word: the arithmetic composition --------------------------------------
+
+TEST(PaperWord, MapAndWordAreInverseBijections) {
+  std::set<int> seen;
+  for (int w = 0; w < 64; ++w) {
+    const auto p = paper_map(w);
+    const int ri = static_cast<int>(std::lround(p.real() * 16 - 1)) / 2;
+    const int ii = static_cast<int>(std::lround(p.imag() * 16 - 1)) / 2;
+    EXPECT_EQ(paper_word(ri, ii), w);
+    seen.insert(paper_word(ri, ii));
+  }
+  EXPECT_EQ(seen.size(), 64u) << "encode must be a bijection";
+}
+
+TEST(PaperWord, ArithmeticBorrowDiffersFromBitFields) {
+  // ri = -4, ii = -4: arithmetic word is -36 mod 64 = 28; the bit-field
+  // concatenation would be (4<<3)|4 = 36. Figure 4 produces 28.
+  EXPECT_EQ(paper_word(-4, -4), 28);
+  EXPECT_NE(paper_word(-4, -4), ((-4 & 7) << 3) | (-4 & 7));
+  // Non-borrowing case: both conventions agree.
+  EXPECT_EQ(paper_word(2, 3), (2 << 3) | 3);
+}
+
+TEST(PaperWord, DecoderOutputUsesArithmeticConvention) {
+  // Feed the fixed decoder an exact constellation point through an ideal
+  // channel with converged pass-through coefficients and check the word.
+  QamDecoderFixed<> dec;
+  // Pass-through: coefficient on tap 0 = 1 is not representable; instead
+  // drive x_in directly at slicer scale with c0+c1 splitting the gain.
+  dec.set_ffe_coeff(0, quantize_coeff<10>({0.499, 0}));
+  dec.set_ffe_coeff(1, quantize_coeff<10>({0.499, 0}));
+  // Decide the point (-7/16, -7/16) = word 28 under the paper convention.
+  const auto pt = paper_map(28);
+  EXPECT_DOUBLE_EQ(pt.real(), -7.0 / 16);
+  for (int n = 0; n < 4; ++n) {
+    const QamDecoderFixed<>::input_type x_in[2] = {
+        {fixed<10, 0>(pt.real() / 0.998), fixed<10, 0>(pt.imag() / 0.998)},
+        {fixed<10, 0>(pt.real() / 0.998), fixed<10, 0>(pt.imag() / 0.998)}};
+    wide_int<6, false> word;
+    dec.decode(x_in, &word);
+    if (n > 0) {
+      EXPECT_EQ(word.to_uint64(), 28u);
+    }
+  }
+}
+
+// -- F4-slicer: boundary placement ---------------------------------------------
+
+TEST(Slicer, BoundariesSitMidwayBetweenLevels) {
+  // Slightly below a level must still decide that level (the as-printed
+  // truncating slicer would fall to the level below).
+  QamDecoderFixed<> dec;
+  dec.set_ffe_coeff(0, quantize_coeff<10>({0.499, 0}));
+  dec.set_ffe_coeff(1, quantize_coeff<10>({0.499, 0}));
+  auto decide = [&](double level) {
+    QamDecoderFixed<> d2 = dec;
+    wide_int<6, false> word;
+    for (int n = 0; n < 3; ++n) {
+      const QamDecoderFixed<>::input_type x_in[2] = {
+          {fixed<10, 0>(level), fixed<10, 0>(level)},
+          {fixed<10, 0>(level), fixed<10, 0>(level)}};
+      d2.decode(x_in, &word);
+    }
+    return paper_map(static_cast<int>(word.to_uint64())).real();
+  };
+  // y ~ 0.998*level lands just below each level.
+  EXPECT_DOUBLE_EQ(decide(-0.3125), -0.3125);
+  EXPECT_DOUBLE_EQ(decide(0.4375), 0.4375);
+  EXPECT_DOUBLE_EQ(decide(0.0625), 0.0625);
+  EXPECT_DOUBLE_EQ(decide(-0.4375), -0.4375);
+}
+
+// -- Coefficient feasibility of the default channel ----------------------------
+
+TEST(Link, TrainedCoefficientsFitTheCoefficientFormat) {
+  LinkConfig cfg;
+  LinkStimulus stim(cfg);
+  const QamDecoderFloat trained = train_float_reference(&stim, 8000);
+  double maxc = 0;
+  for (int k = 0; k < 8; ++k) {
+    maxc = std::max({maxc, std::abs(trained.ffe_coeff(k).real()),
+                     std::abs(trained.ffe_coeff(k).imag())});
+  }
+  for (int k = 0; k < 16; ++k) {
+    maxc = std::max({maxc, std::abs(trained.dfe_coeff(k).real()),
+                     std::abs(trained.dfe_coeff(k).imag())});
+  }
+  EXPECT_LT(maxc, 0.499) << "sc_fixed<10,0> coefficients must not saturate";
+  EXPECT_GT(maxc, 0.25) << "channel should actually exercise the range";
+}
+
+// -- F4-bias: truncating coefficient storage diverges ---------------------------
+
+// A variant decoder with the paper's literal TRN/WRAP coefficient storage,
+// to demonstrate the drift. Only the pieces needed for the experiment.
+class TruncCoeffDecoder {
+ public:
+  void load(const QamDecoderFloat& t) {
+    for (int k = 0; k < 8; ++k) {
+      ffe_c_[k] = fixpt::complex_fixed<10, 0>(
+          quantize_coeff<10>(t.ffe_coeff(k)));
+    }
+    for (int k = 0; k < 16; ++k)
+      dfe_c_[k] = fixpt::complex_fixed<10, 0>(
+          quantize_coeff<10>(t.dfe_coeff(k)));
+  }
+  // Same data path as QamDecoderFixed but TRN/WRAP coefficient updates.
+  int decode(const QamDecoderFixed<>::input_type x_in[2]) {
+    using namespace hlsw::fixpt;
+    const fixed<10, 0> mu(fixed<12, 2>(1LL) >> 8);
+    x_[0] = x_in[0];
+    x_[1] = x_in[1];
+    complex_fixed<11, 1> yffe(0), ydfe(0);
+    for (int k = 0; k < 8; ++k) yffe += x_[k] * ffe_c_[k];
+    for (int k = 0; k < 16; ++k) ydfe += sv_[k] * dfe_c_[k];
+    const complex_fixed<11, 1> y(yffe - ydfe);
+    fixed<4, 0> offset(0LL);
+    offset[0] = 1;
+    const fixed<3, 0, Quant::kRndZero, Ovf::kSat> r(
+        fixed<10, 0, Quant::kRndZero, Ovf::kSat>(y.r() - offset));
+    const fixed<3, 0, Quant::kRndZero, Ovf::kSat> i(
+        fixed<10, 0, Quant::kRndZero, Ovf::kSat>(y.i() - offset));
+    sv_[0] = complex_fixed<3, 0>(r, i) + complex_fixed<4, 0>(offset, offset);
+    const complex_fixed<10, 0> e(sv_[0] - y);
+    const fixed<6, 6> data_f(r * 64 + i * 8);
+    for (int k = 0; k < 8; ++k) ffe_c_[k] += mu * e * x_[k].sign_conj();
+    for (int k = 0; k < 16; ++k) dfe_c_[k] -= mu * e * sv_[k].sign_conj();
+    for (int k = 4; k >= 0; k -= 2) {
+      x_[k + 3] = x_[k + 1];
+      x_[k + 2] = x_[k];
+    }
+    for (int k = 14; k >= 0; --k) sv_[k + 1] = sv_[k];
+    return static_cast<int>(
+        wide_int<6, false>(static_cast<long long>(data_f.to_int()))
+            .to_uint64());
+  }
+  double ffe0() const { return ffe_c_[5].r().to_double(); }
+
+ private:
+  fixpt::complex_fixed<10, 0> ffe_c_[8]{};  // TRN/WRAP: the paper's literal
+  fixpt::complex_fixed<10, 0> dfe_c_[16]{};
+  fixpt::complex_fixed<10, 0> x_[8]{};
+  fixpt::complex_fixed<4, 0> sv_[16]{};
+};
+
+TEST(Link, TruncatingCoefficientsDriftAndDiverge) {
+  LinkConfig cfg;
+  LinkStimulus stim(cfg);
+  const QamDecoderFloat trained = train_float_reference(&stim, 6000);
+
+  TruncCoeffDecoder bad;
+  bad.load(trained);
+  QamDecoderFixed<> good;
+  for (int k = 0; k < 8; ++k)
+    good.set_ffe_coeff(k, quantize_coeff<10>(trained.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    good.set_dfe_coeff(k, quantize_coeff<10>(trained.dfe_coeff(k)));
+
+  dsp::ErrorCounter errs_bad, errs_good;
+  for (int n = 0; n < 8000; ++n) {
+    const LinkSample s = stim.next();
+    const QamDecoderFixed<>::input_type x_in[2] = {to_input(s.q0),
+                                                   to_input(s.q1)};
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    const int got_bad = bad.decode(x_in);
+    wide_int<6, false> word;
+    good.decode(x_in, &word);
+    if (want >= 0 && n > 2000) {  // well past the drift onset
+      errs_bad.update(want, got_bad, 6);
+      errs_good.update(want, static_cast<int>(word.to_uint64()), 6);
+    }
+  }
+  EXPECT_GT(errs_bad.ser(), 0.5)
+      << "TRN/WRAP coefficients must drift into divergence (finding F4-bias)";
+  EXPECT_LT(errs_good.ser(), 1e-3)
+      << "RND/SAT coefficients must track error-free";
+}
+
+// -- End-to-end SER across SNR ---------------------------------------------------
+
+class SnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnrSweep, FixedDecoderTracksAfterDownload) {
+  LinkConfig cfg;
+  cfg.channel.snr_db = GetParam();
+  LinkStimulus stim(cfg);
+  const QamDecoderFloat trained = train_float_reference(&stim, 6000);
+  QamDecoderFixed<> dec;
+  for (int k = 0; k < 8; ++k)
+    dec.set_ffe_coeff(k, quantize_coeff<10>(trained.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    dec.set_dfe_coeff(k, quantize_coeff<10>(trained.dfe_coeff(k)));
+  dsp::ErrorCounter errs;
+  for (int n = 0; n < 10000; ++n) {
+    const LinkSample s = stim.next();
+    const QamDecoderFixed<>::input_type x_in[2] = {to_input(s.q0),
+                                                   to_input(s.q1)};
+    wide_int<6, false> word;
+    dec.decode(x_in, &word);
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    if (want >= 0 && n > 16)
+      errs.update(want, static_cast<int>(word.to_uint64()), 6);
+  }
+  if (GetParam() >= 30)
+    EXPECT_LT(errs.ser(), 1e-3);
+  else
+    EXPECT_LT(errs.ser(), 0.2) << "even at low SNR the eye stays open";
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, SnrSweep, ::testing::Values(22.0, 30.0, 38.0),
+                         [](const auto& info) {
+                           return "Snr" +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(Link, StimulusIsDeterministic) {
+  LinkConfig cfg;
+  LinkStimulus a(cfg), b(cfg);
+  for (int n = 0; n < 100; ++n) {
+    const LinkSample sa = a.next(), sb = b.next();
+    EXPECT_EQ(sa.sent, sb.sent);
+    EXPECT_EQ(static_cast<long long>(sa.q0.re),
+              static_cast<long long>(sb.q0.re));
+    EXPECT_EQ(static_cast<long long>(sa.q1.im),
+              static_cast<long long>(sb.q1.im));
+  }
+}
+
+TEST(Link, QuantizeSampleMatchesFixedConstruction) {
+  // quantize_sample (used for IR stimulus) and fixed<10,0,kRnd,kSat>
+  // construction from double (used for the native model) must agree.
+  for (double v = -0.7; v <= 0.7; v += 0.0137) {
+    const auto q = quantize_sample({v, -v}, 10);
+    const fixed<10, 0, fixpt::Quant::kRnd, fixpt::Ovf::kSat> f(v);
+    EXPECT_EQ(static_cast<long long>(q.re), f.raw().to_int64()) << v;
+  }
+}
+
+}  // namespace
+}  // namespace hlsw::qam

@@ -1,0 +1,132 @@
+// The parameterized-decoder claim of section 4.1 ("facilitates future
+// reuse of the algorithm"): the same Figure 4 structure re-instantiated at
+// 16-QAM and 256-QAM. Checks the word mapping generalizes, the float and
+// fixed models agree, and the link decodes error-free at a suitable SNR.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsp/metrics.h"
+#include "qam/decoder_fixed.h"
+#include "qam/link.h"
+
+namespace hlsw::qam {
+namespace {
+
+using fixpt::fixed;
+using fixpt::wide_int;
+
+TEST(Mqam, PaperWordBijectionAtAllSizes) {
+  for (int bits : {2, 3, 4}) {
+    const int m = 1 << (2 * bits);
+    std::set<int> seen;
+    for (int w = 0; w < m; ++w) {
+      const auto p = paper_map(w, bits);
+      const int levels = 1 << bits;
+      const int ri =
+          static_cast<int>(std::lround(p.real() * 2 * levels - 1)) / 2;
+      const int ii =
+          static_cast<int>(std::lround(p.imag() * 2 * levels - 1)) / 2;
+      EXPECT_EQ(paper_word(ri, ii, bits), w) << "bits=" << bits;
+      seen.insert(w);
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), m);
+  }
+}
+
+template <int B, int W = 10>
+void run_mqam_link(double snr_db, double max_ser) {
+  LinkConfig cfg;
+  cfg.qam_bits = B;
+  cfg.x_w = W;
+  cfg.channel.snr_db = snr_db;
+  LinkStimulus stim(cfg);
+  const QamDecoderFloat trained = train_float_reference(&stim, 8000);
+
+  QamDecoderFixed<W, W, W, W, W, B> dec;
+  for (int k = 0; k < 8; ++k)
+    dec.set_ffe_coeff(k, quantize_coeff<W>(trained.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    dec.set_dfe_coeff(k, quantize_coeff<W>(trained.dfe_coeff(k)));
+
+  dsp::ErrorCounter errs_fixed, errs_float;
+  QamDecoderFloat fdec = trained;
+  for (int n = 0; n < 8000; ++n) {
+    const LinkSample s = stim.next();
+    using Dec = QamDecoderFixed<W, W, W, W, W, B>;
+    const typename Dec::input_type x_in[2] = {
+        {fixed<W, 0>::from_raw(wide_int<W>(static_cast<long long>(s.q0.re))),
+         fixed<W, 0>::from_raw(wide_int<W>(static_cast<long long>(s.q0.im)))},
+        {fixed<W, 0>::from_raw(wide_int<W>(static_cast<long long>(s.q1.re))),
+         fixed<W, 0>::from_raw(
+             wide_int<W>(static_cast<long long>(s.q1.im)))}};
+    typename Dec::output_type word;
+    dec.decode(x_in, &word);
+    const int got_float = fdec.decode(s.s0, s.s1);
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    if (want >= 0 && n > 16) {
+      errs_fixed.update(want, static_cast<int>(word.to_uint64()), 2 * B);
+      errs_float.update(want, got_float, 2 * B);
+    }
+  }
+  EXPECT_LE(errs_float.ser(), max_ser) << "float, B=" << B;
+  EXPECT_LE(errs_fixed.ser(), max_ser) << "fixed, B=" << B;
+}
+
+TEST(Mqam, SixteenQamLinkDecodesCleanly) {
+  // 16-QAM has 4x the decision distance of 64-QAM: clean at 30 dB.
+  run_mqam_link<2>(30.0, 1e-3);
+}
+
+TEST(Mqam, TwoFiftySixQamLinkDecodesAtHighSnr) {
+  // 256-QAM halves the decision margin vs 64-QAM: it needs ~6 dB more SNR
+  // AND a wider datapath — at the paper's 10 bits the fixed decoder's
+  // quantization floor already costs ~0.7% SER (demonstrated below), while
+  // 12 bits restore clean decoding. Exactly section 4.1's point that the
+  // required widths follow the target error rate.
+  run_mqam_link<4, 12>(44.0, 2e-3);
+}
+
+TEST(Mqam, TwoFiftySixQamAtTenBitsHitsTheQuantizationFloor) {
+  LinkConfig cfg;
+  cfg.qam_bits = 4;
+  cfg.channel.snr_db = 44.0;
+  LinkStimulus stim(cfg);
+  const QamDecoderFloat trained = train_float_reference(&stim, 8000);
+  QamDecoderFixed<10, 10, 10, 10, 10, 4> dec;
+  for (int k = 0; k < 8; ++k)
+    dec.set_ffe_coeff(k, quantize_coeff<10>(trained.ffe_coeff(k)));
+  for (int k = 0; k < 16; ++k)
+    dec.set_dfe_coeff(k, quantize_coeff<10>(trained.dfe_coeff(k)));
+  dsp::ErrorCounter errs;
+  for (int n = 0; n < 8000; ++n) {
+    const LinkSample s = stim.next();
+    using Dec = QamDecoderFixed<10, 10, 10, 10, 10, 4>;
+    const Dec::input_type x_in[2] = {
+        {fixed<10, 0>::from_raw(
+             wide_int<10>(static_cast<long long>(s.q0.re))),
+         fixed<10, 0>::from_raw(
+             wide_int<10>(static_cast<long long>(s.q0.im)))},
+        {fixed<10, 0>::from_raw(
+             wide_int<10>(static_cast<long long>(s.q1.re))),
+         fixed<10, 0>::from_raw(
+             wide_int<10>(static_cast<long long>(s.q1.im)))}};
+    Dec::output_type word;
+    dec.decode(x_in, &word);
+    const int want = stim.sent_delayed(cfg.decision_delay);
+    if (want >= 0 && n > 16)
+      errs.update(want, static_cast<int>(word.to_uint64()), 8);
+  }
+  EXPECT_GT(errs.ser(), 1e-3)
+      << "at 256-QAM the 10-bit datapath quantization floor must show";
+  EXPECT_LT(errs.ser(), 0.05) << "but the link still mostly decodes";
+}
+
+TEST(Mqam, PaperSixtyFourRemainsTheDefault) {
+  static_assert(QamDecoderFixed<>::kQamBits == 6);
+  static_assert(std::is_same_v<QamDecoderFixed<>::output_type,
+                               wide_int<6, false>>);
+}
+
+}  // namespace
+}  // namespace hlsw::qam
