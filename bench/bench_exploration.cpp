@@ -15,6 +15,7 @@
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
 #include "rtl/verilog.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -81,23 +82,62 @@ void print_exploration() {
   std::printf("\n");
 }
 
+double time_explore(const hlsw::hls::Function& ir,
+                    const hls::DseOptions& opts, hls::DseResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = hls::explore(ir, opts, hls::TechLibrary::asic90());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 void print_dse() {
   const auto ir = qam::build_qam_decoder_ir();
   hls::DseOptions opts;
-  opts.unroll_factors = {1, 2, 4, 8};
-  const auto t0 = std::chrono::steady_clock::now();
-  const hls::DseResult r = hls::explore(ir, opts, hls::TechLibrary::asic90());
-  const double dt =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  std::printf("-- automated DSE (hls::explore): %zu configurations in %.3f s "
-              "--\n",
-              r.points.size(), dt);
+  opts.unroll_factors = {1, 2, 4, 8, 16};
+
+  // Legacy serial engine: one thread, cold private cache.
+  opts.threads = 1;
+  hls::DseResult serial;
+  const double dt_serial = time_explore(ir, opts, &serial);
+
+  // Pooled engine: 4 workers over a shared cache + reusable pool.
+  hls::DseOptions par = opts;
+  par.threads = 4;
+  par.cache = std::make_shared<hls::SynthesisCache>();
+  par.pool = std::make_shared<hlsw::util::ThreadPool>(4);
+  hls::DseResult threaded;
+  const double dt_par = time_explore(ir, par, &threaded);
+
+  // Cache-warm re-exploration: the same sweep again, zero new schedules.
+  hls::DseResult warm;
+  const double dt_warm = time_explore(ir, par, &warm);
+
+  bool identical = serial.points.size() == threaded.points.size();
+  for (std::size_t i = 0; identical && i < serial.points.size(); ++i)
+    identical = serial.points[i].name == threaded.points[i].name &&
+                serial.points[i].latency_cycles ==
+                    threaded.points[i].latency_cycles &&
+                serial.points[i].area == threaded.points[i].area &&
+                serial.points[i].pareto == threaded.points[i].pareto;
+
+  std::printf("-- automated DSE (hls::explore): %zu configurations --\n",
+              serial.points.size());
+  std::printf("  serial (threads=1, cold):      %8.3f ms\n", dt_serial * 1e3);
+  std::printf("  pooled (threads=4, cold):      %8.3f ms   speedup %.2fx\n",
+              dt_par * 1e3, dt_serial / dt_par);
+  std::printf("  memoized re-sweep (warm):      %8.3f ms   speedup %.2fx\n",
+              dt_warm * 1e3, dt_serial / dt_warm);
+  std::printf("  parallel result bit-identical to serial: %s\n",
+              identical ? "yes" : "NO -- BUG");
+  std::printf("  refinement-phase cache hits: %zu of %zu candidates "
+              "(cold); warm sweep: %zu hits, %zu schedules\n",
+              serial.cache_hits, serial.cache_hits + serial.cache_misses,
+              warm.cache_hits, warm.cache_misses);
   std::printf("Pareto front (latency vs area):\n");
-  for (const auto* p : r.pareto_front())
+  for (const auto* p : threaded.pareto_front())
     std::printf("  %-24s %3d cycles  %8.0f gates\n", p->name.c_str(),
                 p->latency_cycles, p->area);
-  const auto* pick = r.smallest_within(20);
+  const auto* pick = threaded.smallest_within(20);
   if (pick)
     std::printf("smallest design meeting the paper's 20-cycle goal: %s (%d "
                 "cycles, %.0f gates)\n\n",
@@ -118,6 +158,38 @@ void BM_FullExploration(benchmark::State& state) {
                           static_cast<long long>(archs.size()));
 }
 BENCHMARK(BM_FullExploration);
+
+// The DSE engine at 1/2/4 worker threads, cold cache every iteration:
+// wall-clock scaling of the synthesis batch itself.
+void BM_ExploreColdCache(benchmark::State& state) {
+  const auto ir = qam::build_qam_decoder_ir();
+  const auto tech = TechLibrary::asic90();
+  hls::DseOptions opts;
+  opts.unroll_factors = {1, 2, 4, 8, 16};
+  opts.threads = static_cast<unsigned>(state.range(0));
+  if (opts.threads > 1)
+    opts.pool = std::make_shared<hlsw::util::ThreadPool>(opts.threads);
+  for (auto _ : state) {
+    opts.cache = std::make_shared<hls::SynthesisCache>();  // cold
+    benchmark::DoNotOptimize(hls::explore(ir, opts, tech));
+  }
+}
+BENCHMARK(BM_ExploreColdCache)->Arg(1)->Arg(2)->Arg(4);
+
+// The memoized path: every configuration already cached, so an iteration
+// costs key construction + lookups only.
+void BM_ExploreWarmCache(benchmark::State& state) {
+  const auto ir = qam::build_qam_decoder_ir();
+  const auto tech = TechLibrary::asic90();
+  hls::DseOptions opts;
+  opts.unroll_factors = {1, 2, 4, 8, 16};
+  opts.threads = 1;
+  opts.cache = std::make_shared<hls::SynthesisCache>();
+  benchmark::DoNotOptimize(hls::explore(ir, opts, tech));  // warm it
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hls::explore(ir, opts, tech));
+}
+BENCHMARK(BM_ExploreWarmCache);
 
 void BM_ReportGeneration(benchmark::State& state) {
   const auto arch = qam::table1_architectures()[0];

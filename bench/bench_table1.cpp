@@ -8,10 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "hls/report.h"
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -24,11 +27,22 @@ void print_table1() {
   const auto tech = TechLibrary::asic90();
   const auto ir = hlsw::qam::build_qam_decoder_ir();
 
+  // Synthesize every architecture once, concurrently, and reuse the
+  // results across all three report sections below (the old harness
+  // re-ran synthesis per section, per row).
+  hlsw::util::ThreadPool pool(hlsw::util::ThreadPool::default_thread_count());
+  std::vector<std::future<SynthesisResult>> futs;
+  futs.reserve(archs.size());
+  for (const auto& a : archs)
+    futs.push_back(
+        pool.submit([&ir, &a, &tech] { return run_synthesis(ir, a.dir, tech); }));
+  std::vector<SynthesisResult> results;
+  results.reserve(archs.size());
+  for (auto& f : futs) results.push_back(f.get());
+
   double base_area = 0;
-  for (const auto& a : archs) {
-    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
-    if (a.name == "none") base_area = r.area.total;
-  }
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    if (archs[i].name == "none") base_area = results[i].area.total;
 
   std::printf(
       "\n== Table 1: Comparison of architectures generated from C synthesis "
@@ -36,8 +50,9 @@ void print_table1() {
   std::printf("%-14s %-52s | %8s %8s | %7s %7s | %6s %6s\n", "arch",
               "loop constraints", "lat(ns)", "paper", "Mbps", "paper", "area",
               "paper");
-  for (const auto& a : archs) {
-    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    const auto& a = archs[i];
+    const SynthesisResult& r = results[i];
     std::printf("%-14s %-52s | %8.0f %8.0f | %7.1f %7.1f | %6.2f %6.2f\n",
                 a.name.c_str(), a.description.c_str(), r.latency_ns(),
                 a.paper_latency_ns, r.data_rate_mbps(6), a.paper_rate_mbps,
@@ -47,21 +62,22 @@ void print_table1() {
   std::printf(
       "\n-- Section 5 cycle arithmetic (paper: 69 = 3+8+16+8+16+3+15, "
       "35 = 3+16+16, 19 = 3+8+8, 15 = 3+8+4) --\n");
-  for (const auto& a : archs) {
-    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
-    std::printf("%-14s %3d cycles =", a.name.c_str(), r.latency_cycles());
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    const SynthesisResult& r = results[i];
+    std::printf("%-14s %3d cycles =", archs[i].name.c_str(),
+                r.latency_cycles());
     for (const auto& rs : r.schedule.regions)
       std::printf(" %d", rs.total_cycles);
     std::printf("\n");
   }
 
   std::printf("\n-- Area breakdown (gates) --\n");
-  for (const auto& a : archs) {
-    const SynthesisResult r = run_synthesis(ir, a.dir, tech);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    const SynthesisResult& r = results[i];
     std::printf(
         "%-14s total %7.0f  [fu %6.0f, reg %6.0f, mux %6.0f, fsm %5.0f, io "
         "%5.0f]\n",
-        a.name.c_str(), r.area.total, r.area.fu, r.area.reg, r.area.mux,
+        archs[i].name.c_str(), r.area.total, r.area.fu, r.area.reg, r.area.mux,
         r.area.fsm, r.area.io);
   }
   std::printf("\n");

@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include "hls/dse.h"
 #include "hls/report.h"
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace hlsw;
@@ -31,6 +33,29 @@ int main(int argc, char** argv) {
                 r.latency_cycles(), r.data_rate_mbps(6), r.area.total,
                 a.name == pick ? "   <-- detailed below" : "");
   }
+
+  // Automated sweep of the same space, synthesized across a worker pool
+  // with memoized synthesis. threads = 0 picks hardware concurrency; the
+  // result is bit-identical to threads = 1, just faster.
+  hls::DseOptions dse;
+  dse.unroll_factors = {1, 2, 4, 8};
+  dse.threads = 0;
+  dse.cache = std::make_shared<hls::SynthesisCache>();
+  dse.progress = [](const hls::DsePoint& p, const hls::DseProgress& pr) {
+    std::printf("  [%2zu/%2zu] %-24s %3d cycles  %8.0f gates%s\n", pr.done,
+                pr.planned, p.name.c_str(), p.latency_cycles, p.area,
+                pr.from_cache ? "  (cached)" : "");
+  };
+  std::printf("\nAutomated exploration (hls::explore, %u worker threads):\n",
+              dse.threads ? dse.threads
+                          : hlsw::util::ThreadPool::default_thread_count());
+  const hls::DseResult r = hls::explore(ir, dse, tech);
+  std::printf("%zu configurations (%zu scheduled, %zu served from cache); "
+              "Pareto front:\n",
+              r.points.size(), r.cache_misses, r.cache_hits);
+  for (const auto* p : r.pareto_front())
+    std::printf("  %-24s %3d cycles  %8.0f gates\n", p->name.c_str(),
+                p->latency_cycles, p->area);
 
   for (const auto& a : archs) {
     if (a.name != pick) continue;

@@ -1,28 +1,97 @@
 #include "hls/dse.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace hlsw::hls {
 
 namespace {
 
-DsePoint synthesize_point(const Function& f, std::string name,
-                          Directives dir, const TechLibrary& tech) {
-  DsePoint p;
-  p.name = std::move(name);
+// One enumerated configuration, fully determined before any synthesis
+// runs: enumeration happens on the calling thread, so names, order and
+// duplicate detection are identical no matter how many workers execute
+// the batch.
+struct Candidate {
+  std::string name;
+  Directives dir;
+  std::string key;
+  // True when this explore() call already planned the same canonical
+  // configuration (the refinement phase re-deriving a sweep point): it is
+  // counted as a cache hit and produces no duplicate row.
+  bool revisit = false;
+};
+
+SynthesisCache::Metrics measure(const Function& f, const Directives& dir,
+                                const TechLibrary& tech) {
   const SynthesisResult r = run_synthesis(f, dir, tech);
-  p.dir = std::move(dir);
-  p.latency_cycles = r.latency_cycles();
-  p.latency_ns = r.latency_ns();
-  p.area = r.area.total;
-  return p;
+  return SynthesisCache::Metrics{r.latency_cycles(), r.latency_ns(),
+                                 r.area.total};
 }
 
-void mark_pareto(std::vector<DsePoint>* points) {
-  for (auto& p : *points) {
+// Runs one batch of candidates: submission (and hit/miss accounting) in
+// candidate order on the calling thread, execution on the pool (or inline
+// when pool is null — the legacy serial path), collection in candidate
+// order again. The three orders being caller-side is what makes the
+// parallel result bit-identical to the serial one.
+void run_batch(const std::vector<Candidate>& cands, const Function& f,
+               const TechLibrary& tech, SynthesisCache& cache,
+               util::ThreadPool* pool, std::size_t planned_total,
+               const DseOptions& opts, DseResult* out) {
+  struct Pending {
+    const Candidate* cand;
+    bool hit;
+    std::future<SynthesisCache::Metrics> fut;  // valid only when pool != null
+  };
+  std::vector<Pending> pending;
+  pending.reserve(cands.size());
+  for (const auto& c : cands) {
+    if (c.revisit) {  // already scheduled earlier in this call
+      ++out->cache_hits;
+      continue;
+    }
+    // Batches never contain duplicate keys and previous batches are fully
+    // settled, so presence here is a deterministic warm-cache hit.
+    const bool hit = cache.contains(c.key);
+    if (hit)
+      ++out->cache_hits;
+    else
+      ++out->cache_misses;
+    Pending p{&c, hit, {}};
+    if (pool)
+      p.fut = pool->submit([&cache, &c, &f, &tech] {
+        return cache.get_or_compute(c.key,
+                                    [&] { return measure(f, c.dir, tech); });
+      });
+    pending.push_back(std::move(p));
+  }
+  for (auto& p : pending) {
+    const SynthesisCache::Metrics m =
+        pool ? p.fut.get()
+             : cache.get_or_compute(
+                   p.cand->key, [&] { return measure(f, p.cand->dir, tech); });
+    DsePoint point;
+    point.name = p.cand->name;
+    point.dir = p.cand->dir;
+    point.latency_cycles = m.latency_cycles;
+    point.latency_ns = m.latency_ns;
+    point.area = m.area;
+    out->points.push_back(std::move(point));
+    if (opts.progress)
+      opts.progress(out->points.back(),
+                    DseProgress{out->points.size(), planned_total, p.hit});
+  }
+}
+
+}  // namespace
+
+void mark_pareto(std::vector<DsePoint>& points) {
+  for (auto& p : points) {
     p.pareto = true;
-    for (const auto& q : *points) {
+    for (const auto& q : points) {
       if (&p == &q) continue;
       const bool no_worse =
           q.latency_cycles <= p.latency_cycles && q.area <= p.area;
@@ -36,11 +105,10 @@ void mark_pareto(std::vector<DsePoint>* points) {
   }
 }
 
-}  // namespace
-
 DseResult explore(const Function& f, const DseOptions& opts,
                   const TechLibrary& tech) {
   DseResult out;
+  out.seed = opts.seed;
   std::vector<std::string> loop_labels;
   std::vector<int> trips;
   for (const auto& region : f.regions) {
@@ -50,14 +118,47 @@ DseResult explore(const Function& f, const DseOptions& opts,
     }
   }
 
+  const std::shared_ptr<SynthesisCache> cache =
+      opts.cache ? opts.cache : std::make_shared<SynthesisCache>();
+  const unsigned nthreads = opts.threads == 0
+                                ? util::ThreadPool::default_thread_count()
+                                : opts.threads;
+  std::shared_ptr<util::ThreadPool> pool;
+  if (nthreads > 1)
+    pool = opts.pool ? opts.pool : std::make_shared<util::ThreadPool>(nthreads);
+
+  const std::uint64_t fp = function_fingerprint(f);
+  std::set<std::string> seen;  // canonical keys planned by this call
+  int planned = 0;             // rows planned (bounded by max_configs)
+
+  // Appends a candidate unless the cap forbids a new row; revisits of a
+  // configuration this call already planned bypass the cap (they cost no
+  // schedule and add no row).
+  const auto plan = [&](std::vector<Candidate>* batch, std::string name,
+                        Directives dir) {
+    Candidate c;
+    c.key = dse_cache_key(fp, dir, tech);
+    c.revisit = !seen.insert(c.key).second;
+    if (!c.revisit) {
+      if (planned >= opts.max_configs) {
+        seen.erase(c.key);  // not planned after all
+        return;
+      }
+      ++planned;
+    }
+    c.name = std::move(name);
+    c.dir = std::move(dir);
+    batch->push_back(std::move(c));
+  };
+
   std::vector<bool> merge_modes;
   if (opts.try_no_merge) merge_modes.push_back(false);
   if (opts.try_merge) merge_modes.push_back(true);
 
   // Stage 1: uniform unroll factor across all loops, with/without merging.
+  std::vector<Candidate> sweep;
   for (bool merge : merge_modes) {
     for (int u : opts.unroll_factors) {
-      if (static_cast<int>(out.points.size()) >= opts.max_configs) break;
       Directives dir;
       dir.clock_period_ns = opts.clock_period_ns;
       dir.auto_merge = merge;
@@ -65,41 +166,63 @@ DseResult explore(const Function& f, const DseOptions& opts,
         if (u > 1 && u < trips[l]) dir.loops[loop_labels[l]].unroll = u;
       std::ostringstream name;
       name << (merge ? "merge" : "flat") << "+U" << u;
-      out.points.push_back(
-          synthesize_point(f, name.str(), std::move(dir), tech));
+      plan(&sweep, name.str(), std::move(dir));
     }
   }
+  run_batch(sweep, f, tech, *cache, pool.get(),
+            static_cast<std::size_t>(planned), opts, &out);
 
-  // Stage 2: per-loop refinement around the best stage-1 point — double
-  // each loop's unroll factor individually (the Table 1 row-4 move).
-  mark_pareto(&out.points);
-  std::vector<DsePoint> stage1 = out.points;
+  // Stage 2: refinement around the Pareto-optimal stage-1 points — double
+  // each loop's unroll factor individually (the Table 1 row-4 move), and
+  // flip the merge mode. Refinements frequently re-derive configurations
+  // the sweep already visited (the merge flip of a swept point always
+  // does when both modes were swept); those are memoization hits, never
+  // re-schedules.
+  mark_pareto(out.points);
+  const std::vector<DsePoint> stage1 = out.points;
+  std::vector<Candidate> refine;
   for (const auto& base : stage1) {
     if (!base.pareto) continue;
     for (std::size_t l = 0; l < loop_labels.size(); ++l) {
-      if (static_cast<int>(out.points.size()) >= opts.max_configs) break;
       Directives dir = base.dir;
-      int& u = dir.loops[loop_labels[l]].unroll;
-      if (u == 0) u = 1;
+      int u = dir.loop_directive(loop_labels[l]).unroll;
+      if (u <= 0) u = 1;
       if (u * 2 >= trips[l]) continue;
-      u *= 2;
+      dir.loops[loop_labels[l]].unroll = u * 2;
       std::ostringstream name;
-      name << base.name << "+" << loop_labels[l] << "xU" << u;
-      out.points.push_back(
-          synthesize_point(f, name.str(), std::move(dir), tech));
+      name << base.name << "+" << loop_labels[l] << "xU" << u * 2;
+      plan(&refine, name.str(), std::move(dir));
     }
+    Directives flipped = base.dir;
+    flipped.auto_merge = !flipped.auto_merge;
+    plan(&refine, base.name + (flipped.auto_merge ? "+merge" : "+nomerge"),
+         std::move(flipped));
   }
-  mark_pareto(&out.points);
+  run_batch(refine, f, tech, *cache, pool.get(),
+            static_cast<std::size_t>(planned), opts, &out);
+  mark_pareto(out.points);
   return out;
 }
+
+namespace {
+
+// Deterministic seeded rank for breaking exact (latency, area) ties.
+std::uint64_t tie_rank(std::uint64_t seed, const DsePoint& p) {
+  return fnv1a64(p.name) ^ (seed * 0x100000001b3ull);
+}
+
+}  // namespace
 
 std::vector<const DsePoint*> DseResult::pareto_front() const {
   std::vector<const DsePoint*> front;
   for (const auto& p : points)
     if (p.pareto) front.push_back(&p);
   std::sort(front.begin(), front.end(),
-            [](const DsePoint* a, const DsePoint* b) {
-              return a->latency_cycles < b->latency_cycles;
+            [this](const DsePoint* a, const DsePoint* b) {
+              if (a->latency_cycles != b->latency_cycles)
+                return a->latency_cycles < b->latency_cycles;
+              if (a->area != b->area) return a->area < b->area;
+              return tie_rank(seed, *a) < tie_rank(seed, *b);
             });
   return front;
 }

@@ -3,12 +3,30 @@
 // latency/area points — packaged as an API. Section 5's Table 1 is four
 // hand-picked points from exactly this space; explore() enumerates it
 // systematically.
+//
+// The sweep is embarrassingly parallel (every configuration synthesizes
+// independently) and highly redundant (the refinement phase re-derives
+// configurations the common-factor sweep already visited). explore()
+// therefore runs candidates across a util::ThreadPool and memoizes
+// synthesis results in a SynthesisCache keyed by (IR fingerprint,
+// directives, clock, tech library). Results are bit-identical to the
+// serial path regardless of thread count: candidates are enumerated, named
+// and collected on the calling thread in a deterministic order, and worker
+// threads only evaluate the pure run_synthesis() function.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hls/report.h"
+#include "hls/synth_cache.h"
+
+namespace hlsw::util {
+class ThreadPool;
+}
 
 namespace hlsw::hls {
 
@@ -21,6 +39,13 @@ struct DsePoint {
   bool pareto = false;  // not dominated in (latency_cycles, area)
 };
 
+// Passed to DseOptions::progress after each configuration resolves.
+struct DseProgress {
+  std::size_t done = 0;     // configurations resolved so far
+  std::size_t planned = 0;  // configurations planned so far (grows per phase)
+  bool from_cache = false;  // this point came from the memoization cache
+};
+
 struct DseOptions {
   double clock_period_ns = 10.0;
   // Unroll factors tried on every loop whose trip count they divide
@@ -31,12 +56,38 @@ struct DseOptions {
   bool try_no_merge = true;
   // Cap on the number of synthesized configurations (the sweep is
   // exponential in principle; we sweep a common factor across all loops
-  // plus per-loop refinements of the best point).
-  int max_configs = 64;
+  // plus per-loop refinements of the best points). Raised from the
+  // historical 64 now that the pool + cache make wide sweeps affordable.
+  int max_configs = 256;
+  // Worker threads for the synthesis batch. 0 = hardware concurrency;
+  // 1 = legacy serial path (no pool is created). Any value produces
+  // bit-identical points in identical order.
+  unsigned threads = 0;
+  // Seed for the deterministic tie-break applied when ranking points with
+  // equal (latency, area) — see DseResult::pareto_front().
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  // Optional shared memoization cache. When set, it persists across
+  // explore() calls: a cache-warm re-exploration performs zero new
+  // schedules. When null, explore() uses a private per-call cache (the
+  // refinement phase still benefits).
+  std::shared_ptr<SynthesisCache> cache;
+  // Optional shared worker pool, reused across explore() calls. When null
+  // and threads != 1, explore() creates a pool for the call.
+  std::shared_ptr<util::ThreadPool> pool;
+  // Observability hook, invoked on the calling thread (never from a
+  // worker) after each configuration resolves, in deterministic order.
+  std::function<void(const DsePoint&, const DseProgress&)> progress;
 };
 
 struct DseResult {
   std::vector<DsePoint> points;  // every synthesized configuration
+  // Memoization counters: hits = configurations served without a schedule
+  // (refinement revisits + warm-cache lookups), misses = schedules run.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  // Tie-break seed the points were ranked with (copied from DseOptions).
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
   // Convenience views.
   std::vector<const DsePoint*> pareto_front() const;
   const DsePoint* fastest() const;
@@ -44,6 +95,10 @@ struct DseResult {
   // The smallest point meeting a latency bound, or nullptr.
   const DsePoint* smallest_within(int max_cycles) const;
 };
+
+// Marks each point's `pareto` flag: true iff no other point dominates it
+// in (latency_cycles, area). Exposed for property tests and custom sweeps.
+void mark_pareto(std::vector<DsePoint>& points);
 
 DseResult explore(const Function& f, const DseOptions& opts,
                   const TechLibrary& tech);

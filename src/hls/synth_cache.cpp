@@ -1,0 +1,117 @@
+#include "hls/synth_cache.h"
+
+#include <sstream>
+
+namespace hlsw::hls {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t function_fingerprint(const Function& f) {
+  return fnv1a64(f.dump());
+}
+
+std::uint64_t tech_fingerprint(const TechLibrary& tech) {
+  std::ostringstream os;
+  os.precision(17);
+  os << tech.name << '|' << tech.add_delay_base << '|' << tech.add_delay_per_bit
+     << '|' << tech.mul_delay_base << '|' << tech.mul_delay_per_bit << '|'
+     << tech.mul_delay_per_min_bit << '|' << tech.mux_delay << '|'
+     << tech.wire_delay << '|' << tech.reg_margin << '|'
+     << tech.mem_access_delay << '|' << tech.add_area_per_bit << '|'
+     << tech.mul_area_per_bit2 << '|' << tech.reg_area_per_bit << '|'
+     << tech.mux_area_per_bit << '|' << tech.fsm_area_per_state << '|'
+     << tech.counter_area_per_bit << '|' << tech.mem_area_per_bit << '|'
+     << tech.mem_port_overhead << '|' << tech.io_area_per_bit;
+  return fnv1a64(os.str());
+}
+
+std::string dse_cache_key(std::uint64_t func_fingerprint, const Directives& dir,
+                          const TechLibrary& tech) {
+  std::ostringstream os;
+  os.precision(17);
+  os << std::hex << func_fingerprint << '/' << tech_fingerprint(tech)
+     << std::dec;
+  os << ";clk=" << dir.clock_period_ns;
+  os << ";am=" << dir.auto_merge << ";hs=" << dir.handshake
+     << ";mrm=" << dir.max_real_multipliers;
+  os << ";loops=";
+  for (const auto& [label, ld] : dir.loops) {  // std::map: sorted order
+    const int u = ld.unroll <= 1 ? 1 : ld.unroll;
+    if (u == 1 && ld.pipeline_ii == 0) continue;  // default: omit
+    os << label << ":u" << u << ":p" << ld.pipeline_ii << ',';
+  }
+  os << ";mg=";
+  for (const auto& group : dir.merge_groups) {
+    for (const auto& label : group) os << label << '.';
+    os << '|';
+  }
+  os << ";arr=";
+  for (const auto& [name, ad] : dir.arrays) {
+    if (ad.mapping == ArrayMapping::kRegisters && ad.mem_read_ports == 1 &&
+        ad.mem_write_ports == 1)
+      continue;  // default: omit
+    os << name << ':' << static_cast<int>(ad.mapping) << ':'
+       << ad.mem_read_ports << ':' << ad.mem_write_ports << ',';
+  }
+  os << ";if=";
+  for (const auto& [name, kind] : dir.interfaces)
+    os << name << ':' << static_cast<int>(kind) << ',';
+  return os.str();
+}
+
+bool SynthesisCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
+SynthesisCache::Metrics SynthesisCache::get_or_compute(
+    const std::string& key, const std::function<Metrics()>& compute,
+    bool* hit) {
+  std::shared_future<Metrics> fut;
+  std::promise<Metrics> prom;
+  bool claimed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      fut = it->second;
+    } else {
+      fut = prom.get_future().share();
+      map_.emplace(key, fut);
+      claimed = true;
+    }
+  }
+  if (hit) *hit = !claimed;
+  if (!claimed) return fut.get();  // blocks if another thread is computing
+  try {
+    Metrics m = compute();
+    prom.set_value(m);
+    return m;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.erase(key);  // allow a later call to retry
+    }
+    prom.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::size_t SynthesisCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void SynthesisCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+}  // namespace hlsw::hls

@@ -1,0 +1,176 @@
+// Memoization cache tests: canonical key construction (distinct directives
+// get distinct keys, semantically identical directives get equal keys),
+// hit/miss behavior of SynthesisCache, refinement-phase hits inside a
+// single explore(), and the cache-warm guarantee — a second explore() call
+// sharing the cache performs zero new schedules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "hls/dse.h"
+#include "qam/decoder_ir.h"
+
+namespace hlsw::hls {
+namespace {
+
+std::uint64_t qam_fp() {
+  static const std::uint64_t fp =
+      function_fingerprint(qam::build_qam_decoder_ir());
+  return fp;
+}
+
+TEST(DseCacheKey, DistinctDirectivesGetDistinctKeys) {
+  const auto tech = TechLibrary::asic90();
+  Directives base;
+  const std::string k0 = dse_cache_key(qam_fp(), base, tech);
+
+  Directives unrolled = base;
+  unrolled.loops["ffe"].unroll = 2;
+  Directives merged = base;
+  merged.auto_merge = true;
+  Directives clocked = base;
+  clocked.clock_period_ns = 5.0;
+  Directives piped = base;
+  piped.loops["ffe"].pipeline_ii = 1;
+  Directives memd = base;
+  memd.arrays["x"].mapping = ArrayMapping::kMemory;
+  Directives iface = base;
+  iface.interfaces["x_in"] = InterfaceKind::kHandshake;
+  Directives grouped = base;
+  grouped.merge_groups = {{"ffe", "dfe"}};
+  Directives capped = base;
+  capped.max_real_multipliers = 2;
+
+  for (const auto* d :
+       {&unrolled, &merged, &clocked, &piped, &memd, &iface, &grouped, &capped})
+    EXPECT_NE(dse_cache_key(qam_fp(), *d, tech), k0);
+  // And pairwise distinct among themselves.
+  EXPECT_NE(dse_cache_key(qam_fp(), unrolled, tech),
+            dse_cache_key(qam_fp(), merged, tech));
+  EXPECT_NE(dse_cache_key(qam_fp(), piped, tech),
+            dse_cache_key(qam_fp(), unrolled, tech));
+}
+
+TEST(DseCacheKey, SemanticallyIdenticalDirectivesGetEqualKeys) {
+  const auto tech = TechLibrary::asic90();
+  Directives a;  // no loop entries at all
+  Directives b;
+  b.loops["ffe"];             // default entry: unroll = 1, no pipelining
+  b.loops["dfe"].unroll = 0;  // 0 means "no unrolling", same as 1
+  Directives c;
+  c.arrays["x"];  // default array directive
+  EXPECT_EQ(dse_cache_key(qam_fp(), a, tech), dse_cache_key(qam_fp(), b, tech));
+  EXPECT_EQ(dse_cache_key(qam_fp(), a, tech), dse_cache_key(qam_fp(), c, tech));
+}
+
+TEST(DseCacheKey, FunctionAndTechChangesInvalidate) {
+  Directives d;
+  EXPECT_NE(dse_cache_key(qam_fp(), d, TechLibrary::asic90()),
+            dse_cache_key(qam_fp(), d, TechLibrary::fpga_lut4()));
+  EXPECT_NE(dse_cache_key(qam_fp() ^ 1, d, TechLibrary::asic90()),
+            dse_cache_key(qam_fp(), d, TechLibrary::asic90()));
+  EXPECT_NE(tech_fingerprint(TechLibrary::asic90()),
+            tech_fingerprint(TechLibrary::fpga_lut4()));
+}
+
+TEST(SynthesisCache, RepeatedKeysHitAndComputeOnce) {
+  SynthesisCache cache;
+  std::atomic<int> computes{0};
+  const auto compute = [&] {
+    ++computes;
+    return SynthesisCache::Metrics{19, 190.0, 12345.0};
+  };
+  bool hit = true;
+  const auto m1 = cache.get_or_compute("k", compute, &hit);
+  EXPECT_FALSE(hit);
+  const auto m2 = cache.get_or_compute("k", compute, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(m1.latency_cycles, m2.latency_cycles);
+  EXPECT_EQ(m1.area, m2.area);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("k"));
+  EXPECT_FALSE(cache.contains("other"));
+}
+
+TEST(SynthesisCache, ThrowingComputeIsRetriable) {
+  SynthesisCache cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   "k",
+                   []() -> SynthesisCache::Metrics {
+                     throw std::runtime_error("synthesis failed");
+                   }),
+               std::runtime_error);
+  EXPECT_FALSE(cache.contains("k"));  // entry removed, retry allowed
+  bool hit = true;
+  const auto m = cache.get_or_compute(
+      "k", [] { return SynthesisCache::Metrics{1, 10.0, 2.0}; }, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(m.latency_cycles, 1);
+}
+
+TEST(DseCache, RefinementPhaseHitsWithinASingleExplore) {
+  // With both merge modes swept, the refinement phase's merge-flip of
+  // every Pareto base re-derives a configuration the common-factor sweep
+  // already visited — served by the cache, never re-scheduled.
+  DseOptions opts;
+  opts.threads = 1;
+  const DseResult r =
+      explore(qam::build_qam_decoder_ir(), opts, TechLibrary::asic90());
+  EXPECT_GT(r.cache_hits, 0u);
+  EXPECT_EQ(r.cache_misses, r.points.size())
+      << "every reported point cost exactly one schedule on a cold cache";
+}
+
+TEST(DseCache, WarmSecondExploreRunsZeroNewSchedules) {
+  const Function ir = qam::build_qam_decoder_ir();
+  DseOptions opts;
+  opts.threads = 2;
+  opts.cache = std::make_shared<SynthesisCache>();
+  const DseResult cold = explore(ir, opts, TechLibrary::asic90());
+  EXPECT_GT(cold.cache_misses, 0u);
+  const std::size_t cached = opts.cache->size();
+  EXPECT_EQ(cached, cold.cache_misses);
+
+  const DseResult warm = explore(ir, opts, TechLibrary::asic90());
+  EXPECT_EQ(warm.cache_misses, 0u) << "warm cache must schedule nothing";
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(opts.cache->size(), cached) << "no new entries on a warm sweep";
+  // And the warm result is the same exploration.
+  ASSERT_EQ(warm.points.size(), cold.points.size());
+  for (std::size_t i = 0; i < warm.points.size(); ++i) {
+    EXPECT_EQ(warm.points[i].name, cold.points[i].name);
+    EXPECT_EQ(warm.points[i].latency_cycles, cold.points[i].latency_cycles);
+    EXPECT_EQ(warm.points[i].area, cold.points[i].area);
+    EXPECT_EQ(warm.points[i].pareto, cold.points[i].pareto);
+  }
+}
+
+TEST(DseCache, CacheIsSharedAcrossTechTargetsWithoutAliasing) {
+  const Function ir = qam::build_qam_decoder_ir();
+  DseOptions opts;
+  opts.threads = 1;
+  opts.cache = std::make_shared<SynthesisCache>();
+  const DseResult asic = explore(ir, opts, TechLibrary::asic90());
+  const DseResult fpga = explore(ir, opts, TechLibrary::fpga_lut4());
+  EXPECT_EQ(fpga.cache_misses, fpga.points.size())
+      << "a different tech library must not hit the asic entries";
+  // The common-factor sweep exists in both runs; the shared baseline must
+  // have been re-measured under the fpga model, not served from the asic
+  // entry.
+  const auto baseline = [](const DseResult& r) -> const DsePoint* {
+    for (const auto& p : r.points)
+      if (p.name == "flat+U1") return &p;
+    return nullptr;
+  };
+  const DsePoint* a = baseline(asic);
+  const DsePoint* b = baseline(fpga);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->latency_ns, b->latency_ns)
+      << "fpga timing should differ from asic";
+}
+
+}  // namespace
+}  // namespace hlsw::hls

@@ -1,0 +1,99 @@
+// Unit coverage for util::ThreadPool: task completion, exception
+// propagation through futures, drain-on-destruction, the zero- and
+// one-thread edge cases, and a many-small-tasks stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace hlsw::util {
+namespace {
+
+TEST(ThreadPool, CompletesTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughTheFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, InlinePoolPropagatesExceptionsToo) {
+  ThreadPool pool(0);
+  auto fut = pool.submit([]() -> int { throw std::logic_error("inline"); });
+  EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i)
+      futs.push_back(pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1, std::memory_order_relaxed);
+      }));
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(done.load(), 64);
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());  // no broken promises
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInlineOnTheCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  const auto caller = std::this_thread::get_id();
+  auto fut = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  // Inline execution finishes before submit returns.
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPool, OneThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i)
+    futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  for (auto& f : futs) f.get();
+  std::vector<int> expect(50);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);  // single worker: strict FIFO
+}
+
+TEST(ThreadPool, StressManySmallTasks) {
+  ThreadPool pool(8);
+  std::atomic<long long> sum{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(5000);
+  for (int i = 1; i <= 5000; ++i)
+    futs.push_back(pool.submit([&sum, i] {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 5000LL * 5001 / 2);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hlsw::util
