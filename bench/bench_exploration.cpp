@@ -7,9 +7,9 @@
 // latency/area Pareto points.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 
+#include "bench_main.h"
 #include "hls/dse.h"
 #include "hls/report.h"
 #include "qam/architectures.h"
@@ -23,7 +23,7 @@ using namespace hlsw;
 using hls::run_synthesis;
 using hls::TechLibrary;
 
-void print_exploration() {
+void print_exploration(hlsw::bench::Harness& h) {
   const auto archs = qam::exploration_architectures();
   const auto tech = TechLibrary::asic90();
   const auto ir = qam::build_qam_decoder_ir();
@@ -36,7 +36,6 @@ void print_exploration() {
               "lat(ns)", "rate Mbps", "area", "rtl KB");
 
   double base_area = 0;
-  const auto t0 = std::chrono::steady_clock::now();
   for (const auto& a : archs) {
     const auto r = run_synthesis(ir, a.dir, tech);
     if (a.name == "none") base_area = r.area.total;
@@ -48,20 +47,27 @@ void print_exploration() {
                 r.latency_cycles(), r.latency_ns(), r.data_rate_mbps(6),
                 r.area.total, v.size() / 1024.0);
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  // The headline timing: synthesis + Verilog text for every architecture,
+  // repeated under the harness so BENCH_exploration.json carries it.
+  const auto t = h.measure("exploration_synth_rtl", [&] {
+    for (const auto& a : archs) {
+      const auto r = run_synthesis(ir, a.dir, tech);
+      benchmark::DoNotOptimize(rtl::emit_verilog(r.transformed, r.schedule));
+    }
+  });
   std::printf(
-      "\nfull exploration (synthesis x2 + Verilog for every architecture): "
-      "%.3f s total\n",
-      elapsed);
+      "\nfull exploration (synthesis + Verilog for every architecture): "
+      "%.3f ms min / %.3f ms mean over %d reps\n",
+      t.min_ms, t.mean_ms, t.reps);
   std::printf("(the paper: \"performed in a matter of minutes without "
               "changing the source\"; a manual RTL rewrite per architecture "
               "would take weeks each)\n");
+  h.note("architectures", obs::Json(static_cast<long long>(archs.size())));
 
   // Pareto frontier in (latency, area).
   std::printf("\n-- Pareto-optimal points (latency vs area, normalized to "
               "'none') --\n");
+  obs::Json pareto = obs::Json::array();
   for (const auto& a : archs) {
     const auto r = run_synthesis(ir, a.dir, tech);
     bool dominated = false;
@@ -75,42 +81,46 @@ void print_exploration() {
           rb.area.total <= r.area.total)
         dominated = true;
     }
-    if (!dominated)
+    if (!dominated) {
       std::printf("  %-14s %3d cycles, %.2fx area\n", a.name.c_str(),
                   r.latency_cycles(), r.area.total / base_area);
+      pareto.push(obs::Json::object()
+                      .set("arch", a.name)
+                      .set("cycles", r.latency_cycles())
+                      .set("area_norm", r.area.total / base_area));
+    }
   }
+  h.note("pareto_architectures", std::move(pareto));
   std::printf("\n");
 }
 
-double time_explore(const hlsw::hls::Function& ir,
-                    const hls::DseOptions& opts, hls::DseResult* out) {
-  const auto t0 = std::chrono::steady_clock::now();
-  *out = hls::explore(ir, opts, hls::TechLibrary::asic90());
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-void print_dse() {
+void print_dse(hlsw::bench::Harness& h) {
   const auto ir = qam::build_qam_decoder_ir();
+  const auto tech = TechLibrary::asic90();
   hls::DseOptions opts;
   opts.unroll_factors = {1, 2, 4, 8, 16};
 
-  // Legacy serial engine: one thread, cold private cache.
+  // Legacy serial engine: one thread, cold private cache every run.
   opts.threads = 1;
   hls::DseResult serial;
-  const double dt_serial = time_explore(ir, opts, &serial);
+  const auto t_serial = h.measure(
+      "dse_serial_cold", [&] { serial = hls::explore(ir, opts, tech); });
 
-  // Pooled engine: 4 workers over a shared cache + reusable pool.
+  // Pooled engine: 4 workers over a reusable pool, fresh cache per rep.
   hls::DseOptions par = opts;
   par.threads = 4;
-  par.cache = std::make_shared<hls::SynthesisCache>();
   par.pool = std::make_shared<hlsw::util::ThreadPool>(4);
   hls::DseResult threaded;
-  const double dt_par = time_explore(ir, par, &threaded);
+  const auto t_par = h.measure("dse_pooled_cold", [&] {
+    par.cache = std::make_shared<hls::SynthesisCache>();
+    threaded = hls::explore(ir, par, tech);
+  });
 
   // Cache-warm re-exploration: the same sweep again, zero new schedules.
-  hls::DseResult warm;
-  const double dt_warm = time_explore(ir, par, &warm);
+  par.cache = std::make_shared<hls::SynthesisCache>();
+  hls::DseResult warm = hls::explore(ir, par, tech);  // warm the cache
+  const auto t_warm =
+      h.measure("dse_warm", [&] { warm = hls::explore(ir, par, tech); });
 
   bool identical = serial.points.size() == threaded.points.size();
   for (std::size_t i = 0; identical && i < serial.points.size(); ++i)
@@ -122,11 +132,11 @@ void print_dse() {
 
   std::printf("-- automated DSE (hls::explore): %zu configurations --\n",
               serial.points.size());
-  std::printf("  serial (threads=1, cold):      %8.3f ms\n", dt_serial * 1e3);
+  std::printf("  serial (threads=1, cold):      %8.3f ms\n", t_serial.min_ms);
   std::printf("  pooled (threads=4, cold):      %8.3f ms   speedup %.2fx\n",
-              dt_par * 1e3, dt_serial / dt_par);
+              t_par.min_ms, t_serial.min_ms / t_par.min_ms);
   std::printf("  memoized re-sweep (warm):      %8.3f ms   speedup %.2fx\n",
-              dt_warm * 1e3, dt_serial / dt_warm);
+              t_warm.min_ms, t_serial.min_ms / t_warm.min_ms);
   std::printf("  parallel result bit-identical to serial: %s\n",
               identical ? "yes" : "NO -- BUG");
   std::printf("  refinement-phase cache hits: %zu of %zu candidates "
@@ -134,9 +144,25 @@ void print_dse() {
               serial.cache_hits, serial.cache_hits + serial.cache_misses,
               warm.cache_hits, warm.cache_misses);
   std::printf("Pareto front (latency vs area):\n");
-  for (const auto* p : threaded.pareto_front())
+  obs::Json front = obs::Json::array();
+  for (const auto* p : threaded.pareto_front()) {
     std::printf("  %-24s %3d cycles  %8.0f gates\n", p->name.c_str(),
                 p->latency_cycles, p->area);
+    front.push(p->name);
+  }
+  h.note("dse", obs::Json::object()
+                    .set("configurations",
+                         static_cast<long long>(serial.points.size()))
+                    .set("parallel_identical", identical)
+                    .set("cold_cache_hits",
+                         static_cast<long long>(serial.cache_hits))
+                    .set("cold_cache_misses",
+                         static_cast<long long>(serial.cache_misses))
+                    .set("warm_cache_hits",
+                         static_cast<long long>(warm.cache_hits))
+                    .set("warm_cache_misses",
+                         static_cast<long long>(warm.cache_misses))
+                    .set("pareto_front", std::move(front)));
   const auto* pick = threaded.smallest_within(20);
   if (pick)
     std::printf("smallest design meeting the paper's 20-cycle goal: %s (%d "
@@ -208,9 +234,11 @@ BENCHMARK(BM_ReportGeneration);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_exploration();
-  print_dse();
+  hlsw::bench::Harness harness("exploration", &argc, argv);
+  print_exploration(harness);
+  print_dse(harness);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  harness.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <future>
 #include <vector>
 
+#include "bench_main.h"
 #include "hls/report.h"
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
@@ -22,23 +23,28 @@ using hlsw::hls::run_synthesis;
 using hlsw::hls::SynthesisResult;
 using hlsw::hls::TechLibrary;
 
-void print_table1() {
+void print_table1(hlsw::bench::Harness& h) {
   const auto archs = hlsw::qam::table1_architectures();
   const auto tech = TechLibrary::asic90();
   const auto ir = hlsw::qam::build_qam_decoder_ir();
 
   // Synthesize every architecture once, concurrently, and reuse the
   // results across all three report sections below (the old harness
-  // re-ran synthesis per section, per row).
+  // re-ran synthesis per section, per row). The harness times the pooled
+  // batch and records it in BENCH_table1.json.
   hlsw::util::ThreadPool pool(hlsw::util::ThreadPool::default_thread_count());
-  std::vector<std::future<SynthesisResult>> futs;
-  futs.reserve(archs.size());
-  for (const auto& a : archs)
-    futs.push_back(
-        pool.submit([&ir, &a, &tech] { return run_synthesis(ir, a.dir, tech); }));
   std::vector<SynthesisResult> results;
-  results.reserve(archs.size());
-  for (auto& f : futs) results.push_back(f.get());
+  h.measure("table1_synthesis_pooled", [&] {
+    std::vector<std::future<SynthesisResult>> futs;
+    futs.reserve(archs.size());
+    for (const auto& a : archs)
+      futs.push_back(pool.submit(
+          [&ir, &a, &tech] { return run_synthesis(ir, a.dir, tech); }));
+    std::vector<SynthesisResult> batch;
+    batch.reserve(archs.size());
+    for (auto& f : futs) batch.push_back(f.get());
+    results = std::move(batch);
+  });
 
   double base_area = 0;
   for (std::size_t i = 0; i < archs.size(); ++i)
@@ -50,6 +56,7 @@ void print_table1() {
   std::printf("%-14s %-52s | %8s %8s | %7s %7s | %6s %6s\n", "arch",
               "loop constraints", "lat(ns)", "paper", "Mbps", "paper", "area",
               "paper");
+  hlsw::obs::Json rows = hlsw::obs::Json::array();
   for (std::size_t i = 0; i < archs.size(); ++i) {
     const auto& a = archs[i];
     const SynthesisResult& r = results[i];
@@ -57,7 +64,16 @@ void print_table1() {
                 a.name.c_str(), a.description.c_str(), r.latency_ns(),
                 a.paper_latency_ns, r.data_rate_mbps(6), a.paper_rate_mbps,
                 r.area.total / base_area, a.paper_area_norm);
+    rows.push(hlsw::obs::Json::object()
+                  .set("arch", a.name)
+                  .set("latency_ns", r.latency_ns())
+                  .set("paper_latency_ns", a.paper_latency_ns)
+                  .set("rate_mbps", r.data_rate_mbps(6))
+                  .set("paper_rate_mbps", a.paper_rate_mbps)
+                  .set("area_norm", r.area.total / base_area)
+                  .set("paper_area_norm", a.paper_area_norm));
   }
+  h.note("table1", std::move(rows));
 
   std::printf(
       "\n-- Section 5 cycle arithmetic (paper: 69 = 3+8+16+8+16+3+15, "
@@ -104,8 +120,10 @@ BENCHMARK(BM_BuildDecoderIr);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table1();
+  hlsw::bench::Harness harness("table1", &argc, argv);
+  print_table1(harness);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  harness.write();
   return 0;
 }

@@ -5,11 +5,18 @@
 // architecture chosen on the command line.
 //
 // Usage: architecture_explorer [arch-name]     (default: merge+U2)
+//
+// Runs with tracing on: at exit it prints the metrics summary and writes
+// explorer_trace.json — open it at https://ui.perfetto.dev (or
+// chrome://tracing) to see the per-pass synthesis spans and the DSE
+// candidate timeline. See docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstring>
 
 #include "hls/dse.h"
 #include "hls/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
 #include "util/thread_pool.h"
@@ -17,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace hlsw;
   const char* pick = argc > 1 ? argv[1] : "merge+U2";
+  obs::set_enabled(true);
 
   const auto tech = hls::TechLibrary::asic90();
   const auto ir = qam::build_qam_decoder_ir();
@@ -42,10 +50,11 @@ int main(int argc, char** argv) {
   dse.threads = 0;
   dse.cache = std::make_shared<hls::SynthesisCache>();
   dse.progress = [](const hls::DsePoint& p, const hls::DseProgress& pr) {
-    std::printf("  [%2zu/%2zu] %-24s %3d cycles  %8.0f gates%s\n", pr.done,
-                pr.planned, p.name.c_str(), p.latency_cycles, p.area,
-                pr.from_cache ? "  (cached)" : "");
+    std::printf("  [%2zu/%2zu] %-24s %3d cycles  %8.0f gates  %7.1f ms%s\n",
+                pr.done, pr.planned, p.name.c_str(), p.latency_cycles, p.area,
+                pr.wall_ms, pr.from_cache ? "  (cached)" : "");
   };
+  dse.report_path = "explorer_dse_run.json";
   std::printf("\nAutomated exploration (hls::explore, %u worker threads):\n",
               dse.threads ? dse.threads
                           : hlsw::util::ThreadPool::default_thread_count());
@@ -57,8 +66,10 @@ int main(int argc, char** argv) {
     std::printf("  %-24s %3d cycles  %8.0f gates\n", p->name.c_str(),
                 p->latency_cycles, p->area);
 
+  bool found = false;
   for (const auto& a : archs) {
     if (a.name != pick) continue;
+    found = true;
     const auto r = hls::run_synthesis(ir, a.dir, tech);
     std::printf("\n%s\n", std::string(72, '=').c_str());
     std::printf("Detailed reports for '%s' (%s)\n", a.name.c_str(),
@@ -68,9 +79,16 @@ int main(int argc, char** argv) {
     std::printf("%s\n", hls::bill_of_materials(r).c_str());
     std::printf("%s\n", hls::critical_path_report(r, tech).c_str());
     std::printf("%s\n", hls::gantt_chart(r).c_str());
-    return 0;
   }
-  std::printf("\nno architecture named '%s'; pass one of the names above\n",
-              pick);
-  return 1;
+  if (!found)
+    std::printf("\nno architecture named '%s'; pass one of the names above\n",
+                pick);
+
+  // Observability wrap-up: what the whole session did, and where.
+  std::printf("%s\n", obs::MetricsRegistry::instance().summary_table().c_str());
+  if (obs::TraceSession::instance().write_chrome_trace("explorer_trace.json"))
+    std::printf("trace written: explorer_trace.json (open in "
+                "https://ui.perfetto.dev or chrome://tracing)\n");
+  std::printf("dse run report written: explorer_dse_run.json\n");
+  return found ? 0 : 1;
 }

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "fixpt/bitwidth.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlsw::hls {
 
@@ -32,6 +34,7 @@ void expand_requests(const OpCost& c, const TechLibrary& tech,
 
 BindResult bind_design(const Function& f, const Schedule& s,
                        const Directives& dir, const TechLibrary& tech) {
+  obs::ScopedSpan span("bind", "hls");
   BindResult out;
 
   // ---- Collect per-(region, cycle) FU requests and bind to pools. ----
@@ -243,6 +246,17 @@ BindResult bind_design(const Function& f, const Schedule& s,
     }
   }
 
+  if (span.active()) {
+    span.arg("function", f.name);
+    span.arg("fus", out.fus.size());
+    span.arg("reg_bits", out.storage_bits + out.pipeline_bits);
+    span.arg("fsm_states", out.fsm_states);
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("hls.bind.runs");
+    m.add("hls.bind.fus", static_cast<double>(out.fus.size()));
+    m.add("hls.bind.reg_bits",
+          static_cast<double>(out.storage_bits + out.pipeline_bits));
+  }
   return out;
 }
 

@@ -1,10 +1,14 @@
 #include "hls/dse.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace hlsw::hls {
@@ -32,6 +36,23 @@ SynthesisCache::Metrics measure(const Function& f, const Directives& dir,
                                  r.area.total};
 }
 
+// The cache-miss path, traced: one "dse.synth" span per schedule actually
+// run, recorded on whichever worker executes it (the span's tid is the
+// worker id in the merged trace).
+SynthesisCache::Metrics measure_traced(const Candidate& c, const Function& f,
+                                       const TechLibrary& tech) {
+  obs::ScopedSpan span(c.name, "dse.synth");
+  const double t0 = span.active() ? obs::TraceSession::instance().now_us() : 0;
+  const SynthesisCache::Metrics m = measure(f, c.dir, tech);
+  if (span.active()) {
+    span.arg("latency_cycles", m.latency_cycles);
+    span.arg("area", m.area);
+    obs::MetricsRegistry::instance().observe(
+        "dse.synth_us", obs::TraceSession::instance().now_us() - t0);
+  }
+  return m;
+}
+
 // Runs one batch of candidates: submission (and hit/miss accounting) in
 // candidate order on the calling thread, execution on the pool (or inline
 // when pool is null — the legacy serial path), collection in candidate
@@ -40,7 +61,13 @@ SynthesisCache::Metrics measure(const Function& f, const Directives& dir,
 void run_batch(const std::vector<Candidate>& cands, const Function& f,
                const TechLibrary& tech, SynthesisCache& cache,
                util::ThreadPool* pool, std::size_t planned_total,
-               const DseOptions& opts, DseResult* out) {
+               const DseOptions& opts,
+               std::chrono::steady_clock::time_point t_start, DseResult* out) {
+  const auto wall_ms = [t_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t_start)
+        .count();
+  };
   struct Pending {
     const Candidate* cand;
     bool hit;
@@ -51,6 +78,13 @@ void run_batch(const std::vector<Candidate>& cands, const Function& f,
   for (const auto& c : cands) {
     if (c.revisit) {  // already scheduled earlier in this call
       ++out->cache_hits;
+      // One "dse.candidate" event per candidate resolution (revisits
+      // included), so the trace's candidate count always equals
+      // cache_hits + cache_misses.
+      if (obs::enabled())
+        obs::TraceSession::instance().instant(
+            c.name, "dse.candidate",
+            obs::Json::object().set("hit", true).set("revisit", true));
       continue;
     }
     // Batches never contain duplicate keys and previous batches are fully
@@ -64,25 +98,34 @@ void run_batch(const std::vector<Candidate>& cands, const Function& f,
     if (pool)
       p.fut = pool->submit([&cache, &c, &f, &tech] {
         return cache.get_or_compute(c.key,
-                                    [&] { return measure(f, c.dir, tech); });
+                                    [&] { return measure_traced(c, f, tech); });
       });
     pending.push_back(std::move(p));
   }
   for (auto& p : pending) {
+    const Candidate& c = *p.cand;
     const SynthesisCache::Metrics m =
         pool ? p.fut.get()
-             : cache.get_or_compute(
-                   p.cand->key, [&] { return measure(f, p.cand->dir, tech); });
+             : cache.get_or_compute(c.key,
+                                    [&] { return measure_traced(c, f, tech); });
     DsePoint point;
-    point.name = p.cand->name;
-    point.dir = p.cand->dir;
+    point.name = c.name;
+    point.dir = c.dir;
     point.latency_cycles = m.latency_cycles;
     point.latency_ns = m.latency_ns;
     point.area = m.area;
     out->points.push_back(std::move(point));
+    const std::size_t index = out->points.size() - 1;
+    if (obs::enabled())
+      obs::TraceSession::instance().instant(c.name, "dse.candidate",
+                                            obs::Json::object()
+                                                .set("index", index)
+                                                .set("hit", p.hit)
+                                                .set("revisit", false));
     if (opts.progress)
       opts.progress(out->points.back(),
-                    DseProgress{out->points.size(), planned_total, p.hit});
+                    DseProgress{index, out->points.size(), planned_total,
+                                p.hit, wall_ms()});
   }
 }
 
@@ -107,6 +150,8 @@ void mark_pareto(std::vector<DsePoint>& points) {
 
 DseResult explore(const Function& f, const DseOptions& opts,
                   const TechLibrary& tech) {
+  const auto t_start = std::chrono::steady_clock::now();
+  obs::ScopedSpan span("explore", "dse");
   DseResult out;
   out.seed = opts.seed;
   std::vector<std::string> loop_labels;
@@ -169,8 +214,11 @@ DseResult explore(const Function& f, const DseOptions& opts,
       plan(&sweep, name.str(), std::move(dir));
     }
   }
-  run_batch(sweep, f, tech, *cache, pool.get(),
-            static_cast<std::size_t>(planned), opts, &out);
+  {
+    obs::ScopedSpan sweep_span("sweep", "dse.phase");
+    run_batch(sweep, f, tech, *cache, pool.get(),
+              static_cast<std::size_t>(planned), opts, t_start, &out);
+  }
 
   // Stage 2: refinement around the Pareto-optimal stage-1 points — double
   // each loop's unroll factor individually (the Table 1 row-4 move), and
@@ -198,10 +246,62 @@ DseResult explore(const Function& f, const DseOptions& opts,
     plan(&refine, base.name + (flipped.auto_merge ? "+merge" : "+nomerge"),
          std::move(flipped));
   }
-  run_batch(refine, f, tech, *cache, pool.get(),
-            static_cast<std::size_t>(planned), opts, &out);
+  {
+    obs::ScopedSpan refine_span("refine", "dse.phase");
+    run_batch(refine, f, tech, *cache, pool.get(),
+              static_cast<std::size_t>(planned), opts, t_start, &out);
+  }
   mark_pareto(out.points);
+
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t_start)
+                             .count();
+  if (obs::enabled()) {
+    auto& session = obs::TraceSession::instance();
+    session.counter("dse.cache_hits", static_cast<double>(out.cache_hits));
+    session.counter("dse.cache_misses", static_cast<double>(out.cache_misses));
+    span.arg("points", out.points.size());
+    span.arg("cache_hits", out.cache_hits);
+    span.arg("cache_misses", out.cache_misses);
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("dse.explores");
+    m.add("dse.points", static_cast<double>(out.points.size()));
+    m.add("dse.cache_hits", static_cast<double>(out.cache_hits));
+    m.add("dse.cache_misses", static_cast<double>(out.cache_misses));
+  }
+  if (!opts.report_path.empty())
+    obs::StructuredReport::write_json_file(opts.report_path,
+                                           dse_run_json(out, opts, wall_ms));
   return out;
+}
+
+obs::Json dse_run_json(const DseResult& r, const DseOptions& opts,
+                       double wall_ms) {
+  std::ostringstream seed_hex;
+  seed_hex << "0x" << std::hex << r.seed;
+  obs::Json doc = obs::Json::object()
+                      .set("tool", "hlsw.dse")
+                      .set("schema_version", 1)
+                      .set("wall_ms", wall_ms)
+                      .set("clock_period_ns", opts.clock_period_ns)
+                      .set("threads", opts.threads)
+                      .set("max_configs", opts.max_configs)
+                      .set("cache_hits", r.cache_hits)
+                      .set("cache_misses", r.cache_misses)
+                      .set("seed", seed_hex.str());
+  obs::Json points = obs::Json::array();
+  for (const auto& p : r.points)
+    points.push(obs::Json::object()
+                    .set("name", p.name)
+                    .set("latency_cycles", p.latency_cycles)
+                    .set("latency_ns", p.latency_ns)
+                    .set("area", p.area)
+                    .set("pareto", p.pareto));
+  doc.set("points", std::move(points));
+  obs::Json front = obs::Json::array();
+  for (const DsePoint* p : r.pareto_front()) front.push(p->name);
+  doc.set("pareto_front", std::move(front));
+  return doc;
 }
 
 namespace {

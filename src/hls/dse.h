@@ -23,6 +23,7 @@
 
 #include "hls/report.h"
 #include "hls/synth_cache.h"
+#include "obs/json.h"
 
 namespace hlsw::util {
 class ThreadPool;
@@ -40,10 +41,19 @@ struct DsePoint {
 };
 
 // Passed to DseOptions::progress after each configuration resolves.
+//
+// Ordering guarantee: progress fires on the thread that called explore()
+// (never on a worker), once per resolved point, in candidate enumeration
+// order — which is exactly the order of DseResult::points. `index` is the
+// point's position in that vector and increases strictly by one; the whole
+// event sequence is therefore deterministic and identical for any thread
+// count (only wall_ms varies run to run).
 struct DseProgress {
-  std::size_t done = 0;     // configurations resolved so far
+  std::size_t index = 0;    // position of this point in DseResult::points
+  std::size_t done = 0;     // configurations resolved so far (== index + 1)
   std::size_t planned = 0;  // configurations planned so far (grows per phase)
   bool from_cache = false;  // this point came from the memoization cache
+  double wall_ms = 0;       // elapsed wall time since explore() started
 };
 
 struct DseOptions {
@@ -74,9 +84,13 @@ struct DseOptions {
   // Optional shared worker pool, reused across explore() calls. When null
   // and threads != 1, explore() creates a pool for the call.
   std::shared_ptr<util::ThreadPool> pool;
-  // Observability hook, invoked on the calling thread (never from a
-  // worker) after each configuration resolves, in deterministic order.
+  // Observability hook — see the DseProgress ordering guarantee above.
   std::function<void(const DsePoint&, const DseProgress&)> progress;
+  // When non-empty, explore() writes a run-level structured JSON artifact
+  // (every point, the Pareto front, cache counters, wall time) to this
+  // path on return — the machine-readable counterpart of `progress`. See
+  // dse_run_json() for the document layout.
+  std::string report_path;
 };
 
 struct DseResult {
@@ -102,5 +116,14 @@ void mark_pareto(std::vector<DsePoint>& points);
 
 DseResult explore(const Function& f, const DseOptions& opts,
                   const TechLibrary& tech);
+
+// The dse_run.json document explore() writes for DseOptions::report_path:
+// {"tool":"hlsw.dse", "schema_version":1, "wall_ms":..., "threads":...,
+//  "cache_hits":..., "cache_misses":..., "seed":"0x...", "points":[
+//  {"name","latency_cycles","latency_ns","area","pareto"}...],
+//  "pareto_front":["name"...]}. Exposed so tools and tests can build the
+// same artifact from an in-memory result.
+obs::Json dse_run_json(const DseResult& r, const DseOptions& opts,
+                       double wall_ms);
 
 }  // namespace hlsw::hls

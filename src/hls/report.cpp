@@ -4,10 +4,14 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hlsw::hls {
 
 SynthesisResult run_synthesis(const Function& f, const Directives& dir,
                               const TechLibrary& tech) {
+  obs::ScopedSpan span("synthesis", "hls");
   SynthesisResult r;
   TransformResult t = apply_transforms(f, dir);
   r.transformed = std::move(t.func);
@@ -16,6 +20,14 @@ SynthesisResult run_synthesis(const Function& f, const Directives& dir,
   for (const auto& n : r.schedule.notes) r.warnings.push_back(n);
   r.bind = bind_design(r.transformed, r.schedule, dir, tech);
   r.area = estimate_area(r.bind, tech);
+  if (span.active()) {
+    span.arg("function", f.name);
+    span.arg("latency_cycles", r.latency_cycles());
+    span.arg("area", r.area.total);
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("hls.synthesis.runs");
+    m.observe("hls.synthesis.area", r.area.total);
+  }
   return r;
 }
 
@@ -102,62 +114,54 @@ std::string gantt_chart(const SynthesisResult& r) {
   return os.str();
 }
 
-namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
+obs::Json to_json_value(const AreaReport& a) {
+  return obs::Json::object()
+      .set("total", a.total)
+      .set("fu", a.fu)
+      .set("reg", a.reg)
+      .set("mux", a.mux)
+      .set("fsm", a.fsm)
+      .set("mem", a.mem)
+      .set("io", a.io);
 }
-}  // namespace
+
+obs::Json to_json_value(const SynthesisResult& r, const TechLibrary& tech) {
+  obs::Json doc = obs::Json::object();
+  doc.set("function", r.transformed.name);
+  doc.set("technology", tech.name);
+  doc.set("clock_ns", r.schedule.clock_ns);
+  doc.set("latency_cycles", r.latency_cycles());
+  doc.set("latency_ns", r.latency_ns());
+  doc.set("area", to_json_value(r.area));
+  obs::Json regions = obs::Json::array();
+  for (const auto& rs : r.schedule.regions)
+    regions.push(obs::Json::object()
+                     .set("label", rs.label)
+                     .set("loop", rs.is_loop)
+                     .set("trip", rs.trip)
+                     .set("cycles_per_iter", rs.body.cycles)
+                     .set("ii", rs.ii)
+                     .set("total_cycles", rs.total_cycles));
+  doc.set("regions", std::move(regions));
+  obs::Json fus = obs::Json::array();
+  for (const auto& fu : r.bind.fus)
+    fus.push(obs::Json::object()
+                 .set("kind", fu.kind)
+                 .set("wa", fu.wa)
+                 .set("wb", fu.wb)
+                 .set("ops", fu.n_ops)
+                 .set("area", fu.area));
+  doc.set("functional_units", std::move(fus));
+  doc.set("storage_bits", r.bind.storage_bits);
+  doc.set("fsm_states", r.bind.fsm_states);
+  obs::Json warnings = obs::Json::array();
+  for (const auto& w : r.warnings) warnings.push(w);
+  doc.set("warnings", std::move(warnings));
+  return doc;
+}
 
 std::string to_json(const SynthesisResult& r, const TechLibrary& tech) {
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(3);
-  os << "{";
-  os << "\"function\":\"" << json_escape(r.transformed.name) << "\",";
-  os << "\"technology\":\"" << json_escape(tech.name) << "\",";
-  os << "\"clock_ns\":" << r.schedule.clock_ns << ",";
-  os << "\"latency_cycles\":" << r.latency_cycles() << ",";
-  os << "\"latency_ns\":" << r.latency_ns() << ",";
-  os << "\"area\":{\"total\":" << r.area.total << ",\"fu\":" << r.area.fu
-     << ",\"reg\":" << r.area.reg << ",\"mux\":" << r.area.mux
-     << ",\"fsm\":" << r.area.fsm << ",\"mem\":" << r.area.mem
-     << ",\"io\":" << r.area.io << "},";
-  os << "\"regions\":[";
-  for (std::size_t i = 0; i < r.schedule.regions.size(); ++i) {
-    const auto& rs = r.schedule.regions[i];
-    if (i) os << ",";
-    os << "{\"label\":\"" << json_escape(rs.label) << "\",\"loop\":"
-       << (rs.is_loop ? "true" : "false") << ",\"trip\":" << rs.trip
-       << ",\"cycles_per_iter\":" << rs.body.cycles << ",\"ii\":" << rs.ii
-       << ",\"total_cycles\":" << rs.total_cycles << "}";
-  }
-  os << "],";
-  os << "\"functional_units\":[";
-  for (std::size_t i = 0; i < r.bind.fus.size(); ++i) {
-    const auto& fu = r.bind.fus[i];
-    if (i) os << ",";
-    os << "{\"kind\":\"" << json_escape(fu.kind) << "\",\"wa\":" << fu.wa
-       << ",\"wb\":" << fu.wb << ",\"ops\":" << fu.n_ops
-       << ",\"area\":" << fu.area << "}";
-  }
-  os << "],";
-  os << "\"storage_bits\":" << r.bind.storage_bits << ",";
-  os << "\"fsm_states\":" << r.bind.fsm_states << ",";
-  os << "\"warnings\":[";
-  for (std::size_t i = 0; i < r.warnings.size(); ++i) {
-    if (i) os << ",";
-    os << "\"" << json_escape(r.warnings[i]) << "\"";
-  }
-  os << "]}";
-  return os.str();
+  return to_json_value(r, tech).dump();
 }
 
 std::string critical_path_report(const SynthesisResult& r,

@@ -15,6 +15,7 @@
 #include "hls/schedule.h"
 #include "hls/tech.h"
 #include "hls/transforms.h"
+#include "obs/json.h"
 
 namespace hlsw::hls {
 
@@ -49,6 +50,9 @@ std::string critical_path_report(const SynthesisResult& r,
 
 // Machine-readable result record (latency, per-region schedule, area
 // breakdown, FU inventory, warnings) for scripting exploration flows.
+// to_json_value returns the structured document; to_json its compact dump.
+obs::Json to_json_value(const SynthesisResult& r, const TechLibrary& tech);
 std::string to_json(const SynthesisResult& r, const TechLibrary& tech);
+obs::Json to_json_value(const AreaReport& a);
 
 }  // namespace hlsw::hls

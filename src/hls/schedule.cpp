@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "fixpt/bitwidth.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hlsw::hls {
 
@@ -361,6 +363,7 @@ int recurrence_min_ii(const BlockContext& ctx, const BlockSchedule& sched) {
 
 Schedule schedule_function(const Function& f, const Directives& dir,
                            const TechLibrary& tech) {
+  obs::ScopedSpan span("schedule", "hls");
   Schedule out;
   out.clock_ns = dir.clock_period_ns;
   for (const auto& region : f.regions) {
@@ -409,6 +412,18 @@ Schedule schedule_function(const Function& f, const Directives& dir,
     out.notes.push_back(os.str());
   }
   out.latency_ns = out.latency_cycles * out.clock_ns;
+  if (span.active()) {
+    std::size_t ops = 0;
+    for (const auto& region : f.regions)
+      ops += (region.is_loop ? region.loop.body : region.straight).ops.size();
+    span.arg("function", f.name);
+    span.arg("ops", ops);
+    span.arg("latency_cycles", out.latency_cycles);
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("hls.schedule.runs");
+    m.add("hls.schedule.ops", static_cast<double>(ops));
+    m.observe("hls.schedule.latency_cycles", out.latency_cycles);
+  }
   return out;
 }
 

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace hlsw::hls {
 
 void unroll_loop(Loop* loop, int u) {
@@ -150,6 +153,7 @@ void merge_loops(Function* f, const std::vector<std::string>& labels,
 }
 
 TransformResult apply_transforms(const Function& input, const Directives& dir) {
+  obs::ScopedSpan span("transforms", "hls");
   TransformResult out;
   out.func = input;
 
@@ -162,10 +166,14 @@ TransformResult apply_transforms(const Function& input, const Directives& dir) {
   }
 
   // Unroll first (Table 1 applies U to source loops, then merges).
+  int loops_unrolled = 0;
   for (auto& region : out.func.regions) {
     if (!region.is_loop) continue;
     const LoopDirective ld = dir.loop_directive(region.loop.label);
-    if (ld.unroll > 1) unroll_loop(&region.loop, ld.unroll);
+    if (ld.unroll > 1) {
+      unroll_loop(&region.loop, ld.unroll);
+      ++loops_unrolled;
+    }
   }
 
   // Then merge groups — explicit ones, or every maximal run of adjacent
@@ -185,6 +193,20 @@ TransformResult apply_transforms(const Function& input, const Directives& dir) {
   }
   for (const auto& group : groups) merge_loops(&out.func, group, &out.warnings);
 
+  if (span.active()) {
+    std::size_t ops = 0;
+    for (const auto& region : out.func.regions)
+      ops += (region.is_loop ? region.loop.body : region.straight).ops.size();
+    span.arg("function", out.func.name);
+    span.arg("loops_unrolled", loops_unrolled);
+    span.arg("merge_groups", groups.size());
+    span.arg("ops_out", ops);
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("hls.transforms.runs");
+    m.add("hls.transforms.loops_unrolled", loops_unrolled);
+    m.add("hls.transforms.merge_groups", static_cast<double>(groups.size()));
+    m.add("hls.transforms.ops_out", static_cast<double>(ops));
+  }
   return out;
 }
 

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace hlsw::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = samples_.find(name);
+  if (it == samples_.end())
+    samples_.emplace(std::string(name), std::vector<double>{sample});
+  else
+    it->second.push_back(sample);
+}
+
+namespace {
+
+// Nearest-rank quantile of an ascending-sorted sample vector: the
+// ceil(q*N)-th smallest value (so p50 of 1..100 is exactly 50).
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  std::size_t idx = rank <= 1 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+MetricsRegistry::HistStats hist_stats(std::vector<double> samples) {
+  MetricsRegistry::HistStats h;
+  if (samples.empty()) return h;
+  std::sort(samples.begin(), samples.end());
+  h.count = samples.size();
+  h.min = samples.front();
+  h.max = samples.back();
+  h.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  h.p50 = quantile(samples, 0.50);
+  h.p95 = quantile(samples, 0.95);
+  h.p99 = quantile(samples, 0.99);
+  return h;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15)
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  else
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.counters.assign(counters_.begin(), counters_.end());
+  s.gauges.assign(gauges_.begin(), gauges_.end());
+  for (const auto& [name, samples] : samples_)
+    s.histograms.emplace_back(name, hist_stats(samples));
+  return s;
+}
+
+double MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::string MetricsRegistry::summary_table() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  os << "== Metrics ==\n";
+  std::size_t width = 8;
+  for (const auto& [name, _] : s.counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : s.gauges) width = std::max(width, name.size());
+  for (const auto& [name, _] : s.histograms)
+    width = std::max(width, name.size());
+  const auto pad = [&](const std::string& name) {
+    std::string out = name;
+    out.resize(width + 2, ' ');
+    return out;
+  };
+  for (const auto& [name, v] : s.counters)
+    os << "counter  " << pad(name) << fmt(v) << "\n";
+  for (const auto& [name, v] : s.gauges)
+    os << "gauge    " << pad(name) << fmt(v) << "\n";
+  for (const auto& [name, h] : s.histograms)
+    os << "hist     " << pad(name) << "count=" << h.count
+       << " min=" << fmt(h.min) << " p50=" << fmt(h.p50)
+       << " p95=" << fmt(h.p95) << " p99=" << fmt(h.p99)
+       << " max=" << fmt(h.max) << " mean=" << fmt(h.mean) << "\n";
+  return os.str();
+}
+
+Json MetricsRegistry::to_json() const {
+  const Snapshot s = snapshot();
+  Json counters = Json::object(), gauges = Json::object(),
+       hists = Json::object();
+  for (const auto& [name, v] : s.counters) counters.set(name, v);
+  for (const auto& [name, v] : s.gauges) gauges.set(name, v);
+  for (const auto& [name, h] : s.histograms)
+    hists.set(name, Json::object()
+                        .set("count", h.count)
+                        .set("min", h.min)
+                        .set("max", h.max)
+                        .set("mean", h.mean)
+                        .set("p50", h.p50)
+                        .set("p95", h.p95)
+                        .set("p99", h.p99));
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(hists));
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  samples_.clear();
+}
+
+}  // namespace hlsw::obs

@@ -1,0 +1,58 @@
+// Process-wide metrics for the synthesis / DSE / RTL-simulation pipeline:
+// monotonic counters, last-value gauges, and sample histograms with
+// nearest-rank p50/p95/p99 quantiles. Instrumentation sites guard on
+// obs::enabled() so a disabled run records nothing and pays one relaxed
+// atomic load; the registry itself is always safe to call from any thread.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hlsw::obs {
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  void add(std::string_view name, double delta = 1.0);      // counter
+  void set_gauge(std::string_view name, double value);      // gauge
+  void observe(std::string_view name, double sample);       // histogram
+
+  struct HistStats {
+    std::size_t count = 0;
+    double min = 0, max = 0, mean = 0;
+    double p50 = 0, p95 = 0, p99 = 0;  // nearest-rank quantiles
+  };
+  struct Snapshot {
+    // Sorted by name (std::map iteration order) for deterministic output.
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistStats>> histograms;
+  };
+  Snapshot snapshot() const;
+
+  // Current value of a counter (0 if never touched) — test convenience.
+  double counter_value(std::string_view name) const;
+
+  // Human-readable aligned summary of every metric.
+  std::string summary_table() const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}.
+  Json to_json() const;
+
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::vector<double>, std::less<>> samples_;
+};
+
+}  // namespace hlsw::obs

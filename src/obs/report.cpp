@@ -1,0 +1,34 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+namespace hlsw::obs {
+
+StructuredReport::StructuredReport(std::string tool) {
+  root_ = Json::object()
+              .set("tool", std::move(tool))
+              .set("schema_version", 1);
+}
+
+StructuredReport& StructuredReport::set(std::string_view key, Json value) {
+  root_.set(key, std::move(value));
+  return *this;
+}
+
+std::string StructuredReport::str(int indent) const {
+  return root_.dump(indent);
+}
+
+bool StructuredReport::write_file(const std::string& path, int indent) const {
+  return write_json_file(path, root_, indent);
+}
+
+bool StructuredReport::write_json_file(const std::string& path,
+                                       const Json& doc, int indent) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << doc.dump(indent) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hlsw::obs

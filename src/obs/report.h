@@ -1,0 +1,38 @@
+// Structured (machine-readable) run reports. A StructuredReport is a JSON
+// object with a stable envelope — {"tool": ..., "schema_version": 1, then
+// tool-specific sections in insertion order} — written pretty-printed so
+// the artifacts (dse_run.json, BENCH_*.json, sim stats) diff cleanly
+// across PRs. This is the machine-facing counterpart of the paper's
+// designer-facing text reports in hls/report.h.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace hlsw::obs {
+
+class StructuredReport {
+ public:
+  explicit StructuredReport(std::string tool);
+
+  // The underlying object, for direct manipulation.
+  Json& root() { return root_; }
+  const Json& root() const { return root_; }
+
+  // Adds (or replaces) a top-level section; returns *this for chaining.
+  StructuredReport& set(std::string_view key, Json value);
+
+  std::string str(int indent = 2) const;
+  bool write_file(const std::string& path, int indent = 2) const;
+
+  // One-shot helper for callers that already hold a Json document.
+  static bool write_json_file(const std::string& path, const Json& doc,
+                              int indent = 2);
+
+ private:
+  Json root_;
+};
+
+}  // namespace hlsw::obs

@@ -1,0 +1,203 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+namespace hlsw::obs {
+
+namespace {
+
+bool env_enabled() {
+  const char* e = std::getenv("HLSW_TRACE");
+  return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+TraceSession::TraceSession() : epoch_ns_(steady_now_ns()) {}
+
+TraceSession& TraceSession::instance() {
+  static TraceSession session;
+  return session;
+}
+
+double TraceSession::now_us() const {
+  return static_cast<double>(steady_now_ns() - epoch_ns_) * 1e-3;
+}
+
+TraceSession::ThreadBuf& TraceSession::local_buf() {
+  // One buffer per thread, registered with the session on first use and
+  // owned by it forever after (events of exited pool workers stay valid).
+  thread_local ThreadBuf* buf = nullptr;
+  if (buf == nullptr) {
+    auto owned = std::make_unique<ThreadBuf>();
+    buf = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buf->tid = next_tid_++;
+    bufs_.push_back(std::move(owned));
+  }
+  return *buf;
+}
+
+void TraceSession::append(TraceEvent ev) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);  // uncontended except vs. flush
+  ev.tid = buf.tid;
+  ev.seq = buf.next_seq++;
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceSession::span(std::string name, std::string cat, double ts_us,
+                        double dur_us, Json args) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kSpan;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args = std::move(args);
+  append(std::move(ev));
+}
+
+void TraceSession::instant(std::string name, std::string cat, Json args) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kInstant;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ts_us = now_us();
+  ev.args = std::move(args);
+  append(std::move(ev));
+}
+
+void TraceSession::counter(std::string name, double value) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kCounter;
+  ev.name = std::move(name);
+  ev.cat = "counter";
+  ev.ts_us = now_us();
+  ev.value = value;
+  append(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : bufs_) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      merged.insert(merged.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->events.clear();
+  }
+}
+
+Json TraceSession::chrome_trace() const {
+  Json events = Json::array();
+  // Process metadata so Perfetto labels the track.
+  events.push(Json::object()
+                  .set("name", "process_name")
+                  .set("ph", "M")
+                  .set("pid", 1)
+                  .set("args", Json::object().set("name", "hlsw")));
+  for (const TraceEvent& ev : snapshot()) {
+    Json rec = Json::object();
+    rec.set("name", ev.name);
+    if (!ev.cat.empty()) rec.set("cat", ev.cat);
+    switch (ev.kind) {
+      case TraceEvent::Kind::kSpan:
+        rec.set("ph", "X").set("ts", ev.ts_us).set("dur", ev.dur_us);
+        break;
+      case TraceEvent::Kind::kInstant:
+        rec.set("ph", "i").set("ts", ev.ts_us).set("s", "t");
+        break;
+      case TraceEvent::Kind::kCounter:
+        rec.set("ph", "C").set("ts", ev.ts_us);
+        rec.set("args", Json::object().set("value", ev.value));
+        break;
+    }
+    rec.set("pid", 1).set("tid", ev.tid);
+    if (ev.kind != TraceEvent::Kind::kCounter && ev.args.is_object())
+      rec.set("args", ev.args);
+    events.push(std::move(rec));
+  }
+  return Json::object()
+      .set("traceEvents", std::move(events))
+      .set("displayTimeUnit", "ms");
+}
+
+std::string TraceSession::chrome_trace_json() const {
+  return chrome_trace().dump();
+}
+
+bool TraceSession::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  active_ = true;
+  name_.assign(name);
+  cat_.assign(cat);
+  t0_ = TraceSession::instance().now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceSession& s = TraceSession::instance();
+  s.span(std::move(name_), std::move(cat_), t0_, s.now_us() - t0_,
+         std::move(args_));
+}
+
+void ScopedSpan::arg(std::string_view key, Json v) {
+  if (active_) args_.set(key, std::move(v));
+}
+
+}  // namespace hlsw::obs

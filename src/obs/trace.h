@@ -1,0 +1,112 @@
+// Process-wide tracing for the synthesis / DSE / RTL-simulation pipeline.
+//
+// Model: a single TraceSession collects events into per-thread buffers
+// (each writer thread appends to its own buffer under its own uncontended
+// mutex — no shared hot lock), merged and deterministically sorted on
+// flush. Events export as Chrome trace_event JSON ("traceEvents" array of
+// ph X/i/C records) loadable in about:tracing and Perfetto.
+//
+// Cost model: tracing is off unless the HLSW_TRACE environment variable is
+// set (or set_enabled(true) is called). Every instrumentation site guards
+// on enabled() — one relaxed atomic load — so a disabled build path does no
+// allocation, no clock reads and no locking; benchmarks are unaffected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hlsw::obs {
+
+// Global switch: initialized from the HLSW_TRACE env var ("" and "0" mean
+// off), overridable at run time (tests, tools). One relaxed atomic load.
+bool enabled();
+void set_enabled(bool on);
+
+struct TraceEvent {
+  enum class Kind { kSpan, kInstant, kCounter };
+  Kind kind = Kind::kInstant;
+  std::string name;
+  std::string cat;
+  double ts_us = 0;   // microseconds since the session epoch
+  double dur_us = 0;  // kSpan only
+  double value = 0;   // kCounter only
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;  // per-thread emission index (merge tie-break)
+  Json args;              // object, or null when none
+};
+
+class TraceSession {
+ public:
+  // The process-wide session (epoch = first use).
+  static TraceSession& instance();
+
+  // Microseconds since the session epoch (monotonic clock).
+  double now_us() const;
+
+  // Event producers; thread-safe, callable from any thread. They record
+  // unconditionally — call sites guard with enabled().
+  void span(std::string name, std::string cat, double ts_us, double dur_us,
+            Json args = Json());
+  void instant(std::string name, std::string cat, Json args = Json());
+  void counter(std::string name, double value);
+
+  // Merged view of every thread's events, sorted by (ts, tid, seq) — the
+  // same input always yields the same output, regardless of which thread
+  // flushed or how the OS interleaved the writers.
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t event_count() const;
+
+  // Drops all recorded events. Thread buffer registrations (and therefore
+  // tid assignments) survive, so a clear between runs keeps tids stable.
+  void clear();
+
+  // Chrome trace_event JSON: {"traceEvents":[...]}.
+  Json chrome_trace() const;
+  std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  TraceSession();
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::uint64_t next_seq = 0;
+    std::vector<TraceEvent> events;
+    mutable std::mutex mu;
+  };
+  ThreadBuf& local_buf();
+  void append(TraceEvent ev);
+
+  mutable std::mutex mu_;  // guards bufs_ registration and snapshot walk
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 1;
+  std::uint64_t epoch_ns_ = 0;
+};
+
+// RAII span: captures the start time at construction, records a kSpan event
+// covering its lifetime at destruction. When tracing is disabled at
+// construction the object is inert (no strings, no clock, no session).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::string_view cat = "hls");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  // Attaches a key/value to the span's args (no-op when inactive).
+  void arg(std::string_view key, Json v);
+
+ private:
+  bool active_ = false;
+  double t0_ = 0;
+  std::string name_, cat_;
+  Json args_;
+};
+
+}  // namespace hlsw::obs

@@ -1,8 +1,13 @@
 #include "rtl/sim.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace hlsw::rtl {
 
@@ -27,6 +32,12 @@ void Simulator::reset() {
   array_state_.clear();
   pending_.clear();
   cycles_ = 0;
+  stats_ = SimStats{};
+  for (const auto& region : f_.regions) {
+    stats_.region_labels.push_back(region.is_loop ? region.loop.label
+                                                  : region.name);
+    stats_.region_ops.push_back(0);
+  }
   for (const auto& v : f_.vars) {
     FxValue init = v.init;
     init.fw = v.type.fw();
@@ -60,11 +71,14 @@ void Simulator::set_array_state(const std::string& name,
 }
 
 void Simulator::exec_cycle(const Block& b, const BlockSchedule& sched,
-                           IterationCtx* ctx, int body_cycle) {
+                           IterationCtx* ctx, int body_cycle,
+                           std::size_t region) {
   for (std::size_t i = 0; i < b.ops.size(); ++i) {
     if (sched.place[i].cycle != body_cycle) continue;
     const Op& op = b.ops[i];
     if (op.guard_trip >= 0 && ctx->k >= op.guard_trip) continue;
+    ++stats_.ops_executed;
+    ++stats_.region_ops[region];
     switch (op.kind) {
       case OpKind::kVarRead:
         // Scalar registers forward: reads observe the latest write.
@@ -110,16 +124,23 @@ void Simulator::exec_cycle(const Block& b, const BlockSchedule& sched,
 }
 
 void Simulator::commit_pending() {
+  stats_.array_commits += static_cast<long long>(pending_.size());
+  stats_.max_commit_queue = std::max(stats_.max_commit_queue,
+                                     static_cast<long long>(pending_.size()));
   // Last write (program order) wins, like a priority-encoded register load.
   for (const auto& [loc, value] : pending_)
     array_state_[static_cast<size_t>(loc.first)]
                 [static_cast<size_t>(loc.second)] = value;
   pending_.clear();
   ++cycles_;
+  ++stats_.cycles;
   if (trace_) trace_(cycles_ - 1, var_state_, array_state_);
 }
 
 PortIo Simulator::run(const PortIo& in) {
+  obs::ScopedSpan span("run", "rtl.sim");
+  const long long cycles_before = cycles_;
+  ++stats_.invocations;
   // Load input ports (the environment drives them before start).
   for (std::size_t i = 0; i < f_.arrays.size(); ++i) {
     const Array& a = f_.arrays[i];
@@ -149,7 +170,7 @@ PortIo Simulator::run(const PortIo& in) {
       IterationCtx ctx;
       ctx.vals.resize(b.ops.size());
       for (int c = 0; c < rs.body.cycles; ++c) {
-        exec_cycle(b, rs.body, &ctx, c);
+        exec_cycle(b, rs.body, &ctx, c, r);
         commit_pending();
       }
       continue;
@@ -162,7 +183,7 @@ PortIo Simulator::run(const PortIo& in) {
         ctx.k = k;
         ctx.vals.resize(b.ops.size());
         for (int c = 0; c < rs.body.cycles; ++c) {
-          exec_cycle(b, rs.body, &ctx, c);
+          exec_cycle(b, rs.body, &ctx, c, r);
           commit_pending();
         }
       }
@@ -182,7 +203,7 @@ PortIo Simulator::run(const PortIo& in) {
       for (int k = 0; k < rs.trip; ++k) {
         const int local = t - k * rs.ii;
         if (local < 0 || local >= depth) continue;
-        exec_cycle(b, rs.body, &iters[static_cast<size_t>(k)], local);
+        exec_cycle(b, rs.body, &iters[static_cast<size_t>(k)], local, r);
       }
       commit_pending();
     }
@@ -199,7 +220,38 @@ PortIo Simulator::run(const PortIo& in) {
     if (v.port == PortDir::kOut || v.port == PortDir::kInOut)
       out.vars[v.name] = var_state_[i];
   }
+  if (span.active()) {
+    const long long ran = cycles_ - cycles_before;
+    span.arg("function", f_.name);
+    span.arg("cycles", ran);
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("rtl.sim.invocations");
+    m.add("rtl.sim.cycles", static_cast<double>(ran));
+  }
   return out;
+}
+
+obs::Json sim_stats_json(const Simulator& sim) {
+  const SimStats& st = sim.stats();
+  obs::Json regions = obs::Json::array();
+  for (std::size_t i = 0; i < st.region_labels.size(); ++i)
+    regions.push(obs::Json::object()
+                     .set("label", st.region_labels[i])
+                     .set("ops", st.region_ops[i]));
+  return obs::Json::object()
+      .set("tool", "hlsw.rtl_sim")
+      .set("schema_version", 1)
+      .set("function", sim.function().name)
+      .set("invocations", st.invocations)
+      .set("cycles", st.cycles)
+      .set("ops_executed", st.ops_executed)
+      .set("array_commits", st.array_commits)
+      .set("max_commit_queue", st.max_commit_queue)
+      .set("regions", std::move(regions));
+}
+
+bool write_sim_stats_json(const Simulator& sim, const std::string& path) {
+  return obs::StructuredReport::write_json_file(path, sim_stats_json(sim));
 }
 
 }  // namespace hlsw::rtl

@@ -26,8 +26,22 @@
 #include "hls/interp.h"
 #include "hls/ir.h"
 #include "hls/schedule.h"
+#include "obs/json.h"
 
 namespace hlsw::rtl {
+
+// Activity counters accumulated across run() invocations (reset() zeroes
+// them). Cheap enough to keep always-on: a handful of integer increments
+// per simulated cycle, dwarfed by the datapath evaluation itself.
+struct SimStats {
+  long long invocations = 0;     // run() calls
+  long long cycles = 0;          // clock edges committed
+  long long ops_executed = 0;    // datapath/memory ops evaluated
+  long long array_commits = 0;   // array element writes committed at edges
+  long long max_commit_queue = 0;  // peak pending write-queue depth
+  std::vector<std::string> region_labels;  // per-region activity, aligned
+  std::vector<long long> region_ops;       // with the transformed regions
+};
 
 class Simulator {
  public:
@@ -40,6 +54,13 @@ class Simulator {
 
   long long cycles() const { return cycles_; }
   void reset();
+
+  // Cumulative activity counters (cycles, op/commit counts, per-region
+  // activity) — the simulator's instrument panel, exported alongside the
+  // VCD by sim_stats_json()/write_sim_stats_json().
+  const SimStats& stats() const { return stats_; }
+
+  const hls::Function& function() const { return f_; }
 
   const std::vector<hls::FxValue>& array_state(const std::string& name) const;
   void set_array_state(const std::string& name,
@@ -61,7 +82,7 @@ class Simulator {
 
   // Executes ops of `body_cycle` for iteration ctx, in program order.
   void exec_cycle(const hls::Block& b, const hls::BlockSchedule& sched,
-                  IterationCtx* ctx, int body_cycle);
+                  IterationCtx* ctx, int body_cycle, std::size_t region);
   void commit_pending();
 
   const hls::Function f_;
@@ -72,6 +93,13 @@ class Simulator {
   std::vector<std::pair<std::pair<int, int>, hls::FxValue>> pending_;
   long long cycles_ = 0;
   TraceFn trace_;
+  SimStats stats_;
 };
+
+// Structured view of a simulator's activity counters:
+// {"tool":"hlsw.rtl_sim","function":...,"cycles":...,"ops_executed":...,
+//  "array_commits":...,"max_commit_queue":...,"regions":[{"label","ops"}]}.
+obs::Json sim_stats_json(const Simulator& sim);
+bool write_sim_stats_json(const Simulator& sim, const std::string& path);
 
 }  // namespace hlsw::rtl

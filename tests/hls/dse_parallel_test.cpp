@@ -10,6 +10,7 @@
 
 #include "hls/builder.h"
 #include "hls/dse.h"
+#include "obs/trace.h"
 #include "qam/decoder_ir.h"
 #include "util/thread_pool.h"
 
@@ -150,6 +151,31 @@ TEST(DseParallel, ProgressFiresDeterministicallyOnCallerThread) {
     EXPECT_EQ(serial[i].done, i + 1);
     EXPECT_LE(serial[i].done, serial[i].planned);
   }
+}
+
+// With tracing enabled, the merged trace must account for every candidate
+// the engine resolved: one "dse.candidate" event per resolution (scheduled
+// candidates + cache hits) and one "dse.synth" span per schedule actually
+// run — at any thread count.
+TEST(DseParallel, TraceEventTotalsMatchCacheCountersAtAnyThreadCount) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const Function ir = qam::build_qam_decoder_ir();
+  for (unsigned threads : {1u, 4u}) {
+    obs::TraceSession::instance().clear();
+    const DseResult r = run_with_threads(ir, threads);
+    ASSERT_FALSE(r.points.empty());
+    std::size_t candidates = 0, synth_spans = 0;
+    for (const auto& e : obs::TraceSession::instance().snapshot()) {
+      if (e.cat == "dse.candidate") ++candidates;
+      if (e.cat == "dse.synth") ++synth_spans;
+    }
+    EXPECT_EQ(candidates, r.cache_hits + r.cache_misses)
+        << "threads=" << threads;
+    EXPECT_EQ(synth_spans, r.cache_misses) << "threads=" << threads;
+  }
+  obs::TraceSession::instance().clear();
+  obs::set_enabled(was_enabled);
 }
 
 TEST(DseParallel, MaxConfigsRespectedAtAnyThreadCount) {

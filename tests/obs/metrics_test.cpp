@@ -1,0 +1,138 @@
+// obs::MetricsRegistry — counter accumulation (including across threads),
+// gauge last-write-wins, nearest-rank histogram quantiles, and the two
+// export surfaces (summary table, JSON snapshot).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hlsw::obs {
+namespace {
+
+// The registry is process-wide: isolate each test with a reset.
+class obs_metrics : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::instance().reset(); }
+  void TearDown() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(obs_metrics, CountersAccumulate) {
+  auto& m = MetricsRegistry::instance();
+  EXPECT_EQ(m.counter_value("c"), 0.0);
+  m.add("c");
+  m.add("c", 2.5);
+  EXPECT_EQ(m.counter_value("c"), 3.5);
+}
+
+TEST_F(obs_metrics, CountersAccumulateAcrossThreads) {
+  auto& m = MetricsRegistry::instance();
+  constexpr int kThreads = 8, kAdds = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&m] {
+      for (int i = 0; i < kAdds; ++i) m.add("parallel.count");
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(m.counter_value("parallel.count"),
+            static_cast<double>(kThreads * kAdds));
+}
+
+TEST_F(obs_metrics, GaugeLastWriteWins) {
+  auto& m = MetricsRegistry::instance();
+  m.set_gauge("g", 1.0);
+  m.set_gauge("g", 7.5);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "g");
+  EXPECT_EQ(snap.gauges[0].second, 7.5);
+}
+
+TEST_F(obs_metrics, HistogramNearestRankQuantiles) {
+  auto& m = MetricsRegistry::instance();
+  // 1..100 in scrambled order: nearest-rank pXX of N=100 samples is
+  // exactly the XXth smallest.
+  for (int i = 0; i < 100; ++i) m.observe("h", static_cast<double>((i * 37) % 100 + 1));
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& [name, h] = snap.histograms[0];
+  EXPECT_EQ(name, "h");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_EQ(h.min, 1.0);
+  EXPECT_EQ(h.max, 100.0);
+  EXPECT_DOUBLE_EQ(h.mean, 50.5);
+  EXPECT_EQ(h.p50, 50.0);
+  EXPECT_EQ(h.p95, 95.0);
+  EXPECT_EQ(h.p99, 99.0);
+}
+
+TEST_F(obs_metrics, SingleSampleHistogramIsItsOwnQuantile) {
+  auto& m = MetricsRegistry::instance();
+  m.observe("one", 3.25);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0].second;
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.p50, 3.25);
+  EXPECT_EQ(h.p95, 3.25);
+  EXPECT_EQ(h.p99, 3.25);
+}
+
+TEST_F(obs_metrics, SnapshotIsNameSorted) {
+  auto& m = MetricsRegistry::instance();
+  m.add("zz");
+  m.add("aa");
+  m.add("mm");
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "aa");
+  EXPECT_EQ(snap.counters[1].first, "mm");
+  EXPECT_EQ(snap.counters[2].first, "zz");
+}
+
+TEST_F(obs_metrics, SummaryTableListsEveryMetric) {
+  auto& m = MetricsRegistry::instance();
+  m.add("runs", 3);
+  m.set_gauge("depth", 2);
+  m.observe("lat", 10);
+  const std::string table = m.summary_table();
+  EXPECT_NE(table.find("== Metrics =="), std::string::npos);
+  EXPECT_NE(table.find("runs"), std::string::npos);
+  EXPECT_NE(table.find("depth"), std::string::npos);
+  EXPECT_NE(table.find("lat"), std::string::npos);
+}
+
+TEST_F(obs_metrics, ToJsonRoundTripsThroughParse) {
+  auto& m = MetricsRegistry::instance();
+  m.add("c", 2);
+  m.set_gauge("g", 1.5);
+  m.observe("h", 4);
+  m.observe("h", 8);
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(m.to_json().dump(), &doc, &err)) << err;
+  EXPECT_EQ(doc.find("counters")->find("c")->as_double(), 2.0);
+  EXPECT_EQ(doc.find("gauges")->find("g")->as_double(), 1.5);
+  const Json* h = doc.find("histograms")->find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->as_int(), 2);
+  EXPECT_EQ(h->find("mean")->as_double(), 6.0);
+}
+
+TEST_F(obs_metrics, ResetClearsEverything) {
+  auto& m = MetricsRegistry::instance();
+  m.add("c");
+  m.set_gauge("g", 1);
+  m.observe("h", 1);
+  m.reset();
+  const auto snap = m.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+}  // namespace
+}  // namespace hlsw::obs

@@ -1,0 +1,199 @@
+// obs::TraceSession / ScopedSpan — enable gating, span nesting, the
+// deterministic multi-thread merge, and the Chrome trace_event export
+// (parsed back with obs::Json to validate the schema Perfetto expects).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace hlsw::obs {
+namespace {
+
+// Every test runs against the process-wide session: start from a clean
+// slate and leave tracing disabled for whoever runs next.
+class obs_trace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    TraceSession::instance().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    TraceSession::instance().clear();
+  }
+};
+
+TEST_F(obs_trace, DisabledScopedSpanRecordsNothing) {
+  auto& s = TraceSession::instance();
+  const std::size_t before = s.event_count();
+  {
+    ScopedSpan span("noop", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", Json(1));  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(s.event_count(), before);
+}
+
+TEST_F(obs_trace, EnableDisableToggles) {
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(obs_trace, NestedSpansRecordContainedDurations) {
+  set_enabled(true);
+  auto& s = TraceSession::instance();
+  {
+    ScopedSpan outer("outer", "test");
+    ASSERT_TRUE(outer.active());
+    outer.arg("k", Json("v"));
+    {
+      ScopedSpan inner("inner", "test");
+      ASSERT_TRUE(inner.active());
+    }
+  }
+  const auto events = s.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner closes first but starts later.
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  for (const auto& e : events) {
+    ASSERT_EQ(e.kind, TraceEvent::Kind::kSpan);
+    (e.name == "outer" ? outer : inner) = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_LE(outer->ts_us, inner->ts_us);
+  EXPECT_GE(outer->ts_us + outer->dur_us, inner->ts_us + inner->dur_us);
+  ASSERT_NE(outer->args.find("k"), nullptr);
+  EXPECT_EQ(outer->args.find("k")->as_string(), "v");
+}
+
+TEST_F(obs_trace, SnapshotMergeIsDeterministic) {
+  set_enabled(true);
+  auto& s = TraceSession::instance();
+  // Several threads, each emitting spans at explicit timestamps so the
+  // merged order is fully determined by (ts, tid, seq) — not by scheduling.
+  constexpr int kThreads = 4, kPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&s, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        s.span("w" + std::to_string(t), "test", /*ts_us=*/i * 10.0,
+               /*dur_us=*/5.0);
+    });
+  for (auto& w : workers) w.join();
+
+  const auto a = s.snapshot();
+  const auto b = s.snapshot();
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  ASSERT_EQ(s.event_count(), a.size());
+  // Two snapshots of the same session are identical...
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].tid, b[i].tid);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+  }
+  // ...and sorted by (ts, tid, seq).
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const bool ordered =
+        a[i - 1].ts_us < a[i].ts_us ||
+        (a[i - 1].ts_us == a[i].ts_us &&
+         (a[i - 1].tid < a[i].tid ||
+          (a[i - 1].tid == a[i].tid && a[i - 1].seq < a[i].seq)));
+    EXPECT_TRUE(ordered) << "events " << i - 1 << " and " << i;
+  }
+}
+
+TEST_F(obs_trace, ClearKeepsTidAssignments) {
+  set_enabled(true);
+  auto& s = TraceSession::instance();
+  s.instant("first", "test");
+  const auto before = s.snapshot();
+  ASSERT_FALSE(before.empty());
+  const std::uint32_t my_tid = before.back().tid;
+  s.clear();
+  EXPECT_EQ(s.event_count(), 0u);
+  s.instant("second", "test");
+  const auto after = s.snapshot();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].tid, my_tid);
+}
+
+TEST_F(obs_trace, ChromeTraceParsesBackWithAllPhases) {
+  set_enabled(true);
+  auto& s = TraceSession::instance();
+  s.span("work", "cat", 10.0, 4.0, Json::object().set("x", 1));
+  s.instant("mark", "cat");
+  s.counter("gauge", 42.0);
+
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(s.chrome_trace_json(), &doc, &err)) << err;
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int spans = 0, instants = 0, counters = 0, metadata = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    ASSERT_NE(e.find("ph"), nullptr);
+    const std::string ph = e.find("ph")->as_string();
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("name"), nullptr);
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph == "X") {
+      ++spans;
+      EXPECT_EQ(e.find("name")->as_string(), "work");
+      EXPECT_EQ(e.find("ts")->as_double(), 10.0);
+      EXPECT_EQ(e.find("dur")->as_double(), 4.0);
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_EQ(e.find("args")->find("x")->as_int(), 1);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(e.find("name")->as_string(), "mark");
+    } else if (ph == "C") {
+      ++counters;
+      EXPECT_EQ(e.find("args")->find("value")->as_double(), 42.0);
+    }
+  }
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_GE(metadata, 1);  // process_name metadata record
+}
+
+TEST_F(obs_trace, WriteChromeTraceProducesParseableFile) {
+  set_enabled(true);
+  auto& s = TraceSession::instance();
+  s.instant("evt", "test");
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(s.write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  Json doc;
+  ASSERT_TRUE(Json::parse(text, &doc));
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+}
+
+}  // namespace
+}  // namespace hlsw::obs

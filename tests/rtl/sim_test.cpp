@@ -158,5 +158,56 @@ TEST(RtlSim, PipelinedLoopMatchesSequentialSemantics) {
   }
 }
 
+// The simulator's always-on activity counters must stay consistent with
+// the observable run: cycles equals the cycle counter, per-region activity
+// sums to the op total, and the JSON export round-trips the same numbers.
+TEST(RtlSim, SimStatsAreConsistentAndExportAsJson) {
+  const auto arch = qam::table1_architectures()[0];
+  const auto r = run_synthesis(build_qam_decoder_ir(), arch.dir,
+                               TechLibrary::asic90());
+  Simulator sim(r.transformed, r.schedule);
+  LinkStimulus stim((LinkConfig()));
+  constexpr int kRuns = 5;
+  for (int n = 0; n < kRuns; ++n) {
+    const LinkSample s = stim.next();
+    PortIo io;
+    io.arrays["x_in"] = {s.q0, s.q1};
+    sim.run(io);
+  }
+  const SimStats& st = sim.stats();
+  EXPECT_EQ(st.invocations, kRuns);
+  EXPECT_EQ(st.cycles, sim.cycles());
+  EXPECT_EQ(st.cycles, kRuns * r.schedule.latency_cycles);
+  EXPECT_GT(st.ops_executed, 0);
+  EXPECT_GT(st.array_commits, 0);
+  EXPECT_GE(st.max_commit_queue, 1);
+  ASSERT_EQ(st.region_labels.size(), r.transformed.regions.size());
+  ASSERT_EQ(st.region_ops.size(), st.region_labels.size());
+  long long region_sum = 0;
+  for (long long ops : st.region_ops) region_sum += ops;
+  EXPECT_EQ(region_sum, st.ops_executed);
+
+  obs::Json doc;
+  std::string err;
+  ASSERT_TRUE(obs::Json::parse(sim_stats_json(sim).dump(), &doc, &err)) << err;
+  EXPECT_EQ(doc.find("tool")->as_string(), "hlsw.rtl_sim");
+  EXPECT_EQ(doc.find("function")->as_string(), r.transformed.name);
+  EXPECT_EQ(doc.find("cycles")->as_int(), st.cycles);
+  EXPECT_EQ(doc.find("ops_executed")->as_int(), st.ops_executed);
+  ASSERT_EQ(doc.find("regions")->size(), st.region_ops.size());
+  for (std::size_t i = 0; i < st.region_ops.size(); ++i) {
+    EXPECT_EQ(doc.find("regions")->at(i).find("label")->as_string(),
+              st.region_labels[i]);
+    EXPECT_EQ(doc.find("regions")->at(i).find("ops")->as_int(),
+              st.region_ops[i]);
+  }
+
+  // reset() zeroes the instrument panel but keeps the region axis.
+  sim.reset();
+  EXPECT_EQ(sim.stats().invocations, 0);
+  EXPECT_EQ(sim.stats().ops_executed, 0);
+  ASSERT_EQ(sim.stats().region_labels.size(), st.region_labels.size());
+}
+
 }  // namespace
 }  // namespace hlsw::rtl
