@@ -5,11 +5,20 @@
 // (b) the untimed IR interpreter, and (c) the cycle-accurate RTL simulator
 // for each Table 1 architecture — and verifies bit-exactness while doing
 // so.
+//
+// The harness-measured sections additionally track the compiled-plan
+// simulator against its legacy interpretive path (SimOptions::compiled =
+// false) and the batched symbol-stream APIs, producing BENCH_rtl_sim.json
+// (--reps/--warmup/--json; see bench_main.h). Regenerate the committed
+// baseline from the repo root with:
+//   ./build/bench/bench_rtl_sim --reps 5 --warmup 1
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
+#include "bench_main.h"
 #include "hls/interp.h"
 #include "hls/report.h"
 #include "qam/architectures.h"
@@ -24,6 +33,7 @@ namespace {
 using namespace hlsw;
 using hls::Interpreter;
 using hls::PortIo;
+using hls::PortStream;
 using hls::run_synthesis;
 using hls::TechLibrary;
 using qam::LinkConfig;
@@ -81,7 +91,7 @@ void print_speed_ladder() {
   std::printf("  %-34s %12.0f symbols/s  (%.1fx slower than C)\n",
               "untimed IR interpreter", r_interp, r_native / r_interp);
 
-  // RTL simulation per architecture.
+  // RTL simulation per architecture (compiled plan — the default).
   for (const auto& a : qam::table1_architectures()) {
     const auto r = run_synthesis(ir, a.dir, TechLibrary::asic90());
     const double r_rtl = rate([&] {
@@ -101,6 +111,102 @@ void print_speed_ladder() {
   std::printf("\n(an FPGA prototype at 5 MBaud would run 5e6 symbols/s — "
               "orders of magnitude above any software model here, which is "
               "the paper's point)\n\n");
+}
+
+// Interpretive vs compiled vs batched-stream series on the pipelined
+// (ii=1) equalizer — the configuration where the interpretive path's
+// O(trip x total_cycles x ops) rescan hurts most — plus a 10k-symbol link
+// sweep comparing per-symbol run() against batched run_stream().
+void run_harness_sections(bench::Harness* h) {
+  const auto archs = qam::exploration_architectures();
+  const qam::Architecture* pipe = nullptr;
+  for (const auto& a : archs)
+    if (a.name == "merge+pipe") pipe = &a;
+  if (pipe == nullptr) throw std::logic_error("merge+pipe arch not found");
+
+  const auto ir = qam::build_qam_decoder_ir();
+  const auto r = run_synthesis(ir, pipe->dir, TechLibrary::asic90());
+
+  // Fixed stimulus generated once, outside every timed section, so each
+  // series times simulation only (identical inputs in all three formats).
+  const int kSymbols = 2000;
+  LinkStimulus stim_a((LinkConfig()));
+  const std::vector<PortIo> batch = qam::link_input_batch(&stim_a, kSymbols);
+  LinkStimulus stim_b((LinkConfig()));
+  const PortStream flat = qam::link_input_stream(&stim_b, kSymbols);
+
+  const auto t_interp = h->measure("interpretive_run", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule, {.compiled = false});
+    for (const auto& in : batch) benchmark::DoNotOptimize(sim.run(in));
+  });
+  const auto t_comp = h->measure("compiled_run", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule);
+    for (const auto& in : batch) benchmark::DoNotOptimize(sim.run(in));
+  });
+  const auto t_stream = h->measure("compiled_stream", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule);
+    benchmark::DoNotOptimize(sim.run_stream(batch));
+  });
+  const auto t_flat = h->measure("compiled_stream_flat", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule);
+    benchmark::DoNotOptimize(sim.run_stream(flat));
+  });
+
+  // Bit-identity audit of what was just timed: outputs, cycle counts and
+  // SimStats must agree across all four series.
+  bool identical = true;
+  {
+    rtl::Simulator legacy(r.transformed, r.schedule, {.compiled = false});
+    rtl::Simulator comp(r.transformed, r.schedule);
+    rtl::Simulator strm(r.transformed, r.schedule);
+    std::vector<PortIo> comp_out;
+    for (const auto& in : batch) comp_out.push_back(comp.run(in));
+    std::vector<PortIo> legacy_out;
+    for (const auto& in : batch) legacy_out.push_back(legacy.run(in));
+    const PortStream flat_out = strm.run_stream(flat);
+    for (int n = 0; n < kSymbols && identical; ++n) {
+      identical = comp_out[static_cast<size_t>(n)].arrays ==
+                      legacy_out[static_cast<size_t>(n)].arrays &&
+                  comp_out[static_cast<size_t>(n)].vars ==
+                      legacy_out[static_cast<size_t>(n)].vars;
+      const PortIo row = flat_out.symbol(n);
+      identical = identical &&
+                  row.arrays == comp_out[static_cast<size_t>(n)].arrays &&
+                  row.vars == comp_out[static_cast<size_t>(n)].vars;
+    }
+    identical = identical && legacy.stats() == comp.stats() &&
+                legacy.stats() == strm.stats() &&
+                legacy.cycles() == comp.cycles();
+  }
+
+  h->note("config", obs::Json::object()
+                        .set("architecture", pipe->name)
+                        .set("symbols", kSymbols)
+                        .set("paths_bit_identical", identical));
+  h->note("speedup_compiled_vs_interpretive",
+          t_interp.min_ms / t_comp.min_ms);
+  h->note("speedup_stream_batch_vs_interpretive",
+          t_interp.min_ms / t_stream.min_ms);
+  h->note("speedup_stream_vs_interpretive", t_interp.min_ms / t_flat.min_ms);
+
+  // 10k-symbol link sweep: per-symbol run() vs the flat batched stream.
+  const int kSweep = 10000;
+  LinkStimulus stim_c((LinkConfig()));
+  const std::vector<PortIo> sweep_batch =
+      qam::link_input_batch(&stim_c, kSweep);
+  LinkStimulus stim_d((LinkConfig()));
+  const PortStream sweep_flat = qam::link_input_stream(&stim_d, kSweep);
+
+  const auto t_sweep_run = h->measure("link10k_per_symbol_run", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule);
+    for (const auto& in : sweep_batch) benchmark::DoNotOptimize(sim.run(in));
+  });
+  const auto t_sweep_stream = h->measure("link10k_run_stream", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule);
+    benchmark::DoNotOptimize(sim.run_stream(sweep_flat));
+  });
+  h->note("speedup_stream_vs_per_symbol_10k",
+          t_sweep_run.min_ms / t_sweep_stream.min_ms);
 }
 
 void BM_RtlSimSymbol(benchmark::State& state) {
@@ -146,8 +252,11 @@ BENCHMARK(BM_VerilogEmit);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsw::bench::Harness harness("rtl_sim", &argc, argv);
+  run_harness_sections(&harness);
   print_speed_ladder();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  harness.write();
   return 0;
 }

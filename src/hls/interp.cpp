@@ -1,5 +1,6 @@
 #include "hls/interp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <stdexcept>
@@ -113,7 +114,29 @@ FxValue exec_op(const Op& op, const FxValue* a0, const FxValue* a1) {
   }
 }
 
-Interpreter::Interpreter(Function f) : f_(std::move(f)) { reset(); }
+Interpreter::Interpreter(Function f) : f_(std::move(f)) {
+  for (std::size_t i = 0; i < f_.vars.size(); ++i)
+    var_index_.emplace(f_.vars[i].name, static_cast<int>(i));
+  for (std::size_t i = 0; i < f_.arrays.size(); ++i)
+    array_index_.emplace(f_.arrays[i].name, static_cast<int>(i));
+  std::size_t max_ops = 0;
+  for (const auto& region : f_.regions) {
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    max_ops = std::max(max_ops, b.ops.size());
+  }
+  vals_.reserve(max_ops);
+  reset();
+}
+
+int Interpreter::cached_var_index(const std::string& name) const {
+  const auto it = var_index_.find(name);
+  return it == var_index_.end() ? -1 : it->second;
+}
+
+int Interpreter::cached_array_index(const std::string& name) const {
+  const auto it = array_index_.find(name);
+  return it == array_index_.end() ? -1 : it->second;
+}
 
 void Interpreter::reset() {
   var_state_.clear();
@@ -134,20 +157,20 @@ void Interpreter::reset() {
 
 const std::vector<FxValue>& Interpreter::array_state(
     const std::string& name) const {
-  const int i = f_.array_index(name);
+  const int i = cached_array_index(name);
   assert(i >= 0);
   return array_state_[static_cast<size_t>(i)];
 }
 
 const FxValue& Interpreter::var_state(const std::string& name) const {
-  const int i = f_.var_index(name);
+  const int i = cached_var_index(name);
   assert(i >= 0);
   return var_state_[static_cast<size_t>(i)];
 }
 
 void Interpreter::set_array_state(const std::string& name,
                                   const std::vector<FxValue>& values) {
-  const int i = f_.array_index(name);
+  const int i = cached_array_index(name);
   assert(i >= 0);
   const Array& a = f_.arrays[static_cast<size_t>(i)];
   assert(static_cast<int>(values.size()) == a.length);
@@ -157,14 +180,18 @@ void Interpreter::set_array_state(const std::string& name,
 }
 
 void Interpreter::set_var_state(const std::string& name, const FxValue& value) {
-  const int i = f_.var_index(name);
+  const int i = cached_var_index(name);
   assert(i >= 0);
   var_state_[static_cast<size_t>(i)] =
       fx_convert(value, f_.vars[static_cast<size_t>(i)].type);
 }
 
 void Interpreter::exec_block(const Block& b, int k) {
-  std::vector<FxValue> vals(b.ops.size());
+  // Fresh zero values per call (guard-skipped producers must read as zero,
+  // exactly like the old per-call vector), but no reallocation: assign()
+  // reuses the buffer's capacity established at construction.
+  vals_.assign(b.ops.size(), FxValue{});
+  std::vector<FxValue>& vals = vals_;
   for (std::size_t i = 0; i < b.ops.size(); ++i) {
     const Op& op = b.ops[i];
     if (op.guard_trip >= 0 && k >= op.guard_trip) continue;
@@ -258,6 +285,13 @@ PortIo Interpreter::run(const PortIo& in) {
       out.vars[v.name] = var_state_[i];
   }
   return out;
+}
+
+std::vector<PortIo> Interpreter::run_stream(const std::vector<PortIo>& ins) {
+  std::vector<PortIo> outs;
+  outs.reserve(ins.size());
+  for (const auto& in : ins) outs.push_back(run(in));
+  return outs;
 }
 
 }  // namespace hlsw::hls

@@ -23,6 +23,50 @@ struct PortIo {
   std::map<std::string, FxValue> vars;
 };
 
+// Column-batched port values for N consecutive invocations ("symbols"):
+// the flat fast-path currency of the batched stream APIs. Channels are
+// bound to ports by name once per call instead of once per symbol, and the
+// values of each port live in one contiguous vector (symbol-major for
+// arrays: element j of symbol n sits at values[n * length + j]), so a
+// 10k-symbol sweep performs zero per-symbol map construction.
+struct PortStream {
+  struct ArrayChannel {
+    std::string name;
+    int length = 0;
+    std::vector<FxValue> values;  // symbols * length entries
+  };
+  struct VarChannel {
+    std::string name;
+    std::vector<FxValue> values;  // symbols entries
+  };
+  int symbols = 0;
+  std::vector<ArrayChannel> arrays;
+  std::vector<VarChannel> vars;
+
+  ArrayChannel& add_array(const std::string& name, int length) {
+    arrays.push_back({name, length, {}});
+    return arrays.back();
+  }
+  VarChannel& add_var(const std::string& name) {
+    vars.push_back({name, {}});
+    return vars.back();
+  }
+
+  // Row view: symbol n as a per-invocation PortIo (interop and tests).
+  PortIo symbol(int n) const {
+    PortIo io;
+    for (const auto& c : arrays) {
+      const std::size_t base = static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(c.length);
+      io.arrays[c.name].assign(c.values.begin() + static_cast<long>(base),
+                               c.values.begin() +
+                                   static_cast<long>(base + c.length));
+    }
+    for (const auto& c : vars) io.vars[c.name] = c.values[static_cast<size_t>(n)];
+    return io;
+  }
+};
+
 class Interpreter {
  public:
   // Takes its own copy of the function so callers may pass temporaries
@@ -32,6 +76,10 @@ class Interpreter {
   // Executes one invocation: loads input ports, runs all regions in program
   // order, returns output ports.
   PortIo run(const PortIo& in);
+
+  // Batched form: pushes every input through the design in order (static
+  // state carries across symbols exactly as repeated run() calls would).
+  std::vector<PortIo> run_stream(const std::vector<PortIo>& ins);
 
   // Clears all static state back to initial values.
   void reset();
@@ -53,10 +101,20 @@ class Interpreter {
   void exec_block(const Block& b, int k);
   FxValue eval(const Block& b, const std::vector<FxValue>& vals, const Op& op,
                int k) const;
+  int cached_var_index(const std::string& name) const;
+  int cached_array_index(const std::string& name) const;
 
   const Function f_;
   std::vector<FxValue> var_state_;
   std::vector<std::vector<FxValue>> array_state_;
+  // Name -> state index, resolved once at construction so the accessors do
+  // not rescan Function::vars/arrays on every call (link sweeps hit
+  // array_state()/set_array_state() per symbol).
+  std::map<std::string, int> var_index_;
+  std::map<std::string, int> array_index_;
+  // Evaluation buffer reused across exec_block calls: assign() refreshes
+  // the values without reallocating once capacity is established.
+  std::vector<FxValue> vals_;
   long long ops_executed_ = 0;
 };
 

@@ -1,7 +1,11 @@
 #include "hls/verify.h"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <sstream>
+
+#include "obs/trace.h"
 
 namespace hlsw::hls {
 
@@ -176,6 +180,117 @@ std::vector<std::string> verify_schedule(const Function& f,
     }
   }
   return out;
+}
+
+namespace {
+
+std::string fx_repr(const FxValue& v) {
+  std::ostringstream os;
+  os << v.re_double();
+  if (v.cplx) os << (v.im_double() < 0 ? "" : "+") << v.im_double() << "j";
+  os << " (fw=" << v.fw << ")";
+  return os.str();
+}
+
+// Compares one vector's outputs; appends reports tagged with the global
+// vector index so merged lists read in stimulus order.
+void compare_outputs(std::size_t vec, const PortIo& want, const PortIo& got,
+                     std::vector<std::string>* out) {
+  const auto mismatch = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "vector " << vec << ": " << what;
+    out->push_back(os.str());
+  };
+  for (const auto& [name, wv] : want.arrays) {
+    const auto it = got.arrays.find(name);
+    if (it == got.arrays.end()) {
+      mismatch("dut missing output array '" + name + "'");
+      continue;
+    }
+    if (it->second.size() != wv.size()) {
+      mismatch("output array '" + name + "' length differs");
+      continue;
+    }
+    for (std::size_t j = 0; j < wv.size(); ++j)
+      if (!(it->second[j] == wv[j])) {
+        std::ostringstream os;
+        os << "output array '" << name << "'[" << j
+           << "]: golden=" << fx_repr(wv[j])
+           << " dut=" << fx_repr(it->second[j]);
+        mismatch(os.str());
+      }
+  }
+  for (const auto& [name, wv] : want.vars) {
+    const auto it = got.vars.find(name);
+    if (it == got.vars.end()) {
+      mismatch("dut missing output var '" + name + "'");
+      continue;
+    }
+    if (!(it->second == wv))
+      mismatch("output var '" + name + "': golden=" + fx_repr(wv) +
+               " dut=" + fx_repr(it->second));
+  }
+  for (const auto& [name, gv] : got.arrays)
+    if (!want.arrays.count(name))
+      mismatch("dut has extra output array '" + name + "'");
+  for (const auto& [name, gv] : got.vars)
+    if (!want.vars.count(name))
+      mismatch("dut has extra output var '" + name + "'");
+}
+
+}  // namespace
+
+CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
+                        const std::vector<PortIo>& vectors,
+                        const CosimOptions& opts) {
+  obs::ScopedSpan span("cosim_sweep", "hls.verify");
+  CosimResult result;
+  result.vectors = vectors.size();
+  if (vectors.empty()) return result;
+
+  const std::size_t bs = std::max<std::size_t>(1, opts.block_size);
+  const std::size_t nblocks = (vectors.size() + bs - 1) / bs;
+  result.blocks = nblocks;
+
+  // Each block is replayed from reset by models the task itself creates,
+  // so no simulator state is shared across threads.
+  const auto run_block = [&](std::size_t blk) -> std::vector<std::string> {
+    const std::size_t begin = blk * bs;
+    const std::size_t end = std::min(begin + bs, vectors.size());
+    const std::vector<PortIo> block(vectors.begin() + static_cast<long>(begin),
+                                    vectors.begin() + static_cast<long>(end));
+    const std::vector<PortIo> want = golden()(block);
+    const std::vector<PortIo> got = dut()(block);
+    std::vector<std::string> mism;
+    if (want.size() != block.size() || got.size() != block.size()) {
+      mism.push_back("block " + std::to_string(blk) +
+                     ": model returned wrong vector count");
+      return mism;
+    }
+    for (std::size_t i = 0; i < block.size(); ++i)
+      compare_outputs(begin + i, want[i], got[i], &mism);
+    return mism;
+  };
+
+  // Deterministic merge: map_ordered returns block results in block order
+  // no matter which worker finished first.
+  std::unique_ptr<util::ThreadPool> owned;
+  util::ThreadPool* pool = opts.pool;
+  if (pool == nullptr && opts.threads > 0) {
+    owned = std::make_unique<util::ThreadPool>(opts.threads);
+    pool = owned.get();
+  }
+  const auto per_block = util::map_ordered(pool, nblocks, run_block);
+  for (const auto& mism : per_block)
+    result.mismatches.insert(result.mismatches.end(), mism.begin(),
+                             mism.end());
+
+  if (span.active()) {
+    span.arg("vectors", static_cast<long long>(result.vectors));
+    span.arg("blocks", static_cast<long long>(result.blocks));
+    span.arg("mismatches", static_cast<long long>(result.mismatches.size()));
+  }
+  return result;
 }
 
 }  // namespace hlsw::hls

@@ -10,13 +10,17 @@
 // the scheduler cannot hide itself.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "hls/directives.h"
+#include "hls/interp.h"
 #include "hls/ir.h"
 #include "hls/schedule.h"
 #include "hls/tech.h"
+#include "util/thread_pool.h"
 
 namespace hlsw::hls {
 
@@ -26,5 +30,46 @@ std::vector<std::string> verify_schedule(const Function& f,
                                          const Directives& dir,
                                          const TechLibrary& tech,
                                          const Schedule& s);
+
+// ---- Parallel co-simulation sweep ----
+//
+// Replays a test-vector sequence through two models (golden reference vs
+// device under test) and reports every output mismatch. Vectors are
+// sharded into contiguous blocks; each block is replayed FROM RESET by
+// fresh model instances, so blocks are independent by construction and can
+// run on worker threads. (Designs with cross-symbol state therefore need
+// the blocks to be independent stimuli — e.g. each block its own burst —
+// or block_size >= vectors.size() for one sequential replay.)
+//
+// Models are type-erased batch functions so this layer stays independent
+// of rtl::Simulator (rtl links hls, not vice versa): a factory returns a
+// fresh model per block, typically wrapping Interpreter::run_stream or
+// rtl::Simulator::run_stream.
+using CosimModel = std::function<std::vector<PortIo>(const std::vector<PortIo>&)>;
+using CosimFactory = std::function<CosimModel()>;
+
+struct CosimOptions {
+  // Worker threads for the sweep. 0 = run inline on the caller's thread.
+  // Ignored when `pool` is provided.
+  unsigned threads = 0;
+  // Vectors per block (>= 1); the unit of parallelism and of replay.
+  std::size_t block_size = 256;
+  // Optional externally owned pool to share across sweeps.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct CosimResult {
+  std::size_t vectors = 0;
+  std::size_t blocks = 0;
+  // Human-readable mismatch reports in deterministic (vector) order,
+  // independent of worker scheduling. Empty means the models agree.
+  std::vector<std::string> mismatches;
+  bool ok() const { return mismatches.empty(); }
+};
+
+// Runs the sweep and merges per-block mismatch lists in block order.
+CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
+                        const std::vector<PortIo>& vectors,
+                        const CosimOptions& opts = {});
 
 }  // namespace hlsw::hls

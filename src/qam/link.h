@@ -15,6 +15,7 @@
 #include "dsp/channel.h"
 #include "dsp/prbs.h"
 #include "fixpt/complex_fixed.h"
+#include "hls/interp.h"
 #include "hls/ir.h"
 #include "qam/decoder_float.h"
 
@@ -134,6 +135,36 @@ class LinkStimulus {
   dsp::Prbs prbs_;
   std::vector<int> history_;
 };
+
+// Batches `n` symbols of stimulus into per-symbol PortIo maps for the
+// decoder's "x_in" port (the {T/2-early, T/2-late} sample pair) — the
+// input format of Interpreter/Simulator run_stream(vector<PortIo>).
+inline std::vector<hls::PortIo> link_input_batch(LinkStimulus* stim, int n) {
+  std::vector<hls::PortIo> ins;
+  ins.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const LinkSample s = stim->next();
+    hls::PortIo io;
+    io.arrays["x_in"] = {s.q0, s.q1};
+    ins.push_back(std::move(io));
+  }
+  return ins;
+}
+
+// Same stimulus as one flat symbol-major PortStream ("x_in" channel of
+// length 2): the zero-map-construction fast path for long link sweeps.
+inline hls::PortStream link_input_stream(LinkStimulus* stim, int n) {
+  hls::PortStream in;
+  in.symbols = n;
+  auto& ch = in.add_array("x_in", 2);
+  ch.values.reserve(static_cast<std::size_t>(n) * 2);
+  for (int i = 0; i < n; ++i) {
+    const LinkSample s = stim->next();
+    ch.values.push_back(s.q0);
+    ch.values.push_back(s.q1);
+  }
+  return in;
+}
 
 // Trains the float reference over `n` symbols and returns it (coefficients
 // converged for decision delay cfg.decision_delay).

@@ -17,12 +17,15 @@ std::vector<TestVector> capture_vectors(const Function& f,
                                         const hls::Schedule& s,
                                         const std::vector<PortIo>& inputs) {
   Simulator sim(f, s);
+  // One batched pass through the design: state carries across vectors
+  // exactly as the old per-vector run() loop did.
+  std::vector<PortIo> outputs = sim.run_stream(inputs);
   std::vector<TestVector> out;
   out.reserve(inputs.size());
-  for (const auto& in : inputs) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
     TestVector tv;
-    tv.inputs = in;
-    tv.outputs = sim.run(in);
+    tv.inputs = inputs[i];
+    tv.outputs = std::move(outputs[i]);
     out.push_back(std::move(tv));
   }
   return out;

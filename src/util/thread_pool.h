@@ -78,4 +78,27 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Applies fn(i) for i in [0, n) across the pool and returns the results in
+// index order, regardless of completion order — the deterministic-merge
+// primitive behind the parallel sweeps (DSE, co-simulation). A null pool
+// runs everything inline in order. Exceptions propagate from the first
+// (lowest-index) failing task.
+template <typename Fn>
+auto map_ordered(ThreadPool* pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<std::decay_t<Fn>, std::size_t>> {
+  using R = std::invoke_result_t<std::decay_t<Fn>, std::size_t>;
+  std::vector<R> results;
+  results.reserve(n);
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    futures.push_back(pool->submit([&fn, i] { return fn(i); }));
+  for (auto& fut : futures) results.push_back(fut.get());
+  return results;
+}
+
 }  // namespace hlsw::util

@@ -8,6 +8,7 @@
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -93,6 +94,51 @@ TEST(ThreadPool, StressManySmallTasks) {
 
 TEST(ThreadPool, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(MapOrdered, ReturnsResultsInIndexOrder) {
+  ThreadPool pool(4);
+  // Make late indices finish first so completion order differs from index
+  // order — the merge must still come back 0..n-1.
+  const auto res = map_ordered(&pool, 64, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((64 - i) * 20));
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(res.size(), 64u);
+  for (std::size_t i = 0; i < res.size(); ++i)
+    EXPECT_EQ(res[i], static_cast<int>(i * i));
+}
+
+TEST(MapOrdered, NullPoolRunsInlineInOrder) {
+  std::vector<std::size_t> seen;
+  const auto res = map_ordered(nullptr, 10, [&seen](std::size_t i) {
+    seen.push_back(i);  // safe: inline path is sequential on this thread
+    return i + 1;
+  });
+  std::vector<std::size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(seen, expect);
+  ASSERT_EQ(res.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(res[i], i + 1);
+}
+
+TEST(MapOrdered, PropagatesTheLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    map_ordered(&pool, 16, [](std::size_t i) -> int {
+      if (i == 3 || i == 12) throw std::runtime_error("task " + std::to_string(i));
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");  // futures drained in index order
+  }
+}
+
+TEST(MapOrdered, ZeroTasksYieldsEmptyResult) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(map_ordered(&pool, 0, [](std::size_t) { return 1; }).empty());
+  EXPECT_TRUE(map_ordered(nullptr, 0, [](std::size_t) { return 1; }).empty());
 }
 
 }  // namespace
