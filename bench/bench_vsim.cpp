@@ -1,0 +1,142 @@
+// Verification-performance ladder for the in-process Verilog simulator:
+// where does executing the emitted TEXT sit relative to the cycle-accurate
+// rtl::Simulator and the untimed interpreter? Sections time the vsim
+// front end (parse + elaborate of the emitted module), the generated
+// self-checking testbench run, per-symbol DutHarness execution, and the
+// serial vs thread-pooled vsim_sweep — producing BENCH_vsim.json
+// (--reps/--warmup/--json; see bench_main.h). Regenerate the committed
+// baseline from the repo root with:
+//   ./build/bench/bench_vsim --reps 5 --warmup 1
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_main.h"
+#include "hls/interp.h"
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/sim.h"
+#include "rtl/testbench.h"
+#include "rtl/verilog.h"
+#include "vsim/harness.h"
+#include "vsim/lint.h"
+#include "vsim/parser.h"
+
+namespace {
+
+using namespace hlsw;
+using hls::PortIo;
+using hls::TechLibrary;
+using qam::LinkConfig;
+using qam::LinkStimulus;
+
+void run_harness_sections(bench::Harness* h) {
+  const auto ir = qam::build_qam_decoder_ir();
+  const qam::Architecture arch = qam::table1_architectures()[0];  // merge
+  const auto r = hls::run_synthesis(ir, arch.dir, TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+
+  // Front end: source text -> AST -> elaborated netlist.
+  h->measure("parse_emitted_module",
+             [&] { benchmark::DoNotOptimize(vsim::parse(verilog)); });
+  const auto su = vsim::parse(verilog);
+  h->measure("elaborate_emitted_module", [&] {
+    benchmark::DoNotOptimize(vsim::elaborate(su, r.transformed.name));
+  });
+  auto design = vsim::elaborate(su, r.transformed.name);
+  h->measure("lint_emitted_module",
+             [&] { benchmark::DoNotOptimize(vsim::lint(*design)); });
+
+  // Per-symbol execution ladder: rtl::Simulator vs vsim DutHarness on the
+  // same stimulus (vsim evaluates events; rtl::Simulator replays a
+  // pre-scheduled plan — the gap is the price of executing the text).
+  const int kSymbols = 100;
+  LinkStimulus stim((LinkConfig()));
+  const std::vector<PortIo> batch = qam::link_input_batch(&stim, kSymbols);
+  const auto t_rtl = h->measure("rtl_sim_100_symbols", [&] {
+    rtl::Simulator sim(r.transformed, r.schedule);
+    for (const auto& in : batch) benchmark::DoNotOptimize(sim.run(in));
+  });
+  const auto t_vsim = h->measure("vsim_harness_100_symbols", [&] {
+    vsim::DutHarness dut(r.transformed, design);
+    for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
+  });
+
+  // The end-to-end testbench path the examples use: module + generated
+  // self-checking testbench, run to its PASS/FAIL summary in-process.
+  const auto tvs = rtl::capture_vectors(r.transformed, r.schedule,
+                                        {batch.begin(), batch.begin() + 8});
+  const std::string tb =
+      rtl::emit_testbench(r.transformed, tvs, r.transformed.name);
+  bool tb_passed = true;
+  h->measure("testbench_8_vectors", [&] {
+    const auto res =
+        vsim::run_testbench(verilog + "\n" + tb, r.transformed.name + "_tb");
+    tb_passed = tb_passed && res.passed;
+    benchmark::DoNotOptimize(res);
+  });
+
+  // Differential sweep, serial vs thread-pooled (stateless per-vector
+  // replay is not valid for the stateful decoder, so shards are blocks).
+  const auto t_serial = h->measure("vsim_sweep_serial", [&] {
+    benchmark::DoNotOptimize(vsim::vsim_sweep(
+        r.transformed, r.schedule, batch,
+        {.threads = 1, .block_size = batch.size()}));
+  });
+  const auto t_par = h->measure("vsim_sweep_pool4", [&] {
+    benchmark::DoNotOptimize(
+        vsim::vsim_sweep(r.transformed, r.schedule, batch,
+                         {.threads = 4, .block_size = batch.size() / 4}));
+  });
+
+  h->note("config", obs::Json::object()
+                        .set("architecture", arch.name)
+                        .set("symbols", kSymbols)
+                        .set("testbench_passed", tb_passed));
+  h->note("slowdown_vsim_vs_rtl_sim", t_vsim.min_ms / t_rtl.min_ms);
+  h->note("speedup_sweep_pool4_vs_serial", t_serial.min_ms / t_par.min_ms);
+}
+
+void BM_VsimSymbol(benchmark::State& state) {
+  const auto arch =
+      qam::table1_architectures()[static_cast<size_t>(state.range(0))];
+  const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                                    TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  auto design = vsim::load_design(verilog, r.transformed.name);
+  vsim::DutHarness dut(r.transformed, design);
+  LinkStimulus stim((LinkConfig()));
+  for (auto _ : state) {
+    const auto s = stim.next();
+    PortIo io;
+    io.arrays["x_in"] = {s.q0, s.q1};
+    benchmark::DoNotOptimize(dut.run(io));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(arch.name);
+}
+BENCHMARK(BM_VsimSymbol)->DenseRange(0, 3);
+
+void BM_VsimParseElaborate(benchmark::State& state) {
+  const auto arch = qam::table1_architectures()[0];
+  const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                                    TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vsim::load_design(verilog, r.transformed.name));
+}
+BENCHMARK(BM_VsimParseElaborate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hlsw::bench::Harness harness("vsim", &argc, argv);
+  run_harness_sections(&harness);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  harness.write();
+  return 0;
+}

@@ -1,6 +1,7 @@
-// RTL generation: synthesize an architecture of the paper's decoder and
-// emit the synthesizable Verilog module (the flow's hand-off to RTL
-// synthesis / FPGA prototyping).
+// RTL generation, closed loop: synthesize an architecture of the paper's
+// decoder, emit the synthesizable Verilog module plus its self-checking
+// testbench, then execute both in-process with hlsw::vsim — no external
+// Verilog simulator involved. Prints the testbench's own PASS/FAIL verdict.
 //
 // Usage: verilog_codegen [arch-name] [output.v]
 //        (defaults: merge, stdout)
@@ -11,7 +12,10 @@
 #include "hls/report.h"
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/testbench.h"
 #include "rtl/verilog.h"
+#include "vsim/harness.h"
 
 int main(int argc, char** argv) {
   using namespace hlsw;
@@ -35,7 +39,29 @@ int main(int argc, char** argv) {
     } else {
       std::cout << v;
     }
-    return 0;
+
+    // Verify the emitted text right here: capture expected outputs from the
+    // cycle-accurate simulator, render the self-checking testbench, and run
+    // module + testbench through the in-process event-driven simulator.
+    std::vector<hls::PortIo> vecs;
+    qam::LinkStimulus stim((qam::LinkConfig()));
+    for (int i = 0; i < 8; ++i) {
+      const auto s = stim.next();
+      hls::PortIo io;
+      io.arrays["x_in"] = {s.q0, s.q1};
+      vecs.push_back(std::move(io));
+    }
+    const auto vectors = rtl::capture_vectors(r.transformed, r.schedule, vecs);
+    const std::string tb =
+        rtl::emit_testbench(r.transformed, vectors, "qam_decoder");
+    const vsim::TestbenchResult res =
+        vsim::run_testbench(v + "\n" + tb, "qam_decoder_tb");
+    for (const auto& line : res.display)
+      std::fprintf(stderr, "  tb| %s\n", line.c_str());
+    std::fprintf(stderr, "vsim: testbench %s after %lld ns\n",
+                 res.passed ? "PASS" : "FAIL",
+                 static_cast<long long>(res.end_time));
+    return res.passed ? 0 : 2;
   }
   std::fprintf(stderr, "no architecture named '%s'\n", pick.c_str());
   return 1;

@@ -293,4 +293,70 @@ CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
   return result;
 }
 
+CosimResult cosim_sweep_nway(const std::vector<CosimLeg>& legs,
+                             const std::vector<PortIo>& vectors,
+                             const CosimOptions& opts) {
+  obs::ScopedSpan span("cosim_sweep_nway", "hls.verify");
+  CosimResult result;
+  result.vectors = vectors.size();
+  if (legs.size() < 2) {
+    // A one-leg call is a usage error even with nothing to sweep.
+    result.mismatches.push_back(
+        "cosim_sweep_nway needs a reference and at least one other leg");
+    return result;
+  }
+  if (vectors.empty()) return result;
+
+  const std::size_t bs = std::max<std::size_t>(1, opts.block_size);
+  const std::size_t nblocks = (vectors.size() + bs - 1) / bs;
+  result.blocks = nblocks;
+
+  const auto run_block = [&](std::size_t blk) -> std::vector<std::string> {
+    const std::size_t begin = blk * bs;
+    const std::size_t end = std::min(begin + bs, vectors.size());
+    const std::vector<PortIo> block(vectors.begin() + static_cast<long>(begin),
+                                    vectors.begin() + static_cast<long>(end));
+    std::vector<std::string> mism;
+    const std::vector<PortIo> want = legs[0].factory()(block);
+    if (want.size() != block.size()) {
+      mism.push_back("block " + std::to_string(blk) + ": reference leg '" +
+                     legs[0].name + "' returned wrong vector count");
+      return mism;
+    }
+    for (std::size_t l = 1; l < legs.size(); ++l) {
+      const std::vector<PortIo> got = legs[l].factory()(block);
+      if (got.size() != block.size()) {
+        mism.push_back("block " + std::to_string(blk) + ": leg '" +
+                       legs[l].name + "' returned wrong vector count");
+        continue;
+      }
+      std::vector<std::string> leg_mism;
+      for (std::size_t i = 0; i < block.size(); ++i)
+        compare_outputs(begin + i, want[i], got[i], &leg_mism);
+      for (auto& m : leg_mism)
+        mism.push_back(legs[l].name + " vs " + legs[0].name + ": " +
+                       std::move(m));
+    }
+    return mism;
+  };
+
+  std::unique_ptr<util::ThreadPool> owned;
+  util::ThreadPool* pool = opts.pool;
+  if (pool == nullptr && opts.threads > 0) {
+    owned = std::make_unique<util::ThreadPool>(opts.threads);
+    pool = owned.get();
+  }
+  const auto per_block = util::map_ordered(pool, nblocks, run_block);
+  for (const auto& mism : per_block)
+    result.mismatches.insert(result.mismatches.end(), mism.begin(),
+                             mism.end());
+
+  if (span.active()) {
+    span.arg("legs", static_cast<long long>(legs.size()));
+    span.arg("vectors", static_cast<long long>(result.vectors));
+    span.arg("mismatches", static_cast<long long>(result.mismatches.size()));
+  }
+  return result;
+}
+
 }  // namespace hlsw::hls

@@ -72,4 +72,21 @@ CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
                         const std::vector<PortIo>& vectors,
                         const CosimOptions& opts = {});
 
+// ---- N-way differential sweep ----
+//
+// Generalizes cosim_sweep to any number of models: legs[0] is the
+// reference, and every other leg is compared against it vector by vector.
+// Mismatch reports are prefixed with "<leg> vs <reference>: " so a three-way
+// run (untimed golden vs rtl::Simulator vs vsim-executed Verilog text)
+// identifies which implementation diverged. Sharding, replay-from-reset and
+// the deterministic block-order merge match cosim_sweep exactly.
+struct CosimLeg {
+  std::string name;
+  CosimFactory factory;
+};
+
+CosimResult cosim_sweep_nway(const std::vector<CosimLeg>& legs,
+                             const std::vector<PortIo>& vectors,
+                             const CosimOptions& opts = {});
+
 }  // namespace hlsw::hls

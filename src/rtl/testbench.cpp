@@ -37,47 +37,45 @@ long long component(const FxValue& v, bool re) {
   return static_cast<long long>(re ? v.re : v.im);
 }
 
-// Flattened (pin name, width, value-extractor) descriptions.
-struct Pin {
-  std::string name;
-  int width;
-  bool is_input;
-  // Locates the value in a PortIo.
-  bool from_array;
-  std::string port;
-  int index;
-  bool re;
-};
+}  // namespace
 
-std::vector<Pin> flatten_pins(const Function& f) {
-  std::vector<Pin> pins;
+std::vector<PortPin> flatten_port_pins(const Function& f) {
+  std::vector<PortPin> pins;
   for (const auto& v : f.vars) {
     if (v.port == PortDir::kNone) continue;
     const bool in = v.port == PortDir::kIn;
+    const int fw = v.type.fw();
     if (v.type.cplx) {
-      pins.push_back({v.name + "_re", v.type.w, in, false, v.name, 0, true});
-      pins.push_back({v.name + "_im", v.type.w, in, false, v.name, 0, false});
+      pins.push_back({v.name + "_re", v.type.w, in, false, v.name, 0, true, fw,
+                      true, v.type.sgn});
+      pins.push_back({v.name + "_im", v.type.w, in, false, v.name, 0, false,
+                      fw, true, v.type.sgn});
     } else {
-      pins.push_back({v.name, v.type.w, in, false, v.name, 0, true});
+      pins.push_back({v.name, v.type.w, in, false, v.name, 0, true, fw, false,
+                      v.type.sgn});
     }
   }
   for (const auto& a : f.arrays) {
     if (a.port == PortDir::kNone) continue;
     const bool in = a.port == PortDir::kIn;
+    const int fw = a.elem.fw();
     for (int j = 0; j < a.length; ++j) {
       const std::string base = a.name + "_" + std::to_string(j);
       if (a.elem.cplx) {
-        pins.push_back({base + "_re", a.elem.w, in, true, a.name, j, true});
-        pins.push_back({base + "_im", a.elem.w, in, true, a.name, j, false});
+        pins.push_back({base + "_re", a.elem.w, in, true, a.name, j, true, fw,
+                        true, a.elem.sgn});
+        pins.push_back({base + "_im", a.elem.w, in, true, a.name, j, false, fw,
+                        true, a.elem.sgn});
       } else {
-        pins.push_back({base, a.elem.w, in, true, a.name, j, true});
+        pins.push_back({base, a.elem.w, in, true, a.name, j, true, fw, false,
+                        a.elem.sgn});
       }
     }
   }
   return pins;
 }
 
-long long pin_value(const Pin& p, const PortIo& io) {
+long long pin_value(const PortPin& p, const PortIo& io) {
   if (p.from_array) {
     auto it = io.arrays.find(p.port);
     if (it == io.arrays.end()) return 0;
@@ -87,6 +85,8 @@ long long pin_value(const Pin& p, const PortIo& io) {
   if (it == io.vars.end()) return 0;
   return component(it->second, p.re);
 }
+
+namespace {
 
 std::string vlit(int width, long long v) {
   std::ostringstream os;
@@ -102,8 +102,9 @@ std::string vlit(int width, long long v) {
 
 std::string emit_testbench(const Function& f,
                            const std::vector<TestVector>& vectors,
-                           const std::string& module_name) {
-  const auto pins = flatten_pins(f);
+                           const std::string& module_name,
+                           const TestbenchOptions& opts) {
+  const auto pins = flatten_port_pins(f);
   std::ostringstream os;
   os << "// Self-checking testbench for " << module_name << " ("
      << vectors.size() << " vectors captured from the hlsw RTL simulator)\n";
@@ -129,6 +130,8 @@ std::string emit_testbench(const Function& f,
      << "    end\n"
      << "  endtask\n\n";
   os << "  initial begin\n";
+  if (!opts.dumpfile.empty())
+    os << "    $dumpfile(\"" << opts.dumpfile << "\");\n    $dumpvars;\n";
   os << "    repeat (3) @(negedge clk); rst = 0;\n";
   int idx = 0;
   for (const auto& tv : vectors) {

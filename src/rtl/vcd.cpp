@@ -6,7 +6,9 @@ namespace hlsw::rtl {
 
 using hls::FxValue;
 
-std::string VcdWriter::make_id(int n) {
+// ---- VcdCore ---------------------------------------------------------------
+
+std::string VcdCore::make_id(int n) {
   // Printable VCD identifiers: base-94 over '!'..'~'.
   std::string id;
   do {
@@ -16,20 +18,66 @@ std::string VcdWriter::make_id(int n) {
   return id;
 }
 
+VcdCore::VcdCore(double timescale_ns, std::string scope, std::string version)
+    : timescale_ns_(timescale_ns),
+      scope_(std::move(scope)),
+      version_(std::move(version)) {}
+
+int VcdCore::add_signal(const std::string& name, int width) {
+  Entry e;
+  e.name = name;
+  e.width = width;
+  e.id = make_id(static_cast<int>(signals_.size()));
+  signals_.push_back(std::move(e));
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+void VcdCore::change(long long time, int handle, long long value) {
+  Entry& s = signals_[static_cast<size_t>(handle)];
+  if (s.has_last && value == s.last) return;
+  std::ostringstream os;
+  if (time != stamped_time_) {
+    os << "#" << time << "\n";
+    stamped_time_ = time;
+  }
+  os << "b";
+  for (int bit = s.width - 1; bit >= 0; --bit)
+    os << ((value >> bit) & 1 ? '1' : '0');
+  os << " " << s.id << "\n";
+  s.last = value;
+  s.has_last = true;
+  body_ += os.str();
+}
+
+std::string VcdCore::str(long long end_time) const {
+  std::ostringstream os;
+  os << "$date hlsw $end\n";
+  os << "$version " << version_ << " $end\n";
+  os << "$timescale " << static_cast<long long>(timescale_ns_ * 1000)
+     << "ps $end\n";
+  os << "$scope module " << scope_ << " $end\n";
+  for (const auto& s : signals_)
+    os << "$var wire " << s.width << " " << s.id << " " << s.name
+       << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+  os << body_;
+  if (end_time >= 0) os << "#" << end_time << "\n";
+  return os.str();
+}
+
+// ---- VcdWriter -------------------------------------------------------------
+
 VcdWriter::VcdWriter(const hls::Function& f, double timescale_ns)
-    : timescale_ns_(timescale_ns) {
-  int serial = 0;
+    : core_(timescale_ns) {
   auto add = [&](const std::string& name, int width, bool is_array, int index,
                  int element, bool imag) {
     Signal s;
-    s.name = name;
-    s.width = width;
     s.is_array = is_array;
     s.index = index;
     s.element = element;
     s.imag = imag;
-    s.id = make_id(serial++);
-    signals_.push_back(std::move(s));
+    s.handle = core_.add_signal(name, width);
+    signals_.push_back(s);
   };
   for (std::size_t v = 0; v < f.vars.size(); ++v) {
     const auto& var = f.vars[v];
@@ -66,40 +114,13 @@ long long VcdWriter::fetch(
 
 void VcdWriter::sample(long long cycle, const std::vector<FxValue>& vars,
                        const std::vector<std::vector<FxValue>>& arrays) {
-  std::ostringstream os;
-  bool stamped = false;
-  for (auto& s : signals_) {
-    const long long value = fetch(s, vars, arrays);
-    if (s.has_last && value == s.last) continue;
-    if (!stamped) {
-      os << "#" << cycle << "\n";
-      stamped = true;
-    }
-    os << "b";
-    for (int bit = s.width - 1; bit >= 0; --bit)
-      os << ((value >> bit) & 1 ? '1' : '0');
-    os << " " << s.id << "\n";
-    s.last = value;
-    s.has_last = true;
-  }
-  body_ += os.str();
+  for (const auto& s : signals_)
+    core_.change(cycle, s.handle, fetch(s, vars, arrays));
   last_cycle_ = cycle;
 }
 
 std::string VcdWriter::str() const {
-  std::ostringstream os;
-  os << "$date hlsw $end\n";
-  os << "$version hlsw rtl simulator $end\n";
-  os << "$timescale " << static_cast<long long>(timescale_ns_ * 1000)
-     << "ps $end\n";
-  os << "$scope module dut $end\n";
-  for (const auto& s : signals_)
-    os << "$var wire " << s.width << " " << s.id << " " << s.name
-       << " $end\n";
-  os << "$upscope $end\n$enddefinitions $end\n";
-  os << body_;
-  if (last_cycle_ >= 0) os << "#" << last_cycle_ + 1 << "\n";
-  return os.str();
+  return core_.str(last_cycle_ >= 0 ? last_cycle_ + 1 : -1);
 }
 
 }  // namespace hlsw::rtl

@@ -1,7 +1,14 @@
-// VCD (Value Change Dump) waveform writer: records the architectural state
-// (vars and array elements) of an rtl::Simulator run cycle by cycle in the
-// standard IEEE 1364 VCD format, viewable in GTKWave or any waveform
-// viewer — the debugging artifact every RTL flow hands its users.
+// VCD (Value Change Dump) waveform writing in the standard IEEE 1364 VCD
+// format, viewable in GTKWave or any waveform viewer — the debugging
+// artifact every RTL flow hands its users.
+//
+// Two layers:
+//  - VcdCore: generic signal registry + change recorder (header, base-94
+//    identifiers, change dedup, timestamps). Also used by vsim's
+//    $dumpfile/$dumpvars implementation, so emitted-RTL runs produce the
+//    same artifact format as rtl::Simulator runs.
+//  - VcdWriter: records the architectural state (vars and array elements)
+//    of an rtl::Simulator run cycle by cycle on top of VcdCore.
 #pragma once
 
 #include <map>
@@ -11,6 +18,43 @@
 #include "hls/ir.h"
 
 namespace hlsw::rtl {
+
+class VcdCore {
+ public:
+  // `timescale_ns` is the duration of one timestamp unit.
+  explicit VcdCore(double timescale_ns, std::string scope = "dut",
+                   std::string version = "hlsw rtl simulator");
+
+  // Declares a signal; returns its handle for change().
+  int add_signal(const std::string& name, int width);
+
+  // Records a change at `time` if the value differs from the last recorded
+  // value of that signal (the first change is always recorded).
+  void change(long long time, int handle, long long value);
+
+  // Full VCD text (header + all recorded changes). If end_time >= 0, a
+  // final bare timestamp is appended so viewers show the run's extent.
+  std::string str(long long end_time = -1) const;
+
+  int signal_count() const { return static_cast<int>(signals_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    int width;
+    std::string id;
+    long long last = 0;
+    bool has_last = false;
+  };
+  static std::string make_id(int n);
+
+  double timescale_ns_;
+  std::string scope_;
+  std::string version_;
+  std::vector<Entry> signals_;
+  std::string body_;
+  long long stamped_time_ = -1;
+};
 
 class VcdWriter {
  public:
@@ -26,30 +70,24 @@ class VcdWriter {
   // Full VCD text (header + all recorded changes).
   std::string str() const;
 
-  int signal_count() const { return static_cast<int>(signals_.size()); }
+  int signal_count() const { return core_.signal_count(); }
 
  private:
   struct Signal {
-    std::string name;
-    int width;
     // Locator into the state snapshot.
     bool is_array;
     int index;    // var index or array index
     int element;  // array element (unused for vars)
     bool imag;
-    std::string id;  // VCD short identifier
-    long long last = 0;
-    bool has_last = false;
+    int handle;   // VcdCore signal handle
   };
 
-  static std::string make_id(int n);
   static long long fetch(const Signal& s,
                          const std::vector<hls::FxValue>& vars,
                          const std::vector<std::vector<hls::FxValue>>& arrays);
 
-  double timescale_ns_;
+  VcdCore core_;
   std::vector<Signal> signals_;
-  std::string body_;
   long long last_cycle_ = -1;
 };
 

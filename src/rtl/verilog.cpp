@@ -1,6 +1,7 @@
 #include "rtl/verilog.h"
 
 #include <cassert>
+#include <cctype>
 #include <sstream>
 
 namespace hlsw::rtl {
@@ -43,6 +44,18 @@ std::string literal(long long v) {
   return os.str();
 }
 
+// Part-selects are only legal on identifiers; composite expressions must be
+// materialized into a named wire first.
+bool is_simple_ident(const std::string& s) {
+  if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0])) &&
+                    s[0] != '_'))
+    return false;
+  for (const char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+      return false;
+  return true;
+}
+
 // Emits the conversion of a 64-bit value `src` at scale 2^-src_fw into the
 // destination fixed-point type, producing an expression string. Also
 // emits any helper wires into `decl`/`body`.
@@ -51,11 +64,20 @@ class ExprEmitter {
   ExprEmitter(std::ostringstream& decl, std::ostringstream& body)
       : decl_(decl), body_(body) {}
 
-  std::string convert(const std::string& src, int src_fw, const FxType& dst,
-                      const std::string& tag) {
+  std::string convert(const std::string& src_in, int src_fw,
+                      const FxType& dst, const std::string& tag) {
+    std::string src = src_in;
+    if (!is_simple_ident(src)) {
+      // The rounding logic below part-selects src; give composites a name.
+      const std::string t0 = fresh(tag + "_src");
+      body_ << "  assign " << t0 << " = " << src << ";\n";
+      src = t0;
+    }
     const int shift = dst.fw() - src_fw;
     std::string v;
-    if (shift >= 0) {
+    if (shift == 0) {
+      v = src;
+    } else if (shift > 0) {
       v = "(" + src + " <<< " + std::to_string(shift) + ")";
     } else {
       const int d = -shift;
@@ -88,8 +110,11 @@ class ExprEmitter {
           break;
       }
       const std::string t = fresh(tag + "_rnd");
-      body_ << "  assign " << t << " = " << base << " + {{" << (kW - 1)
-            << "{1'b0}}, " << inc << "};\n";
+      // $signed keeps the sum signed: a bare unsigned concat operand would
+      // flip the whole RHS (and the >>> inside `base`) to unsigned per the
+      // Verilog signedness propagation rules.
+      body_ << "  assign " << t << " = " << base << " + $signed({{"
+            << (kW - 1) << "{1'b0}}, " << inc << "});\n";
       v = t;
     }
     // Overflow handling into dst.w bits.
@@ -101,11 +126,17 @@ class ExprEmitter {
     const std::string t = fresh(tag + "_fit");
     switch (dst.o) {
       case fixpt::Ovf::kWrap: {
-        // Take the low dst.w bits, sign/zero extend back to 64.
+        // Take the low dst.w bits, sign/zero extend back to 64. The value
+        // is part-selected, so composites (shift results) get a name first.
+        std::string vb = v;
+        if (!is_simple_ident(vb)) {
+          vb = fresh(tag + "_raw");
+          body_ << "  assign " << vb << " = " << v << ";\n";
+        }
         body_ << "  assign " << t << " = {{" << (kW - dst.w) << "{"
-              << (dst.sgn ? v + "[" + std::to_string(dst.w - 1) + "]"
+              << (dst.sgn ? vb + "[" + std::to_string(dst.w - 1) + "]"
                           : std::string("1'b0"))
-              << "}}, " << v << "[" << dst.w - 1 << ":0]};\n";
+              << "}}, " << vb << "[" << dst.w - 1 << ":0]};\n";
         break;
       }
       case fixpt::Ovf::kSat:
@@ -203,8 +234,34 @@ std::string emit_verilog(const Function& f, const Schedule& s,
   ports << "\n);\n\n";
 
   // ---- Storage ----------------------------------------------------------------
-  for (const auto& v : f.vars) {
+  // Same-cycle read forwarding (see kVarRead below) means a var's register
+  // is only observable when some read actually falls back to it: a read with
+  // no earlier unguarded same-cycle write samples the register, either
+  // directly or as the else branch of a guarded-forward mux. Vars with no
+  // such read get neither a register nor a load — ports always keep theirs,
+  // the pin is the register.
+  std::vector<char> var_reg_read(f.vars.size(), 0);
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    const Region& region = f.regions[r];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    const auto& bs = s.regions[r].body;
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      const Op& op = b.ops[i];
+      if (op.kind != OpKind::kVarRead) continue;
+      bool covered = false;
+      for (std::size_t jw = 0; jw < i; ++jw) {
+        const Op& wr = b.ops[jw];
+        if (wr.kind == OpKind::kVarWrite && wr.var == op.var &&
+            bs.place[jw].cycle == bs.place[i].cycle && wr.guard_trip < 0)
+          covered = true;
+      }
+      if (!covered) var_reg_read[static_cast<size_t>(op.var)] = 1;
+    }
+  }
+  for (std::size_t vi = 0; vi < f.vars.size(); ++vi) {
+    const auto& v = f.vars[vi];
     if (v.port != PortDir::kNone) continue;  // ports are module pins
+    if (!var_reg_read[vi]) continue;         // every read is forwarded
     const std::string pre = "reg signed [" + std::to_string(v.type.w - 1) +
                             ":0] v_" + v.name;
     if (v.type.cplx)
@@ -241,7 +298,24 @@ std::string emit_verilog(const Function& f, const Schedule& s,
                                       ? f.regions[r].loop.label
                                       : f.regions[r].name)
          << " = " << region_state_base[r] << ";\n";
-  decl << "  reg [15:0] k;  // loop iteration counter\n";
+  bool any_loop = false;
+  for (const auto& region : f.regions)
+    if (region.is_loop) any_loop = true;
+  if (any_loop) decl << "  reg [15:0] k;  // loop iteration counter\n";
+
+  // An op's value only needs a pipeline register when some consumer reads it
+  // in a later cycle; same-cycle consumers take the wire directly.
+  std::vector<std::vector<char>> pipe_used(f.regions.size());
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    const Region& region = f.regions[r];
+    const Block& b = region.is_loop ? region.loop.body : region.straight;
+    const auto& bs = s.regions[r].body;
+    pipe_used[r].assign(b.ops.size(), 0);
+    for (std::size_t j = 0; j < b.ops.size(); ++j)
+      for (const int a : b.ops[j].args)
+        if (bs.place[static_cast<size_t>(a)].cycle != bs.place[j].cycle)
+          pipe_used[r][static_cast<size_t>(a)] = 1;
+  }
 
   // ---- Datapath ----------------------------------------------------------------
   ExprEmitter ee(decl, comb);
@@ -257,8 +331,9 @@ std::string emit_verilog(const Function& f, const Schedule& s,
         if (!op.type.cplx && std::string(comp) == "im") continue;
         decl << "  wire signed [" << kW - 1 << ":0] " << wname(r, i, comp)
              << ";\n";
-        decl << "  reg signed [" << kW - 1 << ":0] " << pname(r, i, comp)
-             << ";\n";
+        if (pipe_used[r][i])
+          decl << "  reg signed [" << kW - 1 << ":0] " << pname(r, i, comp)
+               << ";\n";
       }
       // Operand expression: same-cycle -> wire, earlier cycle -> pipe reg.
       auto arg = [&](int a, const char* comp) -> std::string {
@@ -296,15 +371,32 @@ std::string emit_verilog(const Function& f, const Schedule& s,
           const auto& v = f.vars[static_cast<size_t>(op.var)];
           const std::string base =
               v.port != PortDir::kNone ? v.name : "v_" + v.name;
-          emit_assign("re", "{{" + std::to_string(kW - v.type.w) + "{" +
-                                base + (v.type.cplx ? "_re" : "") + "[" +
-                                std::to_string(v.type.w - 1) + "]}}, " +
-                                base + (v.type.cplx ? "_re" : "") + "}");
-          if (op.type.cplx)
-            emit_assign("im", "{{" + std::to_string(kW - v.type.w) + "{" +
-                                  base + "_im[" +
-                                  std::to_string(v.type.w - 1) + "]}}, " +
-                                  base + "_im}");
+          // Scalar registers forward (the rtl::Simulator contract): a read
+          // placed in the same cycle as an earlier write to the var must
+          // observe the written value, which the nonblocking register load
+          // only exposes NEXT cycle — so read the writer's wire instead.
+          // Guarded (partial-unroll remainder) writes forward through a mux.
+          auto read_expr = [&](const char* comp) {
+            const std::string suf =
+                v.type.cplx ? "_" + std::string(comp) : "";
+            std::string src = "{{" + std::to_string(kW - v.type.w) + "{" +
+                              base + suf + "[" +
+                              std::to_string(v.type.w - 1) + "]}}, " + base +
+                              suf + "}";
+            for (std::size_t jw = 0; jw < i; ++jw) {
+              const Op& wr = b.ops[jw];
+              if (wr.kind != OpKind::kVarWrite || wr.var != op.var) continue;
+              if (bs.place[jw].cycle != bs.place[i].cycle) continue;
+              if (wr.guard_trip >= 0)
+                src = "((k < " + std::to_string(wr.guard_trip) + ") ? " +
+                      wname(r, jw, comp) + " : " + src + ")";
+              else
+                src = wname(r, jw, comp);
+            }
+            return src;
+          };
+          emit_assign("re", read_expr("re"));
+          if (op.type.cplx) emit_assign("im", read_expr("im"));
           break;
         }
         case OpKind::kArrayRead: {
@@ -376,9 +468,10 @@ std::string emit_verilog(const Function& f, const Schedule& s,
           emit_assign("re", "(" + arg(op.args[0], "re") + "[" +
                                 std::to_string(kW - 1) + "] ? -" + kWs() +
                                 "'sd1 : " + kWs() + "'sd1)");
-          emit_assign("im", "(" + arg(op.args[0], "im") + "[" +
-                                std::to_string(kW - 1) + "] ? " + kWs() +
-                                "'sd1 : -" + kWs() + "'sd1)");
+          if (op.type.cplx)  // a real result has no _im wire declared
+            emit_assign("im", "(" + arg(op.args[0], "im") + "[" +
+                                  std::to_string(kW - 1) + "] ? " + kWs() +
+                                  "'sd1 : -" + kWs() + "'sd1)");
           break;
         case OpKind::kCast:
           emit_assign("re", ee.convert(arg(op.args[0], "re"),
@@ -412,9 +505,11 @@ std::string emit_verilog(const Function& f, const Schedule& s,
   // ---- FSM -----------------------------------------------------------------------
   seq << "\n  always @(posedge clk) begin\n"
       << "    if (rst) begin\n      state <= S_IDLE;\n      done <= 1'b0;\n"
-      << "      k <= 0;\n    end else begin\n      done <= 1'b0;\n"
+      << (any_loop ? "      k <= 0;\n" : "")
+      << "    end else begin\n      done <= 1'b0;\n"
       << "      case (state)\n        S_IDLE: if (start) begin state <= "
-      << region_state_base[0] << "; k <= 0;\n";
+      << region_state_base[0] << ";" << (any_loop ? " k <= 0;" : "")
+      << "\n";
   // Latch input array ports into their register files on start.
   for (const auto& a : f.arrays) {
     if (a.port != PortDir::kIn && a.port != PortDir::kInOut) continue;
@@ -448,8 +543,10 @@ std::string emit_verilog(const Function& f, const Schedule& s,
           guard = "if (k < " + std::to_string(op.guard_trip) + ") ";
         if (op.kind == OpKind::kVarWrite) {
           const auto& v = f.vars[static_cast<size_t>(op.var)];
-          const std::string base =
-              v.port != PortDir::kNone ? v.name : "v_" + v.name;
+          const bool is_port = v.port != PortDir::kNone;
+          if (!is_port && !var_reg_read[static_cast<size_t>(op.var)])
+            continue;  // register elided — consumers take the write's wire
+          const std::string base = is_port ? v.name : "v_" + v.name;
           seq << "          " << guard << base << (v.type.cplx ? "_re" : "")
               << " <= " << wname(r, i, "re") << "[" << v.type.w - 1
               << ":0];\n";
@@ -471,7 +568,7 @@ std::string emit_verilog(const Function& f, const Schedule& s,
             seq << "          " << guard << "m_" << a.name << "_im["
                 << idx.str() << "] <= " << wname(r, i, "im") << "["
                 << a.elem.w - 1 << ":0];\n";
-        } else {
+        } else if (pipe_used[r][i]) {
           // Pipeline the value for later-cycle consumers.
           seq << "          " << pname(r, i, "re") << " <= "
               << wname(r, i, "re") << ";\n";
@@ -490,7 +587,7 @@ std::string emit_verilog(const Function& f, const Schedule& s,
         seq << "          if (k == " << rs.trip - 1 << ") begin k <= 0; "
             << "state <= " << next_region_state << ";"
             << (last_region ? " done <= 1'b1;" : "") << " end\n"
-            << "          else begin k <= k + 1; state <= "
+            << "          else begin k <= k + 16'd1; state <= "
             << region_state_base[r] << "; end\n";
       } else if (last_cycle) {
         seq << "          state <= " << next_region_state << ";"

@@ -1,0 +1,145 @@
+// Abstract syntax for the Verilog-2001 subset hlsw emits and consumes: the
+// synthesizable constructs produced by rtl::emit_verilog (nets, register
+// files, continuous assigns, one-always FSMs with nonblocking assignment)
+// plus the behavioral constructs the generated self-checking testbench uses
+// (initial blocks, tasks, event/delay control, $display and friends).
+//
+// The parser builds this tree verbatim; elaboration (elab.h) resolves
+// identifiers, folds localparams, annotates every expression with its
+// self-determined size and signedness per IEEE 1364-2001 section 4.4/4.5,
+// and flattens module instances into a single executable Design.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hlsw::vsim {
+
+enum class ExprKind {
+  kNumber,     // sized or unsized literal
+  kString,     // "..." ($display format)
+  kIdent,      // signal or localparam reference
+  kSelect,     // base[index] — array element or bit select
+  kRange,      // base[hi:lo] — constant part select
+  kUnary,      // ~ - + ! and reduction & | ^ ~& ~| ~^
+  kBinary,     // arithmetic / bitwise / compare / logical / shift
+  kTernary,    // c ? a : b
+  kConcat,     // {a, b, ...}
+  kReplicate,  // {n{a}}
+  kSysCall,    // $signed(x), $unsigned(x)
+};
+
+struct Expr {
+  ExprKind kind;
+  // kNumber payload (value bits, declared width, 's flag, sized flag).
+  unsigned long long num = 0;
+  int num_width = 32;
+  bool num_sized = false;
+  bool num_signed = false;
+  // kString payload.
+  std::string str;
+  // kIdent name, kUnary/kBinary operator spelling, kSysCall function name.
+  std::string name;
+  std::vector<std::shared_ptr<Expr>> kids;
+
+  // ---- Elaboration annotations (elab.cpp fills these in) ----
+  int sig = -1;       // resolved signal index for kIdent
+  int hi = 0, lo = 0; // folded bounds for kRange
+  long long repl = 1; // folded replication count
+  int self_w = 0;     // self-determined width (LRM 4.4.1 table)
+  bool self_sgn = false;  // self-determined signedness (LRM 4.5.1)
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class StmtKind {
+  kBlock,          // begin ... end
+  kBlockingAssign, // lhs = rhs
+  kNbAssign,       // lhs <= rhs
+  kIf,             // cond, sub[0] then, sub[1] else (optional)
+  kCase,           // cond subject + items
+  kRepeat,         // cond count, sub[0] body
+  kForever,        // sub[0] body
+  kEventCtrl,      // @(events) sub[0]
+  kDelay,          // #delay sub[0]
+  kTaskCall,       // callee(args) — inlined away during elaboration
+  kSysTask,        // $display / $finish / $stop / $dumpfile / $dumpvars
+  kNull,           // ;
+};
+
+enum class Edge { kPos, kNeg, kAny };
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+struct CaseItem {
+  std::vector<ExprPtr> labels;  // empty + is_default for `default:`
+  StmtPtr body;
+  bool is_default = false;
+};
+
+struct Stmt {
+  StmtKind kind;
+  ExprPtr lhs, rhs, cond;
+  std::vector<StmtPtr> sub;
+  std::vector<CaseItem> items;
+  std::vector<std::pair<Edge, ExprPtr>> events;
+  double delay = 0;  // time units for kDelay
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+// One declared net/variable (reg, wire, integer, or port).
+struct NetDecl {
+  std::string name;
+  bool is_reg = false;     // reg / integer (procedurally assigned)
+  bool is_signed = false;
+  int width = 1;
+  int array_len = 0;       // 0 = scalar, else register file [0:len-1]
+  bool has_init = false;
+  long long init = 0;
+  bool is_input = false;
+  bool is_output = false;
+};
+
+struct ContAssign {
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct PortConn {
+  std::string port;
+  ExprPtr expr;
+};
+
+struct Instance {
+  std::string module_name;
+  std::string inst_name;
+  std::vector<PortConn> conns;
+};
+
+struct TaskDecl {
+  std::string name;
+  std::vector<NetDecl> args;  // ANSI input arguments
+  StmtPtr body;
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::string> port_order;
+  std::vector<NetDecl> nets;  // ports included
+  std::vector<std::pair<std::string, long long>> localparams;
+  std::vector<ContAssign> assigns;
+  std::vector<StmtPtr> initials;
+  std::vector<StmtPtr> always;
+  std::vector<TaskDecl> tasks;
+  std::vector<Instance> instances;
+};
+
+struct SourceUnit {
+  std::vector<Module> modules;
+};
+
+}  // namespace hlsw::vsim

@@ -1,0 +1,74 @@
+// Elaboration: turns a parsed SourceUnit into one flat, executable Design.
+//
+//  - module instances are flattened (named port connections alias parent
+//    signals; instance-internal nets get "inst." prefixed signals),
+//  - localparam references fold to literals,
+//  - task enables inline the task body behind blocking assignments of the
+//    actual arguments to per-task argument signals,
+//  - every expression is annotated with its resolved signal and its
+//    self-determined width/signedness per IEEE 1364-2001 4.4/4.5 — the
+//    evaluation kernel (sim.h) and the lint pass (lint.h) both key off
+//    these annotations.
+//
+// The Design is immutable after elaboration: simulations share it through
+// a shared_ptr (one elaborated design, many per-shard Simulation states).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vsim/ast.h"
+
+namespace hlsw::vsim {
+
+struct Signal {
+  std::string name;
+  int width = 1;
+  bool is_signed = false;
+  bool is_reg = false;
+  int array_len = 0;  // 0 = scalar
+  bool has_init = false;
+  long long init = 0;
+  bool is_top_input = false;   // port of the *top* module
+  bool is_top_output = false;
+  bool is_task_arg = false;    // synthesized by task inlining (elab.cpp)
+};
+
+struct ElabAssign {
+  int target = -1;      // scalar signal driven by this continuous assign
+  ExprPtr rhs;
+  std::vector<int> deps;  // signals read by rhs (sorted, unique)
+};
+
+struct Process {
+  StmtPtr body;
+  bool is_always = false;
+  std::string origin;  // "<module>.<always|initial>[n]" for diagnostics
+};
+
+struct Design {
+  std::string top;
+  std::vector<Signal> signals;
+  std::map<std::string, int> signal_index;
+  std::vector<ElabAssign> assigns;
+  std::vector<Process> processes;
+
+  int find(const std::string& name) const {
+    auto it = signal_index.find(name);
+    return it == signal_index.end() ? -1 : it->second;
+  }
+};
+
+// Elaborates `top_module` (which may instantiate other modules in the
+// unit). Throws std::runtime_error on undeclared identifiers, port
+// mismatches, unsupported constructs, or widths beyond 64 bits.
+std::shared_ptr<const Design> elaborate(const SourceUnit& su,
+                                        const std::string& top_module);
+
+// Collects the signals read by an annotated expression (exposed for the
+// lint pass and the simulator's dependency wiring).
+void collect_reads(const Expr& e, std::vector<int>* out);
+
+}  // namespace hlsw::vsim

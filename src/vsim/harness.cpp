@@ -1,0 +1,205 @@
+#include "vsim/harness.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.h"
+#include "rtl/sim.h"
+#include "rtl/verilog.h"
+#include "vsim/parser.h"
+
+namespace hlsw::vsim {
+
+using hls::FxValue;
+using hls::PortIo;
+
+std::shared_ptr<const Design> load_design(const std::string& verilog,
+                                          const std::string& top) {
+  SourceUnit su;
+  {
+    obs::ScopedSpan span("vsim.parse", "vsim");
+    su = parse(verilog);
+    if (span.active())
+      span.arg("modules", static_cast<long long>(su.modules.size()));
+  }
+  obs::ScopedSpan span("vsim.elaborate", "vsim");
+  auto design = elaborate(su, top);
+  if (span.active()) {
+    span.arg("signals", static_cast<long long>(design->signals.size()));
+    span.arg("processes", static_cast<long long>(design->processes.size()));
+  }
+  return design;
+}
+
+// ---- DutHarness -------------------------------------------------------------
+
+DutHarness::DutHarness(const hls::Function& f,
+                       std::shared_ptr<const Design> design,
+                       const SimConfig& cfg)
+    : pins_(rtl::flatten_port_pins(f)), sim_(std::move(design), cfg) {
+  reset();
+}
+
+void DutHarness::tick() {
+  sim_.poke("clk", 1);
+  sim_.settle();
+  sim_.poke("clk", 0);
+  sim_.settle();
+}
+
+void DutHarness::reset() {
+  sim_.poke("clk", 0);
+  sim_.poke("start", 0);
+  sim_.poke("rst", 1);
+  for (int i = 0; i < 3; ++i) tick();
+  sim_.poke("rst", 0);
+  sim_.settle();
+}
+
+PortIo DutHarness::run(const PortIo& in) {
+  for (const auto& p : pins_) {
+    if (!p.is_input) continue;
+    sim_.poke(p.name,
+              static_cast<unsigned long long>(rtl::pin_value(p, in)));
+  }
+  sim_.poke("start", 1);
+  tick();
+  sim_.poke("start", 0);
+  long long cycles = 1;
+  while (sim_.peek("done") == 0) {
+    if (++cycles > 1'000'000)
+      throw std::runtime_error(
+          "vsim harness: done never asserted — emitted FSM hung");
+    tick();
+  }
+  last_cycles_ = cycles;
+
+  PortIo out;
+  for (const auto& p : pins_) {
+    if (p.is_input) continue;
+    const long long raw =
+        p.sgn ? sim_.peek_signed(p.name)
+              : static_cast<long long>(sim_.peek(p.name));
+    FxValue* slot;
+    if (p.from_array) {
+      auto& vec = out.arrays[p.port];
+      if (vec.size() <= static_cast<size_t>(p.index))
+        vec.resize(static_cast<size_t>(p.index) + 1);
+      slot = &vec[static_cast<size_t>(p.index)];
+    } else {
+      slot = &out.vars[p.port];
+    }
+    slot->fw = p.fw;
+    slot->cplx = p.cplx;
+    (p.re ? slot->re : slot->im) = raw;
+  }
+  return out;
+}
+
+std::vector<PortIo> DutHarness::run_stream(const std::vector<PortIo>& ins) {
+  std::vector<PortIo> outs;
+  outs.reserve(ins.size());
+  for (const auto& in : ins) outs.push_back(run(in));
+  return outs;
+}
+
+// ---- Testbench runner -------------------------------------------------------
+
+TestbenchResult run_testbench(const std::string& sources,
+                              const std::string& tb_module,
+                              const SimConfig& cfg) {
+  auto design = load_design(sources, tb_module);
+  Simulation sim(std::move(design), cfg);
+  const RunResult rr = sim.run();
+
+  TestbenchResult r;
+  r.finished = rr.finished;
+  r.end_time = rr.end_time;
+  r.display = rr.display;
+  r.vcd_name = rr.vcd_name;
+  r.vcd_text = rr.vcd_text;
+  bool saw_pass = false, saw_fail = false;
+  for (const auto& line : r.display) {
+    if (line.rfind("PASS", 0) == 0) saw_pass = true;
+    if (line.find("FAIL") != std::string::npos) saw_fail = true;
+  }
+  r.passed = rr.finished && saw_pass && !saw_fail;
+  return r;
+}
+
+// ---- Differential sweeps ----------------------------------------------------
+
+namespace {
+
+hls::CosimFactory interp_factory(const hls::Function& f) {
+  return [&f]() -> hls::CosimModel {
+    auto interp = std::make_shared<hls::Interpreter>(f);
+    return [interp](const std::vector<PortIo>& ins) {
+      return interp->run_stream(ins);
+    };
+  };
+}
+
+hls::CosimFactory rtl_factory(const hls::Function& f,
+                              const hls::Schedule& s) {
+  return [&f, &s]() -> hls::CosimModel {
+    auto sim = std::make_shared<rtl::Simulator>(f, s);
+    return [sim](const std::vector<PortIo>& ins) {
+      return sim->run_stream(ins);
+    };
+  };
+}
+
+hls::CosimFactory vsim_factory(const hls::Function& f,
+                               std::shared_ptr<const Design> design,
+                               const SimConfig& cfg) {
+  return [&f, design, cfg]() -> hls::CosimModel {
+    auto harness = std::make_shared<DutHarness>(f, design, cfg);
+    return [harness](const std::vector<PortIo>& ins) {
+      return harness->run_stream(ins);
+    };
+  };
+}
+
+}  // namespace
+
+hls::CosimResult vsim_sweep(const hls::Function& f, const hls::Schedule& s,
+                            const std::vector<PortIo>& vectors,
+                            const hls::CosimOptions& opts) {
+  obs::ScopedSpan span("vsim_sweep", "vsim");
+  const std::string verilog = rtl::emit_verilog(f, s);
+  auto design = load_design(verilog, f.name);
+  return hls::cosim_sweep(interp_factory(f), vsim_factory(f, design, {}),
+                          vectors, opts);
+}
+
+VerifyEmittedResult verify_emitted(const hls::Function& f,
+                                   const hls::Schedule& s,
+                                   const std::vector<PortIo>& vectors,
+                                   const hls::CosimOptions& opts) {
+  obs::ScopedSpan span("vsim.verify_emitted", "vsim");
+  VerifyEmittedResult r;
+  const std::string verilog = rtl::emit_verilog(f, s);
+  auto design = load_design(verilog, f.name);
+  r.lint_issues = lint(*design);
+
+  const std::vector<hls::CosimLeg> legs = {
+      {"golden", interp_factory(f)},
+      {"rtl", rtl_factory(f, s)},
+      {"vsim", vsim_factory(f, design, {})},
+  };
+  r.cosim = hls::cosim_sweep_nway(legs, vectors, opts);
+
+  // The generated self-checking testbench replays a prefix of the stimulus
+  // in-process — the end-to-end path a user would previously have needed an
+  // external simulator for.
+  const std::size_t n = std::min<std::size_t>(8, vectors.size());
+  const std::vector<PortIo> tb_in(vectors.begin(),
+                                  vectors.begin() + static_cast<long>(n));
+  const auto tvs = rtl::capture_vectors(f, s, tb_in);
+  const std::string tb = rtl::emit_testbench(f, tvs, f.name);
+  r.testbench = run_testbench(verilog + "\n" + tb, f.name + "_tb");
+  return r;
+}
+
+}  // namespace hlsw::vsim

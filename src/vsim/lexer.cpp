@@ -1,0 +1,206 @@
+#include "vsim/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace hlsw::vsim {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("vsim lex error at line " + std::to_string(line) +
+                           ": " + what);
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+int digit_value(char c, int base, int line) {
+  int v;
+  if (c >= '0' && c <= '9') v = c - '0';
+  else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+  else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+  else v = -1;
+  if (v < 0 || v >= base) fail(line, std::string("bad digit '") + c + "'");
+  return v;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+
+  const auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= n) fail(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (c == '`') {  // compiler directive: skip to end of line
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+
+    Token t;
+    t.line = line;
+
+    if (c == '"') {
+      t.kind = Tok::kString;
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\n') fail(line, "unterminated string");
+        if (src[i] == '\\' && i + 1 < n) {
+          const char e = src[i + 1];
+          t.text.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+          i += 2;
+        } else {
+          t.text.push_back(src[i++]);
+        }
+      }
+      if (i >= n) fail(line, "unterminated string");
+      ++i;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '$' && ident_start(peek(1))) {
+      t.kind = Tok::kSysName;
+      t.text.push_back(src[i++]);
+      while (i < n && ident_char(src[i])) t.text.push_back(src[i++]);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (ident_start(c)) {
+      t.kind = Tok::kIdent;
+      while (i < n && ident_char(src[i])) t.text.push_back(src[i++]);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '\'' && ident_char(peek(1)))) {
+      // Optional decimal size, then optional '<s><base> digits.
+      unsigned long long size = 0;
+      bool have_size = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        size = size * 10 + static_cast<unsigned long long>(src[i] - '0');
+        have_size = true;
+        t.text.push_back(src[i++]);
+      }
+      if (i < n && src[i] == '\'') {
+        t.text.push_back(src[i++]);
+        bool sflag = false;
+        if (i < n && (src[i] == 's' || src[i] == 'S')) {
+          sflag = true;
+          t.text.push_back(src[i++]);
+        }
+        if (i >= n) fail(line, "truncated based literal");
+        int base;
+        switch (src[i]) {
+          case 'd': case 'D': base = 10; break;
+          case 'h': case 'H': base = 16; break;
+          case 'b': case 'B': base = 2; break;
+          case 'o': case 'O': base = 8; break;
+          default: fail(line, "unknown literal base");
+        }
+        t.text.push_back(src[i++]);
+        unsigned long long v = 0;
+        bool any = false;
+        while (i < n && (ident_char(src[i]) || src[i] == '_')) {
+          if (src[i] == '_') {
+            ++i;
+            continue;
+          }
+          v = v * static_cast<unsigned long long>(base) +
+              static_cast<unsigned long long>(
+                  digit_value(src[i], base, line));
+          any = true;
+          t.text.push_back(src[i++]);
+        }
+        if (!any) fail(line, "based literal without digits");
+        t.kind = Tok::kNumber;
+        t.value = v;
+        t.width = have_size ? static_cast<int>(size) : 32;
+        if (t.width < 1 || t.width > 64)
+          fail(line, "literal width out of the supported 1..64 range");
+        if (t.width < 64) t.value &= (1ULL << t.width) - 1;
+        t.sized = have_size;
+        t.is_signed = sflag;
+        out.push_back(std::move(t));
+        continue;
+      }
+      // Plain unsized decimal: 32-bit signed per the LRM.
+      t.kind = Tok::kNumber;
+      t.value = size;
+      t.width = 32;
+      t.sized = false;
+      t.is_signed = true;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Multi-character operators, longest first.
+    static const char* kOps[] = {
+        ">>>", "<<<", "===", "!==", "==", "!=", "<=", ">=", "&&", "||",
+        "<<", ">>", "~&", "~|", "~^", "^~",
+    };
+    t.kind = Tok::kSymbol;
+    bool matched = false;
+    for (const char* op : kOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (src.compare(i, len, op) == 0) {
+        t.text = op;
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      static const std::string kSingles = "()[]{}:;,.@#?=!~&|^+-*/%<>";
+      if (kSingles.find(c) == std::string::npos)
+        fail(line, std::string("unexpected character '") + c + "'");
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace hlsw::vsim

@@ -1,0 +1,36 @@
+// Tokenizer for the vsim Verilog subset. Produces a flat token stream with
+// line numbers for error reporting; skips // and /* */ comments and
+// compiler directives (`timescale and friends), which the simulator does
+// not interpret (time is counted in abstract units, one unit per #1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlsw::vsim {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords (keywords resolved by the parser)
+  kSysName,  // $display, $signed, ...
+  kNumber,   // sized or unsized literal
+  kString,   // "..."
+  kSymbol,   // operator / punctuation, possibly multi-character
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;  // identifier, symbol spelling, or raw literal
+  int line = 0;
+  // kNumber payload.
+  unsigned long long value = 0;
+  int width = 32;
+  bool sized = false;
+  bool is_signed = false;  // unsized decimals and 's literals are signed
+};
+
+// Tokenizes the full source; throws std::runtime_error (with line number)
+// on malformed input such as an unterminated string or a bad based literal.
+std::vector<Token> lex(const std::string& src);
+
+}  // namespace hlsw::vsim

@@ -1,0 +1,372 @@
+// Execution semantics of the vsim kernel, pinned against IEEE 1364-2001:
+// the stratified event queue (blocking-now vs NBA-at-end-of-slot, delta
+// cycles through continuous assigns), expression evaluation (context
+// width/signedness propagation, self-determined boundaries, arithmetic
+// shift), the behavioral layer the testbench needs ($display formatting,
+// tasks, repeat, timers, $finish) and the VCD dump path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "vsim/harness.h"
+#include "vsim/parser.h"
+#include "vsim/sim.h"
+
+namespace hlsw::vsim {
+namespace {
+
+std::unique_ptr<Simulation> make_sim(const std::string& src,
+                                     const std::string& top,
+                                     const SimConfig& cfg = {}) {
+  return std::make_unique<Simulation>(load_design(src, top), cfg);
+}
+
+TEST(VsimExec, NonblockingSwapAndLastWriteWins) {
+  // The two classics: a <= b / b <= a swaps (old values are read before any
+  // NBA commit), and two NBAs to one reg in a single activation commit in
+  // program order — the emitter's `done <= 0; ... done <= 1` idiom.
+  auto sim = make_sim(R"(
+module m (input wire clk);
+  reg signed [7:0] a = 1, b = 2;
+  reg flag;
+  always @(posedge clk) begin
+    a <= b;
+    b <= a;
+    flag <= 0;
+    if (a == 8'sd1) flag <= 1;
+  end
+endmodule
+)",
+                      "m");
+  sim->poke("clk", 1);
+  sim->settle();
+  EXPECT_EQ(sim->peek("a"), 2u);
+  EXPECT_EQ(sim->peek("b"), 1u);
+  EXPECT_EQ(sim->peek("flag"), 1u) << "later NBA in the same slot wins";
+  sim->poke("clk", 0);
+  sim->settle();
+  sim->poke("clk", 1);
+  sim->settle();
+  EXPECT_EQ(sim->peek("a"), 1u);
+  EXPECT_EQ(sim->peek("b"), 2u);
+  EXPECT_EQ(sim->peek("flag"), 0u);
+}
+
+TEST(VsimExec, BlockingAssignsAreVisibleImmediately) {
+  auto sim = make_sim(R"(
+module m (input wire clk);
+  reg signed [7:0] a = 1, b = 2, c;
+  always @(posedge clk) begin
+    a = b;
+    b = a;    // reads the NEW a
+    c = a + b;
+  end
+endmodule
+)",
+                      "m");
+  sim->poke("clk", 1);
+  sim->settle();
+  EXPECT_EQ(sim->peek("a"), 2u);
+  EXPECT_EQ(sim->peek("b"), 2u);
+  EXPECT_EQ(sim->peek("c"), 4u);
+}
+
+TEST(VsimExec, ContinuousAssignChainsSettleInDeltas) {
+  auto sim = make_sim(R"(
+module m (input wire signed [7:0] x, output wire signed [7:0] q);
+  wire signed [7:0] t0, t1;
+  assign t0 = x + 8'sd1;
+  assign t1 = t0 <<< 1;
+  assign q = t1 - 8'sd2;
+endmodule
+)",
+                      "m");
+  sim->poke("x", 5);
+  sim->settle();
+  EXPECT_EQ(sim->peek_signed("q"), (5 + 1) * 2 - 2);
+  sim->poke("x", static_cast<unsigned long long>(-9) & 0xff);
+  sim->settle();
+  EXPECT_EQ(sim->peek_signed("q"), (-9 + 1) * 2 - 2);
+}
+
+TEST(VsimExec, ArithmeticShiftAndSignedness) {
+  // >>> is arithmetic only in a signed context; an unsigned operand in the
+  // expression demotes the context and degrades it to a logical shift —
+  // exactly the trap the emitter's rounding increment had to $signed() out.
+  auto sim = make_sim(R"(
+module m;
+  reg signed [63:0] a;
+  reg signed [63:0] keep, lost;
+  reg [3:0] u;
+  initial begin
+    a = -64'sd8;
+    keep = (a >>> 1) + $signed({{63{1'b0}}, 1'b1});
+    lost = (a + {60'd0, u}) >>> 1;
+  end
+endmodule
+)",
+                      "m");
+  EXPECT_EQ(sim->peek_signed("keep"), -4 + 1);
+  // {60'd0,u} is unsigned, so the whole RHS context is unsigned: -8 >>> 1
+  // becomes a logical shift of the 64-bit pattern.
+  EXPECT_EQ(sim->peek("lost"),
+            (static_cast<unsigned long long>(-8) >> 1));
+}
+
+TEST(VsimExec, WidthContextPropagatesThroughTruncationAndExtension) {
+  auto sim = make_sim(R"(
+module m;
+  reg signed [7:0] narrow, trunc;
+  reg signed [15:0] wide;
+  reg [7:0] uns;
+  reg signed [15:0] sext, zext;
+  initial begin
+    wide = 16'sd300;
+    trunc = wide;           // truncates to 8 bits: 300 & 0xff = 44
+    narrow = -8'sd1;
+    sext = narrow;          // sign-extends: -1
+    uns = 8'hff;
+    zext = uns;             // zero-extends: 255
+  end
+endmodule
+)",
+                      "m");
+  EXPECT_EQ(sim->peek_signed("trunc"), 44);
+  EXPECT_EQ(sim->peek_signed("narrow"), -1);
+  EXPECT_EQ(sim->peek_signed("sext"), -1);
+  EXPECT_EQ(sim->peek_signed("zext"), 255);
+}
+
+TEST(VsimExec, SelectsConcatsReplication) {
+  auto sim = make_sim(R"(
+module m;
+  reg signed [15:0] v;
+  reg [3:0] nib;
+  reg [15:0] swapped;
+  reg bit7;
+  reg [7:0] rep;
+  initial begin
+    v = 16'shab3c;
+    nib = v[7:4];
+    swapped = {v[7:0], v[15:8]};
+    bit7 = v[7];
+    rep = {2{v[3:0]}};
+  end
+endmodule
+)",
+                      "m");
+  EXPECT_EQ(sim->peek("nib"), 0x3u);
+  EXPECT_EQ(sim->peek("swapped"), 0x3cabu);
+  EXPECT_EQ(sim->peek("bit7"), 0u);
+  EXPECT_EQ(sim->peek("rep"), 0xccu);
+}
+
+TEST(VsimExec, RegisterFilesReadAndWriteByIndex) {
+  auto sim = make_sim(R"(
+module m (input wire clk, input wire [2:0] wa, input wire signed [9:0] wd,
+          input wire [2:0] ra, output wire signed [9:0] rd);
+  reg signed [9:0] mem [0:7];
+  always @(posedge clk) mem[wa] <= wd;
+  assign rd = mem[ra];
+endmodule
+)",
+                      "m");
+  sim->poke("wa", 3);
+  sim->poke("wd", static_cast<unsigned long long>(-17) & 0x3ff);
+  sim->poke("clk", 1);
+  sim->settle();
+  sim->poke("clk", 0);
+  sim->poke("ra", 3);
+  sim->settle();
+  EXPECT_EQ(sim->peek_signed("rd"), -17);
+  EXPECT_EQ(sim->peek_elem("mem", 3),
+            static_cast<unsigned long long>(-17) & 0x3ff);
+  EXPECT_EQ(sim->peek_elem("mem", 5), 0u) << "untouched elements stay 0";
+}
+
+TEST(VsimExec, CaseDispatchMatchesFsmStates) {
+  auto sim = make_sim(R"(
+module m (input wire clk, input wire rst);
+  reg [15:0] state;
+  reg [7:0] trace;
+  localparam S_IDLE = 0;
+  always @(posedge clk) begin
+    if (rst) begin state <= S_IDLE; trace <= 0; end
+    else begin
+      case (state)
+        S_IDLE: begin state <= 1; trace <= trace + 8'd1; end
+        1: begin state <= 2; trace <= trace + 8'd10; end
+        default: state <= S_IDLE;
+      endcase
+    end
+  end
+endmodule
+)",
+                      "m");
+  auto tick = [&] {
+    sim->poke("clk", 1);
+    sim->settle();
+    sim->poke("clk", 0);
+    sim->settle();
+  };
+  sim->poke("rst", 1);
+  tick();
+  sim->poke("rst", 0);
+  tick();  // S_IDLE -> 1
+  tick();  // 1 -> 2
+  tick();  // default -> S_IDLE
+  EXPECT_EQ(sim->peek("state"), 0u);
+  EXPECT_EQ(sim->peek("trace"), 11u);
+}
+
+TEST(VsimExec, TestbenchFreeRunWithTimersTasksAndDisplay) {
+  auto sim = make_sim(R"(
+module tb;
+  reg clk = 0;
+  integer n = 0;
+  always #5 clk = ~clk;
+  task bump(input integer by);
+    begin
+      n = n + by;
+    end
+  endtask
+  initial begin
+    repeat (4) @(posedge clk);
+    bump(2);
+    bump(40);
+    $display("n=%0d at %0t", n, $time);
+    if (n == 42) $display("PASS: counted");
+    else $display("FAIL: n=%0d", n);
+    $finish;
+  end
+endmodule
+)",
+                      "tb");
+  const RunResult r = sim->run();
+  EXPECT_TRUE(r.finished);
+  EXPECT_FALSE(r.timed_out);
+  // Posedges at t=5,15,25,35 (clk toggles every 5).
+  EXPECT_EQ(r.end_time, 35);
+  ASSERT_EQ(r.display.size(), 2u);
+  EXPECT_EQ(r.display[0], "n=42 at 35");
+  EXPECT_EQ(r.display[1], "PASS: counted");
+}
+
+TEST(VsimExec, DisplayFormatsHexBinaryStringPercent) {
+  auto sim = make_sim(R"(
+module tb;
+  reg signed [15:0] v;
+  initial begin
+    v = -16'sd2;
+    $display("h=%h b=%b d=%0d 100%%", v[7:0], v[3:0], v);
+    $finish;
+  end
+endmodule
+)",
+                      "tb");
+  const RunResult r = sim->run();
+  ASSERT_EQ(r.display.size(), 1u);
+  EXPECT_EQ(r.display[0], "h=fe b=1110 d=-2 100%");
+}
+
+TEST(VsimExec, StopHaltsWithoutFinish) {
+  auto sim = make_sim(
+      "module tb;\n  initial begin $stop; $display(\"after\"); end\n"
+      "endmodule\n",
+      "tb");
+  const RunResult r = sim->run();
+  EXPECT_FALSE(r.finished);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_TRUE(r.display.empty());
+}
+
+TEST(VsimExec, MaxTimeStopsRunawayClocks) {
+  auto sim = make_sim(
+      "module tb;\n  reg clk = 0;\n  always #5 clk = ~clk;\nendmodule\n",
+      "tb", SimConfig{.max_time = 100});
+  const RunResult r = sim->run();
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.finished);
+  EXPECT_LE(r.end_time, 100);
+}
+
+TEST(VsimExec, ZeroDelayLoopIsCaught) {
+  // The spin hits the per-slot instruction budget during the time-0 active
+  // region, i.e. already inside the Simulation constructor.
+  EXPECT_THROW(make_sim(R"(
+module tb;
+  reg a = 0;
+  initial forever a = !a;  // no wait: would spin at t=0 forever
+endmodule
+)",
+                        "tb", SimConfig{.max_instrs_per_slot = 10'000}),
+               std::runtime_error);
+}
+
+TEST(VsimExec, AlwaysWithoutWaitIsRejectedAtCompile) {
+  EXPECT_THROW(make_sim("module m;\n  reg a;\n  always a = !a;\nendmodule\n",
+                        "m"),
+               std::runtime_error);
+}
+
+TEST(VsimExec, DumpvarsProducesVcd) {
+  auto sim = make_sim(R"(
+module tb;
+  reg clk = 0;
+  reg [3:0] n = 0;
+  always #5 clk = ~clk;
+  always @(posedge clk) n <= n + 4'd1;
+  initial begin
+    $dumpfile("wave.vcd");
+    $dumpvars;
+    repeat (3) @(posedge clk);
+    $finish;
+  end
+endmodule
+)",
+                      "tb");
+  const RunResult r = sim->run();
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.vcd_name, "wave.vcd");
+  EXPECT_NE(r.vcd_text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(r.vcd_text.find("clk"), std::string::npos);
+  EXPECT_NE(r.vcd_text.find("#5"), std::string::npos)
+      << "first clk edge recorded at t=5";
+  EXPECT_NE(r.vcd_text.find("b0001 "), std::string::npos)
+      << "multi-bit change records of n";
+}
+
+TEST(VsimExec, StatsCountEventsAndCommits) {
+  auto sim = make_sim(R"(
+module tb;
+  reg clk = 0;
+  reg [7:0] n = 0;
+  always #5 clk = ~clk;
+  always @(posedge clk) n <= n + 8'd1;
+  initial begin
+    repeat (10) @(posedge clk);
+    $finish;
+  end
+endmodule
+)",
+                      "tb");
+  sim->run();
+  const SimStats& st = sim->stats();
+  // 10 posedges; the n <= n+1 NBA of the final one is still queued when
+  // $finish ends the slot, so 9 are committed.
+  EXPECT_GE(st.nba_commits, 9);
+  EXPECT_GT(st.events, 0);
+  EXPECT_GT(st.time_slots, 10);
+  EXPECT_GT(st.instrs, 0);
+}
+
+TEST(VsimExec, PokeUnknownSignalThrows) {
+  auto sim = make_sim("module m;\n  wire w;\nendmodule\n", "m");
+  EXPECT_THROW(sim->poke("ghost", 1), std::runtime_error);
+  EXPECT_THROW(sim->peek("ghost"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hlsw::vsim
