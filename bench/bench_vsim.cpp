@@ -21,6 +21,7 @@
 #include "rtl/sim.h"
 #include "rtl/testbench.h"
 #include "rtl/verilog.h"
+#include "vsim/compile.h"
 #include "vsim/harness.h"
 #include "vsim/lint.h"
 #include "vsim/parser.h"
@@ -50,9 +51,18 @@ void run_harness_sections(bench::Harness* h) {
   h->measure("lint_emitted_module",
              [&] { benchmark::DoNotOptimize(vsim::lint(*design)); });
 
-  // Per-symbol execution ladder: rtl::Simulator vs vsim DutHarness on the
-  // same stimulus (vsim evaluates events; rtl::Simulator replays a
-  // pre-scheduled plan — the gap is the price of executing the text).
+  // Compiling the levelized execution plan is part of the compiled
+  // backend's cost story: measured cold (fresh Design each rep, so the
+  // process-wide plan memo cannot hit).
+  h->measure("compile_plan_cold", [&] {
+    auto fresh = vsim::elaborate(su, r.transformed.name);
+    benchmark::DoNotOptimize(vsim::compile_design(fresh, nullptr));
+  });
+
+  // Per-symbol execution ladder: rtl::Simulator vs both vsim backends on
+  // the same stimulus (the event backend evaluates the stratified queue,
+  // the compiled backend replays levelized tapes; rtl::Simulator replays a
+  // pre-scheduled plan — the remaining gap is the price of executing text).
   const int kSymbols = 100;
   LinkStimulus stim((LinkConfig()));
   const std::vector<PortIo> batch = qam::link_input_batch(&stim, kSymbols);
@@ -62,6 +72,12 @@ void run_harness_sections(bench::Harness* h) {
   });
   const auto t_vsim = h->measure("vsim_harness_100_symbols", [&] {
     vsim::DutHarness dut(r.transformed, design);
+    for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
+  });
+  vsim::SimConfig event_cfg;
+  event_cfg.compiled = false;
+  const auto t_vsim_event = h->measure("vsim_harness_100_symbols_event", [&] {
+    vsim::DutHarness dut(r.transformed, design, event_cfg);
     for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
   });
 
@@ -80,7 +96,9 @@ void run_harness_sections(bench::Harness* h) {
   });
 
   // Differential sweep, serial vs thread-pooled (stateless per-vector
-  // replay is not valid for the stateful decoder, so shards are blocks).
+  // replay is not valid for the stateful decoder, so shards are blocks),
+  // on both backends — one elaborated Design and one memoized plan are
+  // shared across every leg.
   const auto t_serial = h->measure("vsim_sweep_serial", [&] {
     benchmark::DoNotOptimize(vsim::vsim_sweep(
         r.transformed, r.schedule, batch,
@@ -91,13 +109,28 @@ void run_harness_sections(bench::Harness* h) {
         vsim::vsim_sweep(r.transformed, r.schedule, batch,
                          {.threads = 4, .block_size = batch.size() / 4}));
   });
+  const auto t_serial_event = h->measure("vsim_sweep_serial_event", [&] {
+    benchmark::DoNotOptimize(vsim::vsim_sweep(
+        r.transformed, r.schedule, batch,
+        {.threads = 1, .block_size = batch.size()}, event_cfg));
+  });
+  const auto t_par_event = h->measure("vsim_sweep_pool4_event", [&] {
+    benchmark::DoNotOptimize(vsim::vsim_sweep(
+        r.transformed, r.schedule, batch,
+        {.threads = 4, .block_size = batch.size() / 4}, event_cfg));
+  });
 
   h->note("config", obs::Json::object()
                         .set("architecture", arch.name)
                         .set("symbols", kSymbols)
                         .set("testbench_passed", tb_passed));
   h->note("slowdown_vsim_vs_rtl_sim", t_vsim.min_ms / t_rtl.min_ms);
+  h->note("slowdown_vsim_event_vs_rtl_sim",
+          t_vsim_event.min_ms / t_rtl.min_ms);
+  h->note("speedup_compiled_vs_event", t_vsim_event.min_ms / t_vsim.min_ms);
   h->note("speedup_sweep_pool4_vs_serial", t_serial.min_ms / t_par.min_ms);
+  h->note("speedup_sweep_pool4_vs_serial_event",
+          t_serial_event.min_ms / t_par_event.min_ms);
 }
 
 void BM_VsimSymbol(benchmark::State& state) {
@@ -120,7 +153,9 @@ void BM_VsimSymbol(benchmark::State& state) {
 }
 BENCHMARK(BM_VsimSymbol)->DenseRange(0, 3);
 
-void BM_VsimParseElaborate(benchmark::State& state) {
+void BM_VsimLoadDesignCached(benchmark::State& state) {
+  // load_design memoizes elaborated designs in a process-wide LRU; after
+  // the first call this measures the cache-hit path (key build + lookup).
   const auto arch = qam::table1_architectures()[0];
   const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
                                     TechLibrary::asic90());
@@ -128,7 +163,7 @@ void BM_VsimParseElaborate(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(vsim::load_design(verilog, r.transformed.name));
 }
-BENCHMARK(BM_VsimParseElaborate);
+BENCHMARK(BM_VsimLoadDesignCached);
 
 }  // namespace
 

@@ -238,6 +238,17 @@ void compare_outputs(std::size_t vec, const PortIo& want, const PortIo& got,
       mismatch("dut has extra output var '" + name + "'");
 }
 
+// Applies CosimOptions::mismatch_limit after the deterministic merge so
+// truncation never depends on worker scheduling.
+void cap_mismatches(std::size_t limit, CosimResult* result) {
+  result->total_mismatches = result->mismatches.size();
+  if (limit == 0 || result->mismatches.size() <= limit) return;
+  const std::size_t suppressed = result->mismatches.size() - limit;
+  result->mismatches.resize(limit);
+  result->mismatches.push_back("... " + std::to_string(suppressed) +
+                               " more mismatches suppressed");
+}
+
 }  // namespace
 
 CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
@@ -284,11 +295,12 @@ CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
   for (const auto& mism : per_block)
     result.mismatches.insert(result.mismatches.end(), mism.begin(),
                              mism.end());
+  cap_mismatches(opts.mismatch_limit, &result);
 
   if (span.active()) {
     span.arg("vectors", static_cast<long long>(result.vectors));
     span.arg("blocks", static_cast<long long>(result.blocks));
-    span.arg("mismatches", static_cast<long long>(result.mismatches.size()));
+    span.arg("mismatches", static_cast<long long>(result.total_mismatches));
   }
   return result;
 }
@@ -303,6 +315,7 @@ CosimResult cosim_sweep_nway(const std::vector<CosimLeg>& legs,
     // A one-leg call is a usage error even with nothing to sweep.
     result.mismatches.push_back(
         "cosim_sweep_nway needs a reference and at least one other leg");
+    result.total_mismatches = 1;
     return result;
   }
   if (vectors.empty()) return result;
@@ -350,11 +363,12 @@ CosimResult cosim_sweep_nway(const std::vector<CosimLeg>& legs,
   for (const auto& mism : per_block)
     result.mismatches.insert(result.mismatches.end(), mism.begin(),
                              mism.end());
+  cap_mismatches(opts.mismatch_limit, &result);
 
   if (span.active()) {
     span.arg("legs", static_cast<long long>(legs.size()));
     span.arg("vectors", static_cast<long long>(result.vectors));
-    span.arg("mismatches", static_cast<long long>(result.mismatches.size()));
+    span.arg("mismatches", static_cast<long long>(result.total_mismatches));
   }
   return result;
 }

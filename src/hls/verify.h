@@ -56,15 +56,22 @@ struct CosimOptions {
   std::size_t block_size = 256;
   // Optional externally owned pool to share across sweeps.
   util::ThreadPool* pool = nullptr;
+  // Cap on retained mismatch reports (0 = keep all). A diverging
+  // multi-hundred-vector sweep otherwise drowns the first — usually root —
+  // failure in repetition; `total_mismatches` still counts everything.
+  std::size_t mismatch_limit = 0;
 };
 
 struct CosimResult {
   std::size_t vectors = 0;
   std::size_t blocks = 0;
+  // True mismatch count before any mismatch_limit truncation.
+  std::size_t total_mismatches = 0;
   // Human-readable mismatch reports in deterministic (vector) order,
-  // independent of worker scheduling. Empty means the models agree.
+  // independent of worker scheduling. Empty means the models agree. When
+  // truncated, the last entry says how many reports were suppressed.
   std::vector<std::string> mismatches;
-  bool ok() const { return mismatches.empty(); }
+  bool ok() const { return total_mismatches == 0; }
 };
 
 // Runs the sweep and merges per-block mismatch lists in block order.

@@ -1,8 +1,11 @@
 #include "vsim/harness.h"
 
 #include <algorithm>
+#include <list>
+#include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/sim.h"
 #include "rtl/verilog.h"
@@ -13,8 +16,31 @@ namespace hlsw::vsim {
 using hls::FxValue;
 using hls::PortIo;
 
-std::shared_ptr<const Design> load_design(const std::string& verilog,
-                                          const std::string& top) {
+namespace {
+
+// Small LRU of elaborated designs keyed by (source text, top). Sweeps,
+// replay harnesses and testbench reruns hand the same text back many
+// times; elaboration is pure, so the cached Design (immutable) is shared.
+// Entries keep the full key text — at <= 8 entries of emitted Verilog the
+// memory cost is trivial and exact matching dodges hash collisions.
+struct DesignCache {
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Design> design;
+  };
+  std::mutex mu;
+  std::list<Entry> lru;  // front = most recently used
+};
+
+constexpr std::size_t kDesignCacheCap = 8;
+
+DesignCache& design_cache() {
+  static auto* c = new DesignCache;  // leaked: alive for process teardown
+  return *c;
+}
+
+std::shared_ptr<const Design> parse_and_elaborate(const std::string& verilog,
+                                                  const std::string& top) {
   SourceUnit su;
   {
     obs::ScopedSpan span("vsim.parse", "vsim");
@@ -31,42 +57,89 @@ std::shared_ptr<const Design> load_design(const std::string& verilog,
   return design;
 }
 
+}  // namespace
+
+std::shared_ptr<const Design> load_design(const std::string& verilog,
+                                          const std::string& top) {
+  std::string key;
+  key.reserve(top.size() + 1 + verilog.size());
+  key.append(top).push_back('\n');
+  key.append(verilog);
+
+  DesignCache& cache = design_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    for (auto it = cache.lru.begin(); it != cache.lru.end(); ++it) {
+      if (it->key == key) {
+        cache.lru.splice(cache.lru.begin(), cache.lru, it);
+        if (obs::enabled())
+          obs::MetricsRegistry::instance().add("vsim.design_cache.hits", 1.0);
+        return cache.lru.front().design;
+      }
+    }
+  }
+
+  // Parse and elaborate outside the lock: concurrent misses on the same
+  // text duplicate work once rather than serializing every caller.
+  auto design = parse_and_elaborate(verilog, top);
+  if (obs::enabled())
+    obs::MetricsRegistry::instance().add("vsim.design_cache.misses", 1.0);
+
+  std::lock_guard<std::mutex> lock(cache.mu);
+  for (auto it = cache.lru.begin(); it != cache.lru.end(); ++it) {
+    if (it->key == key) {  // another thread won the race — share its copy
+      cache.lru.splice(cache.lru.begin(), cache.lru, it);
+      return cache.lru.front().design;
+    }
+  }
+  cache.lru.push_front({std::move(key), design});
+  while (cache.lru.size() > kDesignCacheCap) cache.lru.pop_back();
+  return design;
+}
+
 // ---- DutHarness -------------------------------------------------------------
 
 DutHarness::DutHarness(const hls::Function& f,
                        std::shared_ptr<const Design> design,
                        const SimConfig& cfg)
     : pins_(rtl::flatten_port_pins(f)), sim_(std::move(design), cfg) {
+  pin_handle_.reserve(pins_.size());
+  for (const auto& p : pins_) pin_handle_.push_back(sim_.signal_handle(p.name));
+  h_clk_ = sim_.signal_handle("clk");
+  h_rst_ = sim_.signal_handle("rst");
+  h_start_ = sim_.signal_handle("start");
+  h_done_ = sim_.signal_handle("done");
   reset();
 }
 
 void DutHarness::tick() {
-  sim_.poke("clk", 1);
+  sim_.poke(h_clk_, 1);
   sim_.settle();
-  sim_.poke("clk", 0);
+  sim_.poke(h_clk_, 0);
   sim_.settle();
 }
 
 void DutHarness::reset() {
-  sim_.poke("clk", 0);
-  sim_.poke("start", 0);
-  sim_.poke("rst", 1);
+  sim_.poke(h_clk_, 0);
+  sim_.poke(h_start_, 0);
+  sim_.poke(h_rst_, 1);
   for (int i = 0; i < 3; ++i) tick();
-  sim_.poke("rst", 0);
+  sim_.poke(h_rst_, 0);
   sim_.settle();
 }
 
 PortIo DutHarness::run(const PortIo& in) {
-  for (const auto& p : pins_) {
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    const auto& p = pins_[i];
     if (!p.is_input) continue;
-    sim_.poke(p.name,
+    sim_.poke(pin_handle_[i],
               static_cast<unsigned long long>(rtl::pin_value(p, in)));
   }
-  sim_.poke("start", 1);
+  sim_.poke(h_start_, 1);
   tick();
-  sim_.poke("start", 0);
+  sim_.poke(h_start_, 0);
   long long cycles = 1;
-  while (sim_.peek("done") == 0) {
+  while (sim_.peek(h_done_) == 0) {
     if (++cycles > 1'000'000)
       throw std::runtime_error(
           "vsim harness: done never asserted — emitted FSM hung");
@@ -75,11 +148,12 @@ PortIo DutHarness::run(const PortIo& in) {
   last_cycles_ = cycles;
 
   PortIo out;
-  for (const auto& p : pins_) {
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    const auto& p = pins_[i];
     if (p.is_input) continue;
     const long long raw =
-        p.sgn ? sim_.peek_signed(p.name)
-              : static_cast<long long>(sim_.peek(p.name));
+        p.sgn ? sim_.peek_signed(pin_handle_[i])
+              : static_cast<long long>(sim_.peek(pin_handle_[i]));
     FxValue* slot;
     if (p.from_array) {
       auto& vec = out.arrays[p.port];
@@ -165,11 +239,12 @@ hls::CosimFactory vsim_factory(const hls::Function& f,
 
 hls::CosimResult vsim_sweep(const hls::Function& f, const hls::Schedule& s,
                             const std::vector<PortIo>& vectors,
-                            const hls::CosimOptions& opts) {
+                            const hls::CosimOptions& opts,
+                            const SimConfig& cfg) {
   obs::ScopedSpan span("vsim_sweep", "vsim");
   const std::string verilog = rtl::emit_verilog(f, s);
   auto design = load_design(verilog, f.name);
-  return hls::cosim_sweep(interp_factory(f), vsim_factory(f, design, {}),
+  return hls::cosim_sweep(interp_factory(f), vsim_factory(f, design, cfg),
                           vectors, opts);
 }
 

@@ -31,7 +31,11 @@ namespace hlsw::vsim {
 
 // Parses Verilog source text and elaborates `top` (spans vsim.parse and
 // vsim.elaborate). Throws std::runtime_error with a diagnostic on any
-// lex/parse/elaboration failure.
+// lex/parse/elaboration failure. Results are memoized in a small
+// process-wide LRU keyed by (text, top) — repeated run_testbench/replay of
+// the same source skips re-parsing and re-elaboration (counters
+// vsim.design_cache.hits / .misses). The returned Design is immutable, so
+// sharing one instance across callers and threads is safe.
 std::shared_ptr<const Design> load_design(const std::string& verilog,
                                           const std::string& top);
 
@@ -62,6 +66,13 @@ class DutHarness {
 
   std::vector<rtl::PortPin> pins_;
   Simulation sim_;
+  // Signal handles resolved once at construction: tick()/run() poke and
+  // peek by index instead of re-hashing pin names every cycle.
+  std::vector<int> pin_handle_;
+  int h_clk_ = -1;
+  int h_rst_ = -1;
+  int h_start_ = -1;
+  int h_done_ = -1;
   long long last_cycles_ = 0;
 };
 
@@ -82,12 +93,16 @@ TestbenchResult run_testbench(const std::string& sources,
 
 // Emits Verilog for (f, s) and differentially sweeps the executed text
 // against the untimed interpreter golden. The design is parsed and
-// elaborated once; each block gets a fresh Simulation replayed from reset,
-// sharded per CosimOptions (thread pool, block size). Stateful designs
-// need block_size >= vectors.size(), as with cosim_sweep.
+// elaborated once (and the compiled execution plan, when `cfg.compiled`,
+// is memoized process-wide), so every shard shares the front-end work and
+// only per-leg Simulation state is rebuilt; sharded per CosimOptions
+// (thread pool, block size). Stateful designs need block_size >=
+// vectors.size(), as with cosim_sweep. `cfg` selects the vsim backend for
+// every leg (event vs compiled benchmarking).
 hls::CosimResult vsim_sweep(const hls::Function& f, const hls::Schedule& s,
                             const std::vector<hls::PortIo>& vectors,
-                            const hls::CosimOptions& opts = {});
+                            const hls::CosimOptions& opts = {},
+                            const SimConfig& cfg = {});
 
 struct VerifyEmittedResult {
   hls::CosimResult cosim;              // three-way mismatch reports

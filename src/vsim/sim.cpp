@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/vcd.h"
+#include "vsim/compile.h"
 
 namespace hlsw::vsim {
 
@@ -228,6 +229,16 @@ struct Simulation::Dump {
 Simulation::Simulation(std::shared_ptr<const Design> design,
                        const SimConfig& cfg)
     : design_(std::move(design)), cfg_(cfg) {
+  if (cfg_.compiled) {
+    // Cycle-schedulable designs run on the levelized compiled backend;
+    // everything else (delays, $finish/$stop, feedback) silently keeps
+    // the event kernel below. The plan is memoized per Design, so sweep
+    // legs and harness replays share one compilation.
+    if (auto plan = compiled_plan(design_, &fallback_reason_)) {
+      compiled_ = std::make_unique<CompiledSim>(std::move(plan), cfg_);
+      return;
+    }
+  }
   const auto n = design_->signals.size();
   val_.assign(n, 0);
   arr_.resize(n);
@@ -639,6 +650,10 @@ void Simulation::run_thread(int tid) {
 // ---- Regions ----------------------------------------------------------------
 
 void Simulation::settle() {
+  if (compiled_) {
+    compiled_->settle();
+    return;
+  }
   slot_instr_base_ = stats_.instrs;
   for (;;) {
     flush_comb();
@@ -661,6 +676,7 @@ void Simulation::settle() {
 }
 
 RunResult Simulation::run() {
+  if (compiled_) return compiled_->run();
   obs::ScopedSpan span("vsim.run", "vsim");
   const bool metrics = obs::enabled();
   long long ev_base = stats_.events;
@@ -710,27 +726,65 @@ int Simulation::require(const std::string& name) const {
 }
 
 void Simulation::poke(const std::string& name, unsigned long long value) {
-  set_scalar(require(name), value);
+  poke(require(name), value);
 }
 
 unsigned long long Simulation::peek(const std::string& name) const {
-  return val_[static_cast<size_t>(require(name))];
+  return peek(require(name));
 }
 
 long long Simulation::peek_signed(const std::string& name) const {
-  const int sig = require(name);
-  return s64(val_[static_cast<size_t>(sig)],
-             design_->signals[static_cast<size_t>(sig)].width);
+  return peek_signed(require(name));
 }
 
 unsigned long long Simulation::peek_elem(const std::string& name,
                                          int index) const {
   const int sig = require(name);
+  if (compiled_) return compiled_->peek_elem(sig, index);
   const auto& a = arr_[static_cast<size_t>(sig)];
   if (index < 0 || index >= static_cast<int>(a.size()))
     fail("element " + std::to_string(index) + " out of range for '" + name +
          "'");
   return a[static_cast<size_t>(index)];
+}
+
+int Simulation::signal_handle(const std::string& name) const {
+  return require(name);
+}
+
+void Simulation::poke(int sig, unsigned long long value) {
+  if (compiled_) {
+    compiled_->poke(sig, value);
+    return;
+  }
+  set_scalar(sig, value);
+}
+
+unsigned long long Simulation::peek(int sig) const {
+  if (compiled_) return compiled_->peek(sig);
+  return val_[static_cast<size_t>(sig)];
+}
+
+long long Simulation::peek_signed(int sig) const {
+  if (compiled_) return compiled_->peek_signed(sig);
+  return s64(val_[static_cast<size_t>(sig)],
+             design_->signals[static_cast<size_t>(sig)].width);
+}
+
+long long Simulation::now() const {
+  return compiled_ ? compiled_->now() : time_;
+}
+
+const SimStats& Simulation::stats() const {
+  return compiled_ ? compiled_->stats() : stats_;
+}
+
+const std::vector<std::string>& Simulation::display_log() const {
+  return compiled_ ? compiled_->display_log() : display_;
+}
+
+const char* Simulation::backend() const {
+  return compiled_ ? "compiled" : "event";
 }
 
 // ---- System tasks -----------------------------------------------------------

@@ -29,7 +29,16 @@ struct SimConfig {
   long long max_time = 1'000'000'000;  // free-run safety stop (time units)
   long long max_instrs_per_slot = 50'000'000;  // zero-delay-loop guard
   int max_comb_iterations = 1'000'000;         // combinational-loop guard
+  // Prefer the compiled cycle-based backend (compile.h) when the design is
+  // cycle-schedulable; designs with time control, $finish/$stop or
+  // zero-delay feedback silently keep the event-driven kernel. Mirrors
+  // rtl::SimOptions::compiled.
+  bool compiled = true;
 };
+
+// The vsim-facing name for the simulation options (ISSUE wording parity
+// with rtl::SimOptions).
+using VsimOptions = SimConfig;
 
 struct SimStats {
   long long events = 0;        // observed value changes
@@ -50,10 +59,15 @@ struct RunResult {
   std::string vcd_text;              // VCD contents when $dumpvars ran
 };
 
+class CompiledSim;
+
 class Simulation {
  public:
   // Compiles every process and runs the time-0 active region (initial
-  // blocks up to their first wait, all continuous assigns).
+  // blocks up to their first wait, all continuous assigns). When
+  // cfg.compiled is true (the default) and the design is
+  // cycle-schedulable, execution is delegated to the levelized compiled
+  // backend (compile.h) — observable behavior is identical.
   explicit Simulation(std::shared_ptr<const Design> design,
                       const SimConfig& cfg = {});
   ~Simulation();
@@ -65,6 +79,12 @@ class Simulation {
   unsigned long long peek(const std::string& name) const;
   long long peek_signed(const std::string& name) const;
   unsigned long long peek_elem(const std::string& name, int index) const;
+  // Handle-based access for hot drivers (DutHarness): resolve the name
+  // once, then poke/peek by signal index on either backend.
+  int signal_handle(const std::string& name) const;
+  void poke(int sig, unsigned long long value);
+  unsigned long long peek(int sig) const;
+  long long peek_signed(int sig) const;
   // Runs delta cycles at the current time until quiescent.
   void settle();
 
@@ -73,10 +93,16 @@ class Simulation {
   RunResult run();
 
   bool finished() const { return finished_; }
-  long long now() const { return time_; }
-  const SimStats& stats() const { return stats_; }
-  const std::vector<std::string>& display_log() const { return display_; }
+  long long now() const;
+  const SimStats& stats() const;
+  const std::vector<std::string>& display_log() const;
   const Design& design() const { return *design_; }
+
+  // Which engine executes this simulation: "compiled" or "event".
+  const char* backend() const;
+  // Why the compiled backend was not used ("" when it is, or when
+  // compilation was disabled by SimConfig::compiled = false).
+  const std::string& fallback_reason() const { return fallback_reason_; }
 
  private:
   struct Instr;
@@ -107,6 +133,11 @@ class Simulation {
 
   std::shared_ptr<const Design> design_;
   SimConfig cfg_;
+  // Non-null when the compiled cycle-based backend executes this design;
+  // every public entry point dispatches to it. The event-kernel state
+  // below stays unconstructed in that case.
+  std::unique_ptr<CompiledSim> compiled_;
+  std::string fallback_reason_;
   std::vector<std::uint64_t> val_;
   std::vector<std::vector<std::uint64_t>> arr_;
   std::vector<std::vector<int>> dep_map_;  // signal -> dependent assigns

@@ -1,0 +1,71 @@
+// Performance ratio guard for the compiled vsim backend (labeled
+// bench_smoke in ctest): on the merge architecture the compiled backend
+// must beat the event-driven backend by at least 2x per-symbol — far below
+// the measured gap, so CI noise cannot flake it, but tight enough to catch
+// the compiled path silently falling back or regressing to event speed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/verilog.h"
+#include "vsim/harness.h"
+
+namespace hlsw::vsim {
+namespace {
+
+using hls::PortIo;
+using hls::TechLibrary;
+using qam::LinkConfig;
+using qam::LinkStimulus;
+
+double run_symbols_ms(DutHarness& dut, const std::vector<PortIo>& batch) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& in : batch) dut.run(in);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+TEST(VsimCompiledGuard, CompiledBeatsEventByAtLeast2xOnMergeArch) {
+  const qam::Architecture arch = qam::table1_architectures()[0];  // merge
+  const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                                    TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const auto design = load_design(verilog, r.transformed.name);
+
+  LinkStimulus stim((LinkConfig()));
+  const auto batch = qam::link_input_batch(&stim, 60);
+
+  SimConfig event_cfg;
+  event_cfg.compiled = false;
+  DutHarness event_dut(r.transformed, design, event_cfg);
+  DutHarness compiled_dut(r.transformed, design);
+  ASSERT_STREQ(event_dut.sim().backend(), "event");
+  ASSERT_STREQ(compiled_dut.sim().backend(), "compiled")
+      << compiled_dut.sim().fallback_reason();
+
+  // Warm both paths (plan compile, allocator), then take best-of-3 per
+  // backend so a scheduler hiccup on one run cannot fail the guard.
+  run_symbols_ms(compiled_dut, batch);
+  run_symbols_ms(event_dut, batch);
+  double t_compiled = 1e300, t_event = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    t_compiled = std::min(t_compiled, run_symbols_ms(compiled_dut, batch));
+    t_event = std::min(t_event, run_symbols_ms(event_dut, batch));
+  }
+
+  ASSERT_GT(t_compiled, 0.0);
+  const double ratio = t_event / t_compiled;
+  EXPECT_GE(ratio, 2.0) << "compiled backend only " << ratio
+                        << "x faster than event (event " << t_event
+                        << " ms vs compiled " << t_compiled << " ms)";
+}
+
+}  // namespace
+}  // namespace hlsw::vsim

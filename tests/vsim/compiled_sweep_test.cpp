@@ -1,0 +1,179 @@
+// Parallel vsim_sweep on the compiled cycle-based backend: the ONE
+// elaborated Design and the ONE memoized execution plan (compiled_plan's
+// process-wide cache) are shared read-only across worker threads while
+// every shard builds its own CompiledSim state. Serial and parallel sweeps
+// must agree byte for byte, and the compiled sweep must agree with the
+// event-driven sweep of the same design. This file is also compiled into a
+// ThreadSanitizer variant (vsim_compiled_sweep_test_tsan), which is what
+// actually certifies the shared-plan claim.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hls/builder.h"
+#include "hls/interp.h"
+#include "hls/report.h"
+#include "hls/verify.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/verilog.h"
+#include "util/thread_pool.h"
+#include "vsim/compile.h"
+#include "vsim/harness.h"
+
+namespace hlsw::vsim {
+namespace {
+
+using hls::CosimResult;
+using hls::Directives;
+using hls::FxValue;
+using hls::PortIo;
+using hls::run_synthesis;
+using hls::TechLibrary;
+
+// Stateless squared-MAC (the sweep_test idiom): acc is rewritten from a
+// constant every invocation, so vector blocks are independent and the
+// sweep may shard freely.
+hls::Function build_stateless_mac() {
+  hls::FunctionBuilder fb("sqmac");
+  const int x = fb.add_array("x", 16, hls::fx(10, 0), false,
+                             hls::PortDir::kIn);
+  const int acc =
+      fb.add_var("acc", hls::fx(28, 8), false, hls::PortDir::kOut);
+  {
+    auto b0 = fb.block("init");
+    b0.var_write(acc, b0.cnst(hls::fx(28, 8), 0.0));
+  }
+  {
+    auto l = fb.loop("mac", 16);
+    const int xv = l.array_read(x, {1, 0});
+    l.var_write(acc, l.add(l.var_read(acc), l.mul(xv, xv)));
+  }
+  return fb.build();
+}
+
+std::vector<PortIo> random_mac_vectors(int n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<PortIo> out;
+  for (int i = 0; i < n; ++i) {
+    PortIo io;
+    std::vector<FxValue> xs(16);
+    for (auto& e : xs) {
+      e.fw = 10;
+      e.re = static_cast<int>(rng() % 1024) - 512;
+    }
+    io.arrays["x"] = xs;
+    out.push_back(std::move(io));
+  }
+  return out;
+}
+
+TEST(VsimCompiledSweep, SerialAndParallelCompiledSweepsAgree) {
+  const hls::Function f = build_stateless_mac();
+  Directives dir;
+  dir.loops["mac"].pipeline_ii = 1;
+  const auto r = run_synthesis(f, dir, TechLibrary::asic90());
+
+  const auto vectors = random_mac_vectors(96, 11);
+  const SimConfig compiled_cfg{};  // compiled defaults to true
+  const CosimResult serial =
+      vsim_sweep(r.transformed, r.schedule, vectors,
+                 {.threads = 0, .block_size = 16}, compiled_cfg);
+  const CosimResult parallel =
+      vsim_sweep(r.transformed, r.schedule, vectors,
+                 {.threads = 4, .block_size = 16}, compiled_cfg);
+  EXPECT_TRUE(serial.ok())
+      << (serial.mismatches.empty() ? "" : serial.mismatches.front());
+  EXPECT_TRUE(parallel.ok());
+  EXPECT_EQ(serial.vectors, 96u);
+  EXPECT_EQ(serial.blocks, 6u);
+  EXPECT_EQ(parallel.blocks, serial.blocks);
+  EXPECT_EQ(parallel.mismatches, serial.mismatches);
+
+  // An externally owned pool shared across sweeps behaves the same.
+  util::ThreadPool pool(3);
+  const CosimResult pooled =
+      vsim_sweep(r.transformed, r.schedule, vectors,
+                 {.block_size = 16, .pool = &pool}, compiled_cfg);
+  EXPECT_TRUE(pooled.ok());
+  EXPECT_EQ(pooled.blocks, serial.blocks);
+}
+
+TEST(VsimCompiledSweep, CompiledAndEventSweepsAgreeOnStatefulDecoder) {
+  // The QAM decoder carries state across symbols; block_size >= vectors
+  // keeps one sequential replay from reset. Both backends execute the same
+  // parsed text against the same interpreter golden — and both must pass.
+  const qam::Architecture arch = qam::table1_architectures()[0];
+  const auto r = run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                               TechLibrary::asic90());
+  qam::LinkStimulus stim((qam::LinkConfig()));
+  const auto vectors = qam::link_input_batch(&stim, 20);
+  const hls::CosimOptions opts{.threads = 2,
+                               .block_size = vectors.size()};
+  SimConfig event_cfg;
+  event_cfg.compiled = false;
+  const CosimResult compiled =
+      vsim_sweep(r.transformed, r.schedule, vectors, opts, SimConfig{});
+  const CosimResult event =
+      vsim_sweep(r.transformed, r.schedule, vectors, opts, event_cfg);
+  EXPECT_TRUE(compiled.ok())
+      << (compiled.mismatches.empty() ? "" : compiled.mismatches.front());
+  EXPECT_TRUE(event.ok())
+      << (event.mismatches.empty() ? "" : event.mismatches.front());
+  EXPECT_EQ(compiled.vectors, 20u);
+  EXPECT_EQ(compiled.blocks, 1u);
+  EXPECT_EQ(event.blocks, compiled.blocks);
+  EXPECT_EQ(event.mismatches, compiled.mismatches);
+}
+
+TEST(VsimCompiledSweep, ConcurrentConstructionSharesOnePlan) {
+  // Many threads racing Simulation construction on the same Design must
+  // all land on the compiled backend with one memoized plan between them
+  // (compiled_plan's cache) — and every simulation must compute the same
+  // answer. This is the test TSan watches for plan-cache races.
+  const hls::Function f = build_stateless_mac();
+  const auto r = run_synthesis(f, Directives(), TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  auto design = load_design(verilog, r.transformed.name);
+
+  const auto plan = compiled_plan(design, nullptr);
+  ASSERT_NE(plan, nullptr);
+
+  const auto vectors = random_mac_vectors(4, 3);
+  hls::Interpreter interp(r.transformed);
+  const auto golden = interp.run_stream(vectors);
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> backends(kThreads);
+  std::vector<std::vector<PortIo>> outs(kThreads);
+  {
+    std::vector<std::thread> ts;
+    ts.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        DutHarness h(r.transformed, design);
+        backends[t] = h.sim().backend();
+        outs[t] = h.run_stream(vectors);
+      });
+    }
+    for (auto& th : ts) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(backends[t], "compiled") << "thread " << t;
+    ASSERT_EQ(outs[t].size(), golden.size()) << "thread " << t;
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      EXPECT_EQ(outs[t][i].vars.at("acc").re, golden[i].vars.at("acc").re)
+          << "thread " << t << " vector " << i;
+    }
+  }
+  // The memo handed back the same plan it compiled up front.
+  EXPECT_EQ(compiled_plan(design, nullptr).get(), plan.get());
+}
+
+}  // namespace
+}  // namespace hlsw::vsim
