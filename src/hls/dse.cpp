@@ -4,8 +4,10 @@
 #include <chrono>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
+#include "hls/feasibility.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -23,7 +25,7 @@ struct Candidate {
   std::string name;
   Directives dir;
   std::string key;
-  // True when this explore() call already planned the same canonical
+  // True when this explore() call already planned the same original
   // configuration (the refinement phase re-deriving a sweep point): it is
   // counted as a cache hit and produces no duplicate row.
   bool revisit = false;
@@ -58,6 +60,13 @@ SynthesisCache::Metrics measure_traced(const Candidate& c, const Function& f,
 // when pool is null — the legacy serial path), collection in candidate
 // order again. The three orders being caller-side is what makes the
 // parallel result bit-identical to the serial one.
+//
+// Feasibility redirects can put the same canonical key in one batch more
+// than once (two original configurations clamping to one form): the first
+// occurrence is accounted against the cache, later ones are hits by
+// construction — the check never consults the cache for a key a worker
+// may be inserting concurrently, keeping the counters deterministic.
+// SynthesisCache::get_or_compute already computes each key exactly once.
 void run_batch(const std::vector<Candidate>& cands, const Function& f,
                const TechLibrary& tech, SynthesisCache& cache,
                util::ThreadPool* pool, std::size_t planned_total,
@@ -75,8 +84,9 @@ void run_batch(const std::vector<Candidate>& cands, const Function& f,
   };
   std::vector<Pending> pending;
   pending.reserve(cands.size());
+  std::set<std::string> batch_keys;
   for (const auto& c : cands) {
-    if (c.revisit) {  // already scheduled earlier in this call
+    if (c.revisit) {  // already planned earlier in this call
       ++out->cache_hits;
       // One "dse.candidate" event per candidate resolution (revisits
       // included), so the trace's candidate count always equals
@@ -87,9 +97,8 @@ void run_batch(const std::vector<Candidate>& cands, const Function& f,
             obs::Json::object().set("hit", true).set("revisit", true));
       continue;
     }
-    // Batches never contain duplicate keys and previous batches are fully
-    // settled, so presence here is a deterministic warm-cache hit.
-    const bool hit = cache.contains(c.key);
+    const bool hit = batch_keys.count(c.key) > 0 || cache.contains(c.key);
+    batch_keys.insert(c.key);
     if (hit)
       ++out->cache_hits;
     else
@@ -125,8 +134,84 @@ void run_batch(const std::vector<Candidate>& cands, const Function& f,
     if (opts.progress)
       opts.progress(out->points.back(),
                     DseProgress{index, out->points.size(), planned_total,
-                                p.hit, wall_ms()});
+                                p.hit, wall_ms(), out->pruned_infeasible,
+                                out->pruned_dominated});
   }
+}
+
+void validate_options(const DseOptions& opts) {
+  std::ostringstream os;
+  if (opts.max_configs <= 0) {
+    os << "DseOptions::max_configs must be >= 1 (got " << opts.max_configs
+       << ")";
+    throw std::invalid_argument(os.str());
+  }
+  if (!(opts.clock_period_ns > 0)) {
+    os << "DseOptions::clock_period_ns must be positive (got "
+       << opts.clock_period_ns << ")";
+    throw std::invalid_argument(os.str());
+  }
+  if (opts.unroll_factors.empty())
+    throw std::invalid_argument(
+        "DseOptions::unroll_factors must not be empty (the sweep would "
+        "visit nothing)");
+  std::set<int> seen_u;
+  for (int u : opts.unroll_factors) {
+    if (u < 1) {
+      os << "DseOptions::unroll_factors entries must be >= 1 (got " << u
+         << ")";
+      throw std::invalid_argument(os.str());
+    }
+    if (!seen_u.insert(u).second) {
+      os << "DseOptions::unroll_factors contains duplicate factor " << u;
+      throw std::invalid_argument(os.str());
+    }
+  }
+  if (opts.pipeline_iis.empty())
+    throw std::invalid_argument(
+        "DseOptions::pipeline_iis must not be empty (use {0} to disable "
+        "the pipelining axis)");
+  std::set<int> seen_ii;
+  for (int ii : opts.pipeline_iis) {
+    if (ii < 0) {
+      os << "DseOptions::pipeline_iis entries must be >= 0 (got " << ii
+         << ")";
+      throw std::invalid_argument(os.str());
+    }
+    if (!seen_ii.insert(ii).second) {
+      os << "DseOptions::pipeline_iis contains duplicate interval " << ii;
+      throw std::invalid_argument(os.str());
+    }
+  }
+  if (!opts.try_merge && !opts.try_no_merge)
+    throw std::invalid_argument(
+        "DseOptions: at least one of try_merge/try_no_merge must be true "
+        "(both false would silently sweep nothing)");
+}
+
+// Loop labels that survive merging under the given mode — the labels a
+// pipeline directive can meaningfully target. Flat: every loop. Merged:
+// the leading label of each maximal run of consecutive loops (what
+// auto_merge folds the run into) plus loops adjacent to none.
+std::vector<std::string> pipelined_labels(const Function& f, bool auto_merge) {
+  std::vector<std::string> out;
+  std::vector<std::string> run;
+  const auto flush = [&] {
+    if (auto_merge) {
+      if (!run.empty()) out.push_back(run.front());
+    } else {
+      for (auto& l : run) out.push_back(std::move(l));
+    }
+    run.clear();
+  };
+  for (const auto& region : f.regions) {
+    if (region.is_loop)
+      run.push_back(region.loop.label);
+    else
+      flush();
+  }
+  flush();
+  return out;
 }
 
 }  // namespace
@@ -148,8 +233,33 @@ void mark_pareto(std::vector<DsePoint>& points) {
   }
 }
 
+namespace {
+
+// Exploration-front canonicalization applied on top of mark_pareto: exact
+// (latency, area) ties carry no information the front needs — the II axis
+// and feasibility redirects deliberately produce metrics-identical rows
+// for distinct directive spellings — so only the first-enumerated point of
+// each tie group keeps the flag. First-by-index is deterministic and
+// stable across thread counts, cache warmth and prune modes (row order
+// never changes). mark_pareto itself stays a pure dominance predicate.
+void demote_metric_ties(std::vector<DsePoint>& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].pareto) continue;
+    for (std::size_t j = 0; j < i; ++j)
+      if (points[j].pareto &&
+          points[j].latency_cycles == points[i].latency_cycles &&
+          points[j].area == points[i].area) {
+        points[i].pareto = false;
+        break;
+      }
+  }
+}
+
+}  // namespace
+
 DseResult explore(const Function& f, const DseOptions& opts,
                   const TechLibrary& tech) {
+  validate_options(opts);
   const auto t_start = std::chrono::steady_clock::now();
   obs::ScopedSpan span("explore", "dse");
   DseResult out;
@@ -173,24 +283,76 @@ DseResult explore(const Function& f, const DseOptions& opts,
     pool = opts.pool ? opts.pool : std::make_shared<util::ThreadPool>(nthreads);
 
   const std::uint64_t fp = function_fingerprint(f);
-  std::set<std::string> seen;  // canonical keys planned by this call
+  std::set<std::string> seen;  // original (pre-redirect) keys planned
   int planned = 0;             // rows planned (bounded by max_configs)
+  // Per-call memo for the feasibility analysis: candidates that differ
+  // only in requested IIs (the densest sweep axis) share one transform-
+  // shape entry, so a prune decision costs little more than a map lookup.
+  FeasibilityCache fcache;
 
-  // Appends a candidate unless the cap forbids a new row; revisits of a
-  // configuration this call already planned bypass the cap (they cost no
-  // schedule and add no row).
+  // Already-resolved points the feasibility analysis may cite for
+  // domination. Rebuilt between batches (points only settle batch-wise),
+  // so every prune decision is made against fully-deterministic data on
+  // the calling thread.
+  std::vector<ResolvedPoint> resolved;
+  const auto snapshot_resolved = [&] {
+    resolved.clear();
+    resolved.reserve(out.points.size());
+    for (const auto& p : out.points)
+      resolved.push_back({p.latency_cycles, p.area});
+  };
+
+  // Appends a candidate unless pruning or the row cap rejects it.
+  // Revisits of an original configuration this call already planned
+  // bypass the cap (they cost no schedule and add no row). An infeasible
+  // candidate is redirected: it keeps its row and name but synthesizes
+  // under its clamped directives' canonical key, so metrics-identical
+  // twins collapse onto one schedule. A dominated candidate is skipped
+  // outright — it can never join the Pareto front, so dropping its row
+  // changes nothing the front reports.
   const auto plan = [&](std::vector<Candidate>* batch, std::string name,
                         Directives dir) {
-    Candidate c;
-    c.key = dse_cache_key(fp, dir, tech);
-    c.revisit = !seen.insert(c.key).second;
-    if (!c.revisit) {
-      if (planned >= opts.max_configs) {
-        seen.erase(c.key);  // not planned after all
+    const std::string orig_key = dse_cache_key(fp, dir, tech);
+    if (seen.count(orig_key)) {
+      Candidate c;
+      c.revisit = true;
+      c.name = std::move(name);
+      batch->push_back(std::move(c));
+      return;
+    }
+    if (opts.prune) {
+      const FeasibilityVerdict fv =
+          check_feasibility(f, dir, tech, resolved, &fcache);
+      if (fv.status == FeasibilityStatus::kBounded) {
+        ++out.pruned_dominated;
+        std::ostringstream os;
+        os << "bounds (latency >= " << fv.bounds.min_latency_cycles
+           << ", area >= " << fv.bounds.min_area << ") dominated by '"
+           << out.points[static_cast<size_t>(fv.dominated_by)].name << "'";
+        if (obs::enabled())
+          obs::TraceSession::instance().instant(
+              name, "dse.prune",
+              obs::Json::object().set("kind", "dominated").set("row", false));
+        out.pruned.push_back({std::move(name), "dominated", os.str()});
         return;
       }
-      ++planned;
+      if (fv.status == FeasibilityStatus::kInfeasible) {
+        ++out.pruned_infeasible;
+        if (obs::enabled())
+          obs::TraceSession::instance().instant(
+              name, "dse.prune",
+              obs::Json::object()
+                  .set("kind", to_string(fv.kind))
+                  .set("row", true));
+        out.pruned.push_back({name, to_string(fv.kind), fv.reason});
+        dir = fv.clamped;  // metrics-identical; the row and name survive
+      }
     }
+    if (planned >= opts.max_configs) return;
+    ++planned;
+    seen.insert(orig_key);
+    Candidate c;
+    c.key = dse_cache_key(fp, dir, tech);
     c.name = std::move(name);
     c.dir = std::move(dir);
     batch->push_back(std::move(c));
@@ -199,19 +361,35 @@ DseResult explore(const Function& f, const DseOptions& opts,
   std::vector<bool> merge_modes;
   if (opts.try_no_merge) merge_modes.push_back(false);
   if (opts.try_merge) merge_modes.push_back(true);
+  // First nonzero initiation interval, for the refinement phase's
+  // pipelining flip (0 = the II axis is disabled).
+  int ii_on = 0;
+  for (int ii : opts.pipeline_iis)
+    if (ii >= 1) {
+      ii_on = ii;
+      break;
+    }
 
-  // Stage 1: uniform unroll factor across all loops, with/without merging.
+  // Stage 1: uniform unroll factor across all loops, with/without merging,
+  // with/without pipelining the surviving loops at each requested II.
   std::vector<Candidate> sweep;
   for (bool merge : merge_modes) {
+    const std::vector<std::string> plabels = pipelined_labels(f, merge);
     for (int u : opts.unroll_factors) {
-      Directives dir;
-      dir.clock_period_ns = opts.clock_period_ns;
-      dir.auto_merge = merge;
-      for (std::size_t l = 0; l < loop_labels.size(); ++l)
-        if (u > 1 && u < trips[l]) dir.loops[loop_labels[l]].unroll = u;
-      std::ostringstream name;
-      name << (merge ? "merge" : "flat") << "+U" << u;
-      plan(&sweep, name.str(), std::move(dir));
+      for (int ii : opts.pipeline_iis) {
+        Directives dir;
+        dir.clock_period_ns = opts.clock_period_ns;
+        dir.auto_merge = merge;
+        for (std::size_t l = 0; l < loop_labels.size(); ++l)
+          if (u > 1 && u < trips[l]) dir.loops[loop_labels[l]].unroll = u;
+        if (ii >= 1)
+          for (const auto& label : plabels)
+            dir.loops[label].pipeline_ii = ii;
+        std::ostringstream name;
+        name << (merge ? "merge" : "flat") << "+U" << u;
+        if (ii >= 1) name << "+II" << ii;
+        plan(&sweep, name.str(), std::move(dir));
+      }
     }
   }
   {
@@ -220,38 +398,67 @@ DseResult explore(const Function& f, const DseOptions& opts,
               static_cast<std::size_t>(planned), opts, t_start, &out);
   }
 
-  // Stage 2: refinement around the Pareto-optimal stage-1 points — double
-  // each loop's unroll factor individually (the Table 1 row-4 move), and
-  // flip the merge mode. Refinements frequently re-derive configurations
-  // the sweep already visited (the merge flip of a swept point always
-  // does when both modes were swept); those are memoization hits, never
-  // re-schedules.
+  // Stage 2: iterated refinement around the Pareto-optimal points — double
+  // each loop's unroll factor individually (the Table 1 row-4 move), flip
+  // the merge mode, and flip pipelining. Each round expands the points
+  // currently on the front that no earlier round expanded, until a round
+  // adds nothing (monotone: adding points never promotes an old point onto
+  // the front, so unexpanded fronts only shrink). Refinements frequently
+  // re-derive configurations already visited; those are memoization hits,
+  // never re-schedules.
   mark_pareto(out.points);
-  const std::vector<DsePoint> stage1 = out.points;
-  std::vector<Candidate> refine;
-  for (const auto& base : stage1) {
-    if (!base.pareto) continue;
-    for (std::size_t l = 0; l < loop_labels.size(); ++l) {
-      Directives dir = base.dir;
-      int u = dir.loop_directive(loop_labels[l]).unroll;
-      if (u <= 0) u = 1;
-      if (u * 2 >= trips[l]) continue;
-      dir.loops[loop_labels[l]].unroll = u * 2;
-      std::ostringstream name;
-      name << base.name << "+" << loop_labels[l] << "xU" << u * 2;
-      plan(&refine, name.str(), std::move(dir));
+  demote_metric_ties(out.points);
+  std::vector<char> refined;
+  for (int round = 0; round < 64; ++round) {
+    refined.resize(out.points.size(), 0);
+    snapshot_resolved();
+    const std::size_t rows_before = out.points.size();
+    std::vector<Candidate> refine;
+    for (std::size_t i = 0; i < rows_before; ++i) {
+      if (refined[i] || !out.points[i].pareto) continue;
+      refined[i] = 1;
+      const DsePoint& base = out.points[i];
+      for (std::size_t l = 0; l < loop_labels.size(); ++l) {
+        Directives dir = base.dir;
+        int u = dir.loop_directive(loop_labels[l]).unroll;
+        if (u <= 0) u = 1;
+        if (u * 2 >= trips[l]) continue;
+        dir.loops[loop_labels[l]].unroll = u * 2;
+        std::ostringstream name;
+        name << base.name << "+" << loop_labels[l] << "xU" << u * 2;
+        plan(&refine, name.str(), std::move(dir));
+      }
+      Directives flipped = base.dir;
+      flipped.auto_merge = !flipped.auto_merge;
+      plan(&refine, base.name + (flipped.auto_merge ? "+merge" : "+nomerge"),
+           std::move(flipped));
+      bool pipelined = false;
+      for (const auto& [label, ld] : base.dir.loops)
+        if (ld.pipeline_ii >= 1) pipelined = true;
+      if (pipelined) {
+        Directives dir = base.dir;
+        for (auto& [label, ld] : dir.loops) ld.pipeline_ii = 0;
+        plan(&refine, base.name + "+noII", std::move(dir));
+      } else if (ii_on >= 1) {
+        Directives dir = base.dir;
+        for (const auto& label : pipelined_labels(f, dir.auto_merge))
+          dir.loops[label].pipeline_ii = ii_on;
+        std::ostringstream name;
+        name << base.name << "+II" << ii_on;
+        plan(&refine, name.str(), std::move(dir));
+      }
     }
-    Directives flipped = base.dir;
-    flipped.auto_merge = !flipped.auto_merge;
-    plan(&refine, base.name + (flipped.auto_merge ? "+merge" : "+nomerge"),
-         std::move(flipped));
-  }
-  {
+    if (refine.empty()) break;
     obs::ScopedSpan refine_span("refine", "dse.phase");
     run_batch(refine, f, tech, *cache, pool.get(),
               static_cast<std::size_t>(planned), opts, t_start, &out);
+    mark_pareto(out.points);
+    demote_metric_ties(out.points);
+    if (out.points.size() == rows_before) break;  // all revisits: settled
   }
   mark_pareto(out.points);
+  demote_metric_ties(out.points);
+  out.scheduled = out.points.size();
 
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t_start)
@@ -263,11 +470,15 @@ DseResult explore(const Function& f, const DseOptions& opts,
     span.arg("points", out.points.size());
     span.arg("cache_hits", out.cache_hits);
     span.arg("cache_misses", out.cache_misses);
+    span.arg("pruned_infeasible", out.pruned_infeasible);
+    span.arg("pruned_dominated", out.pruned_dominated);
     auto& m = obs::MetricsRegistry::instance();
     m.add("dse.explores");
     m.add("dse.points", static_cast<double>(out.points.size()));
     m.add("dse.cache_hits", static_cast<double>(out.cache_hits));
     m.add("dse.cache_misses", static_cast<double>(out.cache_misses));
+    m.add("dse.prune.infeasible", static_cast<double>(out.pruned_infeasible));
+    m.add("dse.prune.dominated", static_cast<double>(out.pruned_dominated));
   }
   if (!opts.report_path.empty())
     obs::StructuredReport::write_json_file(opts.report_path,
@@ -281,13 +492,16 @@ obs::Json dse_run_json(const DseResult& r, const DseOptions& opts,
   seed_hex << "0x" << std::hex << r.seed;
   obs::Json doc = obs::Json::object()
                       .set("tool", "hlsw.dse")
-                      .set("schema_version", 1)
+                      .set("schema_version", 2)
                       .set("wall_ms", wall_ms)
                       .set("clock_period_ns", opts.clock_period_ns)
                       .set("threads", opts.threads)
                       .set("max_configs", opts.max_configs)
                       .set("cache_hits", r.cache_hits)
                       .set("cache_misses", r.cache_misses)
+                      .set("pruned_infeasible", r.pruned_infeasible)
+                      .set("pruned_dominated", r.pruned_dominated)
+                      .set("scheduled", r.scheduled)
                       .set("seed", seed_hex.str());
   obs::Json points = obs::Json::array();
   for (const auto& p : r.points)
@@ -298,6 +512,13 @@ obs::Json dse_run_json(const DseResult& r, const DseOptions& opts,
                     .set("area", p.area)
                     .set("pareto", p.pareto));
   doc.set("points", std::move(points));
+  obs::Json pruned = obs::Json::array();
+  for (const auto& p : r.pruned)
+    pruned.push(obs::Json::object()
+                    .set("name", p.name)
+                    .set("kind", p.kind)
+                    .set("reason", p.reason));
+  doc.set("pruned", std::move(pruned));
   obs::Json front = obs::Json::array();
   for (const DsePoint* p : r.pareto_front()) front.push(p->name);
   doc.set("pareto_front", std::move(front));

@@ -148,20 +148,86 @@ bool may_alias(const Op& a, const Op& b, int distance, int trip) {
   return false;
 }
 
+std::vector<std::vector<BlockDep>> build_block_deps(const Function& f,
+                                                    const Block& b, int trip) {
+  (void)f;
+  const int n = static_cast<int>(b.ops.size());
+  std::vector<std::vector<BlockDep>> deps(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Op& op = b.ops[static_cast<size_t>(i)];
+    for (int a : op.args) {
+      assert(a >= 0 && a < i && "operand must reference an earlier op");
+      deps[static_cast<size_t>(i)].push_back({a, BlockDepKind::kData});
+    }
+    // Memory dependencies against every earlier op (blocks are small).
+    for (int e = 0; e < i; ++e) {
+      const Op& prev = b.ops[static_cast<size_t>(e)];
+      // Scalar variables.
+      if (op.var >= 0 && prev.var == op.var) {
+        if (prev.kind == OpKind::kVarWrite && op.kind == OpKind::kVarRead)
+          deps[static_cast<size_t>(i)].push_back({e, BlockDepKind::kVarFwd});
+        else if (prev.kind == OpKind::kVarRead && op.kind == OpKind::kVarWrite)
+          deps[static_cast<size_t>(i)].push_back({e, BlockDepKind::kOrder});
+        else if (prev.kind == OpKind::kVarWrite && op.kind == OpKind::kVarWrite)
+          // Scalar WAW may share a cycle: intermediate values are wires and
+          // only the last write (program order) commits to the register.
+          deps[static_cast<size_t>(i)].push_back({e, BlockDepKind::kOrder});
+      }
+      // Array elements (same-iteration aliasing; cross-iteration ordering
+      // is guaranteed by non-overlapped iterations or checked by the
+      // pipelining feasibility pass).
+      if (op.array >= 0 && prev.array == op.array &&
+          may_alias(prev, op, 0, trip)) {
+        if (prev.kind == OpKind::kArrayWrite && op.kind == OpKind::kArrayRead)
+          deps[static_cast<size_t>(i)].push_back(
+              {e, BlockDepKind::kNextCycle});
+        else if (prev.kind == OpKind::kArrayRead &&
+                 op.kind == OpKind::kArrayWrite)
+          deps[static_cast<size_t>(i)].push_back({e, BlockDepKind::kOrder});
+        else if (prev.kind == OpKind::kArrayWrite &&
+                 op.kind == OpKind::kArrayWrite)
+          deps[static_cast<size_t>(i)].push_back({e, BlockDepKind::kWaw});
+      }
+    }
+  }
+  return deps;
+}
+
+int bandwidth_min_ii(const Function& f, const Block& b, const Directives& dir,
+                     const TechLibrary& tech) {
+  int min_ii = 1;
+  // Per-array memory traffic of one iteration vs the ports available per
+  // cycle. Guarded ops (partial unroll tails) still count once: iteration 0
+  // executes every copy, and the II must admit the widest iteration.
+  std::vector<int> reads(f.arrays.size(), 0), writes(f.arrays.size(), 0);
+  int mults = 0;
+  for (std::size_t i = 0; i < b.ops.size(); ++i) {
+    const Op& op = b.ops[i];
+    if (op.array >= 0 &&
+        f.arrays[static_cast<size_t>(op.array)].mapping ==
+            ArrayMapping::kMemory) {
+      if (op.kind == OpKind::kArrayRead) ++reads[static_cast<size_t>(op.array)];
+      if (op.kind == OpKind::kArrayWrite)
+        ++writes[static_cast<size_t>(op.array)];
+    }
+    mults += op_cost(f, b, static_cast<int>(i), tech).real_mults;
+  }
+  const auto ceil_div = [](int a, int d) { return (a + d - 1) / d; };
+  for (std::size_t a = 0; a < f.arrays.size(); ++a) {
+    const Array& arr = f.arrays[a];
+    if (reads[a] > 0)
+      min_ii = std::max(min_ii, ceil_div(reads[a],
+                                         std::max(1, arr.mem_read_ports)));
+    if (writes[a] > 0)
+      min_ii = std::max(min_ii, ceil_div(writes[a],
+                                         std::max(1, arr.mem_write_ports)));
+  }
+  if (dir.max_real_multipliers > 0 && mults > 0)
+    min_ii = std::max(min_ii, ceil_div(mults, dir.max_real_multipliers));
+  return min_ii;
+}
+
 namespace {
-
-enum class DepKind {
-  kData,       // SSA operand: chain within a cycle
-  kVarFwd,     // var write -> read: forwards combinationally, same cycle ok
-  kNextCycle,  // array write -> read of same element: must cross a cycle
-  kOrder,      // read -> write (WAR): write's cycle >= read's cycle
-  kWaw,        // write -> write same element: distinct cycles
-};
-
-struct Dep {
-  int from;
-  DepKind kind;
-};
 
 // Real-multiplier usage of an op (for the resource constraint).
 int mult_usage(const OpCost& c) { return c.real_mults; }
@@ -174,47 +240,8 @@ struct BlockContext {
   int trip;  // 1 for straight blocks
 };
 
-std::vector<std::vector<Dep>> build_deps(const BlockContext& ctx) {
-  const Block& b = *ctx.b;
-  const int n = static_cast<int>(b.ops.size());
-  std::vector<std::vector<Dep>> deps(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const Op& op = b.ops[static_cast<size_t>(i)];
-    for (int a : op.args) {
-      assert(a >= 0 && a < i && "operand must reference an earlier op");
-      deps[static_cast<size_t>(i)].push_back({a, DepKind::kData});
-    }
-    // Memory dependencies against every earlier op (blocks are small).
-    for (int e = 0; e < i; ++e) {
-      const Op& prev = b.ops[static_cast<size_t>(e)];
-      // Scalar variables.
-      if (op.var >= 0 && prev.var == op.var) {
-        if (prev.kind == OpKind::kVarWrite && op.kind == OpKind::kVarRead)
-          deps[static_cast<size_t>(i)].push_back({e, DepKind::kVarFwd});
-        else if (prev.kind == OpKind::kVarRead && op.kind == OpKind::kVarWrite)
-          deps[static_cast<size_t>(i)].push_back({e, DepKind::kOrder});
-        else if (prev.kind == OpKind::kVarWrite && op.kind == OpKind::kVarWrite)
-          // Scalar WAW may share a cycle: intermediate values are wires and
-          // only the last write (program order) commits to the register.
-          deps[static_cast<size_t>(i)].push_back({e, DepKind::kOrder});
-      }
-      // Array elements (same-iteration aliasing; cross-iteration ordering
-      // is guaranteed by non-overlapped iterations or checked by the
-      // pipelining feasibility pass).
-      if (op.array >= 0 && prev.array == op.array &&
-          may_alias(prev, op, 0, ctx.trip)) {
-        if (prev.kind == OpKind::kArrayWrite && op.kind == OpKind::kArrayRead)
-          deps[static_cast<size_t>(i)].push_back({e, DepKind::kNextCycle});
-        else if (prev.kind == OpKind::kArrayRead &&
-                 op.kind == OpKind::kArrayWrite)
-          deps[static_cast<size_t>(i)].push_back({e, DepKind::kOrder});
-        else if (prev.kind == OpKind::kArrayWrite &&
-                 op.kind == OpKind::kArrayWrite)
-          deps[static_cast<size_t>(i)].push_back({e, DepKind::kWaw});
-      }
-    }
-  }
-  return deps;
+std::vector<std::vector<BlockDep>> build_deps(const BlockContext& ctx) {
+  return build_block_deps(*ctx.f, *ctx.b, ctx.trip);
 }
 
 BlockSchedule schedule_block(const BlockContext& ctx,
@@ -272,20 +299,29 @@ BlockSchedule schedule_block(const BlockContext& ctx,
          << budget << " ns; clock constraint unachievable";
       notes->push_back(os.str());
     }
+    if (ctx.dir->max_real_multipliers > 0 &&
+        mult_usage(cost) > ctx.dir->max_real_multipliers && notes) {
+      std::ostringstream os;
+      os << "op %" << i << " (" << to_string(b.ops[static_cast<size_t>(i)].kind)
+         << ") needs " << mult_usage(cost) << " real multipliers, above the "
+         << "cap of " << ctx.dir->max_real_multipliers
+         << "; scheduled alone in its cycle";
+      notes->push_back(os.str());
+    }
 
     int earliest = 0;
-    for (const Dep& d : deps[static_cast<size_t>(i)]) {
+    for (const BlockDep& d : deps[static_cast<size_t>(i)]) {
       const OpPlacement& p = out.place[static_cast<size_t>(d.from)];
       switch (d.kind) {
-        case DepKind::kData:
-        case DepKind::kVarFwd:
+        case BlockDepKind::kData:
+        case BlockDepKind::kVarFwd:
           earliest = std::max(earliest, p.cycle);
           break;
-        case DepKind::kOrder:
+        case BlockDepKind::kOrder:
           earliest = std::max(earliest, p.cycle);
           break;
-        case DepKind::kNextCycle:
-        case DepKind::kWaw:
+        case BlockDepKind::kNextCycle:
+        case BlockDepKind::kWaw:
           earliest = std::max(earliest, p.cycle + 1);
           break;
       }
@@ -294,8 +330,9 @@ BlockSchedule schedule_block(const BlockContext& ctx,
     for (int cycle = earliest;; ++cycle) {
       // Chaining: start after every same-cycle producer finishes.
       double start = 0;
-      for (const Dep& d : deps[static_cast<size_t>(i)]) {
-        if (d.kind != DepKind::kData && d.kind != DepKind::kVarFwd) continue;
+      for (const BlockDep& d : deps[static_cast<size_t>(i)]) {
+        if (d.kind != BlockDepKind::kData && d.kind != BlockDepKind::kVarFwd)
+          continue;
         const OpPlacement& p = out.place[static_cast<size_t>(d.from)];
         if (p.cycle == cycle) start = std::max(start, p.end);
       }
@@ -303,10 +340,15 @@ BlockSchedule schedule_block(const BlockContext& ctx,
       // Resource checks.
       if (static_cast<int>(mults_in_cycle.size()) <= cycle)
         mults_in_cycle.resize(static_cast<size_t>(cycle) + 1, 0);
+      // An op whose own usage exceeds the cap can never satisfy it — give
+      // it a cycle of its own (the resource analog of the delay > budget
+      // escape above) instead of searching forever.
       const bool mults_ok =
           ctx.dir->max_real_multipliers <= 0 ||
-          mults_in_cycle[static_cast<size_t>(cycle)] + mult_usage(cost) <=
-              ctx.dir->max_real_multipliers;
+          (mult_usage(cost) > ctx.dir->max_real_multipliers
+               ? mults_in_cycle[static_cast<size_t>(cycle)] == 0
+               : mults_in_cycle[static_cast<size_t>(cycle)] + mult_usage(cost) <=
+                     ctx.dir->max_real_multipliers);
       if (fits && mults_ok && mem_ports_ok(b.ops[static_cast<size_t>(i)], cycle)) {
         out.place[static_cast<size_t>(i)] = {cycle, start, start + cost.delay};
         mults_in_cycle[static_cast<size_t>(cycle)] += mult_usage(cost);
@@ -377,13 +419,17 @@ Schedule schedule_function(const Function& f, const Directives& dir,
       rs.trip = region.loop.trip;
       const LoopDirective ld = dir.loop_directive(region.loop.label);
       if (ld.pipeline_ii >= 1) {
-        const int min_ii = recurrence_min_ii(ctx, rs.body);
-        rs.ii = std::max(ld.pipeline_ii, min_ii);
+        const int rec_ii = recurrence_min_ii(ctx, rs.body);
+        const int bw_ii =
+            bandwidth_min_ii(f, region.loop.body, dir, tech);
+        rs.ii = std::max(ld.pipeline_ii, std::max(rec_ii, bw_ii));
         if (rs.ii > ld.pipeline_ii) {
           std::ostringstream os;
           os << "loop '" << region.loop.label << "': requested II="
              << ld.pipeline_ii << " raised to " << rs.ii
-             << " by a loop-carried recurrence";
+             << (rec_ii >= bw_ii
+                     ? " by a loop-carried recurrence"
+                     : " by memory-port/multiplier bandwidth");
           out.notes.push_back(os.str());
         }
         rs.total_cycles = rs.body.cycles + (rs.trip - 1) * rs.ii;

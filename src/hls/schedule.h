@@ -84,4 +84,35 @@ Schedule schedule_function(const Function& f, const Directives& dir,
 // iteration in [0, trip).
 bool may_alias(const Op& a, const Op& b, int distance, int trip);
 
+// The intra-block dependence graph the scheduler places against, exposed
+// so static analyses (hls/feasibility) reason about exactly the edges the
+// scheduler honors rather than re-deriving their own approximation.
+enum class BlockDepKind {
+  kData,       // SSA operand: chain within a cycle
+  kVarFwd,     // var write -> read: forwards combinationally, same cycle ok
+  kNextCycle,  // array write -> read of same element: must cross a cycle
+  kOrder,      // read -> write (WAR): write's cycle >= read's cycle
+  kWaw,        // write -> write same element: distinct cycles
+};
+
+struct BlockDep {
+  int from;
+  BlockDepKind kind;
+};
+
+// deps[i] lists op i's incoming dependence edges (from < i always). `trip`
+// is the loop trip count (1 for straight blocks), used for same-iteration
+// aliasing of affine array accesses.
+std::vector<std::vector<BlockDep>> build_block_deps(const Function& f,
+                                                    const Block& b, int trip);
+
+// Bandwidth floor on a pipelined loop's initiation interval: with
+// iterations overlapped every II cycles, each window of II cycles must
+// carry one full iteration's memory traffic (per-array reads/writes vs
+// mem_read_ports/mem_write_ports) and real-multiplier work (vs
+// max_real_multipliers). The classic ResMII bound; schedule_function
+// raises a requested pipeline_ii to at least this value.
+int bandwidth_min_ii(const Function& f, const Block& b, const Directives& dir,
+                     const TechLibrary& tech);
+
 }  // namespace hlsw::hls

@@ -1,6 +1,7 @@
 #include "hls/synth_cache.h"
 
-#include <sstream>
+#include <cstdio>
+#include <cstring>
 
 namespace hlsw::hls {
 
@@ -18,52 +19,78 @@ std::uint64_t function_fingerprint(const Function& f) {
 }
 
 std::uint64_t tech_fingerprint(const TechLibrary& tech) {
-  std::ostringstream os;
-  os.precision(17);
-  os << tech.name << '|' << tech.add_delay_base << '|' << tech.add_delay_per_bit
-     << '|' << tech.mul_delay_base << '|' << tech.mul_delay_per_bit << '|'
-     << tech.mul_delay_per_min_bit << '|' << tech.mux_delay << '|'
-     << tech.wire_delay << '|' << tech.reg_margin << '|'
-     << tech.mem_access_delay << '|' << tech.add_area_per_bit << '|'
-     << tech.mul_area_per_bit2 << '|' << tech.reg_area_per_bit << '|'
-     << tech.mux_area_per_bit << '|' << tech.fsm_area_per_state << '|'
-     << tech.counter_area_per_bit << '|' << tech.mem_area_per_bit << '|'
-     << tech.mem_port_overhead << '|' << tech.io_area_per_bit;
-  return fnv1a64(os.str());
+  // Hashed from the raw value bits: every field participates, no
+  // formatting round-trip. Keys are in-memory only, so the scheme is free
+  // to change between builds — only injectivity per process matters.
+  std::uint64_t h = fnv1a64(tech.name);
+  const double vals[] = {tech.add_delay_base,      tech.add_delay_per_bit,
+                         tech.mul_delay_base,      tech.mul_delay_per_bit,
+                         tech.mul_delay_per_min_bit, tech.mux_delay,
+                         tech.wire_delay,          tech.reg_margin,
+                         tech.mem_access_delay,    tech.add_area_per_bit,
+                         tech.mul_area_per_bit2,   tech.reg_area_per_bit,
+                         tech.mux_area_per_bit,    tech.fsm_area_per_state,
+                         tech.counter_area_per_bit, tech.mem_area_per_bit,
+                         tech.mem_port_overhead,   tech.io_area_per_bit};
+  for (const double v : vals) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
 }
 
 std::string dse_cache_key(std::uint64_t func_fingerprint, const Directives& dir,
                           const TechLibrary& tech) {
-  std::ostringstream os;
-  os.precision(17);
-  os << std::hex << func_fingerprint << '/' << tech_fingerprint(tech)
-     << std::dec;
-  os << ";clk=" << dir.clock_period_ns;
-  os << ";am=" << dir.auto_merge << ";hs=" << dir.handshake
-     << ";mrm=" << dir.max_real_multipliers;
-  os << ";loops=";
+  // Hot path: explore() builds two keys per candidate (three with pruning
+  // on), so this avoids ostringstream in favor of direct appends.
+  std::string key;
+  key.reserve(160);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llx/%llx;clk=%.17g",
+                static_cast<unsigned long long>(func_fingerprint),
+                static_cast<unsigned long long>(tech_fingerprint(tech)),
+                dir.clock_period_ns);
+  key += buf;
+  std::snprintf(buf, sizeof buf, ";am=%d;hs=%d;mrm=%d", dir.auto_merge ? 1 : 0,
+                dir.handshake ? 1 : 0, dir.max_real_multipliers);
+  key += buf;
+  key += ";loops=";
   for (const auto& [label, ld] : dir.loops) {  // std::map: sorted order
     const int u = ld.unroll <= 1 ? 1 : ld.unroll;
     if (u == 1 && ld.pipeline_ii == 0) continue;  // default: omit
-    os << label << ":u" << u << ":p" << ld.pipeline_ii << ',';
+    key += label;
+    std::snprintf(buf, sizeof buf, ":u%d:p%d,", u, ld.pipeline_ii);
+    key += buf;
   }
-  os << ";mg=";
+  key += ";mg=";
   for (const auto& group : dir.merge_groups) {
-    for (const auto& label : group) os << label << '.';
-    os << '|';
+    for (const auto& label : group) {
+      key += label;
+      key += '.';
+    }
+    key += '|';
   }
-  os << ";arr=";
+  key += ";arr=";
   for (const auto& [name, ad] : dir.arrays) {
     if (ad.mapping == ArrayMapping::kRegisters && ad.mem_read_ports == 1 &&
         ad.mem_write_ports == 1)
       continue;  // default: omit
-    os << name << ':' << static_cast<int>(ad.mapping) << ':'
-       << ad.mem_read_ports << ':' << ad.mem_write_ports << ',';
+    key += name;
+    std::snprintf(buf, sizeof buf, ":%d:%d:%d,", static_cast<int>(ad.mapping),
+                  ad.mem_read_ports, ad.mem_write_ports);
+    key += buf;
   }
-  os << ";if=";
-  for (const auto& [name, kind] : dir.interfaces)
-    os << name << ':' << static_cast<int>(kind) << ',';
-  return os.str();
+  key += ";if=";
+  for (const auto& [name, kind] : dir.interfaces) {
+    key += name;
+    std::snprintf(buf, sizeof buf, ":%d,", static_cast<int>(kind));
+    key += buf;
+  }
+  return key;
 }
 
 bool SynthesisCache::contains(const std::string& key) const {

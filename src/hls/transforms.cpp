@@ -157,12 +157,24 @@ TransformResult apply_transforms(const Function& input, const Directives& dir) {
   TransformResult out;
   out.func = input;
 
-  // Array mapping directives.
+  // Array mapping directives. Port counts below 1 would leave the
+  // scheduler with no cycle that can ever host an access (its placement
+  // loop would search forever), so degenerate directives clamp to one
+  // port with a warning.
   for (auto& arr : out.func.arrays) {
     const ArrayDirective ad = dir.array_directive(arr.name);
     arr.mapping = ad.mapping;
-    arr.mem_read_ports = ad.mem_read_ports;
-    arr.mem_write_ports = ad.mem_write_ports;
+    arr.mem_read_ports = std::max(1, ad.mem_read_ports);
+    arr.mem_write_ports = std::max(1, ad.mem_write_ports);
+    if (arr.mapping == ArrayMapping::kMemory &&
+        (ad.mem_read_ports < 1 || ad.mem_write_ports < 1)) {
+      std::ostringstream os;
+      os << "array '" << arr.name << "': memory port counts must be >= 1 "
+         << "(got " << ad.mem_read_ports << "r/" << ad.mem_write_ports
+         << "w); clamped to " << arr.mem_read_ports << "r/"
+         << arr.mem_write_ports << "w";
+      out.warnings.push_back(os.str());
+    }
   }
 
   // Unroll first (Table 1 applies U to source loops, then merges).

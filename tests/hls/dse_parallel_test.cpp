@@ -49,7 +49,8 @@ Function make_multi_loop() {
 }
 
 void expect_identical(const DseResult& a, const DseResult& b,
-                      const std::string& what) {
+                      const std::string& what,
+                      bool same_cache_counters = true) {
   ASSERT_EQ(a.points.size(), b.points.size()) << what;
   for (std::size_t i = 0; i < a.points.size(); ++i) {
     const DsePoint& p = a.points[i];
@@ -60,8 +61,21 @@ void expect_identical(const DseResult& a, const DseResult& b,
     EXPECT_EQ(p.area, q.area) << what << " " << p.name;
     EXPECT_EQ(p.pareto, q.pareto) << what << " " << p.name;
   }
-  EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
-  EXPECT_EQ(a.cache_misses, b.cache_misses) << what;
+  if (same_cache_counters) {
+    EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
+    EXPECT_EQ(a.cache_misses, b.cache_misses) << what;
+  }
+  // Prune decisions happen during enumeration on the calling thread, so
+  // the counters and the per-decision records are deterministic too.
+  EXPECT_EQ(a.pruned_infeasible, b.pruned_infeasible) << what;
+  EXPECT_EQ(a.pruned_dominated, b.pruned_dominated) << what;
+  EXPECT_EQ(a.scheduled, b.scheduled) << what;
+  ASSERT_EQ(a.pruned.size(), b.pruned.size()) << what;
+  for (std::size_t i = 0; i < a.pruned.size(); ++i) {
+    EXPECT_EQ(a.pruned[i].name, b.pruned[i].name) << what << " prune " << i;
+    EXPECT_EQ(a.pruned[i].kind, b.pruned[i].kind) << what << " prune " << i;
+    EXPECT_EQ(a.pruned[i].reason, b.pruned[i].reason) << what;
+  }
   // Derived views agree as well (same order, same picks).
   const auto fa = a.pareto_front(), fb = b.pareto_front();
   ASSERT_EQ(fa.size(), fb.size()) << what;
@@ -176,6 +190,45 @@ TEST(DseParallel, TraceEventTotalsMatchCacheCountersAtAnyThreadCount) {
   }
   obs::TraceSession::instance().clear();
   obs::set_enabled(was_enabled);
+}
+
+// With pruning live (a 3ns sweep hits recurrence floors, so candidates
+// really are redirected), points, order and every prune counter must stay
+// bit-identical across thread counts — on a cold cache and again on a
+// warm one, where every row resolves as a hit but the prune decisions
+// replay identically.
+TEST(DseParallel, PruneCountersAreBitIdenticalAcrossThreadCountsAndWarmth) {
+  const Function ir = qam::build_qam_decoder_ir();
+  const auto tech = TechLibrary::asic90();
+  const auto run = [&](unsigned threads,
+                       std::shared_ptr<SynthesisCache> cache) {
+    DseOptions opts;
+    opts.clock_period_ns = 3.0;
+    opts.unroll_factors = {1, 2, 4};
+    opts.threads = threads;
+    opts.cache = std::move(cache);
+    return explore(ir, opts, tech);
+  };
+
+  const DseResult serial = run(1, nullptr);
+  ASSERT_FALSE(serial.points.empty());
+  EXPECT_GT(serial.pruned_infeasible, 0u)
+      << "the 3ns II sweep must exercise the redirect path";
+  EXPECT_EQ(serial.scheduled, serial.points.size());
+  expect_identical(serial, run(2, nullptr), "cold threads=2");
+  expect_identical(serial, run(8, nullptr), "cold threads=8");
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    auto cache = std::make_shared<SynthesisCache>();
+    const DseResult cold = run(threads, cache);
+    expect_identical(serial, cold,
+                     "cold shared cache threads=" + std::to_string(threads));
+    const DseResult warm = run(threads, cache);
+    EXPECT_EQ(warm.cache_misses, 0u)
+        << "warm threads=" << threads << ": nothing left to schedule";
+    expect_identical(serial, warm, "warm threads=" + std::to_string(threads),
+                     /*same_cache_counters=*/false);
+  }
 }
 
 TEST(DseParallel, MaxConfigsRespectedAtAnyThreadCount) {

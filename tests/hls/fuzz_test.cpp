@@ -13,11 +13,14 @@
 // reorders memory traffic (the engine warns).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <random>
 #include <regex>
 
 #include "hls/builder.h"
+#include "hls/dse.h"
+#include "hls/feasibility.h"
 #include "hls/interp.h"
 #include "hls/report.h"
 #include "hls/verify.h"
@@ -26,6 +29,19 @@
 
 namespace hlsw::hls {
 namespace {
+
+// Iteration budget, overridable for soak runs: HLSW_FUZZ_ITERS=20000
+// ctest -L fuzz. The value scales every trial loop proportionally to its
+// default so relative coverage stays the same.
+int fuzz_iters(int dflt) {
+  if (const char* s = std::getenv("HLSW_FUZZ_ITERS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0)
+      return static_cast<int>(
+          std::max(1L, v * dflt / 400));  // 400 = the largest default
+  }
+  return dflt;
+}
 
 struct RandomProgram {
   Function func;
@@ -131,7 +147,8 @@ PortIo random_inputs(const RandomProgram& p, std::mt19937_64* rng) {
 TEST(Fuzz, ScheduleVerifiesAndRtlMatchesInterpreter) {
   std::mt19937_64 rng(20260707);
   const TechLibrary tech = TechLibrary::asic90();
-  for (int trial = 0; trial < 400; ++trial) {
+  const int trials = fuzz_iters(400);
+  for (int trial = 0; trial < trials; ++trial) {
     RandomProgram p = make_random_program(&rng);
     const Directives dir = random_directives(p, &rng, /*allow_merge=*/true);
     const SynthesisResult r = run_synthesis(p.func, dir, tech);
@@ -163,7 +180,8 @@ TEST(Fuzz, EmittedVerilogIsStructurallySound) {
   const TechLibrary tech = TechLibrary::asic90();
   const std::regex decl_re(R"(wire signed \[\d+:0\] (\w+);)");
   const std::regex assign_re(R"(assign (\w+) =)");
-  for (int trial = 0; trial < 50; ++trial) {
+  const int trials = fuzz_iters(50);
+  for (int trial = 0; trial < trials; ++trial) {
     RandomProgram p = make_random_program(&rng);
     const Directives dir = random_directives(p, &rng, /*allow_merge=*/true);
     const SynthesisResult r = run_synthesis(p.func, dir, tech);
@@ -192,7 +210,8 @@ TEST(Fuzz, EmittedVerilogIsStructurallySound) {
 TEST(Fuzz, UnrollingPreservesSequentialSemantics) {
   std::mt19937_64 rng(424242);
   const TechLibrary tech = TechLibrary::asic90();
-  for (int trial = 0; trial < 250; ++trial) {
+  const int trials = fuzz_iters(250);
+  for (int trial = 0; trial < trials; ++trial) {
     RandomProgram p = make_random_program(&rng);
     Directives dir = random_directives(p, &rng, /*allow_merge=*/false);
     const TransformResult t = apply_transforms(p.func, dir);
@@ -207,6 +226,115 @@ TEST(Fuzz, UnrollingPreservesSequentialSemantics) {
           << "trial " << trial << " invocation " << n << "\n"
           << p.func.dump();
     }
+  }
+}
+
+// A directive set deliberately aimed at the degenerate corners the
+// feasibility canonicalizer claims to handle: unrolls past (or below) the
+// trip count, negative or sub-floor pipeline IIs, pipelining on loops a
+// merge folds away, zero/negative/oversubscribed memory ports, directives
+// naming loops and arrays the design does not have, and junk merge groups.
+Directives degenerate_directives(const RandomProgram& p,
+                                 std::mt19937_64* rng) {
+  auto rnd = [&](int n) {
+    return static_cast<int>((*rng)() % static_cast<uint64_t>(n));
+  };
+  const auto label = [&]() -> const std::string& {
+    return p.loop_labels[static_cast<size_t>(
+        rnd(static_cast<int>(p.loop_labels.size())))];
+  };
+  Directives dir;
+  dir.clock_period_ns = 3.0 + rnd(8);
+  const int n_mut = 1 + rnd(3);
+  for (int m = 0; m < n_mut; ++m) {
+    switch (rnd(9)) {
+      case 0:  // way past any trip count (trips are <= 15)
+        dir.loops[label()].unroll = 17 + rnd(100);
+        break;
+      case 1:  // zero or negative unroll
+        dir.loops[label()].unroll = -2 + rnd(3);
+        break;
+      case 2:  // negative II request
+        dir.loops[label()].pipeline_ii = -3 + rnd(3);
+        break;
+      case 3:  // II on loops auto-merge may fold away
+        dir.auto_merge = true;
+        dir.loops[label()].pipeline_ii = 1 + rnd(2);
+        break;
+      case 4: {  // starved memory ports
+        auto& ad = dir.arrays["arr" + std::to_string(rnd(3))];
+        ad.mapping = ArrayMapping::kMemory;
+        ad.mem_read_ports = -1 + rnd(3);
+        ad.mem_write_ports = -1 + rnd(3);
+        break;
+      }
+      case 5: {  // oversubscribed: unrolled reads through one port, II=1
+        auto& ad = dir.arrays["arr0"];
+        ad.mapping = ArrayMapping::kMemory;
+        const std::string& l = label();
+        dir.loops[l].unroll = 2 + rnd(3);
+        dir.loops[l].pipeline_ii = 1;
+        break;
+      }
+      case 6:  // unknown loop
+        dir.loops["ghost_loop"].unroll = 2 + rnd(4);
+        break;
+      case 7:  // unknown array
+        dir.arrays["ghost_array"].mapping = ArrayMapping::kMemory;
+        break;
+      default:  // junk merge group: maybe duplicated, reversed, unknown
+        dir.merge_groups.push_back(
+            {label(), rnd(3) == 0 ? "ghost_loop" : label()});
+        break;
+    }
+  }
+  return dir;
+}
+
+// Robustness of the feasibility analysis under hostile directives: never
+// crashes, returns the same verdict on repeated calls, its clamped form
+// synthesizes to the same metrics as the original (terminating in the
+// process), and its bounds stay true lower bounds.
+TEST(Fuzz, FeasibilityVerdictsAreStableAndSoundOnDegenerateDirectives) {
+  std::mt19937_64 rng(0xde9e7e4a7e);
+  const TechLibrary tech = TechLibrary::asic90();
+  const int trials = fuzz_iters(200);
+  for (int trial = 0; trial < trials; ++trial) {
+    RandomProgram p = make_random_program(&rng);
+    const Directives dir = degenerate_directives(p, &rng);
+    const std::uint64_t fp = function_fingerprint(p.func);
+
+    const FeasibilityVerdict v1 = check_feasibility(p.func, dir, tech);
+    const FeasibilityVerdict v2 = check_feasibility(p.func, dir, tech);
+    ASSERT_EQ(v1.status, v2.status) << "trial " << trial;
+    ASSERT_EQ(v1.kind, v2.kind) << "trial " << trial;
+    ASSERT_EQ(v1.reason, v2.reason) << "trial " << trial;
+    ASSERT_EQ(v1.bounds.min_latency_cycles, v2.bounds.min_latency_cycles);
+    ASSERT_EQ(v1.bounds.min_area, v2.bounds.min_area);
+    ASSERT_EQ(dse_cache_key(fp, v1.clamped, tech),
+              dse_cache_key(fp, v2.clamped, tech))
+        << "trial " << trial << ": clamped form not deterministic";
+
+    if (v1.status == FeasibilityStatus::kInfeasible) {
+      ASSERT_NE(v1.kind, InfeasibleKind::kNone) << "trial " << trial;
+      ASSERT_FALSE(v1.reason.empty()) << "trial " << trial;
+    } else {
+      ASSERT_EQ(v1.kind, InfeasibleKind::kNone) << "trial " << trial;
+    }
+
+    // Both spellings must terminate and agree — the redirect soundness
+    // contract, under directives far outside the explore() sweep.
+    const SynthesisResult orig = run_synthesis(p.func, dir, tech);
+    const SynthesisResult clamp = run_synthesis(p.func, v1.clamped, tech);
+    ASSERT_EQ(orig.latency_cycles(), clamp.latency_cycles())
+        << "trial " << trial << "\n"
+        << v1.reason << "\n"
+        << p.func.dump();
+    ASSERT_DOUBLE_EQ(orig.area.total, clamp.area.total) << "trial " << trial;
+    ASSERT_LE(v1.bounds.min_latency_cycles, orig.latency_cycles())
+        << "trial " << trial;
+    ASSERT_LE(v1.bounds.min_area, orig.area.total + 1e-9)
+        << "trial " << trial;
   }
 }
 
