@@ -8,6 +8,11 @@
 //                   "none" disables the artifact)
 //   --reps <n>      timed repetitions per measured section (default 3)
 //   --warmup <n>    untimed warmup runs per measured section (default 1)
+//   --metrics       embed the process-wide obs::MetricsRegistry snapshot
+//                   (counters/gauges/histograms accumulated by the measured
+//                   code, e.g. cache hit rates and hw.* profile metrics) as
+//                   a "metrics" section of the artifact, so timings and
+//                   counters land in one diffable document
 #pragma once
 
 #include <algorithm>
@@ -20,6 +25,7 @@
 #include <utility>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 
 namespace hlsw::bench {
@@ -54,6 +60,10 @@ class Harness {
         return false;
       };
       std::string value;
+      if (std::strcmp(a, "--metrics") == 0) {
+        embed_metrics_ = true;
+        continue;
+      }
       if (take_value("--json", &json_path_)) continue;
       if (take_value("--reps", &value)) {
         reps_ = std::max(1, std::atoi(value.c_str()));
@@ -70,6 +80,12 @@ class Harness {
 
   int reps() const { return reps_; }
   int warmup() const { return warmup_; }
+
+  // Embed a MetricsRegistry snapshot in the artifact (also enabled by the
+  // --metrics flag). Callers that know their run populates interesting
+  // counters can turn it on unconditionally.
+  void set_embed_metrics(bool on) { embed_metrics_ = on; }
+  bool embed_metrics() const { return embed_metrics_; }
 
   // Times fn over warmup + reps runs and records min/mean/max milliseconds
   // under `label`. Returns the timing (min is the headline number).
@@ -107,7 +123,7 @@ class Harness {
   void write() {
     if (written_ || json_path_ == "none" || json_path_.empty()) return;
     written_ = true;
-    const obs::Json doc =
+    obs::Json doc =
         obs::Json::object()
             .set("tool", "hlsw.bench")
             .set("schema_version", 1)
@@ -117,6 +133,8 @@ class Harness {
             .set("timestamp", static_cast<long long>(std::time(nullptr)))
             .set("measurements", measurements_)
             .set("notes", notes_);
+    if (embed_metrics_)
+      doc.set("metrics", obs::MetricsRegistry::instance().to_json());
     if (obs::StructuredReport::write_json_file(json_path_, doc))
       std::printf("bench artifact written: %s\n", json_path_.c_str());
     else
@@ -131,6 +149,7 @@ class Harness {
   std::string json_path_;
   int reps_ = 3;
   int warmup_ = 1;
+  bool embed_metrics_ = false;
   bool written_ = false;
   obs::Json measurements_ = obs::Json::object();
   obs::Json notes_ = obs::Json::object();

@@ -81,6 +81,20 @@ void run_harness_sections(bench::Harness* h) {
     for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
   });
 
+  // Instrumentation overhead: the same 100 symbols through a module
+  // emitted with on-chip perf counters (hls::InstrumentOptions) vs the
+  // plain module — the cost of measuring the hardware while simulating it.
+  rtl::VerilogOptions inst_opts;
+  inst_opts.instrument.enabled = true;
+  const std::string verilog_inst =
+      rtl::emit_verilog(r.transformed, r.schedule, inst_opts);
+  auto design_inst = vsim::load_design(verilog_inst, r.transformed.name);
+  const auto t_vsim_inst =
+      h->measure("vsim_harness_100_symbols_instrumented", [&] {
+        vsim::DutHarness dut(r.transformed, design_inst);
+        for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
+      });
+
   // The end-to-end testbench path the examples use: module + generated
   // self-checking testbench, run to its PASS/FAIL summary in-process.
   const auto tvs = rtl::capture_vectors(r.transformed, r.schedule,
@@ -125,6 +139,8 @@ void run_harness_sections(bench::Harness* h) {
                         .set("symbols", kSymbols)
                         .set("testbench_passed", tb_passed));
   h->note("slowdown_vsim_vs_rtl_sim", t_vsim.min_ms / t_rtl.min_ms);
+  h->note("overhead_instrumented_vs_plain",
+          t_vsim_inst.min_ms / t_vsim.min_ms);
   h->note("slowdown_vsim_event_vs_rtl_sim",
           t_vsim_event.min_ms / t_rtl.min_ms);
   h->note("speedup_compiled_vs_event", t_vsim_event.min_ms / t_vsim.min_ms);

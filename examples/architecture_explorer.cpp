@@ -4,14 +4,19 @@
 // Table 1 set plus the extended exploration set and then deep-dives one
 // architecture chosen on the command line.
 //
-// Usage: architecture_explorer [arch-name]     (default: merge+U2)
+// Usage: architecture_explorer [arch-name] [--trace <path>]
+//                              [--dse-report <path>]       (default arch:
+//                              merge+U2)
 //
 // Runs with tracing on: at exit it prints the metrics summary and writes
-// explorer_trace.json — open it at https://ui.perfetto.dev (or
-// chrome://tracing) to see the per-pass synthesis spans and the DSE
-// candidate timeline. See docs/OBSERVABILITY.md.
+// the Chrome trace (default explorer_trace.json; "none" disables it) —
+// open it at https://ui.perfetto.dev (or chrome://tracing) to see the
+// per-pass synthesis spans and the DSE candidate timeline. The automated
+// sweep writes its dse_run StructuredReport to --dse-report (default
+// explorer_dse_run.json; "none" disables it). See docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "hls/dse.h"
 #include "hls/report.h"
@@ -23,7 +28,19 @@
 
 int main(int argc, char** argv) {
   using namespace hlsw;
-  const char* pick = argc > 1 ? argv[1] : "merge+U2";
+  const char* pick = "merge+U2";
+  std::string trace_path = "explorer_trace.json";
+  std::string dse_report_path = "explorer_dse_run.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto take = [&](const char* flag, std::string* dst) {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    if (take("--trace", &trace_path)) continue;
+    if (take("--dse-report", &dse_report_path)) continue;
+    pick = argv[i];
+  }
   obs::set_enabled(true);
 
   const auto tech = hls::TechLibrary::asic90();
@@ -54,7 +71,7 @@ int main(int argc, char** argv) {
                 pr.done, pr.planned, p.name.c_str(), p.latency_cycles, p.area,
                 pr.wall_ms, pr.from_cache ? "  (cached)" : "");
   };
-  dse.report_path = "explorer_dse_run.json";
+  dse.report_path = dse_report_path == "none" ? "" : dse_report_path;
   std::printf("\nAutomated exploration (hls::explore, %u worker threads):\n",
               dse.threads ? dse.threads
                           : hlsw::util::ThreadPool::default_thread_count());
@@ -88,9 +105,12 @@ int main(int argc, char** argv) {
 
   // Observability wrap-up: what the whole session did, and where.
   std::printf("%s\n", obs::MetricsRegistry::instance().summary_table().c_str());
-  if (obs::TraceSession::instance().write_chrome_trace("explorer_trace.json"))
-    std::printf("trace written: explorer_trace.json (open in "
-                "https://ui.perfetto.dev or chrome://tracing)\n");
-  std::printf("dse run report written: explorer_dse_run.json\n");
+  if (trace_path != "none" &&
+      obs::TraceSession::instance().write_chrome_trace(trace_path))
+    std::printf("trace written: %s (open in "
+                "https://ui.perfetto.dev or chrome://tracing)\n",
+                trace_path.c_str());
+  if (!dse.report_path.empty())
+    std::printf("dse run report written: %s\n", dse.report_path.c_str());
   return found ? 0 : 1;
 }

@@ -39,6 +39,13 @@ void Simulator::reset() {
     stats_.region_labels.push_back(region.is_loop ? region.loop.label
                                                   : region.name);
     stats_.region_ops.push_back(0);
+    stats_.region_cycles.push_back(0);
+    stats_.region_iters.push_back(0);
+  }
+  for (const auto& a : f_.arrays) {
+    stats_.array_labels.push_back(a.name);
+    stats_.array_reads.push_back(0);
+    stats_.array_writes.push_back(0);
   }
   for (const auto& v : f_.vars) {
     FxValue init = v.init;
@@ -421,6 +428,7 @@ void Simulator::exec_cycle(const Block& b, const BlockSchedule& sched,
         const auto& arr = array_state_[static_cast<size_t>(op.array)];
         if (idx < 0 || idx >= static_cast<int>(arr.size()))
           throw std::out_of_range("rtl: array read out of bounds");
+        ++stats_.array_reads[static_cast<size_t>(op.array)];
         // Start-of-cycle state only: pending writes are not visible.
         ctx->vals[i] = arr[static_cast<size_t>(idx)];
         break;
@@ -430,6 +438,7 @@ void Simulator::exec_cycle(const Block& b, const BlockSchedule& sched,
         if (idx < 0 ||
             idx >= f_.arrays[static_cast<size_t>(op.array)].length)
           throw std::out_of_range("rtl: array write out of bounds");
+        ++stats_.array_writes[static_cast<size_t>(op.array)];
         const Array& a = f_.arrays[static_cast<size_t>(op.array)];
         pending_.push_back(
             {{op.array, idx},
@@ -551,6 +560,7 @@ void Simulator::exec_span(const RegionPlan& rp, int span_index,
       case OpKind::kArrayRead:
         if (p.idx < 0)
           throw std::out_of_range("rtl: array read out of bounds");
+        ++stats_.array_reads[static_cast<size_t>(p.target)];
         // Start-of-cycle state only: pending writes are not visible.
         vals[static_cast<size_t>(p.dst)] =
             array_state_[static_cast<size_t>(p.target)]
@@ -559,6 +569,7 @@ void Simulator::exec_span(const RegionPlan& rp, int span_index,
       case OpKind::kArrayWrite: {
         if (p.idx < 0)
           throw std::out_of_range("rtl: array write out of bounds");
+        ++stats_.array_writes[static_cast<size_t>(p.target)];
         const FxValue& a = vals[static_cast<size_t>(p.a0)];
         pending_.push_back({{p.target, p.idx}, conv_pair(a.re, a.im, p.conv)});
         break;
@@ -730,6 +741,7 @@ void Simulator::exec_span_narrow(const RegionPlan& rp, int span_index,
       case OpKind::kArrayRead: {
         if (p.idx < 0)
           throw std::out_of_range("rtl: array read out of bounds");
+        ++stats_.array_reads[static_cast<size_t>(p.target)];
         const FxValue& v = array_state_[static_cast<size_t>(p.target)]
                                        [static_cast<size_t>(p.idx)];
         d[0] = static_cast<long long>(v.re);
@@ -739,6 +751,7 @@ void Simulator::exec_span_narrow(const RegionPlan& rp, int span_index,
       case OpKind::kArrayWrite:
         if (p.idx < 0)
           throw std::out_of_range("rtl: array write out of bounds");
+        ++stats_.array_writes[static_cast<size_t>(p.target)];
         pending_.push_back(
             {{p.target, p.idx},
              conv64_pair(vals[2 * p.a0], vals[2 * p.a0 + 1], p.conv)});
@@ -856,6 +869,7 @@ void Simulator::run_regions_legacy() {
     const Block& b = region.is_loop ? region.loop.body : region.straight;
 
     if (!region.is_loop) {
+      stats_.region_cycles[r] += rs.body.cycles;
       IterationCtx ctx;
       ctx.vals.resize(b.ops.size());
       for (int c = 0; c < rs.body.cycles; ++c) {
@@ -867,6 +881,9 @@ void Simulator::run_regions_legacy() {
 
     if (rs.ii <= 0) {
       // Sequential loop: iterations back to back.
+      stats_.region_cycles[r] +=
+          static_cast<long long>(rs.trip) * rs.body.cycles;
+      stats_.region_iters[r] += rs.trip;
       for (int k = 0; k < rs.trip; ++k) {
         IterationCtx ctx;
         ctx.k = k;
@@ -883,6 +900,8 @@ void Simulator::run_regions_legacy() {
     // [k*ii, k*ii + depth); earlier iterations execute first in a cycle.
     const int depth = rs.body.cycles;
     const int total = depth + (rs.trip - 1) * rs.ii;
+    stats_.region_cycles[r] += total;
+    stats_.region_iters[r] += rs.trip;
     std::vector<IterationCtx> iters(static_cast<size_t>(rs.trip));
     for (int k = 0; k < rs.trip; ++k) {
       iters[static_cast<size_t>(k)].k = k;
@@ -902,6 +921,13 @@ void Simulator::run_regions_legacy() {
 void Simulator::run_regions_compiled() {
   for (std::size_t r = 0; r < plan_.size(); ++r) {
     const RegionPlan& rp = plan_[r];
+    // Same region-occupancy accounting as the interpretive path (SimStats
+    // stays bit-identical across execution engines).
+    stats_.region_cycles[r] +=
+        rp.pipelined
+            ? rp.depth + static_cast<long long>(rp.trip - 1) * rp.ii
+            : static_cast<long long>(rp.trip) * rp.depth;
+    if (f_.regions[r].is_loop) stats_.region_iters[r] += rp.trip;
 
     if (!rp.pipelined) {
       // Straight block (trip 1) or sequential loop: one value buffer
@@ -1116,21 +1142,71 @@ obs::Json sim_stats_json(const Simulator& sim) {
   for (std::size_t i = 0; i < st.region_labels.size(); ++i)
     regions.push(obs::Json::object()
                      .set("label", st.region_labels[i])
-                     .set("ops", st.region_ops[i]));
+                     .set("ops", st.region_ops[i])
+                     .set("cycles", st.region_cycles[i])
+                     .set("iters", st.region_iters[i]));
+  obs::Json arrays = obs::Json::array();
+  for (std::size_t i = 0; i < st.array_labels.size(); ++i)
+    arrays.push(obs::Json::object()
+                    .set("name", st.array_labels[i])
+                    .set("reads", st.array_reads[i])
+                    .set("writes", st.array_writes[i]));
+  // schema_version 2: regions gained cycles/iters, arrays section added.
   return obs::Json::object()
       .set("tool", "hlsw.rtl_sim")
-      .set("schema_version", 1)
+      .set("schema_version", 2)
       .set("function", sim.function().name)
       .set("invocations", st.invocations)
       .set("cycles", st.cycles)
       .set("ops_executed", st.ops_executed)
       .set("array_commits", st.array_commits)
       .set("max_commit_queue", st.max_commit_queue)
-      .set("regions", std::move(regions));
+      .set("regions", std::move(regions))
+      .set("arrays", std::move(arrays));
 }
 
 bool write_sim_stats_json(const Simulator& sim, const std::string& path) {
   return obs::StructuredReport::write_json_file(path, sim_stats_json(sim));
+}
+
+hls::CounterValues read_counters(const Simulator& sim,
+                                 const std::vector<hls::PerfCounter>& map) {
+  const SimStats& st = sim.stats();
+  hls::CounterValues out;
+  out.source = "rtl_sim";
+  for (const hls::PerfCounter& c : map) {
+    long long v = 0;
+    switch (c.kind) {
+      case hls::CounterKind::kInvocations:
+        v = st.invocations;
+        break;
+      case hls::CounterKind::kActiveCycles:
+        v = st.cycles;
+        break;
+      case hls::CounterKind::kRegionCycles:
+        v = st.region_cycles[static_cast<size_t>(c.region)];
+        break;
+      case hls::CounterKind::kLoopIters:
+        v = st.region_iters[static_cast<size_t>(c.region)];
+        break;
+      case hls::CounterKind::kLoopStall:
+        // The simulator executes the schedule model: pipelined iterations
+        // genuinely overlap, so no serialization bubbles ever occur.
+        v = 0;
+        break;
+      case hls::CounterKind::kMemReads:
+        v = st.array_reads[static_cast<size_t>(c.array)];
+        break;
+      case hls::CounterKind::kMemWrites:
+        v = st.array_writes[static_cast<size_t>(c.array)];
+        break;
+    }
+    // Hardware counters are c.width-bit wrapping registers; wrap the
+    // unbounded software count the same way so the legs stay comparable.
+    if (c.width < 64) v &= (1LL << c.width) - 1;
+    out.values[c.name] = v;
+  }
+  return out;
 }
 
 }  // namespace hlsw::rtl

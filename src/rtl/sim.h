@@ -36,6 +36,7 @@
 
 #include "hls/interp.h"
 #include "hls/ir.h"
+#include "hls/profile.h"
 #include "hls/schedule.h"
 #include "obs/json.h"
 
@@ -52,6 +53,11 @@ struct SimStats {
   long long max_commit_queue = 0;  // peak pending write-queue depth
   std::vector<std::string> region_labels;  // per-region activity, aligned
   std::vector<long long> region_ops;       // with the transformed regions
+  std::vector<long long> region_cycles;    // clock edges spent per region
+  std::vector<long long> region_iters;     // loop iterations completed
+  std::vector<std::string> array_labels;   // per-array port activity,
+  std::vector<long long> array_reads;      // aligned with f.arrays:
+  std::vector<long long> array_writes;     // element reads / write commits
 
   bool operator==(const SimStats&) const = default;
 };
@@ -254,5 +260,15 @@ class Simulator {
 //  "array_commits":...,"max_commit_queue":...,"regions":[{"label","ops"}]}.
 obs::Json sim_stats_json(const Simulator& sim);
 bool write_sim_stats_json(const Simulator& sim, const std::string& path);
+
+// Readback of an instrumented design's counter map from the simulator's
+// activity counters: the schedule-model measurement leg of the
+// hls::reconcile_profile join. The simulator executes the SCHEDULE timing
+// (pipelined loops overlap), so kRegionCycles reports (trip-1)*ii + depth
+// per invocation for pipelined loops and kLoopStall reports 0 — the
+// emitted-Verilog legs (vsim::read_counters) measure the serialized FSM
+// instead; the reconciler tells the two models apart.
+hls::CounterValues read_counters(const Simulator& sim,
+                                 const std::vector<hls::PerfCounter>& map);
 
 }  // namespace hlsw::rtl

@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cctype>
+#include <map>
 #include <sstream>
+#include <vector>
 
 namespace hlsw::rtl {
 
@@ -181,6 +183,16 @@ std::string emit_verilog(const Function& f, const Schedule& s,
   const std::string mod =
       opts.module_name.empty() ? f.name : opts.module_name;
 
+  // On-chip perf counters (empty when instrumentation is off; every
+  // instrumentation-only emission below is gated on !perf.empty() so the
+  // off path stays byte-identical).
+  const std::vector<hls::PerfCounter> perf =
+      hls::instrument_map(f, s, opts.instrument);
+  const int pw = perf.empty() ? 32 : perf[0].width;
+  auto plit = [&](long long v) {
+    return std::to_string(pw) + "'d" + std::to_string(v);
+  };
+
   std::ostringstream header, ports, decl, comb, seq;
 
   if (opts.include_header_comment) {
@@ -197,6 +209,13 @@ std::string emit_verilog(const Function& f, const Schedule& s,
                << rs.total_cycles << " cycles for the loop).\n";
       }
     }
+    if (!perf.empty())
+      header << "// Instrumented: " << perf.size()
+             << " perf_* counters (hls::instrument_map order"
+             << (opts.instrument.readback_mux
+                     ? "; perf_sel selects perf_rdata"
+                     : "")
+             << ").\n";
   }
 
   // ---- Ports ---------------------------------------------------------------
@@ -230,6 +249,10 @@ std::string emit_verilog(const Function& f, const Schedule& s,
   for (const auto& p : pspecs) {
     ports << ",\n  " << (p.is_input ? "input wire signed [" : "output reg signed [")
           << p.bits - 1 << ":0] " << p.name;
+  }
+  if (!perf.empty() && opts.instrument.readback_mux) {
+    ports << ",\n  input wire [15:0] perf_sel,\n  output wire [" << pw - 1
+          << ":0] perf_rdata";
   }
   ports << "\n);\n\n";
 
@@ -302,6 +325,19 @@ std::string emit_verilog(const Function& f, const Schedule& s,
   for (const auto& region : f.regions)
     if (region.is_loop) any_loop = true;
   if (any_loop) decl << "  reg [15:0] k;  // loop iteration counter\n";
+  if (!perf.empty()) {
+    decl << "  // perf_* instrumentation counters, cumulative between "
+            "resets\n";
+    for (const auto& c : perf)
+      decl << "  reg [" << c.width - 1 << ":0] " << c.name << ";\n";
+    if (opts.instrument.readback_mux) {
+      comb << "  assign perf_rdata =";
+      for (const auto& c : perf)
+        comb << "\n      (perf_sel == 16'd" << c.index << ") ? " << c.name
+             << " :";
+      comb << "\n      " << plit(0) << ";\n";
+    }
+  }
 
   // An op's value only needs a pipeline register when some consumer reads it
   // in a later cycle; same-cycle consumers take the wire directly.
@@ -502,14 +538,117 @@ std::string emit_verilog(const Function& f, const Schedule& s,
     }
   }
 
+  // ---- Instrumentation updates ---------------------------------------------------
+  // Three insertion points in the FSM always-block: zero on rst, one
+  // unconditional tick block keyed on the current state (active/region
+  // cycles, iteration completions, serialization stalls, guard-qualified
+  // memory-port activity), and the invocation count on the accepted start
+  // handshake. All empty when instrumentation is off.
+  std::string perf_rst, perf_tick, perf_start;
+  if (!perf.empty()) {
+    std::ostringstream prst, ptick, pstart;
+    auto bump = [&](std::ostringstream& os, const std::string& name,
+                    const std::string& by) {
+      os << name << " <= " << name << " + " << by << ";\n";
+    };
+    for (const auto& c : perf) {
+      prst << "      " << c.name << " <= " << plit(0) << ";\n";
+      switch (c.kind) {
+        case hls::CounterKind::kInvocations:
+          pstart << "          ";
+          bump(pstart, c.name, plit(1));
+          break;
+        case hls::CounterKind::kActiveCycles:
+          ptick << "      if (state != S_IDLE) ";
+          bump(ptick, c.name, plit(1));
+          break;
+        case hls::CounterKind::kRegionCycles: {
+          const int base = region_state_base[static_cast<size_t>(c.region)];
+          const int last =
+              base + s.regions[static_cast<size_t>(c.region)].body.cycles - 1;
+          if (base == last)
+            ptick << "      if (state == " << base << ") ";
+          else
+            ptick << "      if (state >= " << base << " && state <= " << last
+                  << ") ";
+          bump(ptick, c.name, plit(1));
+          break;
+        }
+        case hls::CounterKind::kLoopIters: {
+          const int last =
+              region_state_base[static_cast<size_t>(c.region)] +
+              s.regions[static_cast<size_t>(c.region)].body.cycles - 1;
+          ptick << "      if (state == " << last << ") ";
+          bump(ptick, c.name, plit(1));
+          break;
+        }
+        case hls::CounterKind::kLoopStall: {
+          const auto& rs = s.regions[static_cast<size_t>(c.region)];
+          const int bubble = rs.body.cycles - rs.ii;
+          if (bubble <= 0) break;  // re-entry is no slower than the II
+          const int last = region_state_base[static_cast<size_t>(c.region)] +
+                           rs.body.cycles - 1;
+          ptick << "      if (state == " << last << " && k != " << rs.trip - 1
+                << ") ";
+          bump(ptick, c.name, plit(bubble));
+          break;
+        }
+        case hls::CounterKind::kMemReads:
+        case hls::CounterKind::kMemWrites: {
+          const OpKind want = c.kind == hls::CounterKind::kMemReads
+                                  ? OpKind::kArrayRead
+                                  : OpKind::kArrayWrite;
+          for (std::size_t r = 0; r < f.regions.size(); ++r) {
+            const Region& region = f.regions[r];
+            const Block& b =
+                region.is_loop ? region.loop.body : region.straight;
+            const auto& bs = s.regions[r].body;
+            for (int cyc = 0; cyc < bs.cycles; ++cyc) {
+              long long n = 0;                 // unconditional accesses
+              std::map<int, long long> gated;  // guard_trip -> count
+              for (std::size_t i = 0; i < b.ops.size(); ++i) {
+                const Op& op = b.ops[i];
+                if (op.kind != want || op.array != c.array) continue;
+                if (bs.place[i].cycle != cyc) continue;
+                if (op.guard_trip < 0)
+                  ++n;
+                else if (region.is_loop)
+                  ++gated[op.guard_trip];
+                else if (op.guard_trip > 0)
+                  ++n;  // straight region: k is 0, the guard folds statically
+              }
+              if (n == 0 && gated.empty()) continue;
+              std::vector<std::string> terms;
+              if (n > 0) terms.push_back(plit(n));
+              for (const auto& [g, m] : gated)
+                terms.push_back("((k < " + std::to_string(g) + ") ? " +
+                                plit(m) + " : " + plit(0) + ")");
+              ptick << "      if (state == " << region_state_base[r] + cyc
+                    << ") " << c.name << " <= " << c.name;
+              for (const std::string& t : terms) ptick << " + " << t;
+              ptick << ";\n";
+            }
+          }
+          break;
+        }
+      }
+    }
+    perf_rst = prst.str();
+    perf_tick = ptick.str();
+    perf_start = pstart.str();
+  }
+
   // ---- FSM -----------------------------------------------------------------------
   seq << "\n  always @(posedge clk) begin\n"
       << "    if (rst) begin\n      state <= S_IDLE;\n      done <= 1'b0;\n"
       << (any_loop ? "      k <= 0;\n" : "")
+      << perf_rst
       << "    end else begin\n      done <= 1'b0;\n"
+      << perf_tick
       << "      case (state)\n        S_IDLE: if (start) begin state <= "
       << region_state_base[0] << ";" << (any_loop ? " k <= 0;" : "")
-      << "\n";
+      << "\n"
+      << perf_start;
   // Latch input array ports into their register files on start.
   for (const auto& a : f.arrays) {
     if (a.port != PortDir::kIn && a.port != PortDir::kInOut) continue;

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "hls/ir.h"
+#include "hls/profile.h"
 #include "hls/schedule.h"
 
 namespace hlsw::rtl {
@@ -28,6 +29,13 @@ namespace hlsw::rtl {
 struct VerilogOptions {
   std::string module_name;  // defaults to the function name when empty
   bool include_header_comment = true;
+  // On-chip performance counters (hls/profile.h). Off by default; with
+  // instrument.enabled == false the emitted text is byte-identical to an
+  // uninstrumented module. When enabled, every counter named by
+  // hls::instrument_map(f, s, instrument) is synthesized as a `perf_*`
+  // register: zeroed on rst, cumulative across invocations otherwise, and
+  // optionally readable through a perf_sel/perf_rdata mux.
+  hls::InstrumentOptions instrument;
 };
 
 // Emits the full module text for a scheduled (post-transform) function.

@@ -177,6 +177,16 @@ std::vector<PortIo> DutHarness::run_stream(const std::vector<PortIo>& ins) {
   return outs;
 }
 
+hls::CounterValues DutHarness::read_counters(
+    const std::vector<hls::PerfCounter>& map) const {
+  hls::CounterValues out;
+  out.source = std::string("vsim_") + sim_.backend();
+  for (const hls::PerfCounter& c : map)
+    out.values[c.name] =
+        static_cast<long long>(sim_.peek(sim_.signal_handle(c.name)));
+  return out;
+}
+
 // ---- Testbench runner -------------------------------------------------------
 
 TestbenchResult run_testbench(const std::string& sources,

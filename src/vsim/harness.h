@@ -21,6 +21,7 @@
 
 #include "hls/interp.h"
 #include "hls/ir.h"
+#include "hls/profile.h"
 #include "hls/schedule.h"
 #include "hls/verify.h"
 #include "rtl/testbench.h"
@@ -58,6 +59,14 @@ class DutHarness {
   // Posedges from start assertion until done was observed high for the most
   // recent vector (== schedule latency_cycles + 1 for the emitted FSM).
   long long last_cycles() const { return last_cycles_; }
+
+  // Reads the instrumented design's perf_* counter registers (cumulative
+  // since the last reset) straight out of the simulated module — the
+  // measurement leg of hls::reconcile_profile. The map must come from the
+  // same InstrumentOptions the module was emitted with; throws (via
+  // signal_handle) if a mapped counter does not exist in the design.
+  hls::CounterValues read_counters(
+      const std::vector<hls::PerfCounter>& map) const;
 
   Simulation& sim() { return sim_; }
 

@@ -30,6 +30,17 @@ bool const_value(const Expr& e, long long* out) {
   return true;
 }
 
+// Instrumentation counters (rtl::VerilogOptions::instrument) live in the
+// reserved perf_ namespace and are write-only from inside the module by
+// design: they are read back out-of-band (harness peek or the optional
+// perf_rdata mux). Elaboration flattens instance paths, so match the last
+// path component.
+bool is_perf_counter(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  const std::size_t base = dot == std::string::npos ? 0 : dot + 1;
+  return name.compare(base, 5, "perf_") == 0;
+}
+
 class Linter {
  public:
   explicit Linter(const Design& d) : d_(d), read_(d.signals.size(), 0) {}
@@ -52,7 +63,7 @@ class Linter {
           proc_writers_.count(static_cast<int>(i)) ||
           cont_count_.count(static_cast<int>(i));
       if (s.is_reg && written && !read_[i] && !s.is_top_output &&
-          !s.is_task_arg)
+          !s.is_task_arg && !is_perf_counter(s.name))
         out.push_back({"never-read", s.name,
                        "assigned but its value is never read"});
     }

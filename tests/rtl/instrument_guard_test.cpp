@@ -1,0 +1,77 @@
+// Guard for the instrumentation feature's zero-cost-when-off contract,
+// labeled bench_smoke with the other perf-sensitive guards:
+//  * with instrumentation off, emit_verilog through a VerilogOptions that
+//    merely CONTAINS an InstrumentOptions is byte-identical to the
+//    pre-instrumentation emission path, for every Table 1 and exploration
+//    architecture — the feature must be invisible until asked for;
+//  * emitting WITH counters stays within 2x of the plain emission wall
+//    time (best-of-N), so instrumenting a design never dominates the
+//    synthesis loop it is meant to observe.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "hls/report.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "rtl/verilog.h"
+
+namespace hlsw::rtl {
+namespace {
+
+std::vector<qam::Architecture> all_architectures() {
+  auto archs = qam::exploration_architectures();
+  for (const auto& a : qam::table1_architectures()) archs.push_back(a);
+  return archs;
+}
+
+TEST(InstrumentGuard, OffEmissionByteIdenticalAcrossAllArchitectures) {
+  const auto ir = qam::build_qam_decoder_ir();
+  for (const auto& a : all_architectures()) {
+    const auto r = hls::run_synthesis(ir, a.dir, hls::TechLibrary::asic90());
+    const std::string bare = emit_verilog(r.transformed, r.schedule);
+    VerilogOptions off;
+    ASSERT_FALSE(off.instrument.enabled);
+    EXPECT_EQ(emit_verilog(r.transformed, r.schedule, off), bare) << a.name;
+  }
+}
+
+TEST(InstrumentGuard, InstrumentedEmissionWallWithinTwiceOfPlain) {
+  const auto ir = qam::build_qam_decoder_ir();
+  const auto archs = all_architectures();
+  using clock = std::chrono::steady_clock;
+  // Whole-suite emission sweep, best of 5: coarse enough to be stable in
+  // CI, tight enough to catch the instrumentation path going quadratic.
+  auto sweep = [&](bool instrumented) {
+    double best_ms = 0;
+    VerilogOptions opts;
+    opts.instrument.enabled = instrumented;
+    std::vector<hls::SynthesisResult> synth;
+    for (const auto& a : archs)
+      synth.push_back(hls::run_synthesis(ir, a.dir,
+                                         hls::TechLibrary::asic90()));
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = clock::now();
+      std::size_t bytes = 0;
+      for (const auto& r : synth)
+        bytes += emit_verilog(r.transformed, r.schedule, opts).size();
+      const double ms =
+          std::chrono::duration<double, std::milli>(clock::now() - t0)
+              .count();
+      EXPECT_GT(bytes, 0u);
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+  const double plain_ms = sweep(false);
+  const double inst_ms = sweep(true);
+  // +1ms absolute slack keeps sub-millisecond sweeps from flaking on
+  // scheduler noise.
+  EXPECT_LE(inst_ms, 2.0 * plain_ms + 1.0)
+      << "plain " << plain_ms << " ms, instrumented " << inst_ms << " ms";
+}
+
+}  // namespace
+}  // namespace hlsw::rtl

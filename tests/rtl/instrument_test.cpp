@@ -1,0 +1,420 @@
+// On-chip perf-counter instrumentation: the counter map is deterministic
+// schedule metadata, emission with instrumentation OFF is byte-identical
+// to an uninstrumented module, the rtl::Simulator readback leg reproduces
+// the schedule's predictions exactly, and the reconciler flags tampered
+// or impossible measurements instead of dropping them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hls/builder.h"
+#include "hls/profile.h"
+#include "hls/report.h"
+#include "obs/json.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/sim.h"
+#include "rtl/verilog.h"
+
+namespace hlsw::rtl {
+namespace {
+
+using hls::CounterKind;
+using hls::InstrumentOptions;
+using hls::PerfCounter;
+using hls::run_synthesis;
+using hls::TechLibrary;
+using qam::LinkConfig;
+using qam::LinkStimulus;
+
+hls::SynthesisResult synth(const std::string& arch_name) {
+  for (const auto& a : qam::exploration_architectures())
+    if (a.name == arch_name)
+      return run_synthesis(qam::build_qam_decoder_ir(), a.dir,
+                           TechLibrary::asic90());
+  ADD_FAILURE() << "no architecture named " << arch_name;
+  return run_synthesis(qam::build_qam_decoder_ir(), hls::Directives{},
+                       TechLibrary::asic90());
+}
+
+TEST(InstrumentMap, EmptyWhenDisabled) {
+  const auto r = synth("merge");
+  EXPECT_TRUE(
+      hls::instrument_map(r.transformed, r.schedule, InstrumentOptions{})
+          .empty());
+}
+
+TEST(InstrumentMap, DeterministicOrderIndicesAndCoverage) {
+  const auto r = synth("merge+pipe");
+  InstrumentOptions opts;
+  opts.enabled = true;
+  const auto map = hls::instrument_map(r.transformed, r.schedule, opts);
+  const auto again = hls::instrument_map(r.transformed, r.schedule, opts);
+  ASSERT_GE(map.size(), 2u);
+  // Pure function of (f, s, opts): two calls agree entry for entry.
+  ASSERT_EQ(map.size(), again.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    EXPECT_EQ(map[i].name, again[i].name);
+    EXPECT_EQ(map[i].index, static_cast<int>(i));
+    EXPECT_EQ(map[i].width, 32);
+  }
+  EXPECT_EQ(map[0].name, "perf_invocations");
+  EXPECT_EQ(map[0].kind, CounterKind::kInvocations);
+  EXPECT_EQ(map[1].name, "perf_active_cycles");
+  EXPECT_EQ(map[1].kind, CounterKind::kActiveCycles);
+
+  std::set<std::string> names;
+  for (const PerfCounter& c : map) names.insert(c.name);
+  EXPECT_EQ(names.size(), map.size()) << "counter names must be unique";
+
+  // Every region has a cycle counter, every loop an iteration counter,
+  // every pipelined loop a stall counter, every array both port counters.
+  for (std::size_t reg = 0; reg < r.transformed.regions.size(); ++reg) {
+    int cycles = 0, iters = 0, stall = 0;
+    for (const PerfCounter& c : map) {
+      if (c.region != static_cast<int>(reg)) continue;
+      cycles += c.kind == CounterKind::kRegionCycles;
+      iters += c.kind == CounterKind::kLoopIters;
+      stall += c.kind == CounterKind::kLoopStall;
+    }
+    EXPECT_EQ(cycles, 1);
+    EXPECT_EQ(iters, r.transformed.regions[reg].is_loop ? 1 : 0);
+    EXPECT_EQ(stall, r.schedule.regions[reg].ii > 0 ? 1 : 0);
+  }
+  bool any_stall = false;
+  for (const PerfCounter& c : map)
+    any_stall = any_stall || c.kind == CounterKind::kLoopStall;
+  EXPECT_TRUE(any_stall) << "merge+pipe pipelines loops";
+  for (std::size_t a = 0; a < r.transformed.arrays.size(); ++a) {
+    int reads = 0, writes = 0;
+    for (const PerfCounter& c : map) {
+      if (c.array != static_cast<int>(a)) continue;
+      reads += c.kind == CounterKind::kMemReads;
+      writes += c.kind == CounterKind::kMemWrites;
+    }
+    EXPECT_EQ(reads, 1) << r.transformed.arrays[a].name;
+    EXPECT_EQ(writes, 1) << r.transformed.arrays[a].name;
+  }
+
+  // The machine-readable map mirrors the list, in order.
+  const obs::Json j = hls::instrument_map_json(map);
+  ASSERT_EQ(j.size(), map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    EXPECT_EQ(j.at(i).find("name")->as_string(), map[i].name);
+    EXPECT_EQ(j.at(i).find("index")->as_int(), map[i].index);
+  }
+}
+
+TEST(InstrumentMap, CounterWidthIsClamped) {
+  const auto r = synth("merge");
+  InstrumentOptions opts;
+  opts.enabled = true;
+  opts.counter_width = 4;
+  EXPECT_EQ(hls::instrument_map(r.transformed, r.schedule, opts)[0].width, 8);
+  opts.counter_width = 128;
+  EXPECT_EQ(hls::instrument_map(r.transformed, r.schedule, opts)[0].width,
+            64);
+}
+
+TEST(InstrumentEmit, OffEmissionIsByteIdentical) {
+  const auto r = synth("merge+U2");
+  const std::string plain = emit_verilog(r.transformed, r.schedule);
+  VerilogOptions off;  // instrument present but disabled (the default)
+  EXPECT_EQ(emit_verilog(r.transformed, r.schedule, off), plain);
+
+  VerilogOptions on;
+  on.instrument.enabled = true;
+  const std::string inst = emit_verilog(r.transformed, r.schedule, on);
+  EXPECT_NE(inst, plain);
+  EXPECT_NE(inst.find("perf_invocations"), std::string::npos);
+  EXPECT_NE(inst.find("perf_active_cycles"), std::string::npos);
+  // No readback mux unless asked for.
+  EXPECT_EQ(inst.find("perf_sel"), std::string::npos);
+  on.instrument.readback_mux = true;
+  const std::string muxed = emit_verilog(r.transformed, r.schedule, on);
+  EXPECT_NE(muxed.find("perf_sel"), std::string::npos);
+  EXPECT_NE(muxed.find("perf_rdata"), std::string::npos);
+}
+
+TEST(InstrumentGuardedExecutions, HonorsGuardTrip) {
+  hls::Op op;
+  op.guard_trip = -1;  // unguarded
+  EXPECT_EQ(hls::guarded_executions(op, 7), 7);
+  op.guard_trip = 3;
+  EXPECT_EQ(hls::guarded_executions(op, 7), 3);
+  op.guard_trip = 0;
+  EXPECT_EQ(hls::guarded_executions(op, 7), 0);
+  op.guard_trip = 12;
+  EXPECT_EQ(hls::guarded_executions(op, 7), 7);
+}
+
+// ---- rtl::Simulator readback + reconciliation ------------------------------
+
+hls::CounterValues measure_rtl(const hls::SynthesisResult& r,
+                               const std::vector<PerfCounter>& map,
+                               int symbols) {
+  Simulator sim(r.transformed, r.schedule);
+  LinkStimulus stim((LinkConfig()));
+  sim.run_stream(qam::link_input_batch(&stim, symbols));
+  return read_counters(sim, map);
+}
+
+TEST(InstrumentReconcile, RtlSimMatchesSchedulePredictionsExactly) {
+  const auto r = synth("merge+pipe");
+  InstrumentOptions opts;
+  opts.enabled = true;
+  const auto map = hls::instrument_map(r.transformed, r.schedule, opts);
+  const int kSymbols = 6;
+  const auto values = measure_rtl(r, map, kSymbols);
+  EXPECT_EQ(values.source, "rtl_sim");
+  EXPECT_EQ(values.values.at("perf_invocations"), kSymbols);
+  EXPECT_EQ(values.values.at("perf_active_cycles"),
+            static_cast<long long>(kSymbols) * r.schedule.latency_cycles);
+
+  const auto rep =
+      hls::reconcile_profile(r.transformed, r.schedule, map, values);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.deviations.empty()) << rep.deviations.front().what;
+  EXPECT_EQ(rep.invocations, kSymbols);
+  EXPECT_EQ(rep.measured_active_cycles, rep.predicted_latency_cycles);
+  for (const auto& l : rep.loops) {
+    EXPECT_EQ(l.measured_cycles, l.predicted_cycles) << l.label;
+    if (l.is_loop) {
+      EXPECT_EQ(l.measured_iters, l.trip) << l.label;
+    }
+  }
+  for (const auto& m : rep.mem) {
+    EXPECT_EQ(m.measured_reads, m.predicted_reads) << m.name;
+    EXPECT_EQ(m.measured_writes, m.predicted_writes) << m.name;
+  }
+}
+
+// A design where the two timing models genuinely diverge: a pipelined
+// elementwise loop with no loop-carried recurrence achieves II 1 at body
+// depth 2 under a 5 ns clock, so the schedule model takes
+// (trip-1)*ii+depth = 9 cycles where the serialized emission takes
+// trip*depth = 16. (The qam decoder's pipelined loops all achieve
+// ii == depth — the accumulator recurrence — so the models coincide
+// there; this is the divergent case.)
+hls::Function make_divergent_scaler() {
+  hls::FunctionBuilder fb("scaler8");
+  const int a =
+      fb.add_array("a", 8, hls::fx(12, 0), false, hls::PortDir::kIn);
+  const int c = fb.add_array("c", 8, hls::fx(12, 0), true);
+  const int b =
+      fb.add_array("b", 8, hls::fx(24, 2), false, hls::PortDir::kOut);
+  auto l = fb.loop("scale", 8);
+  const int p = l.mul(l.array_read(a, {1, 0}), l.array_read(c, {1, 0}));
+  const int q = l.mul(p, l.array_read(a, {1, 0}));
+  l.array_write(b, {1, 0}, l.cast(hls::fx(24, 2), q));
+  return fb.build();
+}
+
+hls::Directives divergent_directives() {
+  hls::Directives dir;
+  dir.clock_period_ns = 5;
+  dir.loops["scale"].pipeline_ii = 1;
+  return dir;
+}
+
+// CounterValues a leg measuring `model` would report: "schedule" follows
+// the overlap timing, "emitted" the serialized FSM.
+hls::CounterValues model_values(const hls::Function& f,
+                                const hls::Schedule& s,
+                                const std::vector<PerfCounter>& map,
+                                const std::string& model, int invocations) {
+  hls::CounterValues out;
+  out.source = model;
+  const bool emitted = model == "emitted";
+  long long active = 0;
+  for (std::size_t r = 0; r < f.regions.size(); ++r) {
+    const auto& rs = s.regions[r];
+    const int trip = f.regions[r].is_loop ? rs.trip : 1;
+    active += emitted ? static_cast<long long>(trip) * rs.body.cycles
+                      : rs.total_cycles;
+  }
+  for (const PerfCounter& c : map) {
+    long long v = 0;
+    const auto& rs = c.region >= 0
+                         ? s.regions[static_cast<size_t>(c.region)]
+                         : s.regions[0];
+    const int trip =
+        c.region >= 0 && f.regions[static_cast<size_t>(c.region)].is_loop
+            ? rs.trip
+            : 1;
+    switch (c.kind) {
+      case CounterKind::kInvocations: v = 1; break;
+      case CounterKind::kActiveCycles: v = active; break;
+      case CounterKind::kRegionCycles:
+        v = emitted ? static_cast<long long>(trip) * rs.body.cycles
+                    : rs.total_cycles;
+        break;
+      case CounterKind::kLoopIters: v = trip; break;
+      case CounterKind::kLoopStall:
+        v = emitted ? static_cast<long long>(trip - 1) *
+                          std::max(0, rs.body.cycles - rs.ii)
+                    : 0;
+        break;
+      case CounterKind::kMemReads:
+      case CounterKind::kMemWrites:
+        for (std::size_t r = 0; r < f.regions.size(); ++r) {
+          const auto& region = f.regions[r];
+          const int t = region.is_loop ? s.regions[r].trip : 1;
+          const auto& ops =
+              region.is_loop ? region.loop.body.ops : region.straight.ops;
+          for (const auto& op : ops) {
+            if (op.array != c.array) continue;
+            if ((c.kind == CounterKind::kMemReads &&
+                 op.kind == hls::OpKind::kArrayRead) ||
+                (c.kind == CounterKind::kMemWrites &&
+                 op.kind == hls::OpKind::kArrayWrite))
+              v += hls::guarded_executions(op, t);
+          }
+        }
+        break;
+    }
+    out.values[c.name] = v * invocations;
+  }
+  return out;
+}
+
+TEST(InstrumentReconcile, SerializedEmissionTimingIsExplainedNotDropped) {
+  const auto r = hls::run_synthesis(make_divergent_scaler(),
+                                    divergent_directives(),
+                                    TechLibrary::asic90());
+  const auto& rs = r.schedule.regions[0];
+  ASSERT_GT(rs.ii, 0);
+  ASSERT_LT(rs.ii, rs.body.cycles) << "schedule must genuinely overlap";
+  ASSERT_NE(rs.trip * rs.body.cycles, rs.total_cycles);
+
+  InstrumentOptions opts;
+  opts.enabled = true;
+  const auto map = hls::instrument_map(r.transformed, r.schedule, opts);
+
+  // A leg measuring the schedule model reconciles with no deviations.
+  const auto sched_rep = hls::reconcile_profile(
+      r.transformed, r.schedule, map,
+      model_values(r.transformed, r.schedule, map, "schedule", 3));
+  EXPECT_TRUE(sched_rep.ok);
+  EXPECT_TRUE(sched_rep.deviations.empty())
+      << sched_rep.deviations.front().what;
+
+  // A leg measuring the serialized emission reconciles ok with EXPLAINED
+  // deviations only — flagged, never dropped, never failing.
+  const auto emit_rep = hls::reconcile_profile(
+      r.transformed, r.schedule, map,
+      model_values(r.transformed, r.schedule, map, "emitted", 3));
+  EXPECT_TRUE(emit_rep.ok) << "explained deviations must not fail";
+  ASSERT_FALSE(emit_rep.deviations.empty());
+  for (const auto& d : emit_rep.deviations) EXPECT_TRUE(d.explained) << d.what;
+  ASSERT_FALSE(emit_rep.loops.empty());
+  EXPECT_EQ(emit_rep.loops[0].measured_cycles,
+            emit_rep.loops[0].emitted_cycles);
+  EXPECT_GT(emit_rep.loops[0].measured_stall, 0);
+  EXPECT_GT(emit_rep.loops[0].measured_ii, emit_rep.loops[0].predicted_ii);
+}
+
+TEST(InstrumentReconcile, TamperedCounterIsAHardDeviation) {
+  const auto r = synth("merge+U2");
+  InstrumentOptions opts;
+  opts.enabled = true;
+  const auto map = hls::instrument_map(r.transformed, r.schedule, opts);
+  auto values = measure_rtl(r, map, 2);
+  for (const PerfCounter& c : map)
+    if (c.kind == CounterKind::kLoopIters) {
+      values.values[c.name] += 2;  // one extra iteration per invocation
+      break;
+    }
+  const auto rep =
+      hls::reconcile_profile(r.transformed, r.schedule, map, values);
+  EXPECT_FALSE(rep.ok);
+  bool hard = false;
+  for (const auto& d : rep.deviations) hard = hard || !d.explained;
+  EXPECT_TRUE(hard);
+}
+
+TEST(InstrumentReconcile, MissingAndNonDivisibleCountersAreHard) {
+  const auto r = synth("merge");
+  InstrumentOptions opts;
+  opts.enabled = true;
+  const auto map = hls::instrument_map(r.transformed, r.schedule, opts);
+  auto values = measure_rtl(r, map, 3);
+  values.values.erase("perf_active_cycles");       // map promises it
+  bool nudged = false;
+  for (const PerfCounter& c : map)
+    if (c.kind == CounterKind::kRegionCycles && !nudged) {
+      values.values[c.name] += 1;  // 3 invocations can't divide it evenly
+      nudged = true;
+    }
+  ASSERT_TRUE(nudged);
+  const auto rep =
+      hls::reconcile_profile(r.transformed, r.schedule, map, values);
+  EXPECT_FALSE(rep.ok);
+  bool missing = false, indivisible = false;
+  for (const auto& d : rep.deviations) {
+    missing = missing || d.what.find("missing") != std::string::npos;
+    indivisible =
+        indivisible || d.what.find("not a multiple") != std::string::npos;
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(indivisible);
+}
+
+TEST(InstrumentReconcile, FeasibilityFloorViolationFailsTheReport) {
+  const auto r = synth("merge");
+  InstrumentOptions opts;
+  opts.enabled = true;
+  const auto map = hls::instrument_map(r.transformed, r.schedule, opts);
+  const auto values = measure_rtl(r, map, 2);
+
+  hls::DesignBounds fine;
+  fine.min_latency_cycles = 1;  // every real design clears this
+  const auto ok_rep = hls::reconcile_profile(r.transformed, r.schedule, map,
+                                             values, &fine);
+  EXPECT_TRUE(ok_rep.bounds_checked);
+  EXPECT_TRUE(ok_rep.bounds_respected);
+  EXPECT_TRUE(ok_rep.ok);
+
+  hls::DesignBounds impossible;
+  impossible.min_latency_cycles = r.schedule.latency_cycles * 100;
+  const auto bad_rep = hls::reconcile_profile(r.transformed, r.schedule, map,
+                                              values, &impossible);
+  EXPECT_TRUE(bad_rep.bounds_checked);
+  EXPECT_FALSE(bad_rep.bounds_respected);
+  EXPECT_FALSE(bad_rep.ok);
+}
+
+TEST(InstrumentStats, SimStatsJsonRoundTripsAtSchemaV2) {
+  const auto r = synth("merge+U2");
+  Simulator sim(r.transformed, r.schedule);
+  LinkStimulus stim((LinkConfig()));
+  sim.run_stream(qam::link_input_batch(&stim, 4));
+
+  const obs::Json doc = sim_stats_json(sim);
+  obs::Json back;
+  std::string err;
+  ASSERT_TRUE(obs::Json::parse(doc.dump(2), &back, &err)) << err;
+  EXPECT_EQ(back.find("tool")->as_string(), "hlsw.rtl_sim");
+  EXPECT_EQ(back.find("schema_version")->as_int(), 2);
+  const obs::Json* regions = back.find("regions");
+  ASSERT_NE(regions, nullptr);
+  ASSERT_GT(regions->size(), 0u);
+  for (std::size_t i = 0; i < regions->size(); ++i) {
+    EXPECT_NE(regions->at(i).find("cycles"), nullptr);
+    EXPECT_NE(regions->at(i).find("iters"), nullptr);
+  }
+  const obs::Json* arrays = back.find("arrays");
+  ASSERT_NE(arrays, nullptr);
+  ASSERT_GT(arrays->size(), 0u);
+  for (std::size_t i = 0; i < arrays->size(); ++i) {
+    EXPECT_NE(arrays->at(i).find("reads"), nullptr);
+    EXPECT_NE(arrays->at(i).find("writes"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace hlsw::rtl

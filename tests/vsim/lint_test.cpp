@@ -153,6 +153,45 @@ endmodule
   EXPECT_EQ(issues[2].rule, "multi-driven");
 }
 
+TEST(VsimLint, PerfCountersAreExemptFromNeverRead) {
+  // Instrumentation counters are write-only inside the module by design
+  // (read back via harness peek or the perf_rdata mux); the reserved
+  // perf_ namespace is exempt, a sibling reg with any other name is not.
+  const auto issues = lint_src(R"(
+module m (input wire clk, input wire signed [7:0] a);
+  reg [31:0] perf_invocations;
+  reg signed [7:0] dead;
+  always @(posedge clk) begin
+    perf_invocations <= perf_invocations + 32'd1;
+    dead <= a;
+  end
+endmodule
+)",
+                               "m");
+  ASSERT_EQ(issues.size(), 1u) << lint_report(issues);
+  EXPECT_EQ(issues[0].rule, "never-read");
+  EXPECT_EQ(issues[0].signal, "dead");
+}
+
+TEST(VsimLint, InstrumentedEmissionLintsClean) {
+  // The real thing the exemption exists for: an instrumented emitted
+  // module (no readback mux, so every counter is genuinely write-only)
+  // must lint clean — and so must the same module with the mux, where the
+  // counters ARE read.
+  const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(),
+                                    qam::table1_architectures()[0].dir,
+                                    hls::TechLibrary::asic90());
+  rtl::VerilogOptions opts;
+  opts.instrument.enabled = true;
+  for (const bool mux : {false, true}) {
+    opts.instrument.readback_mux = mux;
+    const std::string v = rtl::emit_verilog(r.transformed, r.schedule, opts);
+    const auto issues = lint(*load_design(v, r.transformed.name));
+    EXPECT_TRUE(issues.empty())
+        << (mux ? "mux" : "no mux") << ":\n" << lint_report(issues);
+  }
+}
+
 // ---- Structural guarantee: the emitter lints clean ------------------------
 
 class EmitterLintsClean : public ::testing::TestWithParam<int> {};
