@@ -24,6 +24,7 @@
 #include "vsim/compile.h"
 #include "vsim/harness.h"
 #include "vsim/lint.h"
+#include "vsim/pack.h"
 #include "vsim/parser.h"
 
 namespace {
@@ -81,6 +82,21 @@ void run_harness_sections(bench::Harness* h) {
     for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
   });
 
+  // Codegen backend: same harness loop through the generated .so. The
+  // first construction pays generate+compile+dlopen (absorbed by warmup;
+  // later reps hit the on-disk cache); on toolchain-less machines this
+  // silently measures the compiled-interpreter fallback — the note records
+  // which backend actually ran.
+  vsim::SimConfig codegen_cfg;
+  codegen_cfg.backend = vsim::Backend::kCodegen;
+  std::string codegen_backend = "unknown";
+  const auto t_vsim_codegen =
+      h->measure("vsim_harness_100_symbols_codegen", [&] {
+        vsim::DutHarness dut(r.transformed, design, codegen_cfg);
+        codegen_backend = dut.sim().backend();
+        for (const auto& in : batch) benchmark::DoNotOptimize(dut.run(in));
+      });
+
   // Instrumentation overhead: the same 100 symbols through a module
   // emitted with on-chip perf counters (hls::InstrumentOptions) vs the
   // plain module — the cost of measuring the hardware while simulating it.
@@ -134,9 +150,82 @@ void run_harness_sections(bench::Harness* h) {
         {.threads = 4, .block_size = batch.size() / 4}, event_cfg));
   });
 
+  // Bit-packed multi-lane sweeps: 64 independent 25-symbol blocks (every
+  // block its own burst, replayed from reset on both legs) through one
+  // scalar compiled sweep vs 8- and 64-lane packed runs of the SAME
+  // blocks. Throughput is reported per lane so the lane-scaling efficiency
+  // is visible next to the raw speedup.
+  const int kSweepSymbols = 1600;
+  const std::size_t kSweepBlock = 25;
+  const std::vector<PortIo> sweep_batch =
+      qam::link_input_batch(&stim, kSweepSymbols);
+  const auto t_sweep1 = h->measure("vsim_sweep_blocks_scalar", [&] {
+    benchmark::DoNotOptimize(
+        vsim::vsim_sweep(r.transformed, r.schedule, sweep_batch,
+                         {.block_size = kSweepBlock}));
+  });
+  const auto t_sweep8 = h->measure("vsim_sweep_blocks_packed8", [&] {
+    benchmark::DoNotOptimize(
+        vsim::vsim_sweep(r.transformed, r.schedule, sweep_batch,
+                         {.block_size = kSweepBlock, .lanes = 8}));
+  });
+  const auto t_sweep64 = h->measure("vsim_sweep_blocks_packed64", [&] {
+    benchmark::DoNotOptimize(
+        vsim::vsim_sweep(r.transformed, r.schedule, sweep_batch,
+                         {.block_size = kSweepBlock, .lanes = 64}));
+  });
+  // DUT-only throughput pair: the same 64 blocks replayed per-block
+  // through scalar DutHarnesses vs one 64-lane PackedDutHarness. A full
+  // differential sweep runs the golden interpreter leg identically on both
+  // sides (an Amdahl floor the lane count cannot touch), so this pair
+  // isolates what lane packing actually accelerates — the simulator-side
+  // sweep work.
+  std::string pack_why;
+  const auto pack_plan = vsim::compiled_plan(design, &pack_why);
+  const int kDutLanes = 64;
+  std::vector<std::vector<PortIo>> dut_streams(kDutLanes);
+  for (int b = 0; b < kDutLanes; ++b)
+    dut_streams[static_cast<std::size_t>(b)]
+        .assign(sweep_batch.begin() + b * static_cast<long>(kSweepBlock),
+                sweep_batch.begin() + (b + 1) * static_cast<long>(kSweepBlock));
+  const auto t_dut_scalar = h->measure("vsim_sweep_dut_scalar", [&] {
+    for (const auto& s : dut_streams) {
+      vsim::DutHarness dut(r.transformed, design);
+      benchmark::DoNotOptimize(dut.run_stream(s));
+    }
+  });
+  const auto t_dut_packed = h->measure("vsim_sweep_dut_packed64", [&] {
+    vsim::PackedDutHarness dut(r.transformed, pack_plan, kDutLanes);
+    benchmark::DoNotOptimize(dut.run_streams(dut_streams));
+  });
+
+  const auto throughput_note = [&](const std::string& label, int symbols,
+                                   double min_ms, int lanes) {
+    const double sym_per_sec = symbols / (min_ms / 1000.0);
+    h->note(label, obs::Json::object()
+                       .set("lanes", lanes)
+                       .set("symbols_per_sec", sym_per_sec)
+                       .set("symbols_per_sec_per_lane", sym_per_sec / lanes));
+  };
+  const auto sweep_note = [&](const std::string& label, double min_ms,
+                              int lanes) {
+    throughput_note(label, kSweepSymbols, min_ms, lanes);
+  };
+  sweep_note("sweep_blocks_scalar", t_sweep1.min_ms, 1);
+  sweep_note("sweep_blocks_packed8", t_sweep8.min_ms, 8);
+  sweep_note("sweep_blocks_packed64", t_sweep64.min_ms, 64);
+  sweep_note("sweep_dut_scalar", t_dut_scalar.min_ms, 1);
+  sweep_note("sweep_dut_packed64", t_dut_packed.min_ms, kDutLanes);
+  throughput_note("harness_compiled", kSymbols, t_vsim.min_ms, 1);
+  throughput_note("harness_codegen", kSymbols, t_vsim_codegen.min_ms, 1);
+
   h->note("config", obs::Json::object()
                         .set("architecture", arch.name)
                         .set("symbols", kSymbols)
+                        .set("sweep_symbols", kSweepSymbols)
+                        .set("sweep_block_size",
+                             static_cast<long long>(kSweepBlock))
+                        .set("codegen_backend", codegen_backend)
                         .set("testbench_passed", tb_passed));
   h->note("slowdown_vsim_vs_rtl_sim", t_vsim.min_ms / t_rtl.min_ms);
   h->note("overhead_instrumented_vs_plain",
@@ -144,6 +233,13 @@ void run_harness_sections(bench::Harness* h) {
   h->note("slowdown_vsim_event_vs_rtl_sim",
           t_vsim_event.min_ms / t_rtl.min_ms);
   h->note("speedup_compiled_vs_event", t_vsim_event.min_ms / t_vsim.min_ms);
+  h->note("speedup_codegen_vs_compiled",
+          t_vsim.min_ms / t_vsim_codegen.min_ms);
+  h->note("speedup_packed8_vs_scalar_sweep", t_sweep1.min_ms / t_sweep8.min_ms);
+  h->note("speedup_packed64_vs_scalar_sweep",
+          t_sweep1.min_ms / t_sweep64.min_ms);
+  h->note("speedup_packed64_dut_vs_scalar_dut",
+          t_dut_scalar.min_ms / t_dut_packed.min_ms);
   h->note("speedup_sweep_pool4_vs_serial", t_serial.min_ms / t_par.min_ms);
   h->note("speedup_sweep_pool4_vs_serial_event",
           t_serial_event.min_ms / t_par_event.min_ms);

@@ -199,8 +199,8 @@ std::string fx_repr(const FxValue& v) {
   return os.str();
 }
 
-// Compares one vector's outputs; appends reports tagged with the global
-// vector index so merged lists read in stimulus order.
+}  // namespace
+
 void compare_outputs(std::size_t vec, const PortIo& want, const PortIo& got,
                      std::vector<std::string>* out) {
   const auto mismatch = [&](const std::string& what) {
@@ -245,8 +245,6 @@ void compare_outputs(std::size_t vec, const PortIo& want, const PortIo& got,
       mismatch("dut has extra output var '" + name + "'");
 }
 
-// Applies CosimOptions::mismatch_limit after the deterministic merge so
-// truncation never depends on worker scheduling.
 void cap_mismatches(std::size_t limit, CosimResult* result) {
   result->total_mismatches = result->mismatches.size();
   if (limit == 0 || result->mismatches.size() <= limit) return;
@@ -255,8 +253,6 @@ void cap_mismatches(std::size_t limit, CosimResult* result) {
   result->mismatches.push_back("... " + std::to_string(suppressed) +
                                " more mismatches suppressed");
 }
-
-}  // namespace
 
 CosimResult cosim_sweep(const CosimFactory& golden, const CosimFactory& dut,
                         const std::vector<PortIo>& vectors,

@@ -60,6 +60,12 @@ struct CosimOptions {
   // multi-hundred-vector sweep otherwise drowns the first — usually root —
   // failure in repetition; `total_mismatches` still counts everything.
   std::size_t mismatch_limit = 0;
+  // Independent stimulus streams executed per model instance (clamped to
+  // [1, 64]). Only honored by backends that support multi-lane execution
+  // (vsim::vsim_sweep's bit-packed compiled path); everything else treats
+  // any value as 1. With lanes = N, N consecutive blocks share one
+  // multi-lane DUT — block independence (replay from reset) is unchanged.
+  int lanes = 1;
 };
 
 struct CosimResult {
@@ -95,5 +101,20 @@ struct CosimLeg {
 CosimResult cosim_sweep_nway(const std::vector<CosimLeg>& legs,
                              const std::vector<PortIo>& vectors,
                              const CosimOptions& opts = {});
+
+// ---- Sweep report plumbing (shared with external sweep drivers) ----
+//
+// vsim::vsim_sweep's packed multi-lane path reimplements the block loop
+// (one multi-lane DUT covers many blocks) but must emit byte-identical
+// mismatch reports; it reuses these instead of duplicating the format.
+
+// Compares one vector's outputs; appends reports tagged with the global
+// vector index so merged lists read in stimulus order.
+void compare_outputs(std::size_t vec, const PortIo& want, const PortIo& got,
+                     std::vector<std::string>* out);
+
+// Applies CosimOptions::mismatch_limit after the deterministic merge so
+// truncation never depends on worker scheduling.
+void cap_mismatches(std::size_t limit, CosimResult* result);
 
 }  // namespace hlsw::hls

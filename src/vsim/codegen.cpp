@@ -1,0 +1,1094 @@
+#include "vsim/codegen.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hlsw::vsim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("vsim runtime error: " + what);
+}
+
+// ---- Toolchain resolution ---------------------------------------------------
+
+// Probe results are memoized per candidate command; the environment
+// variables themselves are re-read on every call so a test can disable
+// codegen (HLSW_CODEGEN_CXX=none) and re-enable it within one process.
+bool probe_cxx(const std::string& cmd) {
+  static std::mutex mu;
+  static std::map<std::string, bool> memo;
+  std::lock_guard<std::mutex> lk(mu);
+  const auto it = memo.find(cmd);
+  if (it != memo.end()) return it->second;
+  const std::string line = cmd + " --version > /dev/null 2>&1";
+  const bool ok = std::system(line.c_str()) == 0;
+  memo[cmd] = ok;
+  return ok;
+}
+
+}  // namespace
+
+std::string codegen_toolchain() {
+  if (const char* e = std::getenv("HLSW_CODEGEN_CXX")) {
+    const std::string v = e;
+    if (v.empty() || v == "none") return "";
+    return probe_cxx(v) ? v : "";
+  }
+  if (const char* e = std::getenv("CXX")) {
+    const std::string v = e;
+    if (!v.empty() && probe_cxx(v)) return v;
+  }
+  for (const char* cand : {"c++", "g++", "clang++"})
+    if (probe_cxx(cand)) return cand;
+  return "";
+}
+
+bool codegen_available() { return !codegen_toolchain().empty(); }
+
+// ---- Source generation ------------------------------------------------------
+
+namespace {
+
+std::string hx(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llxull",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Emits the statements evaluating one tape and returns the expression (a
+// temp name or literal) holding its value. Every op result becomes its own
+// `const u64` temp so operands are never textually duplicated; `tmp` is
+// the caller-scoped temp counter keeping names unique per function.
+std::string emit_tape(std::ostream& os, const CompiledDesign& cd, int tape,
+                      int& tmp, const char* ind) {
+  const TapeRef& t = cd.tapes[static_cast<std::size_t>(tape)];
+  std::vector<std::string> stk;
+  const auto push = [&](const std::string& expr) {
+    std::string name = "t" + std::to_string(tmp++);
+    os << ind << "const u64 " << name << " = " << expr << ";\n";
+    stk.push_back(std::move(name));
+  };
+  const auto pop = [&] {
+    std::string v = std::move(stk.back());
+    stk.pop_back();
+    return v;
+  };
+  const auto sig = [&](std::int32_t a) {
+    return "S->v[" + std::to_string(a) + "]";
+  };
+  const auto arr = [&](std::int32_t a) {
+    return "S->a" + std::to_string(a);
+  };
+  const auto alen = [&](std::int32_t a) {
+    return std::to_string(cd.design->signals[static_cast<std::size_t>(a)]
+                              .array_len);
+  };
+  for (std::uint32_t i = t.begin; i < t.begin + t.len; ++i) {
+    const TOp& o = cd.ops[i];
+    const std::string W = std::to_string(o.w);
+    const std::string A = std::to_string(o.a);
+    const std::string I = hx(o.imm);
+    // Folded 32-bit constants of the xC superinstructions.
+    const std::string C =
+        hx(static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.a)));
+    switch (o.code) {
+      case TOp::kConst:
+        stk.push_back("(" + I + ")");
+        break;
+      case TOp::kLoad:
+        push(sig(o.a));
+        break;
+      case TOp::kLoadSx:
+        push("sx(" + sig(o.a) + ", " + W + ") & " + I);
+        break;
+      case TOp::kLoadTr:
+        push(sig(o.a) + " & " + I);
+        break;
+      case TOp::kLoadElem: {
+        const std::string u = pop();
+        const std::string idx =
+            o.w ? "(i64)sx(" + u + ", " + W + ")" : "(i64)" + u;
+        push("ldel(" + arr(o.a) + ", " + alen(o.a) + ", " + idx + ")");
+        break;
+      }
+      case TOp::kTrunc:
+        push(pop() + " & " + I);
+        break;
+      case TOp::kSext:
+        push("sx(" + pop() + ", " + W + ") & " + I);
+        break;
+      case TOp::kToSigned:
+        push("tosgn(" + pop() + ", " + W + ")");
+        break;
+      case TOp::kBitSel: {
+        const std::string idx = pop(), base = pop();
+        push("bitsel(" + base + ", (i64)" + idx + ", " + W + ")");
+        break;
+      }
+      case TOp::kRange:
+        push("(" + pop() + " >> " + A + ") & " + I);
+        break;
+      case TOp::kNeg:
+        push("(0 - " + pop() + ") & " + I);
+        break;
+      case TOp::kNot:
+        push("~" + pop() + " & " + I);
+        break;
+      case TOp::kLNot:
+        push("(u64)(" + pop() + " == 0)");
+        break;
+      case TOp::kNeZero:
+        push("(u64)(" + pop() + " != 0)");
+        break;
+      case TOp::kRedAnd:
+        push("(u64)(" + pop() + " == " + I + ")");
+        break;
+      case TOp::kRedNand:
+        push("(u64)(" + pop() + " != " + I + ")");
+        break;
+      case TOp::kRedOr:
+        push("(u64)(" + pop() + " != 0)");
+        break;
+      case TOp::kRedNor:
+        push("(u64)(" + pop() + " == 0)");
+        break;
+      case TOp::kRedXor:
+        push("(u64)__builtin_parityll((i64)" + pop() + ")");
+        break;
+      case TOp::kRedXnor:
+        push("(u64)!__builtin_parityll((i64)" + pop() + ")");
+        break;
+      case TOp::kAnd: {
+        const std::string b = pop(), a = pop();
+        push(a + " & " + b);
+        break;
+      }
+      case TOp::kOr: {
+        const std::string b = pop(), a = pop();
+        push(a + " | " + b);
+        break;
+      }
+      case TOp::kXor: {
+        const std::string b = pop(), a = pop();
+        push(a + " ^ " + b);
+        break;
+      }
+      case TOp::kXnorB: {
+        const std::string b = pop(), a = pop();
+        push("~(" + a + " ^ " + b + ") & " + I);
+        break;
+      }
+      case TOp::kAdd: {
+        const std::string b = pop(), a = pop();
+        push("(" + a + " + " + b + ") & " + I);
+        break;
+      }
+      case TOp::kSub: {
+        const std::string b = pop(), a = pop();
+        push("(" + a + " - " + b + ") & " + I);
+        break;
+      }
+      case TOp::kMul: {
+        const std::string b = pop(), a = pop();
+        push("(" + a + " * " + b + ") & " + I);
+        break;
+      }
+      case TOp::kDivU: {
+        const std::string b = pop(), a = pop();
+        push(b + " == 0 ? 0 : " + a + " / " + b);
+        break;
+      }
+      case TOp::kModU: {
+        const std::string b = pop(), a = pop();
+        push(b + " == 0 ? 0 : " + a + " % " + b);
+        break;
+      }
+      case TOp::kDivS: {
+        const std::string b = pop(), a = pop();
+        push("divs(" + a + ", " + b + ", " + W + ", " + I + ")");
+        break;
+      }
+      case TOp::kModS: {
+        const std::string b = pop(), a = pop();
+        push("mods(" + a + ", " + b + ", " + W + ", " + I + ")");
+        break;
+      }
+      case TOp::kEq: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(" + a + " == " + b + ")");
+        break;
+      }
+      case TOp::kNe: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(" + a + " != " + b + ")");
+        break;
+      }
+      case TOp::kLtU: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(" + a + " < " + b + ")");
+        break;
+      }
+      case TOp::kLeU: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(" + a + " <= " + b + ")");
+        break;
+      }
+      case TOp::kGtU: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(" + a + " > " + b + ")");
+        break;
+      }
+      case TOp::kGeU: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(" + a + " >= " + b + ")");
+        break;
+      }
+      case TOp::kLtS: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(sgn64(" + a + ", " + W + ") < sgn64(" + b + ", " + W +
+             "))");
+        break;
+      }
+      case TOp::kLeS: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(sgn64(" + a + ", " + W + ") <= sgn64(" + b + ", " + W +
+             "))");
+        break;
+      }
+      case TOp::kGtS: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(sgn64(" + a + ", " + W + ") > sgn64(" + b + ", " + W +
+             "))");
+        break;
+      }
+      case TOp::kGeS: {
+        const std::string b = pop(), a = pop();
+        push("(u64)(sgn64(" + a + ", " + W + ") >= sgn64(" + b + ", " + W +
+             "))");
+        break;
+      }
+      case TOp::kShl: {
+        const std::string sh = pop(), a = pop();
+        push(sh + " >= 64 ? 0 : (" + a + " << " + sh + ") & " + I);
+        break;
+      }
+      case TOp::kShrU: {
+        const std::string sh = pop(), a = pop();
+        push(sh + " >= 64 ? 0 : " + a + " >> " + sh);
+        break;
+      }
+      case TOp::kShrS: {
+        const std::string sh = pop(), a = pop();
+        push("(u64)(sgn64(" + a + ", " + W + ") >> (" + sh + " > 63 ? 63 : " +
+             sh + ")) & " + I);
+        break;
+      }
+      case TOp::kConcatAcc: {
+        const std::string kid = pop(), acc = pop();
+        push("(" + acc + " << " + W + ") | " + kid);
+        break;
+      }
+      case TOp::kRepl:
+        push("repl(" + pop() + ", " + W + ", " + A + ")");
+        break;
+      case TOp::kMux: {
+        const std::string ev = pop(), tv = pop(), cond = pop();
+        push(cond + " != 0 ? " + tv + " : " + ev);
+        break;
+      }
+      case TOp::kTime:
+        stk.push_back("(0ull)");
+        break;
+      case TOp::kLoadElemSx:
+        push("sx(ldel(" + arr(o.a) + ", " + alen(o.a) + ", (i64)" + pop() +
+             "), " + W + ") & " + I);
+        break;
+      case TOp::kLoadElemTr: {
+        const std::string u = pop();
+        const std::string idx =
+            o.w ? "(i64)sx(" + u + ", " + W + ")" : "(i64)" + u;
+        push("ldel(" + arr(o.a) + ", " + alen(o.a) + ", " + idx + ") & " + I);
+        break;
+      }
+      case TOp::kAddC:
+        push("(" + pop() + " + " + C + ") & " + I);
+        break;
+      case TOp::kSubC:
+        push("(" + pop() + " - " + C + ") & " + I);
+        break;
+      case TOp::kMulC:
+        push("(" + pop() + " * " + C + ") & " + I);
+        break;
+      case TOp::kOrC:
+        push(pop() + " | " + I);
+        break;
+      case TOp::kXorC:
+        push(pop() + " ^ " + I);
+        break;
+      case TOp::kShlC:
+        push("(" + pop() + " << " + C + ") & " + I);
+        break;
+      case TOp::kConcatC:
+        push("(" + pop() + " << " + W + ") | " + C);
+        break;
+      case TOp::kAddL:
+        push("(" + pop() + " + " + sig(o.a) + ") & " + I);
+        break;
+      case TOp::kSubL:
+        push("(" + pop() + " - " + sig(o.a) + ") & " + I);
+        break;
+      case TOp::kMulL:
+        push("(" + pop() + " * " + sig(o.a) + ") & " + I);
+        break;
+      case TOp::kAndL:
+        push(pop() + " & " + sig(o.a));
+        break;
+      case TOp::kOrL:
+        push(pop() + " | " + sig(o.a));
+        break;
+      case TOp::kXorL:
+        push(pop() + " ^ " + sig(o.a));
+        break;
+      case TOp::kConcatL:
+        push("(" + pop() + " << " + W + ") | " + sig(o.a));
+        break;
+      case TOp::kRangeL:
+        push("(" + sig(o.a) + " >> " + W + ") & " + I);
+        break;
+      case TOp::kLoadShlC:
+        push("(" + sig(o.a) + " << " + W + ") & " + I);
+        break;
+      case TOp::kHalt:
+        return stk.back();
+    }
+  }
+  return stk.back();  // unreachable: every tape ends in kHalt
+}
+
+// End of proc p's slice of CompiledDesign::prog (entries are built
+// sequentially, so proc bodies are contiguous).
+std::size_t proc_end(const CompiledDesign& cd, std::size_t p) {
+  return p + 1 < cd.procs.size()
+             ? static_cast<std::size_t>(cd.procs[p + 1].entry)
+             : cd.prog.size();
+}
+
+void emit_proc(std::ostream& os, const CompiledDesign& cd, std::size_t p) {
+  const std::size_t entry = static_cast<std::size_t>(cd.procs[p].entry);
+  const std::size_t end = proc_end(cd, p);
+  int repeat_depth = 0;
+  for (std::size_t pc = entry; pc < end; ++pc)
+    if (cd.prog[pc].code == PInstr::kRepeatInit) ++repeat_depth;
+
+  os << "static int proc" << p << "(St* S, i64 budget) {\n";
+  if (repeat_depth > 0)
+    os << "  i64 reps[" << repeat_depth << "]; int rsp = 0;\n";
+  int tmp = 0;
+  const char* ind = "    ";
+  for (std::size_t pc = entry; pc < end; ++pc) {
+    const PInstr& in = cd.prog[pc];
+    const std::string SIG = std::to_string(in.sig);
+    const std::string MASK =
+        in.sig >= 0 ? hx(cd.sig_mask[static_cast<std::size_t>(in.sig)]) : "";
+    os << "  L" << pc << ": ++S->instrs;\n";
+    os << "  {\n";
+    switch (in.code) {
+      case PInstr::kAssign: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        os << ind << "set_sig(S, " << SIG << ", " << v << ", "
+           << static_cast<int>(p) << ");\n";
+        break;
+      }
+      case PInstr::kAssignCopy:
+        os << ind << "set_sig(S, " << SIG << ", S->v[" << in.a << "], "
+           << static_cast<int>(p) << ");\n";
+        break;
+      case PInstr::kAssignConst:
+        os << ind << "set_sig(S, " << SIG << ", " << hx(in.imm) << ", "
+           << static_cast<int>(p) << ");\n";
+        break;
+      case PInstr::kAssignElem: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        const std::string ix = emit_tape(os, cd, in.t1, tmp, ind);
+        os << ind << "setel(S, " << SIG << ", (i64)" << ix << ", " << v
+           << ");\n";
+        break;
+      }
+      case PInstr::kAssignBit: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        const std::string ix = emit_tape(os, cd, in.t1, tmp, ind);
+        const int w =
+            cd.design->signals[static_cast<std::size_t>(in.sig)].width;
+        os << ind << "const i64 bi = (i64)" << ix << ";\n"
+           << ind << "if (bi >= 0 && bi < " << w << ") {\n"
+           << ind << "  const u64 o = S->v[" << SIG << "];\n"
+           << ind << "  set_sig(S, " << SIG << ", (o & ~(1ull << bi)) | (("
+           << v << " & 1ull) << bi), " << static_cast<int>(p) << ");\n"
+           << ind << "}\n";
+        break;
+      }
+      case PInstr::kNb: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        os << ind << "S->nba.push_back(Nba{" << SIG << ", -1, " << v << " & "
+           << MASK << "});\n";
+        break;
+      }
+      case PInstr::kNbCopy:
+        os << ind << "S->nba.push_back(Nba{" << SIG << ", -1, S->v[" << in.a
+           << "] & " << MASK << "});\n";
+        break;
+      case PInstr::kNbConst:
+        os << ind << "S->nba.push_back(Nba{" << SIG << ", -1, " << hx(in.imm)
+           << "});\n";
+        break;
+      case PInstr::kNbElem: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        const std::string ix = emit_tape(os, cd, in.t1, tmp, ind);
+        os << ind << "S->nba.push_back(Nba{" << SIG << ", (i64)" << ix << ", "
+           << v << " & " << MASK << "});\n";
+        break;
+      }
+      case PInstr::kNbBit: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        const std::string ix = emit_tape(os, cd, in.t1, tmp, ind);
+        os << ind << "S->nba.push_back(Nba{" << SIG << ", (i64)" << ix << ", "
+           << v << " & 1ull});\n";
+        break;
+      }
+      case PInstr::kJump:
+        // Only backward jumps (loop back-edges) can run unboundedly; mirror
+        // the interpreter's per-back-edge budget check.
+        if (in.a <= static_cast<std::int32_t>(pc))
+          os << ind << "if (S->instrs - S->slot_base > budget) return 1;\n";
+        os << ind << "goto L" << in.a << ";\n";
+        break;
+      case PInstr::kJumpIfFalse: {
+        const std::string c = emit_tape(os, cd, in.t0, tmp, ind);
+        os << ind << "if (" << c << " == 0) goto L" << in.a << ";\n";
+        break;
+      }
+      case PInstr::kJumpIfFalseSig:
+        os << ind << "if (S->v[" << SIG << "] == 0) goto L" << in.a << ";\n";
+        break;
+      case PInstr::kCaseJump: {
+        const CompiledDesign::CaseTable& t =
+            cd.case_tables[static_cast<std::size_t>(in.a)];
+        os << ind << "switch (S->v[" << SIG << "]) {\n";
+        for (const auto& [val, target] : t.arms)
+          os << ind << "  case " << hx(val) << ": goto L" << target << ";\n";
+        os << ind << "  default: goto L" << t.def_pc << ";\n";
+        os << ind << "}\n";
+        break;
+      }
+      case PInstr::kRepeatInit: {
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind);
+        const TapeRef& t = cd.tapes[static_cast<std::size_t>(in.t0)];
+        if (t.sgn)
+          os << ind << "reps[rsp++] = sgn64(" << v << ", "
+             << static_cast<int>(t.w) << ");\n";
+        else
+          os << ind << "reps[rsp++] = (i64)" << v << ";\n";
+        break;
+      }
+      case PInstr::kRepeatTest:
+        os << ind << "if (reps[rsp-1] > 0) { --reps[rsp-1]; } else { --rsp; "
+           << "goto L" << in.a << "; }\n";
+        break;
+      case PInstr::kDisplay:
+      case PInstr::kDumpFile:
+      case PInstr::kDumpVars:
+        // Unreachable: codegen_plan refuses designs with system tasks.
+        os << ind << "return 1;\n";
+        break;
+      case PInstr::kHalt:
+        os << ind << "return 0;\n";
+        break;
+    }
+    os << "  }\n";
+  }
+  os << "  return 0;\n}\n\n";
+}
+
+}  // namespace
+
+std::string codegen_source(const CompiledDesign& cd) {
+  const Design& d = *cd.design;
+  const std::size_t nsig = d.signals.size();
+  const std::size_t nproc = cd.procs.size();
+  std::ostringstream os;
+
+  os << "// Generated by hlsw vsim codegen; compiled and dlopen()ed at\n"
+        "// runtime. One translation unit per design fingerprint.\n"
+        "#include <cstddef>\n#include <cstdint>\n#include <vector>\n"
+        "namespace {\n"
+        "typedef std::uint64_t u64;\ntypedef long long i64;\n"
+        "inline u64 um(int w) { return w >= 64 ? ~0ull : (1ull << w) - 1ull; "
+        "}\n"
+        "inline i64 sgn64(u64 v, int w) { if (w < 64 && ((v >> (w - 1)) & "
+        "1)) v |= ~um(w); return (i64)v; }\n"
+        "inline u64 sx(u64 v, int w) { if ((v >> (w - 1)) & 1) v |= ~um(w); "
+        "return v; }\n"
+        "inline u64 tosgn(u64 v, int w) { if (w < 64 && ((v >> (w - 1)) & "
+        "1)) v |= ~um(w); return v; }\n"
+        "inline u64 ldel(const u64* A, i64 n, i64 i) { return (i >= 0 && i < "
+        "n) ? A[(std::size_t)i] : 0; }\n"
+        "inline u64 bitsel(u64 base, i64 i, int w) { return (i >= 0 && i < "
+        "w) ? (base >> i) & 1 : 0; }\n"
+        "inline u64 divs(u64 a, u64 b, int w, u64 imm) { const i64 sa = "
+        "sgn64(a, w), sb = sgn64(b, w); u64 r; if (sb == 0) r = 0; else if "
+        "(sb == -1) r = 0 - a; else r = (u64)(sa / sb); return r & imm; }\n"
+        "inline u64 mods(u64 a, u64 b, int w, u64 imm) { const i64 sa = "
+        "sgn64(a, w), sb = sgn64(b, w); u64 r; if (sb == 0 || sb == -1) r = "
+        "0; else r = (u64)(sa % sb); return r & imm; }\n"
+        "inline u64 repl(u64 kv, int w, int n) { u64 v = 0; for (int i = 0; "
+        "i < n; ++i) v = (v << w) | kv; return v; }\n\n";
+
+  // Per-signal static tables.
+  const auto bool_table = [&](const char* name, auto pred) {
+    os << "static constexpr bool " << name << "[" << nsig << "] = {";
+    for (std::size_t i = 0; i < nsig; ++i)
+      os << (i ? "," : "") << (pred(i) ? 1 : 0);
+    os << "};\n";
+  };
+  os << "static constexpr u64 kMask[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i)
+    os << (i ? "," : "") << hx(cd.sig_mask[i]);
+  os << "};\n";
+  os << "static constexpr int kWidth[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i)
+    os << (i ? "," : "") << d.signals[i].width;
+  os << "};\n";
+  os << "static constexpr i64 kALen[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i)
+    os << (i ? "," : "") << d.signals[i].array_len;
+  os << "};\n";
+  bool_table("kHasFan", [&](std::size_t i) {
+    return cd.fan_index[i] < cd.fan_index[i + 1];
+  });
+  bool_table("kHasTrig", [&](std::size_t i) {
+    return cd.trig_index[i] < cd.trig_index[i + 1];
+  });
+  os << "\n";
+
+  // Engine state. Array signals are fixed-size members (lengths are design
+  // constants); everything zero-initializes except where create() applies
+  // declared init values.
+  os << "struct Nba { std::int32_t sig; i64 index; u64 value; };\n";
+  os << "struct St {\n  u64 v[" << nsig << "] = {};\n";
+  for (std::size_t i = 0; i < nsig; ++i)
+    if (d.signals[i].array_len > 0)
+      os << "  u64 a" << i << "[" << d.signals[i].array_len << "] = {};\n";
+  os << "  std::vector<Nba> nba, nba_scratch;\n"
+     << "  unsigned char ready[" << std::max<std::size_t>(nproc, 1)
+     << "] = {};\n"
+     << "  int ready_count = 0;\n"
+     << "  bool comb_dirty = true;\n"
+     << "  i64 events = 0, nba_commits = 0, delta_cycles = 0, instrs = 0;\n"
+     << "  i64 flushes = 0, slot_base = 0;\n"
+     << "};\n\n";
+
+  // Runtime array lookup (NBA element commits and host element peeks reach
+  // arrays by signal index).
+  os << "static u64* arrp(St* S, int sig) {\n  switch (sig) {\n";
+  for (std::size_t i = 0; i < nsig; ++i)
+    if (d.signals[i].array_len > 0)
+      os << "    case " << i << ": return S->a" << i << ";\n";
+  os << "    default: return nullptr;\n  }\n}\n\n";
+
+  os << "inline void rdy(St* S, int p) {\n"
+        "  if (!S->ready[p]) { S->ready[p] = 1; ++S->ready_count; }\n"
+        "}\n\n";
+
+  // Edge triggers, statically enumerated per signal. `self` is the running
+  // process (or -1): a process cannot re-arm itself, matching the event
+  // kernel where a thread is not edge-waiting while it executes.
+  os << "static void trig(St* S, int sig, u64 o, u64 n, int self) {\n"
+        "  const bool pos = !(o & 1) && (n & 1);\n"
+        "  const bool neg = (o & 1) && !(n & 1);\n"
+        "  (void)pos; (void)neg;\n"
+        "  switch (sig) {\n";
+  for (std::size_t i = 0; i < nsig; ++i) {
+    const auto b = cd.trig_index[i], e = cd.trig_index[i + 1];
+    if (b == e) continue;
+    os << "    case " << i << ":\n";
+    for (auto k = b; k < e; ++k) {
+      const auto& t = cd.trigs[static_cast<std::size_t>(k)];
+      os << "      if (self != " << t.proc;
+      if (t.edge == Edge::kPos)
+        os << " && pos";
+      else if (t.edge == Edge::kNeg)
+        os << " && neg";
+      os << ") rdy(S, " << t.proc << ");\n";
+    }
+    os << "      break;\n";
+  }
+  os << "    default: break;\n  }\n}\n\n";
+
+  // The one scalar write path: mask, change-detect, count, dirty the comb
+  // flush when the signal has fanout, fire triggers. Call sites with a
+  // constant `sig` fold the table lookups away.
+  os << "inline void set_sig(St* S, int sig, u64 nv, int self) {\n"
+        "  nv &= kMask[sig];\n"
+        "  const u64 old = S->v[sig];\n"
+        "  if (old == nv) return;\n"
+        "  S->v[sig] = nv;\n"
+        "  ++S->events;\n"
+        "  if (kHasFan[sig]) S->comb_dirty = true;\n"
+        "  if (kHasTrig[sig]) trig(S, sig, old, nv, self);\n"
+        "}\n\n"
+        "inline void setel(St* S, int sig, i64 idx, u64 v) {\n"
+        "  u64* A = arrp(S, sig);\n"
+        "  if (!A || idx < 0 || idx >= kALen[sig]) return;\n"
+        "  v &= kMask[sig];\n"
+        "  if (A[idx] == v) return;\n"
+        "  A[idx] = v;\n"
+        "  ++S->events;\n"
+        "  // element writes never wake edge waits (kernel parity)\n"
+        "  if (kHasFan[sig]) S->comb_dirty = true;\n"
+        "}\n\n";
+
+  // Full comb flush: every node in level order, straight-line, from the
+  // ORIGINAL tapes (reference semantics — fused exec tapes would duplicate
+  // spliced producers). Re-evaluating unchanged cones is idempotent and
+  // change detection in set_sig keeps the event counts identical to the
+  // gated interpreter. Lazy nodes (observed by nothing) are plain stores:
+  // no events, no triggers, exactly like the interpreter's force_lazy.
+  {
+    std::vector<std::size_t> order(cd.nodes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cd.nodes[a].level < cd.nodes[b].level;
+                     });
+    os << "static void flush(St* S) {\n  ++S->flushes;\n";
+    int tmp = 0;
+    for (const std::size_t n : order) {
+      const CompiledDesign::Node& nd = cd.nodes[n];
+      os << "  { // node " << n << " level " << nd.level << " -> "
+         << d.signals[static_cast<std::size_t>(nd.target)].name << "\n";
+      const std::string v = emit_tape(os, cd, nd.tape, tmp, "    ");
+      if (cd.node_lazy[n])
+        os << "    S->v[" << nd.target << "] = " << v << " & "
+           << hx(cd.sig_mask[static_cast<std::size_t>(nd.target)]) << ";\n";
+      else
+        os << "    set_sig(S, " << nd.target << ", " << v << ", -1);\n";
+      os << "  }\n";
+    }
+    os << "}\n\n";
+  }
+
+  for (std::size_t p = 0; p < nproc; ++p) emit_proc(os, cd, p);
+
+  os << "static int run_proc(St* S, int p, i64 budget) {\n"
+        "  S->ready[p] = 0;\n  --S->ready_count;\n  int r = 0;\n"
+        "  switch (p) {\n";
+  for (std::size_t p = 0; p < nproc; ++p)
+    os << "    case " << p << ": r = proc" << p << "(S, budget); break;\n";
+  os << "    default: break;\n  }\n"
+        "  return r ? static_cast<int>(p) + 1 : 0;\n}\n\n";
+
+  os << "static void commit_nba(St* S) {\n"
+        "  S->nba_scratch.clear();\n  S->nba_scratch.swap(S->nba);\n"
+        "  S->nba_commits += (i64)S->nba_scratch.size();\n"
+        "  for (const Nba& e : S->nba_scratch) {\n"
+        "    if (kALen[e.sig] > 0) {\n"
+        "      setel(S, e.sig, e.index, e.value);\n"
+        "    } else if (e.index >= 0) {  // nonblocking bit write, RMW\n"
+        "      if (e.index < kWidth[e.sig]) {\n"
+        "        const u64 old = S->v[e.sig];\n"
+        "        set_sig(S, e.sig, (old & ~(1ull << e.index)) | ((e.value & "
+        "1ull) << e.index), -1);\n"
+        "      }\n"
+        "    } else {\n"
+        "      set_sig(S, e.sig, e.value, -1);\n"
+        "    }\n"
+        "  }\n}\n\n";
+
+  os << "static int settle(St* S, i64 budget) {\n"
+        "  S->slot_base = S->instrs;\n"
+        "  for (;;) {\n"
+        "    if (S->comb_dirty) { S->comb_dirty = false; flush(S); }\n"
+        "    if (S->ready_count > 0) {\n"
+        "      int p = 0;\n"
+        "      while (!S->ready[p]) ++p;\n"
+        "      const int r = run_proc(S, p, budget);\n"
+        "      if (r) return r;\n"
+        "      continue;\n"
+        "    }\n"
+        "    if (S->nba.empty()) break;\n"
+        "    commit_nba(S);\n"
+        "    ++S->delta_cycles;\n"
+        "  }\n"
+        "  return 0;\n}\n"
+        "}  // namespace\n\n";
+
+  // ABI. Keep in sync with CodegenModule (codegen.h); bump kCgAbi there
+  // when anything below changes shape.
+  os << "extern \"C\" {\n"
+        "int hlsw_cg_abi() { return 1; }\n"
+        "void* hlsw_cg_create() {\n  St* s = new St();\n";
+  for (std::size_t i = 0; i < nsig; ++i)
+    if (d.signals[i].array_len == 0 && d.signals[i].has_init)
+      os << "  s->v[" << i << "] = "
+         << hx(static_cast<std::uint64_t>(d.signals[i].init) & cd.sig_mask[i])
+         << ";\n";
+  for (std::size_t p = 0; p < nproc; ++p)
+    if (cd.procs[p].initially_ready)
+      os << "  s->ready[" << p << "] = 1;\n  ++s->ready_count;\n";
+  os << "  return s;\n}\n"
+        "void hlsw_cg_destroy(void* p) { delete (St*)p; }\n"
+        "void hlsw_cg_poke(void* p, int sig, u64 v) { set_sig((St*)p, sig, "
+        "v, -1); }\n"
+        "u64 hlsw_cg_peek(void* p, int sig) { return ((St*)p)->v[sig]; }\n"
+        "u64 hlsw_cg_peek_elem(void* p, int sig, int idx) {\n"
+        "  const u64* A = arrp((St*)p, sig);\n"
+        "  return A ? A[idx] : 0;\n}\n"
+        "int hlsw_cg_settle(void* p, long long budget) { return "
+        "settle((St*)p, budget); }\n"
+        "void hlsw_cg_stats(void* p, long long* out) {\n"
+        "  const St* s = (const St*)p;\n"
+        "  out[0] = s->events; out[1] = s->nba_commits;\n"
+        "  out[2] = s->delta_cycles; out[3] = s->instrs; out[4] = "
+        "s->flushes;\n}\n"
+        "}\n";
+  return os.str();
+}
+
+// ---- Build + load -----------------------------------------------------------
+
+namespace {
+
+constexpr int kCgAbi = 1;
+
+std::string fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::filesystem::path cache_dir() {
+  if (const char* e = std::getenv("HLSW_VSIM_CODEGEN_CACHE"))
+    if (*e) return e;
+  return std::filesystem::temp_directory_path() / "hlsw-vsim-codegen";
+}
+
+struct LoadedModule {
+  void* handle = nullptr;
+  std::string error;
+};
+
+// dlopen + fingerprint/ABI verification. The handle is never dlclose()d:
+// generated code may be referenced by live CodegenSims for the process
+// lifetime, and re-opening the same path returns the same handle anyway.
+LoadedModule open_and_verify(const std::filesystem::path& so,
+                             const std::string& fp) {
+  LoadedModule m;
+  m.handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (m.handle == nullptr) {
+    const char* e = dlerror();
+    m.error = e ? e : "dlopen failed";
+    return m;
+  }
+  const auto fp_fn =
+      reinterpret_cast<const char* (*)()>(dlsym(m.handle, "hlsw_cg_fp"));
+  const auto abi_fn =
+      reinterpret_cast<int (*)()>(dlsym(m.handle, "hlsw_cg_abi"));
+  if (fp_fn == nullptr || abi_fn == nullptr || abi_fn() != kCgAbi ||
+      fp != fp_fn()) {
+    m.handle = nullptr;
+    m.error = "cached shared object failed fingerprint/ABI verification";
+  }
+  return m;
+}
+
+// Builds (or reuses) the shared object for `src` and resolves the entry
+// points into *mod. Returns false with a reason in *why.
+bool build_module(const CompiledDesign& cd, std::string src,
+                  CodegenModule* mod, std::string* why) {
+  const std::string cxx = codegen_toolchain();
+  if (cxx.empty()) {
+    *why = "no host toolchain (set CXX or HLSW_CODEGEN_CXX)";
+    return false;
+  }
+  (void)cd;
+  // The fingerprint covers the generated text; the embedded fp symbol is
+  // appended after hashing so the hash stays well-defined.
+  const std::string fp = fnv1a(src);
+  src += "\nextern \"C\" const char* hlsw_cg_fp() { return \"" + fp +
+         "\"; }\n";
+
+  obs::ScopedSpan span("vsim.codegen.compile", "vsim");
+  const std::filesystem::path dir = cache_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path so = dir / (fp + ".so");
+  const std::filesystem::path cpp = dir / (fp + ".cpp");
+  const std::filesystem::path log = dir / (fp + ".log");
+
+  // One compilation at a time per process; cross-process races are settled
+  // by the atomic rename below (last writer wins, both artifacts valid).
+  static std::mutex build_mu;
+  std::lock_guard<std::mutex> lk(build_mu);
+
+  const bool metrics = obs::enabled();
+  LoadedModule lm;
+  bool cache_hit = false;
+  if (std::filesystem::exists(so, ec)) {
+    lm = open_and_verify(so, fp);
+    cache_hit = lm.handle != nullptr;
+  }
+  if (!cache_hit) {
+    {
+      std::ofstream f(cpp);
+      f << src;
+      if (!f) {
+        *why = "cannot write " + cpp.string();
+        return false;
+      }
+    }
+    const std::filesystem::path tmp =
+        dir / (fp + ".so.tmp" + std::to_string(::getpid()));
+    const std::string cmd = cxx + " -std=c++17 -O2 -fPIC -shared -o '" +
+                            tmp.string() + "' '" + cpp.string() + "' > '" +
+                            log.string() + "' 2>&1";
+    if (metrics)
+      obs::MetricsRegistry::instance().add("vsim.codegen.compiles", 1.0);
+    if (std::system(cmd.c_str()) != 0) {
+      std::string excerpt;
+      std::ifstream lf(log);
+      std::string line;
+      for (int i = 0; i < 3 && std::getline(lf, line); ++i)
+        excerpt += (excerpt.empty() ? "" : " | ") + line;
+      std::filesystem::remove(tmp, ec);
+      *why = "toolchain '" + cxx + "' failed (" +
+             (excerpt.empty() ? "see " + log.string() : excerpt) + ")";
+      return false;
+    }
+    std::filesystem::rename(tmp, so, ec);
+    if (ec) {
+      *why = "cannot install " + so.string() + ": " + ec.message();
+      return false;
+    }
+    lm = open_and_verify(so, fp);
+    if (lm.handle == nullptr) {
+      *why = "freshly built shared object failed to load: " + lm.error;
+      return false;
+    }
+  }
+  if (metrics)
+    obs::MetricsRegistry::instance().add(
+        cache_hit ? "vsim.codegen.so_cache.hits"
+                  : "vsim.codegen.so_cache.misses",
+        1.0);
+  if (span.active()) {
+    span.arg("fingerprint", fp);
+    span.arg("cached", cache_hit ? 1LL : 0LL);
+    span.arg("cxx", cxx);
+    span.arg("bytes", static_cast<long long>(src.size()));
+  }
+
+  mod->fingerprint = fp;
+  mod->so_path = so.string();
+  const auto sym = [&](const char* name) { return dlsym(lm.handle, name); };
+  mod->create = reinterpret_cast<void* (*)()>(sym("hlsw_cg_create"));
+  mod->destroy = reinterpret_cast<void (*)(void*)>(sym("hlsw_cg_destroy"));
+  mod->poke = reinterpret_cast<void (*)(void*, int, std::uint64_t)>(
+      sym("hlsw_cg_poke"));
+  mod->peek =
+      reinterpret_cast<std::uint64_t (*)(void*, int)>(sym("hlsw_cg_peek"));
+  mod->peek_elem = reinterpret_cast<std::uint64_t (*)(void*, int, int)>(
+      sym("hlsw_cg_peek_elem"));
+  mod->settle =
+      reinterpret_cast<int (*)(void*, long long)>(sym("hlsw_cg_settle"));
+  mod->stats =
+      reinterpret_cast<void (*)(void*, long long*)>(sym("hlsw_cg_stats"));
+  if (!mod->create || !mod->destroy || !mod->poke || !mod->peek ||
+      !mod->peek_elem || !mod->settle || !mod->stats) {
+    *why = "generated shared object is missing entry points";
+    return false;
+  }
+  return true;
+}
+
+struct CodegenCache {
+  struct Entry {
+    std::weak_ptr<const CompiledDesign> key;
+    std::shared_ptr<const CodegenModule> mod;
+    std::string why;
+  };
+  std::mutex mu;
+  std::map<const CompiledDesign*, Entry> map;
+};
+
+CodegenCache& codegen_cache() {
+  static auto* c = new CodegenCache;  // leaked: alive for process teardown
+  return *c;
+}
+
+}  // namespace
+
+std::shared_ptr<const CodegenModule> codegen_plan(
+    const std::shared_ptr<const Design>& design, std::string* why) {
+  const bool metrics = obs::enabled();
+  const auto fall = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    if (metrics)
+      obs::MetricsRegistry::instance().add("vsim.codegen.fallbacks", 1.0);
+    return nullptr;
+  };
+
+  // Toolchain availability is decided BEFORE the memo so disabling codegen
+  // (HLSW_CODEGEN_CXX=none) never poisons the per-design cache.
+  if (!codegen_available())
+    return fall("no host toolchain (set CXX or HLSW_CODEGEN_CXX)");
+
+  std::string cwhy;
+  const auto plan = compiled_plan(design, &cwhy);
+  if (plan == nullptr) return fall(cwhy);
+
+  CodegenCache& c = codegen_cache();
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+    const auto it = c.map.find(plan.get());
+    if (it != c.map.end() && !it->second.key.expired()) {
+      if (it->second.mod != nullptr) return it->second.mod;
+      return fall(it->second.why);
+    }
+  }
+
+  const auto memoize = [&](std::shared_ptr<const CodegenModule> mod,
+                           const std::string& reason) {
+    std::lock_guard<std::mutex> lk(c.mu);
+    if (c.map.size() > 64) {
+      for (auto it = c.map.begin(); it != c.map.end();)
+        it = it->second.key.expired() ? c.map.erase(it) : std::next(it);
+    }
+    CodegenCache::Entry e;
+    e.key = plan;
+    e.mod = std::move(mod);
+    e.why = reason;
+    c.map[plan.get()] = std::move(e);
+  };
+
+  // Typed refusals: system tasks stay on the interpreter tiers, which own
+  // the display log and the VCD writer.
+  for (const PInstr& in : plan->prog) {
+    if (in.code == PInstr::kDisplay || in.code == PInstr::kDumpFile ||
+        in.code == PInstr::kDumpVars) {
+      const std::string reason =
+          "$display/$dump system tasks stay on the interpreter backends";
+      memoize(nullptr, reason);
+      return fall(reason);
+    }
+  }
+
+  auto mod = std::make_shared<CodegenModule>();
+  mod->plan = plan;
+  std::string bwhy;
+  if (!build_module(*plan, codegen_source(*plan), mod.get(), &bwhy)) {
+    memoize(nullptr, bwhy);
+    return fall(bwhy);
+  }
+  memoize(mod, "");
+  return mod;
+}
+
+// ---- CodegenSim -------------------------------------------------------------
+
+CodegenSim::CodegenSim(std::shared_ptr<const CodegenModule> mod,
+                       const SimConfig& cfg)
+    : mod_(std::move(mod)), cfg_(cfg) {
+  st_ = mod_->create();
+  settle();  // time 0: all comb evaluates once, initial bodies run
+}
+
+CodegenSim::~CodegenSim() {
+  if (st_ != nullptr) {
+    if (obs::enabled()) {
+      long long o[5] = {};
+      mod_->stats(st_, o);
+      obs::MetricsRegistry::instance().add("vsim.codegen.flushes",
+                                           static_cast<double>(o[4]));
+    }
+    mod_->destroy(st_);
+  }
+}
+
+void CodegenSim::poke(int sig, std::uint64_t value) {
+  mod_->poke(st_, sig, value);
+}
+
+long long CodegenSim::peek_signed(int sig) const {
+  const int w =
+      mod_->plan->design->signals[static_cast<std::size_t>(sig)].width;
+  std::uint64_t v = peek(sig);
+  if (w < 64 && ((v >> (w - 1)) & 1))
+    v |= ~((w >= 64 ? ~0ULL : (1ULL << w) - 1ULL));
+  return static_cast<long long>(v);
+}
+
+std::uint64_t CodegenSim::peek_elem(int sig, int index) const {
+  const Signal& s =
+      mod_->plan->design->signals[static_cast<std::size_t>(sig)];
+  if (index < 0 || index >= s.array_len)
+    fail("element " + std::to_string(index) + " out of range for '" +
+         s.name + "'");
+  return mod_->peek_elem(st_, sig, index);
+}
+
+void CodegenSim::settle() {
+  const int r = mod_->settle(st_, cfg_.max_instrs_per_slot);
+  if (r != 0)
+    fail("instruction budget exceeded without time advancing "
+         "(zero-delay loop in " +
+         mod_->plan->procs[static_cast<std::size_t>(r - 1)].origin + "?)");
+}
+
+RunResult CodegenSim::run() {
+  obs::ScopedSpan span("vsim.run", "vsim");
+  if (span.active()) span.arg("backend", "codegen");
+  settle();
+  if (obs::enabled()) {
+    const SimStats& s = stats();
+    auto& m = obs::MetricsRegistry::instance();
+    m.add("vsim.events", static_cast<double>(s.events));
+    m.add("vsim.nba_commits", static_cast<double>(s.nba_commits));
+  }
+  RunResult r;
+  r.end_time = 0;
+  return r;
+}
+
+const SimStats& CodegenSim::stats() const {
+  long long o[5] = {};
+  mod_->stats(st_, o);
+  stats_.events = o[0];
+  stats_.nba_commits = o[1];
+  stats_.delta_cycles = o[2];
+  stats_.instrs = o[3];
+  return stats_;
+}
+
+}  // namespace hlsw::vsim

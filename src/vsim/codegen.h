@@ -1,0 +1,123 @@
+// Codegen backend for vsim — the third rung of the backend ladder
+// (event kernel -> compiled tape interpreter -> generated native code).
+//
+// The compiled backend (compile.h) already levelizes the design into a
+// combinational DAG of expression tapes plus branch-resolved process
+// programs; this backend pretty-prints that CompiledDesign as one
+// self-contained C++ translation unit (straight-line level-ordered comb
+// flush with per-node change detection, goto-based process bodies with the
+// same double-buffered NBA commit, statically baked fanout/trigger
+// bookkeeping), compiles it with the host toolchain and dlopen()s the
+// result. Where the interpreter activity-gates (only re-evaluating nodes
+// whose fanin changed), the generated flush simply evaluates EVERY node in
+// level order: full re-evaluation of a pure levelized DAG is idempotent,
+// change detection keeps the SimStats event counts identical, and
+// straight-line native code beats the gated interpreter by a wide margin
+// (bench/bench_vsim.cpp, vsim_harness_100_symbols_codegen).
+//
+// Fallback chain (silent, typed, reason recorded): codegen refuses designs
+// the compiled backend refuses (it consumes the compiled plan), designs
+// with $display/$dumpfile/$dumpvars (testbenches keep the interpreter
+// tiers, which own the display log and VCD writer), and any environment
+// without a working host toolchain — Simulation then degrades to the
+// compiled interpreter with fallback_reason() prefixed "codegen: ".
+//
+// Shared-object cache: generated sources are fingerprinted (FNV-1a over
+// the full generated text) and compiled artifacts live under
+// $HLSW_VSIM_CODEGEN_CACHE (default <tmp>/hlsw-vsim-codegen) as
+// <fingerprint>.{cpp,so,log} — the same content-keyed discipline as
+// hls::SynthesisCache. A cached .so is dlopen()ed and verified against its
+// embedded fingerprint + ABI version before reuse; compilation of one
+// fingerprint is serialized process-wide. Counters:
+// vsim.codegen.so_cache.{hits,misses}, vsim.codegen.compiles,
+// vsim.codegen.fallbacks; the toolchain invocation runs under a
+// "vsim.codegen.compile" span. Toolchain resolution: $HLSW_CODEGEN_CXX
+// (value "none" or "" disables codegen outright — the fallback tests use
+// this), else $CXX, else the first of c++/g++/clang++ that answers
+// --version.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "vsim/compile.h"
+#include "vsim/sim.h"
+
+namespace hlsw::vsim {
+
+// A generated, compiled and loaded engine for one CompiledDesign. The
+// dlopen handle is retained for the process lifetime (never dlclose()d);
+// instances only hold resolved entry points. Immutable and shared across
+// every CodegenSim built from it, like CompiledDesign itself.
+struct CodegenModule {
+  std::shared_ptr<const CompiledDesign> plan;
+  std::string fingerprint;
+  std::string so_path;
+
+  // Resolved extern "C" entry points of the generated engine.
+  void* (*create)() = nullptr;
+  void (*destroy)(void*) = nullptr;
+  void (*poke)(void*, int, std::uint64_t) = nullptr;
+  std::uint64_t (*peek)(void*, int) = nullptr;
+  std::uint64_t (*peek_elem)(void*, int, int) = nullptr;
+  // Runs the settle loop with the given zero-delay instruction budget.
+  // Returns 0 when quiescent, or 1 + proc index when the budget blew.
+  int (*settle)(void*, long long) = nullptr;
+  // Copies {events, nba_commits, delta_cycles, instrs, flushes} into
+  // out[0..4].
+  void (*stats)(void*, long long*) = nullptr;
+};
+
+// True when a host C++ toolchain is available to this process (and codegen
+// has not been disabled via HLSW_CODEGEN_CXX=none). Cheap after the first
+// probe; re-reads the environment on every call so tests can flip it.
+bool codegen_available();
+
+// The compiler command codegen would invoke ("" when unavailable).
+std::string codegen_toolchain();
+
+// Generates the C++ translation unit for one compiled plan (exposed for
+// tests and for inspecting what the backend emits).
+std::string codegen_source(const CompiledDesign& cd);
+
+// Memoized generate+compile+dlopen for `design`. Returns nullptr with a
+// human-readable reason in *why (may be nullptr) when the design is not
+// codegen-able or no toolchain exists. Success and failure are both
+// memoized per compiled plan; the toolchain-disabled case is decided
+// before the memo so re-enabling the toolchain is not poisoned.
+std::shared_ptr<const CodegenModule> codegen_plan(
+    const std::shared_ptr<const Design>& design, std::string* why);
+
+// Execution engine over one loaded CodegenModule: the same poke/settle
+// delta-cycle contract as CompiledSim, with the whole settle loop (comb
+// flush, process scheduling, NBA commit) running inside the generated
+// shared object. No $display/VCD support by construction (such designs
+// never reach this backend).
+class CodegenSim {
+ public:
+  CodegenSim(std::shared_ptr<const CodegenModule> mod, const SimConfig& cfg);
+  ~CodegenSim();
+  CodegenSim(const CodegenSim&) = delete;
+  CodegenSim& operator=(const CodegenSim&) = delete;
+
+  void poke(int sig, std::uint64_t value);
+  std::uint64_t peek(int sig) const { return mod_->peek(st_, sig); }
+  long long peek_signed(int sig) const;
+  std::uint64_t peek_elem(int sig, int index) const;
+  void settle();
+  RunResult run();  // no timers on this backend: settle and report
+
+  long long now() const { return 0; }
+  const SimStats& stats() const;
+  const std::vector<std::string>& display_log() const { return display_; }
+
+ private:
+  std::shared_ptr<const CodegenModule> mod_;
+  SimConfig cfg_;
+  void* st_ = nullptr;                  // generated engine state
+  mutable SimStats stats_;              // refreshed from the engine on read
+  std::vector<std::string> display_;    // always empty on this backend
+};
+
+}  // namespace hlsw::vsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -1382,7 +1383,7 @@ std::shared_ptr<const CompiledDesign> compile_design(
       cd->sig_mask[i] = umask(d.signals[i].width);
   } catch (const FallbackError& f) {
     if (why) *why = f.why;
-    if (span.active()) span.arg("fallback", f.why);
+    if (span.active()) span.arg("fallback_reason", f.why);
     return nullptr;
   }
 
@@ -1460,6 +1461,12 @@ std::shared_ptr<const CompiledDesign> compiled_plan(
 
 struct CompiledSim::Dump {
   rtl::VcdCore core;
+  // Signals touched since the last flush ((signal, element), element -1 for
+  // scalars). Coalesced and emitted in ascending handle order at settle
+  // boundaries so the VCD records net per-slot state deltas — the same
+  // canonical form the event kernel emits, which is what makes dumps
+  // byte-identical across backends.
+  std::set<std::pair<int, long long>> pending;
   explicit Dump(const std::string& scope)
       : core(/*timescale_ns=*/1.0, scope, "hlsw vsim") {}
 };
@@ -2149,6 +2156,7 @@ void CompiledSim::settle() {
     commit_nba();
     ++stats_.delta_cycles;
   }
+  if (dumping_) flush_dump();
 }
 
 void CompiledSim::poke(int sig, std::uint64_t value) {
@@ -2225,6 +2233,10 @@ void CompiledSim::start_dump() {
   const auto n = d.signals.size();
   dump_handle_.assign(n, -1);
   dump_elem_handle_.assign(n, {});
+  // Mark everything pending rather than snapshotting the mid-slot state at
+  // the instant $dumpvars ran: the flush at the end of this time slot then
+  // records every signal's SETTLED time-0 value, which does not depend on
+  // how the engine interleaved the other time-0 processes.
   for (std::size_t i = 0; i < n; ++i) {
     const Signal& s = d.signals[i];
     if (s.array_len > 0) {
@@ -2232,32 +2244,38 @@ void CompiledSim::start_dump() {
         const int h = dump_->core.add_signal(
             s.name + "[" + std::to_string(j) + "]", s.width);
         dump_elem_handle_[i].push_back(h);
-        dump_->core.change(
-            0, h, static_cast<long long>(arr_[i][static_cast<size_t>(j)]));
+        dump_->pending.emplace(static_cast<int>(i), j);
       }
     } else {
       const int h = dump_->core.add_signal(s.name, s.width);
       dump_handle_[i] = h;
-      dump_->core.change(0, h, static_cast<long long>(val_[i]));
+      dump_->pending.emplace(static_cast<int>(i), -1);
     }
   }
   dumping_ = true;
 }
 
 void CompiledSim::dump_change(int sig, long long index) const {
-  if (index < 0) {
-    const int h = dump_handle_[static_cast<size_t>(sig)];
-    if (h >= 0)
+  dump_->pending.emplace(sig, index);
+}
+
+void CompiledSim::flush_dump() const {
+  for (const auto& [sig, index] : dump_->pending) {
+    if (index < 0) {
+      const int h = dump_handle_[static_cast<size_t>(sig)];
+      if (h >= 0)
+        dump_->core.change(
+            0, h, static_cast<long long>(val_[static_cast<size_t>(sig)]));
+      continue;
+    }
+    const auto& hs = dump_elem_handle_[static_cast<size_t>(sig)];
+    if (index < static_cast<long long>(hs.size()))
       dump_->core.change(
-          0, h, static_cast<long long>(val_[static_cast<size_t>(sig)]));
-    return;
+          0, hs[static_cast<size_t>(index)],
+          static_cast<long long>(
+              arr_[static_cast<size_t>(sig)][static_cast<size_t>(index)]));
   }
-  const auto& hs = dump_elem_handle_[static_cast<size_t>(sig)];
-  if (index < static_cast<long long>(hs.size()))
-    dump_->core.change(
-        0, hs[static_cast<size_t>(index)],
-        static_cast<long long>(
-            arr_[static_cast<size_t>(sig)][static_cast<size_t>(index)]));
+  dump_->pending.clear();
 }
 
 }  // namespace hlsw::vsim

@@ -311,6 +311,7 @@ class CompiledSim {
   std::string format_display(const DisplayEntry& d);
   void start_dump();
   void dump_change(int sig, long long index) const;
+  void flush_dump() const;
 
   std::shared_ptr<const CompiledDesign> cd_;
   SimConfig cfg_;

@@ -9,6 +9,8 @@
 #include "obs/trace.h"
 #include "rtl/sim.h"
 #include "rtl/verilog.h"
+#include "util/thread_pool.h"
+#include "vsim/pack.h"
 #include "vsim/parser.h"
 
 namespace hlsw::vsim {
@@ -245,6 +247,93 @@ hls::CosimFactory vsim_factory(const hls::Function& f,
   };
 }
 
+// The packed engine refuses $display/$dump at runtime; pre-gate on their
+// absence so the sweep silently keeps the scalar path instead of throwing.
+bool plan_packable(const CompiledDesign& cd) {
+  for (const PInstr& in : cd.prog)
+    if (in.code == PInstr::kDisplay || in.code == PInstr::kDumpFile ||
+        in.code == PInstr::kDumpVars)
+      return false;
+  return true;
+}
+
+// Multi-lane sweep: up to `lanes` consecutive blocks share one
+// PackedDutHarness, each block in its own lane. Block independence is
+// untouched (every batch's harness starts from reset, and lanes are
+// state-disjoint), the golden leg stays the per-block untimed interpreter,
+// and mismatch reports reuse hls::compare_outputs / cap_mismatches so the
+// output is byte-identical with the scalar sweep.
+hls::CosimResult vsim_sweep_packed(
+    const hls::Function& f, std::shared_ptr<const CompiledDesign> plan,
+    const std::vector<PortIo>& vectors, const hls::CosimOptions& opts,
+    const SimConfig& cfg, int lanes) {
+  hls::CosimResult result;
+  result.vectors = vectors.size();
+  if (vectors.empty()) return result;
+
+  const std::size_t bs = std::max<std::size_t>(1, opts.block_size);
+  const std::size_t nblocks = (vectors.size() + bs - 1) / bs;
+  result.blocks = nblocks;
+  const std::size_t nlanes = static_cast<std::size_t>(lanes);
+  const std::size_t nbatches = (nblocks + nlanes - 1) / nlanes;
+
+  obs::ScopedSpan span("vsim_sweep.packed", "vsim");
+  if (span.active()) {
+    span.arg("lanes", static_cast<long long>(lanes));
+    span.arg("blocks", static_cast<long long>(nblocks));
+    span.arg("batches", static_cast<long long>(nbatches));
+  }
+
+  const auto run_batch = [&](std::size_t batch) -> std::vector<std::string> {
+    const std::size_t first_blk = batch * nlanes;
+    const int L = static_cast<int>(
+        std::min(nlanes, nblocks - first_blk));
+    std::vector<std::vector<PortIo>> streams(static_cast<std::size_t>(L));
+    for (int l = 0; l < L; ++l) {
+      const std::size_t begin = (first_blk + static_cast<std::size_t>(l)) * bs;
+      const std::size_t end = std::min(begin + bs, vectors.size());
+      streams[static_cast<std::size_t>(l)].assign(
+          vectors.begin() + static_cast<long>(begin),
+          vectors.begin() + static_cast<long>(end));
+    }
+    PackedDutHarness harness(f, plan, L, cfg);
+    const auto got = harness.run_streams(streams);
+    std::vector<std::string> mism;
+    for (int l = 0; l < L; ++l) {
+      const std::size_t blk = first_blk + static_cast<std::size_t>(l);
+      const std::size_t begin = blk * bs;
+      const auto& block = streams[static_cast<std::size_t>(l)];
+      const std::vector<PortIo> want =
+          hls::Interpreter(f).run_stream(block);
+      if (want.size() != block.size() ||
+          got[static_cast<std::size_t>(l)].size() != block.size()) {
+        mism.push_back("block " + std::to_string(blk) +
+                       ": model returned wrong vector count");
+        continue;
+      }
+      for (std::size_t i = 0; i < block.size(); ++i)
+        hls::compare_outputs(begin + i, want[i],
+                             got[static_cast<std::size_t>(l)][i], &mism);
+    }
+    return mism;
+  };
+
+  // Deterministic merge: batches in order, lanes within a batch in block
+  // order — the global mismatch list reads exactly as the scalar sweep's.
+  std::unique_ptr<util::ThreadPool> owned;
+  util::ThreadPool* pool = opts.pool;
+  if (pool == nullptr && opts.threads > 0) {
+    owned = std::make_unique<util::ThreadPool>(opts.threads);
+    pool = owned.get();
+  }
+  const auto per_batch = util::map_ordered(pool, nbatches, run_batch);
+  for (const auto& mism : per_batch)
+    result.mismatches.insert(result.mismatches.end(), mism.begin(),
+                             mism.end());
+  hls::cap_mismatches(opts.mismatch_limit, &result);
+  return result;
+}
+
 }  // namespace
 
 hls::CosimResult vsim_sweep(const hls::Function& f, const hls::Schedule& s,
@@ -254,6 +343,13 @@ hls::CosimResult vsim_sweep(const hls::Function& f, const hls::Schedule& s,
   obs::ScopedSpan span("vsim_sweep", "vsim");
   const std::string verilog = rtl::emit_verilog(f, s);
   auto design = load_design(verilog, f.name);
+  const int lanes = std::clamp(opts.lanes, 1, kMaxLanes);
+  if (lanes > 1 && cfg.compiled && cfg.backend != Backend::kEvent) {
+    std::string why;
+    if (auto plan = compiled_plan(design, &why); plan && plan_packable(*plan))
+      return vsim_sweep_packed(f, plan, vectors, opts, cfg, lanes);
+    // Not cycle-schedulable (or a dumping design): scalar fallback below.
+  }
   return hls::cosim_sweep(interp_factory(f), vsim_factory(f, design, cfg),
                           vectors, opts);
 }

@@ -53,6 +53,10 @@ obs::Json ProfileRunResult::to_json() const {
       raw.set(name, value);
     legs.push(obs::Json::object()
                   .set("source", counters[i].source)
+                  .set("backend",
+                       i < leg_backends.size() ? leg_backends[i] : "")
+                  .set("fallback_reason",
+                       i < leg_fallbacks.size() ? leg_fallbacks[i] : "")
                   .set("output_mismatches", output_mismatches[i])
                   .set("counters", std::move(raw))
                   .set("report", reports[i].to_json()));
@@ -113,36 +117,44 @@ ProfileRunResult profile_run(const hls::Function& f,
       if (!io_equal(got[i], expected[i])) ++mm;
     return mm;
   };
-  auto add_leg = [&](hls::CounterValues values, long long mm) {
+  auto add_leg = [&](hls::CounterValues values, long long mm,
+                     std::string backend, std::string fallback) {
     r.output_mismatches.push_back(mm);
     r.reports.push_back(hls::reconcile_profile(
         r.synthesis.transformed, r.synthesis.schedule, r.counter_map, values,
         &r.feasibility.bounds));
     r.counters.push_back(std::move(values));
+    r.leg_backends.push_back(std::move(backend));
+    r.leg_fallbacks.push_back(std::move(fallback));
   };
 
   if (opts.run_rtl_sim) {
     rtl::Simulator sim(r.synthesis.transformed, r.synthesis.schedule);
     const long long mm = mismatches(sim.run_stream(vectors));
-    add_leg(rtl::read_counters(sim, r.counter_map), mm);
+    add_leg(rtl::read_counters(sim, r.counter_map), mm, "rtl_sim", "");
   }
 
   std::vector<std::size_t> vsim_legs;  // indices into r.counters
-  if (opts.run_vsim_event || opts.run_vsim_compiled) {
+  if (opts.run_vsim_event || opts.run_vsim_compiled ||
+      opts.run_vsim_codegen) {
     auto design = load_design(r.verilog, r.function);
-    auto run_vsim = [&](bool compiled) {
+    auto run_vsim = [&](Backend want, const char* wanted_name) {
       SimConfig cfg;
-      cfg.compiled = compiled;
+      cfg.backend = want;
       DutHarness h(r.synthesis.transformed, design, cfg);
-      if (compiled && std::string(h.sim().backend()) != "compiled")
-        r.notes.push_back("compiled backend fell back to the event engine: " +
+      const std::string got = h.sim().backend();
+      if (got != wanted_name)
+        r.notes.push_back(std::string(wanted_name) +
+                          " backend fell back to " + got + ": " +
                           h.sim().fallback_reason());
       const long long mm = mismatches(h.run_stream(vectors));
       vsim_legs.push_back(r.counters.size());
-      add_leg(h.read_counters(r.counter_map), mm);
+      add_leg(h.read_counters(r.counter_map), mm, got,
+              h.sim().fallback_reason());
     };
-    if (opts.run_vsim_event) run_vsim(false);
-    if (opts.run_vsim_compiled) run_vsim(true);
+    if (opts.run_vsim_event) run_vsim(Backend::kEvent, "event");
+    if (opts.run_vsim_compiled) run_vsim(Backend::kCompiled, "compiled");
+    if (opts.run_vsim_codegen) run_vsim(Backend::kCodegen, "codegen");
   }
 
   // ---- Cross-leg agreement ----

@@ -36,10 +36,15 @@ struct ProfileRunOptions {
   // Counter selection; `enabled` is forced on (a profile run without
   // counters measures nothing).
   hls::InstrumentOptions instrument;
-  // Measurement legs. All on by default.
+  // Measurement legs. The first three are on by default; the codegen leg
+  // is opt-in because it invokes the host toolchain once per design (it
+  // degrades to the compiled interpreter — with the reason recorded in the
+  // leg's fallback_reason — on machines without one, so enabling it is
+  // always safe, just not always cheap).
   bool run_rtl_sim = true;
   bool run_vsim_event = true;
   bool run_vsim_compiled = true;
+  bool run_vsim_codegen = false;
   // When non-empty, write_profile_run_json() is called on the result.
   std::string report_path;
 };
@@ -52,6 +57,12 @@ struct ProfileRunResult {
   hls::FeasibilityVerdict feasibility;     // bounds certified on original IR
   std::vector<hls::CounterValues> counters;  // one per executed leg
   std::vector<hls::ProfileReport> reports;   // reconciled, aligned with ^
+  // Aligned with `counters`: the backend that actually executed each leg
+  // ("rtl_sim", "event", "compiled", "codegen") and, when the requested
+  // backend degraded, the typed fallback reason ("" otherwise). Serialized
+  // per leg as "backend" / "fallback_reason" in profile_run.json.
+  std::vector<std::string> leg_backends;
+  std::vector<std::string> leg_fallbacks;
   // Output words that differed from the golden interpreter, per leg.
   std::vector<long long> output_mismatches;
   // Cross-leg counter disagreements and other hard problems found by the

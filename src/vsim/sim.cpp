@@ -1,12 +1,14 @@
 #include "vsim/sim.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/vcd.h"
+#include "vsim/codegen.h"
 #include "vsim/compile.h"
 
 namespace hlsw::vsim {
@@ -220,6 +222,13 @@ struct Simulation::Compiler {
 
 struct Simulation::Dump {
   rtl::VcdCore core;
+  // Signals touched since the last flush, as (signal, element) pairs with
+  // element -1 for scalars. Changes are coalesced here and emitted in
+  // ascending (signal, element) order at time-slot boundaries, so the VCD
+  // records each slot's NET state delta — independent of the order the
+  // engine happened to evaluate processes in. This is what makes the event
+  // kernel and the compiled/codegen interpreters byte-identical dumpers.
+  std::set<std::pair<int, long long>> pending;
   explicit Dump(const std::string& scope)
       : core(/*timescale_ns=*/1.0, scope, "hlsw vsim") {}
 };
@@ -229,15 +238,33 @@ struct Simulation::Dump {
 Simulation::Simulation(std::shared_ptr<const Design> design,
                        const SimConfig& cfg)
     : design_(std::move(design)), cfg_(cfg) {
-  if (cfg_.compiled) {
+  Backend want = cfg_.backend;
+  if (want == Backend::kAuto)
+    want = cfg_.compiled ? Backend::kCompiled : Backend::kEvent;
+  if (want == Backend::kCodegen) {
+    // Top tier: generated + dlopen'd native engine. Degrades to the
+    // compiled interpreter when no host toolchain is available or the
+    // design uses constructs codegen refuses ($display, VCD dumping).
+    std::string why;
+    if (auto mod = codegen_plan(design_, &why)) {
+      codegen_ = std::make_unique<CodegenSim>(std::move(mod), cfg_);
+      return;
+    }
+    fallback_reason_ = "codegen: " + why;
+    want = Backend::kCompiled;
+  }
+  if (want == Backend::kCompiled) {
     // Cycle-schedulable designs run on the levelized compiled backend;
     // everything else (delays, $finish/$stop, feedback) silently keeps
     // the event kernel below. The plan is memoized per Design, so sweep
     // legs and harness replays share one compilation.
-    if (auto plan = compiled_plan(design_, &fallback_reason_)) {
+    std::string why;
+    if (auto plan = compiled_plan(design_, &why)) {
       compiled_ = std::make_unique<CompiledSim>(std::move(plan), cfg_);
       return;
     }
+    if (!fallback_reason_.empty()) fallback_reason_ += "; ";
+    fallback_reason_ += why;
   }
   const auto n = design_->signals.size();
   val_.assign(n, 0);
@@ -650,6 +677,10 @@ void Simulation::run_thread(int tid) {
 // ---- Regions ----------------------------------------------------------------
 
 void Simulation::settle() {
+  if (codegen_) {
+    codegen_->settle();
+    return;
+  }
   if (compiled_) {
     compiled_->settle();
     return;
@@ -666,16 +697,18 @@ void Simulation::settle() {
     }
     if (ready >= 0) {
       run_thread(ready);
-      if (finished_ || stopped_) return;
+      if (finished_ || stopped_) break;
       continue;
     }
     if (nba_q_.empty()) break;
     commit_nba();
     ++stats_.delta_cycles;
   }
+  if (dumping_) flush_dump();
 }
 
 RunResult Simulation::run() {
+  if (codegen_) return codegen_->run();
   if (compiled_) return compiled_->run();
   obs::ScopedSpan span("vsim.run", "vsim");
   const bool metrics = obs::enabled();
@@ -740,6 +773,7 @@ long long Simulation::peek_signed(const std::string& name) const {
 unsigned long long Simulation::peek_elem(const std::string& name,
                                          int index) const {
   const int sig = require(name);
+  if (codegen_) return codegen_->peek_elem(sig, index);
   if (compiled_) return compiled_->peek_elem(sig, index);
   const auto& a = arr_[static_cast<size_t>(sig)];
   if (index < 0 || index >= static_cast<int>(a.size()))
@@ -753,6 +787,10 @@ int Simulation::signal_handle(const std::string& name) const {
 }
 
 void Simulation::poke(int sig, unsigned long long value) {
+  if (codegen_) {
+    codegen_->poke(sig, value);
+    return;
+  }
   if (compiled_) {
     compiled_->poke(sig, value);
     return;
@@ -761,29 +799,35 @@ void Simulation::poke(int sig, unsigned long long value) {
 }
 
 unsigned long long Simulation::peek(int sig) const {
+  if (codegen_) return codegen_->peek(sig);
   if (compiled_) return compiled_->peek(sig);
   return val_[static_cast<size_t>(sig)];
 }
 
 long long Simulation::peek_signed(int sig) const {
+  if (codegen_) return codegen_->peek_signed(sig);
   if (compiled_) return compiled_->peek_signed(sig);
   return s64(val_[static_cast<size_t>(sig)],
              design_->signals[static_cast<size_t>(sig)].width);
 }
 
 long long Simulation::now() const {
+  if (codegen_) return codegen_->now();
   return compiled_ ? compiled_->now() : time_;
 }
 
 const SimStats& Simulation::stats() const {
+  if (codegen_) return codegen_->stats();
   return compiled_ ? compiled_->stats() : stats_;
 }
 
 const std::vector<std::string>& Simulation::display_log() const {
+  if (codegen_) return codegen_->display_log();
   return compiled_ ? compiled_->display_log() : display_;
 }
 
 const char* Simulation::backend() const {
+  if (codegen_) return "codegen";
   return compiled_ ? "compiled" : "event";
 }
 
@@ -855,6 +899,10 @@ void Simulation::start_dump() {
   const auto n = design_->signals.size();
   dump_handle_.assign(n, -1);
   dump_elem_handle_.assign(n, {});
+  // Mark everything pending rather than snapshotting the mid-slot state at
+  // the instant $dumpvars ran: the flush at the end of this time slot then
+  // records every signal's SETTLED value for the slot, which does not
+  // depend on how the engine interleaved the other same-slot processes.
   for (std::size_t i = 0; i < n; ++i) {
     const Signal& s = design_->signals[i];
     if (s.array_len > 0) {
@@ -862,32 +910,38 @@ void Simulation::start_dump() {
         const int h = dump_->core.add_signal(
             s.name + "[" + std::to_string(j) + "]", s.width);
         dump_elem_handle_[i].push_back(h);
-        dump_->core.change(time_, h,
-                           static_cast<long long>(arr_[i][static_cast<size_t>(j)]));
+        dump_->pending.emplace(static_cast<int>(i), j);
       }
     } else {
       const int h = dump_->core.add_signal(s.name, s.width);
       dump_handle_[i] = h;
-      dump_->core.change(time_, h, static_cast<long long>(val_[i]));
+      dump_->pending.emplace(static_cast<int>(i), -1);
     }
   }
   dumping_ = true;
 }
 
 void Simulation::dump_change(int sig, long long index) const {
-  if (index < 0) {
-    const int h = dump_handle_[static_cast<size_t>(sig)];
-    if (h >= 0)
-      dump_->core.change(time_, h,
-                         static_cast<long long>(val_[static_cast<size_t>(sig)]));
-    return;
+  dump_->pending.emplace(sig, index);
+}
+
+void Simulation::flush_dump() const {
+  for (const auto& [sig, index] : dump_->pending) {
+    if (index < 0) {
+      const int h = dump_handle_[static_cast<size_t>(sig)];
+      if (h >= 0)
+        dump_->core.change(
+            time_, h, static_cast<long long>(val_[static_cast<size_t>(sig)]));
+      continue;
+    }
+    const auto& hs = dump_elem_handle_[static_cast<size_t>(sig)];
+    if (index < static_cast<long long>(hs.size()))
+      dump_->core.change(
+          time_, hs[static_cast<size_t>(index)],
+          static_cast<long long>(
+              arr_[static_cast<size_t>(sig)][static_cast<size_t>(index)]));
   }
-  const auto& hs = dump_elem_handle_[static_cast<size_t>(sig)];
-  if (index < static_cast<long long>(hs.size()))
-    dump_->core.change(
-        time_, hs[static_cast<size_t>(index)],
-        static_cast<long long>(
-            arr_[static_cast<size_t>(sig)][static_cast<size_t>(index)]));
+  dump_->pending.clear();
 }
 
 void Simulation::exec_sys(const Stmt& st) {

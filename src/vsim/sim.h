@@ -25,6 +25,18 @@
 
 namespace hlsw::vsim {
 
+// Execution engine selection. kAuto defers to the legacy `compiled` flag
+// (compiled interpreter when the design cycle-schedules, event kernel
+// otherwise). Each tier degrades silently down the chain
+//   codegen -> compiled -> event
+// with the reason recorded in Simulation::fallback_reason().
+enum class Backend {
+  kAuto,      // honor SimConfig::compiled (the pre-codegen default)
+  kEvent,     // stratified event kernel (sim.cpp)
+  kCompiled,  // levelized tape interpreter (compile.cpp)
+  kCodegen,   // generated + dlopen'd native engine (codegen.cpp)
+};
+
 struct SimConfig {
   long long max_time = 1'000'000'000;  // free-run safety stop (time units)
   long long max_instrs_per_slot = 50'000'000;  // zero-delay-loop guard
@@ -32,8 +44,9 @@ struct SimConfig {
   // Prefer the compiled cycle-based backend (compile.h) when the design is
   // cycle-schedulable; designs with time control, $finish/$stop or
   // zero-delay feedback silently keep the event-driven kernel. Mirrors
-  // rtl::SimOptions::compiled.
+  // rtl::SimOptions::compiled. Consulted only when backend == kAuto.
   bool compiled = true;
+  Backend backend = Backend::kAuto;
 };
 
 // The vsim-facing name for the simulation options (ISSUE wording parity
@@ -60,6 +73,7 @@ struct RunResult {
 };
 
 class CompiledSim;
+class CodegenSim;
 
 class Simulation {
  public:
@@ -98,10 +112,12 @@ class Simulation {
   const std::vector<std::string>& display_log() const;
   const Design& design() const { return *design_; }
 
-  // Which engine executes this simulation: "compiled" or "event".
+  // Which engine executes this simulation: "codegen", "compiled" or
+  // "event".
   const char* backend() const;
-  // Why the compiled backend was not used ("" when it is, or when
-  // compilation was disabled by SimConfig::compiled = false).
+  // Why a preferred backend was not used ("" when the requested tier runs,
+  // or when a lower tier was requested explicitly). When codegen degrades
+  // to the compiled interpreter the reason is prefixed "codegen: ".
   const std::string& fallback_reason() const { return fallback_reason_; }
 
  private:
@@ -129,6 +145,7 @@ class Simulation {
   std::string format_display(const Stmt& st) const;
   void start_dump();
   void dump_change(int sig, long long index) const;
+  void flush_dump() const;
   int require(const std::string& name) const;
 
   std::shared_ptr<const Design> design_;
@@ -137,6 +154,9 @@ class Simulation {
   // every public entry point dispatches to it. The event-kernel state
   // below stays unconstructed in that case.
   std::unique_ptr<CompiledSim> compiled_;
+  // Non-null when the generated native engine executes this design; takes
+  // precedence over compiled_ (at most one of the two is set).
+  std::unique_ptr<CodegenSim> codegen_;
   std::string fallback_reason_;
   std::vector<std::uint64_t> val_;
   std::vector<std::vector<std::uint64_t>> arr_;

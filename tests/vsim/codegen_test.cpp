@@ -1,0 +1,160 @@
+// Codegen-backend tests that REQUIRE a working host toolchain: the backend
+// must actually run natively (no silent degradation to the compiled
+// interpreter), the on-disk shared-object cache must hit when the same
+// design fingerprint is rebuilt, and profile_run's opt-in codegen leg must
+// record which backend executed. Registered under the `codegen` ctest
+// label (CMake option HLSW_CODEGEN_TESTS, configure-time toolchain probe);
+// each test also GTEST_SKIPs visibly if the toolchain disappeared between
+// configure and run, so a toolchain-less machine never reports a silent
+// pass. The cache directory is pointed at the build tree via
+// HLSW_VSIM_CODEGEN_CACHE (set per test by ctest) and removed by a cleanup
+// fixture, so test artifacts never leak into the user's tmp cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hls/interp.h"
+#include "hls/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qam/architectures.h"
+#include "qam/decoder_ir.h"
+#include "qam/link.h"
+#include "rtl/verilog.h"
+#include "vsim/codegen.h"
+#include "vsim/harness.h"
+#include "vsim/parser.h"
+#include "vsim/profile.h"
+
+namespace hlsw::vsim {
+namespace {
+
+using hls::PortIo;
+using hls::TechLibrary;
+
+#define REQUIRE_TOOLCHAIN()                                              \
+  do {                                                                   \
+    if (!codegen_available())                                            \
+      GTEST_SKIP() << "no host C++ toolchain (HLSW_CODEGEN_CXX/CXX)";    \
+  } while (0)
+
+hls::SynthesisResult synth_merge() {
+  return hls::run_synthesis(qam::build_qam_decoder_ir(),
+                            qam::table1_architectures()[0].dir,
+                            TechLibrary::asic90());
+}
+
+TEST(VsimCodegen, BackendRunsNativelyAndMatchesGolden) {
+  REQUIRE_TOOLCHAIN();
+  const auto r = synth_merge();
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const auto design = load_design(verilog, r.transformed.name);
+
+  SimConfig cfg;
+  cfg.backend = Backend::kCodegen;
+  DutHarness dut(r.transformed, design, cfg);
+  ASSERT_STREQ(dut.sim().backend(), "codegen")
+      << dut.sim().fallback_reason();
+  EXPECT_TRUE(dut.sim().fallback_reason().empty());
+
+  hls::Interpreter golden(r.transformed);
+  qam::LinkStimulus stim((qam::LinkConfig()));
+  const auto vectors = qam::link_input_batch(&stim, 8);
+  const auto want = golden.run_stream(vectors);
+  const auto got = dut.run_stream(vectors);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].vars, want[i].vars) << "symbol " << i;
+    EXPECT_EQ(got[i].arrays, want[i].arrays) << "symbol " << i;
+  }
+  // The generated engine keeps the interpreter's accounting contract.
+  EXPECT_GT(dut.sim().stats().events, 0);
+  EXPECT_GT(dut.sim().stats().nba_commits, 0);
+}
+
+TEST(VsimCodegen, GeneratedSourceIsSelfContained) {
+  REQUIRE_TOOLCHAIN();
+  const auto r = synth_merge();
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const auto design = load_design(verilog, r.transformed.name);
+  const auto plan = compiled_plan(design, nullptr);
+  ASSERT_NE(plan, nullptr);
+  const std::string src = codegen_source(*plan);
+  // The ABI the loader resolves, all emitted with C linkage.
+  for (const char* sym : {"hlsw_cg_create", "hlsw_cg_destroy",
+                          "hlsw_cg_poke", "hlsw_cg_peek",
+                          "hlsw_cg_settle", "hlsw_cg_stats"})
+    EXPECT_NE(src.find(sym), std::string::npos) << sym;
+  EXPECT_NE(src.find("extern \"C\""), std::string::npos);
+}
+
+TEST(VsimCodegen, SharedObjectCacheHitsOnRebuiltFingerprint) {
+  REQUIRE_TOOLCHAIN();
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  auto& m = obs::MetricsRegistry::instance();
+
+  const auto r = synth_merge();
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+
+  // First build through the normal path (may compile or hit a prior run's
+  // on-disk artifact — either way the module loads).
+  {
+    SimConfig cfg;
+    cfg.backend = Backend::kCodegen;
+    Simulation sim(load_design(verilog, r.transformed.name), cfg);
+    ASSERT_STREQ(sim.backend(), "codegen") << sim.fallback_reason();
+  }
+
+  // A FRESH elaboration of the same text bypasses both the design cache
+  // and the per-plan memo, so codegen_plan re-fingerprints — and must find
+  // the .so on disk instead of invoking the toolchain again.
+  const double hits0 = m.counter_value("vsim.codegen.so_cache.hits");
+  const double compiles0 = m.counter_value("vsim.codegen.compiles");
+  auto fresh = elaborate(parse(verilog), r.transformed.name);
+  std::string why;
+  const auto mod = codegen_plan(fresh, &why);
+  ASSERT_NE(mod, nullptr) << why;
+  EXPECT_GE(m.counter_value("vsim.codegen.so_cache.hits"), hits0 + 1.0)
+      << "rebuilt fingerprint missed the on-disk cache";
+  EXPECT_EQ(m.counter_value("vsim.codegen.compiles"), compiles0)
+      << "rebuilt fingerprint re-invoked the toolchain";
+  EXPECT_FALSE(mod->fingerprint.empty());
+  EXPECT_FALSE(mod->so_path.empty());
+
+  obs::set_enabled(was_enabled);
+}
+
+TEST(VsimCodegen, ProfileRunRecordsCodegenLegAndBackend) {
+  REQUIRE_TOOLCHAIN();
+  const qam::Architecture a = qam::table1_architectures()[0];
+  qam::LinkStimulus stim((qam::LinkConfig()));
+  const auto vectors = qam::link_input_batch(&stim, 3);
+
+  ProfileRunOptions opts;
+  opts.run_rtl_sim = false;
+  opts.run_vsim_event = false;
+  opts.run_vsim_compiled = true;
+  opts.run_vsim_codegen = true;
+  const ProfileRunResult res =
+      profile_run(qam::build_qam_decoder_ir(), a.dir, TechLibrary::asic90(),
+                  vectors, opts);
+  EXPECT_TRUE(res.ok()) << (res.cross_issues.empty()
+                                ? "leg deviation"
+                                : res.cross_issues.front());
+  ASSERT_EQ(res.leg_backends.size(), 2u);
+  EXPECT_EQ(res.leg_backends[0], "compiled");
+  EXPECT_EQ(res.leg_backends[1], "codegen");
+  EXPECT_EQ(res.leg_fallbacks[1], "");
+
+  // The serialized report names the backend per leg, so a downgrade would
+  // be visible in profile_run.json, not only in counters.
+  const std::string json = res.to_json().dump();
+  EXPECT_NE(json.find("\"backend\":\"codegen\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fallback_reason\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsw::vsim

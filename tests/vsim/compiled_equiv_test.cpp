@@ -1,13 +1,20 @@
-// The acceptance gate of the compiled-backend PR: for every exploration and
-// Table 1 architecture — and randomized directive sets — the emitted
-// Verilog TEXT executed by the compiled cycle-based backend must match the
-// event-driven backend, the untimed interpreter golden and the
-// cycle-accurate rtl::Simulator bit-for-bit (cosim_sweep_nway over all four
-// legs). The compiled leg must actually BE compiled: every architecture's
-// emitted module is required to cycle-schedule with no fallback.
+// The acceptance gate of the compiled- and codegen-backend PRs: for every
+// exploration and Table 1 architecture — and randomized directive sets —
+// the emitted Verilog TEXT executed by the compiled cycle-based backend and
+// the generated-native codegen backend must match the event-driven backend,
+// the untimed interpreter golden and the cycle-accurate rtl::Simulator
+// bit-for-bit (cosim_sweep_nway over all five legs), and the VCD bytes a
+// dumping session records must be identical between the event kernel and
+// the compiled interpreter. The compiled leg must actually BE compiled:
+// every architecture's emitted module is required to cycle-schedule with no
+// fallback. The codegen leg runs natively where a host toolchain exists and
+// silently degrades to the compiled interpreter otherwise — either way it
+// participates as a fifth leg, so the battery passes on toolchain-less
+// machines too (the codegen-REQUIRED assertions live in codegen_test.cpp).
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <memory>
 #include <random>
 #include <string>
@@ -21,6 +28,7 @@
 #include "qam/link.h"
 #include "rtl/sim.h"
 #include "rtl/verilog.h"
+#include "vsim/codegen.h"
 #include "vsim/harness.h"
 
 namespace hlsw::vsim {
@@ -33,12 +41,14 @@ using hls::TechLibrary;
 using qam::LinkConfig;
 using qam::LinkStimulus;
 
-// Four-way differential for one directive set: golden interpreter,
-// rtl::Simulator, vsim-event and vsim-compiled all execute the same link
-// symbols (one sequential block — the decoder is stateful). Any divergence
-// fails named by leg.
-void run_three_way_battery(const Directives& dir, const std::string& name,
-                           int symbols) {
+// Five-way differential for one directive set: golden interpreter,
+// rtl::Simulator, vsim-event, vsim-compiled and vsim-codegen all execute
+// the same link symbols (one sequential block — the decoder is stateful).
+// Any divergence fails named by leg. The shared elaborated Design is
+// load_design()ed ONCE and every vsim leg reuses it — the battery never
+// re-parses per leg.
+void run_five_way_battery(const Directives& dir, const std::string& name,
+                          int symbols) {
   const auto r =
       run_synthesis(qam::build_qam_decoder_ir(), dir, TechLibrary::asic90());
   const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
@@ -50,6 +60,19 @@ void run_three_way_battery(const Directives& dir, const std::string& name,
     Simulation probe(design);
     ASSERT_STREQ(probe.backend(), "compiled")
         << name << ": fell back: " << probe.fallback_reason();
+  }
+  // Where a toolchain exists the codegen leg must actually run natively;
+  // without one it degrades to the compiled interpreter with a typed
+  // reason — the leg still participates below either way.
+  SimConfig codegen_cfg;
+  codegen_cfg.backend = Backend::kCodegen;
+  {
+    Simulation probe(design, codegen_cfg);
+    if (codegen_available())
+      ASSERT_STREQ(probe.backend(), "codegen")
+          << name << ": fell back: " << probe.fallback_reason();
+    else
+      ASSERT_STREQ(probe.backend(), "compiled") << name;
   }
 
   SimConfig event_cfg;
@@ -71,6 +94,11 @@ void run_three_way_battery(const Directives& dir, const std::string& name,
     return [h = std::make_shared<DutHarness>(r.transformed, design)](
                const std::vector<PortIo>& ins) { return h->run_stream(ins); };
   };
+  const hls::CosimFactory vsim_codegen = [&] {
+    return [h = std::make_shared<DutHarness>(r.transformed, design,
+                                             codegen_cfg)](
+               const std::vector<PortIo>& ins) { return h->run_stream(ins); };
+  };
 
   LinkStimulus stim((LinkConfig()));
   const auto vectors =
@@ -79,12 +107,37 @@ void run_three_way_battery(const Directives& dir, const std::string& name,
       {{"golden", golden},
        {"rtl", rtl_leg},
        {"vsim-event", vsim_event},
-       {"vsim-compiled", vsim_compiled}},
+       {"vsim-compiled", vsim_compiled},
+       {"vsim-codegen", vsim_codegen}},
       vectors, {.block_size = vectors.size(), .mismatch_limit = 8});
   EXPECT_TRUE(res.ok()) << name << ": "
                         << (res.mismatches.empty() ? ""
                                                    : res.mismatches.front());
   EXPECT_EQ(res.vectors, static_cast<std::size_t>(symbols)) << name;
+
+  // VCD byte-identity for the same architecture: a dumping session of the
+  // emitted module must record identical bytes on the event kernel and the
+  // compiled interpreter (codegen refuses dumping designs by construction
+  // and is covered by the fallback tests). The dump is injected into the
+  // module text, so this also proves the levelized plan preserves the
+  // declared signal set and ordering the VCD header serializes.
+  const std::size_t mod_end = verilog.rfind("endmodule");
+  ASSERT_NE(mod_end, std::string::npos) << name;
+  std::string dumped = verilog;
+  dumped.insert(mod_end,
+                "  initial begin $dumpfile(\"wave.vcd\"); $dumpvars; end\n");
+  const auto dump_design = load_design(dumped, r.transformed.name);
+  auto drive = [&](const SimConfig& cfg) {
+    DutHarness dut(r.transformed, dump_design, cfg);
+    LinkStimulus vstim((LinkConfig()));
+    for (const auto& in : qam::link_input_batch(&vstim, 3)) dut.run(in);
+    return dut.sim().run();
+  };
+  const RunResult rc = drive({});
+  const RunResult re = drive(event_cfg);
+  ASSERT_EQ(rc.vcd_name, "wave.vcd") << name;
+  EXPECT_EQ(rc.vcd_text, re.vcd_text) << name << ": VCD bytes diverged";
+  EXPECT_NE(rc.vcd_text.find("$enddefinitions"), std::string::npos) << name;
 }
 
 class CompiledEquiv : public ::testing::TestWithParam<int> {};
@@ -92,7 +145,7 @@ class CompiledEquiv : public ::testing::TestWithParam<int> {};
 TEST_P(CompiledEquiv, CompiledMatchesEventGoldenAndRtlBitForBit) {
   const auto archs = qam::exploration_architectures();
   const auto& a = archs[static_cast<size_t>(GetParam())];
-  run_three_way_battery(a.dir, a.name, 15);
+  run_five_way_battery(a.dir, a.name, 15);
 }
 
 std::string equiv_name(const ::testing::TestParamInfo<int>& info) {
@@ -109,7 +162,7 @@ INSTANTIATE_TEST_SUITE_P(AllArchitectures, CompiledEquiv,
 
 TEST(CompiledEquiv, Table1Rows) {
   for (const auto& a : qam::table1_architectures())
-    run_three_way_battery(a.dir, a.name, 12);
+    run_five_way_battery(a.dir, a.name, 12);
 }
 
 TEST(CompiledEquiv, RandomizedDirectiveSets) {
@@ -140,7 +193,7 @@ TEST(CompiledEquiv, RandomizedDirectiveSets) {
       dir.loops["dfe"].unroll = 1;
       dir.loops["dfe_adapt"].unroll = 1;
     }
-    run_three_way_battery(dir, "random#" + std::to_string(cfg), 10);
+    run_five_way_battery(dir, "random#" + std::to_string(cfg), 10);
   }
 }
 
@@ -163,6 +216,65 @@ TEST(CompiledEquiv, HarnessCycleCountMatchesScheduleOnCompiledBackend) {
     dut.run(in);
     EXPECT_EQ(dut.last_cycles(), r.schedule.latency_cycles + 1);
   }
+}
+
+TEST(CompiledEquiv, CodegenWithoutToolchainFallsBackToCompiled) {
+  // HLSW_CODEGEN_CXX=none simulates a toolchain-less machine: requesting
+  // the codegen backend must silently land on the compiled interpreter
+  // with a typed "codegen: " reason — and still produce correct outputs.
+  const char* prev = getenv("HLSW_CODEGEN_CXX");
+  const std::string saved = prev ? prev : "";
+  setenv("HLSW_CODEGEN_CXX", "none", 1);
+  EXPECT_FALSE(codegen_available());
+
+  const qam::Architecture a = qam::table1_architectures()[0];
+  const auto r = run_synthesis(qam::build_qam_decoder_ir(), a.dir,
+                               TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const auto design = load_design(verilog, r.transformed.name);
+
+  SimConfig cfg;
+  cfg.backend = Backend::kCodegen;
+  DutHarness dut(r.transformed, design, cfg);
+  EXPECT_STREQ(dut.sim().backend(), "compiled");
+  EXPECT_EQ(dut.sim().fallback_reason().rfind("codegen: ", 0), 0u)
+      << dut.sim().fallback_reason();
+
+  hls::Interpreter golden(r.transformed);
+  LinkStimulus stim((LinkConfig()));
+  const auto vectors = qam::link_input_batch(&stim, 5);
+  const auto want = golden.run_stream(vectors);
+  const auto got = dut.run_stream(vectors);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].vars, want[i].vars) << "symbol " << i;
+    EXPECT_EQ(got[i].arrays, want[i].arrays) << "symbol " << i;
+  }
+
+  if (prev)
+    setenv("HLSW_CODEGEN_CXX", saved.c_str(), 1);
+  else
+    unsetenv("HLSW_CODEGEN_CXX");
+}
+
+TEST(CompiledEquiv, CodegenRefusesDumpingDesignsWithTypedReason) {
+  // $dumpvars designs keep the interpreter tiers (they own the VCD
+  // writer): the codegen request degrades with the construct named —
+  // exercised regardless of whether a toolchain is present.
+  const qam::Architecture a = qam::table1_architectures()[0];
+  const auto r = run_synthesis(qam::build_qam_decoder_ir(), a.dir,
+                               TechLibrary::asic90());
+  std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const std::size_t mod_end = verilog.rfind("endmodule");
+  ASSERT_NE(mod_end, std::string::npos);
+  verilog.insert(mod_end,
+                 "  initial begin $dumpfile(\"w.vcd\"); $dumpvars; end\n");
+  SimConfig cfg;
+  cfg.backend = Backend::kCodegen;
+  Simulation sim(load_design(verilog, r.transformed.name), cfg);
+  EXPECT_STREQ(sim.backend(), "compiled");
+  EXPECT_EQ(sim.fallback_reason().rfind("codegen: ", 0), 0u)
+      << sim.fallback_reason();
 }
 
 TEST(CompiledEquiv, GeneratedTestbenchStillRunsViaEventFallback) {

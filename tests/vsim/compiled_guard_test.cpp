@@ -1,8 +1,12 @@
-// Performance ratio guard for the compiled vsim backend (labeled
+// Performance ratio guards for the vsim backend ladder (labeled
 // bench_smoke in ctest): on the merge architecture the compiled backend
-// must beat the event-driven backend by at least 2x per-symbol — far below
-// the measured gap, so CI noise cannot flake it, but tight enough to catch
-// the compiled path silently falling back or regressing to event speed.
+// must beat the event-driven backend by at least 2x per-symbol, the
+// codegen backend must beat the compiled interpreter by at least 2x, and
+// the packed 64-lane engine must beat per-block scalar replay by at least
+// 2x in DUT throughput. Every floor sits far below the measured gap
+// (BENCH_vsim.json: ~15x, ~7x and ~5x respectively), so CI noise cannot
+// flake the guards, but they are tight enough to catch a backend silently
+// falling back or regressing to the tier below.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,7 +19,9 @@
 #include "qam/decoder_ir.h"
 #include "qam/link.h"
 #include "rtl/verilog.h"
+#include "vsim/codegen.h"
 #include "vsim/harness.h"
+#include "vsim/pack.h"
 
 namespace hlsw::vsim {
 namespace {
@@ -65,6 +71,99 @@ TEST(VsimCompiledGuard, CompiledBeatsEventByAtLeast2xOnMergeArch) {
   EXPECT_GE(ratio, 2.0) << "compiled backend only " << ratio
                         << "x faster than event (event " << t_event
                         << " ms vs compiled " << t_compiled << " ms)";
+}
+
+TEST(VsimCodegenGuard, CodegenBeatsCompiledByAtLeast2xOnMergeArch) {
+  if (!codegen_available())
+    GTEST_SKIP() << "no host C++ toolchain — codegen backend unavailable";
+  const qam::Architecture arch = qam::table1_architectures()[0];  // merge
+  const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                                    TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const auto design = load_design(verilog, r.transformed.name);
+
+  LinkStimulus stim((LinkConfig()));
+  const auto batch = qam::link_input_batch(&stim, 60);
+
+  SimConfig codegen_cfg;
+  codegen_cfg.backend = Backend::kCodegen;
+  DutHarness compiled_dut(r.transformed, design);
+  DutHarness codegen_dut(r.transformed, design, codegen_cfg);
+  ASSERT_STREQ(compiled_dut.sim().backend(), "compiled")
+      << compiled_dut.sim().fallback_reason();
+  ASSERT_STREQ(codegen_dut.sim().backend(), "codegen")
+      << codegen_dut.sim().fallback_reason();
+
+  // Warmup absorbs the one-time generate+compile+dlopen, then best-of-3.
+  run_symbols_ms(codegen_dut, batch);
+  run_symbols_ms(compiled_dut, batch);
+  double t_codegen = 1e300, t_compiled = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    t_codegen = std::min(t_codegen, run_symbols_ms(codegen_dut, batch));
+    t_compiled = std::min(t_compiled, run_symbols_ms(compiled_dut, batch));
+  }
+
+  ASSERT_GT(t_codegen, 0.0);
+  const double ratio = t_compiled / t_codegen;
+  EXPECT_GE(ratio, 2.0) << "codegen backend only " << ratio
+                        << "x faster than compiled (compiled " << t_compiled
+                        << " ms vs codegen " << t_codegen << " ms)";
+}
+
+TEST(VsimPackedGuard, Packed64BeatsScalarReplayByAtLeast2xDutThroughput) {
+  // 64 independent 10-symbol blocks: per-block scalar DutHarness replay vs
+  // one 64-lane PackedDutHarness over the same streams — the DUT-side work
+  // a packed sweep saves (the golden interpreter leg is identical on both
+  // sides of a full sweep, so it is excluded here).
+  const qam::Architecture arch = qam::table1_architectures()[0];
+  const auto r = hls::run_synthesis(qam::build_qam_decoder_ir(), arch.dir,
+                                    TechLibrary::asic90());
+  const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
+  const auto design = load_design(verilog, r.transformed.name);
+  std::string why;
+  const auto plan = compiled_plan(design, &why);
+  ASSERT_NE(plan, nullptr) << why;
+
+  const int kLanes = 64, kBlock = 10;
+  LinkStimulus stim((LinkConfig()));
+  const auto batch = qam::link_input_batch(&stim, kLanes * kBlock);
+  std::vector<std::vector<PortIo>> streams(kLanes);
+  for (int b = 0; b < kLanes; ++b)
+    streams[static_cast<std::size_t>(b)].assign(
+        batch.begin() + b * kBlock, batch.begin() + (b + 1) * kBlock);
+
+  const auto scalar_ms = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& s : streams) {
+      DutHarness dut(r.transformed, design);
+      dut.run_stream(s);
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const auto packed_ms = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    PackedDutHarness dut(r.transformed, plan, kLanes);
+    dut.run_streams(streams);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  scalar_ms();  // warm the plan memo and allocator on both paths
+  packed_ms();
+  double t_scalar = 1e300, t_packed = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    t_scalar = std::min(t_scalar, scalar_ms());
+    t_packed = std::min(t_packed, packed_ms());
+  }
+
+  ASSERT_GT(t_packed, 0.0);
+  const double ratio = t_scalar / t_packed;
+  EXPECT_GE(ratio, 2.0) << "packed 64-lane engine only " << ratio
+                        << "x faster than scalar replay (scalar " << t_scalar
+                        << " ms vs packed " << t_packed << " ms)";
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include "hls/interp.h"
 #include "hls/report.h"
 #include "hls/verify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qam/architectures.h"
 #include "qam/decoder_ir.h"
 #include "qam/link.h"
@@ -111,6 +113,36 @@ TEST(VsimSweep, StatefulDecoderSweepsAsOneBlock) {
                                                    : res.mismatches.front());
   EXPECT_EQ(res.blocks, 1u);
   EXPECT_EQ(res.vectors, 20u);
+}
+
+TEST(VsimSweep, RepeatSweepsShareOneParsedDesign) {
+  // Every sweep entry point — vsim_sweep, the nway battery legs, the
+  // packed multi-lane path — funnels through load_design's process-wide
+  // LRU, so re-sweeping the same emitted text must be all cache hits: the
+  // module is parsed and elaborated at most once, never once per leg.
+  const hls::Function f = build_stateless_mac();
+  Directives dir;
+  dir.loops["mac"].pipeline_ii = 1;
+  const auto r = run_synthesis(f, dir, TechLibrary::asic90());
+  const auto vectors = random_mac_vectors(32, 11);
+
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  auto& m = obs::MetricsRegistry::instance();
+
+  // Prime the cache (first contact may miss), then measure a re-sweep.
+  vsim_sweep(r.transformed, r.schedule, vectors, {.block_size = 8});
+  const double hits0 = m.counter_value("vsim.design_cache.hits");
+  const double misses0 = m.counter_value("vsim.design_cache.misses");
+  const CosimResult again = vsim_sweep(r.transformed, r.schedule, vectors,
+                                       {.threads = 2, .block_size = 8});
+  EXPECT_TRUE(again.ok());
+  EXPECT_GE(m.counter_value("vsim.design_cache.hits"), hits0 + 1.0)
+      << "re-sweeping the same design did not hit the design cache";
+  EXPECT_EQ(m.counter_value("vsim.design_cache.misses"), misses0)
+      << "re-sweeping the same design re-parsed it";
+
+  obs::set_enabled(was_enabled);
 }
 
 TEST(VsimSweep, EmptyVectorSetIsTriviallyOk) {
