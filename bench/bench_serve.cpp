@@ -1,0 +1,125 @@
+// Daemon service latency and throughput: protocol floor (ping), cold vs
+// warm-cache synth job latency, and pipelined sweep throughput at 1 / 8 /
+// 64 concurrent clients against one in-process server — the shared-cache
+// and fair-scheduling story of hlsw::serve in numbers. Artifact:
+// BENCH_serve.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_main.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using hlsw::obs::Json;
+
+Json synth_params(int unroll) {
+  Json dir = Json::object().set("auto_merge", true);
+  if (unroll > 1) {
+    Json loops = Json::object();
+    for (const char* label : {"ffe", "dfe"})
+      loops.set(label, Json::object().set("unroll", unroll));
+    dir.set("loops", std::move(loops));
+  }
+  return Json::object().set("design", "qam_decoder")
+      .set("directives", std::move(dir));
+}
+
+void run_harness_sections(hlsw::bench::Harness* h) {
+  const std::string socket =
+      "/tmp/hlsw_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  hlsw::serve::ServerOptions opts;
+  opts.unix_path = socket;
+  opts.workers = 4;
+  opts.sched.max_queue_depth = 1024;
+  hlsw::serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "bench_serve: server failed to start: %s\n",
+                 err.c_str());
+    return;
+  }
+  h->note("config", Json::object()
+                        .set("workers", 4)
+                        .set("design", "qam_decoder")
+                        .set("transport", "unix"));
+
+  hlsw::serve::Client client;
+  if (!client.connect_unix(socket, &err)) {
+    std::fprintf(stderr, "bench_serve: connect failed: %s\n", err.c_str());
+    return;
+  }
+  Json resp;
+
+  // The protocol floor: frame + parse + dispatch + frame back, no job.
+  h->measure("ping", [&] { client.call("ping", Json(), &resp); });
+
+  // Cold job latency: every rep flushes the shared cache first, so the
+  // synth pays a full schedule. The (cheap) flush round-trip is included;
+  // the ping section above bounds its contribution.
+  h->measure("synth_cold", [&] {
+    client.call("flush_caches", Json(), &resp);
+    client.call("synth", synth_params(1), &resp);
+  });
+
+  // Warm job latency: the same configuration served from the process-wide
+  // SynthesisCache — the daemon's whole reason to exist.
+  h->measure("synth_warm",
+             [&] { client.call("synth", synth_params(1), &resp); });
+
+  // Pipelined sweep throughput: a fixed total of warm-cache synth jobs
+  // split across 1 / 8 / 64 concurrent client connections, each client
+  // submitting its whole batch before collecting responses.
+  constexpr int kTotalJobs = 192;
+  for (const int clients : {1, 8, 64}) {
+    const int per_client = kTotalJobs / clients;
+    const std::string label =
+        "sweep_" + std::to_string(clients) + "_clients";
+    const hlsw::bench::Timing t = h->measure(label, [&] {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          hlsw::serve::Client cl;
+          if (!cl.connect_unix(socket)) return;
+          const std::string tenant = "client" + std::to_string(c);
+          std::vector<long long> ids;
+          for (int k = 0; k < per_client; ++k)
+            ids.push_back(
+                cl.submit("synth", synth_params(1 << (k % 3)), tenant));
+          Json r;
+          for (const long long id : ids) cl.wait(id, &r);
+        });
+      }
+      for (std::thread& th : threads) th.join();
+    });
+    h->note(label + "_throughput",
+            Json::object()
+                .set("jobs", kTotalJobs)
+                .set("jobs_per_sec", kTotalJobs / (t.min_ms / 1000.0)));
+  }
+
+  // Close with the server's own ledger: job counts, queue depths, cache
+  // hit rate, p50/p95/p99 job latency — the metrics op's snapshot lands in
+  // the artifact next to the wall-clock sections.
+  if (client.call("metrics", Json(), &resp) && resp.find("result"))
+    h->note("server_metrics", *resp.find("result")->find("server"));
+  server.stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hlsw::bench::Harness harness("serve", &argc, argv);
+  run_harness_sections(&harness);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  harness.write();
+  return 0;
+}

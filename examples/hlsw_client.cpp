@@ -1,0 +1,176 @@
+// hlsw_client: command-line client for the hlsw_serve daemon.
+//
+//   ./build/examples/hlsw_client --socket /tmp/hlsw.sock ping
+//   ./build/examples/hlsw_client --socket /tmp/hlsw.sock synth \
+//       --unroll 2 --pipeline 1
+//   ./build/examples/hlsw_client --socket /tmp/hlsw.sock sweep 8
+//   ./build/examples/hlsw_client --socket /tmp/hlsw.sock dse
+//   ./build/examples/hlsw_client --socket /tmp/hlsw.sock metrics
+//   ./build/examples/hlsw_client --socket /tmp/hlsw.sock shutdown
+//
+// `sweep N` demonstrates pipelining: it submits N synth jobs across the
+// unroll axis without waiting, then streams the responses back in
+// submission order — one connection, N in-flight jobs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/client.h"
+
+using hlsw::obs::Json;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hlsw_client [--socket PATH | --tcp HOST PORT] "
+               "[--tenant NAME]\n"
+               "                   ping | metrics | shutdown | dse |\n"
+               "                   synth [--unroll N] [--pipeline II] "
+               "[--clock NS] [--no-merge] |\n"
+               "                   sweep N\n");
+  return 2;
+}
+
+Json synth_params(int unroll, int pipeline_ii, double clock_ns, bool merge) {
+  Json loops = Json::object();
+  // The paper's loop labels; a common factor across the filter loops.
+  for (const char* label : {"ffe", "dfe"}) {
+    Json d = Json::object();
+    if (unroll > 1) d.set("unroll", unroll);
+    if (pipeline_ii > 0) d.set("pipeline_ii", pipeline_ii);
+    if (d.size() > 0) loops.set(label, std::move(d));
+  }
+  Json dir = Json::object().set("clock_period_ns", clock_ns);
+  if (merge) dir.set("auto_merge", true);
+  if (loops.size() > 0) dir.set("loops", std::move(loops));
+  return Json::object().set("design", "qam_decoder").set("directives",
+                                                         std::move(dir));
+}
+
+void print_response(const Json& resp) {
+  std::printf("%s\n", resp.dump(2).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/hlsw.sock";
+  std::string tcp_host;
+  int tcp_port = -1;
+  std::string tenant;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 2 < argc) {
+      tcp_host = argv[++i];
+      tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenant = argv[++i];
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) return usage();
+  const std::string cmd = argv[i++];
+
+  hlsw::serve::Client client;
+  std::string err;
+  const bool ok = tcp_port >= 0 ? client.connect_tcp(tcp_host, tcp_port, &err)
+                                : client.connect_unix(socket_path, &err);
+  if (!ok) {
+    std::fprintf(stderr, "hlsw_client: %s\n", err.c_str());
+    return 1;
+  }
+
+  Json resp;
+  if (cmd == "ping" || cmd == "metrics" || cmd == "shutdown") {
+    if (!client.call(cmd, Json(), &resp, &err, tenant)) {
+      std::fprintf(stderr, "hlsw_client: %s\n", err.c_str());
+      return 1;
+    }
+    print_response(resp);
+    return resp.find("ok")->as_bool() ? 0 : 1;
+  }
+
+  if (cmd == "synth") {
+    int unroll = 1, pipeline_ii = 0;
+    double clock_ns = 10.0;
+    bool merge = true;
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--unroll" && i + 1 < argc) unroll = std::atoi(argv[++i]);
+      else if (arg == "--pipeline" && i + 1 < argc)
+        pipeline_ii = std::atoi(argv[++i]);
+      else if (arg == "--clock" && i + 1 < argc)
+        clock_ns = std::atof(argv[++i]);
+      else if (arg == "--no-merge") merge = false;
+      else return usage();
+    }
+    if (!client.call("synth", synth_params(unroll, pipeline_ii, clock_ns,
+                                           merge),
+                     &resp, &err, tenant)) {
+      std::fprintf(stderr, "hlsw_client: %s\n", err.c_str());
+      return 1;
+    }
+    print_response(resp);
+    return resp.find("ok")->as_bool() ? 0 : 1;
+  }
+
+  if (cmd == "sweep") {
+    const int n = i < argc ? std::atoi(argv[i]) : 4;
+    // Submit the whole axis up front (pipelined), then stream results.
+    std::vector<long long> ids;
+    for (int k = 0; k < n; ++k) {
+      const int unroll = 1 << (k % 4);  // 1,2,4,8,1,2,...
+      const long long id = client.submit(
+          "synth", synth_params(unroll, 0, 10.0, true), tenant, &err);
+      if (id < 0) {
+        std::fprintf(stderr, "hlsw_client: %s\n", err.c_str());
+        return 1;
+      }
+      ids.push_back(id);
+    }
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      if (!client.wait(ids[k], &resp, &err)) {
+        std::fprintf(stderr, "hlsw_client: %s\n", err.c_str());
+        return 1;
+      }
+      const Json* r = resp.find("result");
+      if (r == nullptr) {
+        std::printf("job %lld: error %s\n", ids[k], resp.dump().c_str());
+        continue;
+      }
+      std::printf("job %lld: unroll %d -> %lld cycles, area %.0f%s\n",
+                  ids[k], 1 << (k % 4), r->find("latency_cycles")->as_int(),
+                  r->find("area")->as_double(),
+                  r->find("cached")->as_bool() ? " (cached)" : "");
+    }
+    return 0;
+  }
+
+  if (cmd == "dse") {
+    Json params = Json::object().set("design", "qam_decoder");
+    if (!client.call("dse", std::move(params), &resp, &err, tenant)) {
+      std::fprintf(stderr, "hlsw_client: %s\n", err.c_str());
+      return 1;
+    }
+    const Json* r = resp.find("result");
+    if (r == nullptr) {
+      print_response(resp);
+      return 1;
+    }
+    std::printf("dse: %zu points, %zu on the Pareto front\n",
+                r->find("points")->size(), r->find("pareto_front")->size());
+    for (std::size_t k = 0; k < r->find("pareto_front")->size(); ++k)
+      std::printf("  %s\n", r->find("pareto_front")->at(k).as_string().c_str());
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,165 @@
+// hlsw_serve: the synthesis-as-a-service daemon.
+//
+// Hosts the synthesis/DSE/cosim/verify/profile pipelines behind a unix
+// socket (optionally TCP), sharing one warm synthesis cache across every
+// client. See docs/SERVER.md for the protocol.
+//
+//   ./build/examples/hlsw_serve --socket /tmp/hlsw.sock --workers 4
+//   ./build/examples/hlsw_serve --socket /tmp/hlsw.sock --tcp 7340 \
+//       --trace /tmp/hlsw_trace.json --allow-shutdown
+//   ./build/examples/hlsw_serve --demo        # self-contained smoke run
+//
+// The daemon drains gracefully on SIGINT/SIGTERM or (with
+// --allow-shutdown) a client `shutdown` op: accepted jobs finish, every
+// response is written, then trace buffers flush to --trace and the
+// process exits 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+hlsw::serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+// --demo: start the daemon on a private socket, run a short client session
+// against it from this same process, and drain. Doubles as the example's
+// smoke test: it exercises both halves of the protocol end to end.
+int run_demo() {
+  using hlsw::obs::Json;
+  const std::string sock = "/tmp/hlsw_serve_demo.sock";
+  hlsw::serve::ServerOptions opts;
+  opts.unix_path = sock;
+  opts.workers = 2;
+  opts.allow_shutdown_op = true;
+  hlsw::serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "start failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("demo daemon listening on %s\n", sock.c_str());
+
+  int rc = 1;
+  std::thread client_thread([&] {
+    hlsw::serve::Client client;
+    std::string cerr;
+    if (!client.connect_unix(sock, &cerr)) {
+      std::fprintf(stderr, "connect failed: %s\n", cerr.c_str());
+      return;
+    }
+    Json resp;
+    // Pipelined synth: the paper's Table 1 "merge" and "merge+unroll2"
+    // architectures, submitted back to back, collected in order.
+    Json merge = Json::object().set(
+        "directives", Json::object().set("auto_merge", true));
+    Json unroll2 = Json::object().set(
+        "directives",
+        Json::object()
+            .set("auto_merge", true)
+            .set("loops",
+                 Json::object()
+                     .set("ffe", Json::object().set("unroll", 2))
+                     .set("dfe", Json::object().set("unroll", 2))));
+    merge.set("design", "qam_decoder");
+    unroll2.set("design", "qam_decoder");
+    const long long id1 = client.submit("synth", merge, "demo", &cerr);
+    const long long id2 = client.submit("synth", unroll2, "demo", &cerr);
+    if (id1 < 0 || id2 < 0) return;
+    for (const long long id : {id1, id2}) {
+      if (!client.wait(id, &resp, &cerr)) {
+        std::fprintf(stderr, "wait failed: %s\n", cerr.c_str());
+        return;
+      }
+      const Json* r = resp.find("result");
+      if (r == nullptr) {
+        std::fprintf(stderr, "job %lld failed: %s\n", id,
+                     resp.dump().c_str());
+        return;
+      }
+      std::printf("synth #%lld: latency %lld cycles, area %.0f%s\n", id,
+                  r->find("latency_cycles")->as_int(),
+                  r->find("area")->as_double(),
+                  r->find("cached")->as_bool() ? " (cached)" : "");
+    }
+    // Same configuration again: must be a cache hit now.
+    if (!client.call("synth", merge, &resp, &cerr, "demo")) return;
+    std::printf("synth repeat: cached=%s\n",
+                resp.find("result")->find("cached")->as_bool() ? "true"
+                                                               : "false");
+    if (!client.call("metrics", Json(), &resp, &cerr)) return;
+    const Json& cache =
+        *resp.find("result")->find("server")->find("synth_cache");
+    std::printf("cache: size=%lld hits=%.0f misses=%.0f hit_rate=%.2f\n",
+                cache.find("size")->as_int(), cache.find("hits")->as_double(),
+                cache.find("misses")->as_double(),
+                cache.find("hit_rate")->as_double());
+    if (!client.call("shutdown", Json(), &resp, &cerr)) return;
+    rc = 0;
+  });
+
+  server.wait();
+  client_thread.join();
+  server.stop();
+  std::printf("demo daemon drained\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hlsw::serve::ServerOptions opts;
+  opts.unix_path = "/tmp/hlsw.sock";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") return run_demo();
+    if (arg == "--socket" && i + 1 < argc) {
+      opts.unix_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      opts.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      opts.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+      opts.enable_obs = true;
+    } else if (arg == "--allow-shutdown") {
+      opts.allow_shutdown_op = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: hlsw_serve [--socket PATH] [--tcp PORT] "
+                   "[--workers N] [--trace PATH] [--allow-shutdown] "
+                   "[--demo]\n");
+      return 2;
+    }
+  }
+
+  hlsw::serve::Server server(opts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "hlsw_serve: %s\n", err.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("hlsw_serve listening on %s", opts.unix_path.c_str());
+  if (opts.tcp_port >= 0)
+    std::printf(" and %s:%d", opts.tcp_host.c_str(), server.tcp_port());
+  std::printf(" (%u workers)\n",
+              opts.workers ? opts.workers
+                           : hlsw::util::ThreadPool::default_thread_count());
+  server.wait();   // until SIGINT/SIGTERM or a shutdown op
+  server.stop();   // graceful drain; flushes --trace
+  g_server = nullptr;
+  std::printf("hlsw_serve drained\n");
+  return 0;
+}

@@ -104,19 +104,32 @@ void run_batch(const std::vector<Candidate>& cands, const Function& f,
     else
       ++out->cache_misses;
     Pending p{&c, hit, {}};
-    if (pool)
+    if (opts.executor) {
+      // External scheduling: wrap the same pure closure in a packaged_task
+      // so the result (or exception) travels back through the future; the
+      // hook owns where and when it runs.
+      auto task = std::make_shared<std::packaged_task<SynthesisCache::Metrics()>>(
+          [&cache, &c, &f, &tech] {
+            return cache.get_or_compute(
+                c.key, [&] { return measure_traced(c, f, tech); });
+          });
+      p.fut = task->get_future();
+      opts.executor([task] { (*task)(); });
+    } else if (pool) {
       p.fut = pool->submit([&cache, &c, &f, &tech] {
         return cache.get_or_compute(c.key,
                                     [&] { return measure_traced(c, f, tech); });
       });
+    }
     pending.push_back(std::move(p));
   }
   for (auto& p : pending) {
     const Candidate& c = *p.cand;
     const SynthesisCache::Metrics m =
-        pool ? p.fut.get()
-             : cache.get_or_compute(c.key,
-                                    [&] { return measure_traced(c, f, tech); });
+        (pool || opts.executor)
+            ? p.fut.get()
+            : cache.get_or_compute(c.key,
+                                   [&] { return measure_traced(c, f, tech); });
     DsePoint point;
     point.name = c.name;
     point.dir = c.dir;
@@ -279,7 +292,7 @@ DseResult explore(const Function& f, const DseOptions& opts,
                                 ? util::ThreadPool::default_thread_count()
                                 : opts.threads;
   std::shared_ptr<util::ThreadPool> pool;
-  if (nthreads > 1)
+  if (nthreads > 1 && !opts.executor)
     pool = opts.pool ? opts.pool : std::make_shared<util::ThreadPool>(nthreads);
 
   const std::uint64_t fp = function_fingerprint(f);

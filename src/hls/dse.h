@@ -104,6 +104,15 @@ struct DseOptions {
   // Optional shared worker pool, reused across explore() calls. When null
   // and threads != 1, explore() creates a pool for the call.
   std::shared_ptr<util::ThreadPool> pool;
+  // External executor for candidate-synthesis work units. When set, it
+  // replaces the pool/threads machinery entirely: explore() hands each
+  // batched synthesis closure to the hook, which must run it exactly once
+  // on some thread (inline is legal). Enumeration, accounting and
+  // collection stay on the calling thread in candidate order, so results
+  // remain bit-identical to the serial path no matter where or in what
+  // order the closures execute. This is how hlsw::serve shards one DSE job
+  // into fair-scheduled work units competing with other tenants' jobs.
+  std::function<void(std::function<void()>)> executor;
   // Observability hook — see the DseProgress ordering guarantee above.
   std::function<void(const DsePoint&, const DseProgress&)> progress;
   // When non-empty, explore() writes a run-level structured JSON artifact

@@ -1,0 +1,56 @@
+// Client side of the serve protocol: connect, submit requests, collect
+// responses. Supports PIPELINING — submit() sends immediately and returns
+// the request id; wait() reads frames until that id's response arrives,
+// parking any responses that belong to other outstanding ids. One Client
+// instance is single-threaded (use one per client thread; the server
+// handles any number of concurrent connections).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/proto.h"
+
+namespace hlsw::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect_unix(const std::string& path, std::string* err = nullptr);
+  bool connect_tcp(const std::string& host, int port,
+                   std::string* err = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Sends {"op", "id", "tenant"?, ...params} and returns the assigned id
+  // (monotonic per client), or -1 on transport failure. `params` must be
+  // a JSON object (or null for none); its keys land in the envelope.
+  long long submit(const std::string& op, obs::Json params = obs::Json(),
+                   const std::string& tenant = "",
+                   std::string* err = nullptr);
+
+  // Blocks until the response for `id` arrives (parking out-of-order
+  // responses for other pending ids). False on transport failure or if the
+  // connection closes first.
+  bool wait(long long id, obs::Json* response, std::string* err = nullptr);
+
+  // submit + wait. Returns false only on TRANSPORT failure; a server-side
+  // error response still returns true (inspect response["ok"]).
+  bool call(const std::string& op, obs::Json params, obs::Json* response,
+            std::string* err = nullptr, const std::string& tenant = "");
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  long long next_id_ = 1;
+  std::map<long long, obs::Json> parked_;
+};
+
+}  // namespace hlsw::serve

@@ -1,0 +1,239 @@
+#include "serve/proto.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hlsw::serve {
+
+namespace {
+
+void set_err(std::string* err, const std::string& what) {
+  if (err) *err = what + ": " + std::strerror(errno);
+}
+
+// Reads exactly n bytes. Returns n on success, 0..n-1 on EOF mid-read,
+// -1 on transport error.
+long read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::recv(fd, buf + got, n - got, 0);
+    if (k == 0) return static_cast<long>(got);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return static_cast<long>(got);
+}
+
+bool write_exact(int fd, const char* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE instead of killing the
+    // process — the daemon must survive clients that disconnect mid-reply.
+    const ssize_t k = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_string(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kError: return "error";
+  }
+  return "?";
+}
+
+FrameStatus read_frame(int fd, std::string* payload, std::uint32_t max_bytes,
+                       std::string* err) {
+  unsigned char prefix[4];
+  const long pn = read_exact(fd, reinterpret_cast<char*>(prefix), 4);
+  if (pn < 0) {
+    set_err(err, "read length prefix");
+    return FrameStatus::kError;
+  }
+  if (pn == 0) return FrameStatus::kClosed;
+  if (pn < 4) {
+    if (err) *err = "EOF inside the 4-byte length prefix";
+    return FrameStatus::kTruncated;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > max_bytes) {
+    if (err)
+      *err = "frame announces " + std::to_string(len) +
+             " bytes, limit is " + std::to_string(max_bytes);
+    return FrameStatus::kOversized;
+  }
+  payload->resize(len);
+  if (len == 0) return FrameStatus::kOk;
+  const long bn = read_exact(fd, payload->data(), len);
+  if (bn < 0) {
+    set_err(err, "read payload");
+    return FrameStatus::kError;
+  }
+  if (static_cast<std::uint32_t>(bn) < len) {
+    if (err)
+      *err = "EOF after " + std::to_string(bn) + " of " +
+             std::to_string(len) + " payload bytes";
+    return FrameStatus::kTruncated;
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload, std::string* err) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len)};
+  if (!write_exact(fd, reinterpret_cast<const char*>(prefix), 4)) {
+    set_err(err, "write length prefix");
+    return false;
+  }
+  if (!payload.empty() && !write_exact(fd, payload.data(), payload.size())) {
+    set_err(err, "write payload");
+    return false;
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    if (err) *err = "unix socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket(AF_UNIX)");
+    return -1;
+  }
+  ::unlink(path.c_str());  // replace a stale socket from a dead daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "bind " + path);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) < 0) {
+    set_err(err, "listen " + path);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(const std::string& host, int port, int* bound_port,
+               std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket(AF_INET)");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad IPv4 address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) < 0) {
+    set_err(err, "listen " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port) {
+    sockaddr_in got{};
+    socklen_t len = sizeof got;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) == 0)
+      *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    if (err) *err = "unix socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket(AF_UNIX)");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "connect " + path);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port, std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket(AF_INET)");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad IPv4 address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    set_err(err, "connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int accept_fd(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace hlsw::serve

@@ -1,0 +1,70 @@
+// Wire protocol for the hlsw synthesis service: length-prefixed JSON
+// frames over a stream socket (unix-domain by default, TCP opt-in).
+//
+// Frame layout: a 4-byte big-endian unsigned payload length followed by
+// exactly that many bytes of UTF-8 JSON. The prefix makes message
+// boundaries explicit on a byte stream, so a reader never has to guess
+// where one JSON document ends and the next begins, and a malformed
+// payload never desynchronizes the framing.
+//
+// Error taxonomy (tests/serve/proto_test.cpp drives every row over a real
+// socket):
+//   * kClosed     clean EOF exactly at a frame boundary — not an error.
+//   * kTruncated  EOF mid-prefix or mid-payload. The peer's write side is
+//                 gone but its read side may still be open (shutdown(WR)),
+//                 so the server best-effort answers with a typed
+//                 `truncated_frame` error before closing.
+//   * kOversized  the prefix announces more than `max_bytes`. The payload
+//                 is unread and the stream unrecoverable; the server
+//                 answers `oversized_frame` and closes.
+//   * kError      a transport-level read failure (ECONNRESET & co).
+// Payload-level problems (unparseable JSON, non-object roots, unknown op
+// values) keep the framing intact; they are answered per frame by the
+// server and the connection stays up. See docs/SERVER.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hlsw::serve {
+
+// Ceiling on accepted payload sizes (16 MiB): generous for any job this
+// protocol carries, small enough that a hostile prefix cannot make the
+// server allocate unbounded memory.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus { kOk, kClosed, kTruncated, kOversized, kError };
+std::string to_string(FrameStatus s);
+
+// Reads one frame into *payload. Blocks until a full frame, EOF or error.
+FrameStatus read_frame(int fd, std::string* payload,
+                       std::uint32_t max_bytes = kDefaultMaxFrameBytes,
+                       std::string* err = nullptr);
+
+// Writes one frame (prefix + payload), looping over partial writes.
+// Returns false on any transport failure (the peer vanished; SIGPIPE is
+// suppressed). Callers serialize concurrent writers per connection.
+bool write_frame(int fd, std::string_view payload, std::string* err = nullptr);
+
+// ---- Socket plumbing (thin wrappers so server/client/tests share one
+// error-checked implementation) ----
+
+// Binds + listens on a unix-domain socket, replacing a stale socket file.
+// Returns the listening fd or -1 with *err filled.
+int listen_unix(const std::string& path, std::string* err);
+
+// Binds + listens on host:port (IPv4). port 0 picks an ephemeral port;
+// *bound_port (if non-null) receives the actual one.
+int listen_tcp(const std::string& host, int port, int* bound_port,
+               std::string* err);
+
+int connect_unix(const std::string& path, std::string* err);
+int connect_tcp(const std::string& host, int port, std::string* err);
+
+// accept(2) that retries EINTR; returns -1 on failure (listener closed).
+int accept_fd(int listen_fd);
+
+void close_fd(int fd);
+
+}  // namespace hlsw::serve

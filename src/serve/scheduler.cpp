@@ -1,0 +1,104 @@
+#include "serve/scheduler.h"
+
+namespace hlsw::serve {
+
+FairScheduler::FairScheduler(SchedulerOptions opts) : opts_(opts) {
+  if (opts_.max_queue_depth == 0) opts_.max_queue_depth = 1;
+  if (opts_.default_weight < 1) opts_.default_weight = 1;
+}
+
+FairScheduler::Tenant& FairScheduler::tenant_locked(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, Tenant{}).first;
+    it->second.weight = opts_.default_weight;
+    order_.push_back(name);
+  }
+  return it->second;
+}
+
+PushStatus FairScheduler::push(const std::string& tenant,
+                               std::function<void()> unit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return PushStatus::kStopped;
+    Tenant& t = tenant_locked(tenant);
+    if (t.q.size() >= opts_.max_queue_depth) return PushStatus::kBusy;
+    t.q.push_back(std::move(unit));
+    ++queued_;
+  }
+  cv_.notify_one();
+  return PushStatus::kAccepted;
+}
+
+bool FairScheduler::push_unbounded(const std::string& tenant,
+                                   std::function<void()> unit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return false;
+    Tenant& t = tenant_locked(tenant);
+    t.q.push_back(std::move(unit));
+    ++queued_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool FairScheduler::pop(std::function<void()>* unit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return queued_ > 0 || draining_; });
+    if (queued_ == 0) return false;  // draining and empty: worker exits
+
+    // Weighted round-robin: serve the cursor tenant while it has queued
+    // units and burst budget left this visit; otherwise move on, zeroing
+    // its visit counter so the next arrival starts a fresh burst. order_
+    // is non-empty here because queued_ > 0 implies a tenant exists.
+    for (std::size_t visited = 0; visited <= order_.size(); ++visited) {
+      Tenant& t = tenants_[order_[cursor_]];
+      if (!t.q.empty() && t.served < t.weight) {
+        ++t.served;
+        *unit = std::move(t.q.front());
+        t.q.pop_front();
+        --queued_;
+        return true;
+      }
+      t.served = 0;
+      cursor_ = (cursor_ + 1) % order_.size();
+    }
+    // All tenants visited without finding a unit — impossible while
+    // queued_ > 0, but loop back to the wait defensively.
+  }
+}
+
+void FairScheduler::set_weight(const std::string& tenant, int weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant_locked(tenant).weight = weight < 1 ? 1 : weight;
+}
+
+void FairScheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool FairScheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::map<std::string, std::size_t> FairScheduler::queue_depths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::size_t> out;
+  for (const auto& [name, t] : tenants_) out[name] = t.q.size();
+  return out;
+}
+
+std::size_t FairScheduler::total_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace hlsw::serve

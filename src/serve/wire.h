@@ -1,0 +1,64 @@
+// JSON (de)serialization of the domain values the serve protocol carries:
+// directives, port I/O vectors, and the option subsets a client may set on
+// dse/cosim/profile jobs. Shared by the server's request handlers, the
+// client-side tests and the equivalence suite — one codec, so a value that
+// round-trips here is bit-identical on both sides of the wire.
+//
+// Conventions:
+//  * FxValue raw components serialize as decimal STRINGS ("-2048"), not
+//    JSON numbers: obs::Json stores numbers as doubles, and a full-width
+//    64-bit raw value would silently lose low bits through the double.
+//    Strings keep the codec exact for every representable signal value.
+//  * from_json functions validate exhaustively, never throw, and report
+//    the first problem through *err (path-prefixed, e.g.
+//    "directives.loops.dfe.unroll: expected number").
+//  * Unknown keys are rejected (typo'd directive names would otherwise
+//    silently synthesize the default architecture — the one result the
+//    submitter did not ask for).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/directives.h"
+#include "hls/dse.h"
+#include "hls/interp.h"
+#include "hls/tech.h"
+#include "hls/verify.h"
+#include "obs/json.h"
+
+namespace hlsw::serve {
+
+// ---- Directives ----
+obs::Json directives_to_json(const hls::Directives& dir);
+bool directives_from_json(const obs::Json& j, hls::Directives* out,
+                          std::string* err);
+
+// ---- Port I/O (stimulus and results) ----
+obs::Json fxvalue_to_json(const hls::FxValue& v);
+bool fxvalue_from_json(const obs::Json& j, hls::FxValue* out,
+                       std::string* err);
+obs::Json portio_to_json(const hls::PortIo& io);
+bool portio_from_json(const obs::Json& j, hls::PortIo* out, std::string* err);
+obs::Json vectors_to_json(const std::vector<hls::PortIo>& vectors);
+bool vectors_from_json(const obs::Json& j, std::vector<hls::PortIo>* out,
+                       std::string* err);
+
+// ---- Technology library selection ----
+// Accepted names: "asic90" (default when absent), "fpga_lut4".
+bool tech_from_json(const obs::Json* j, hls::TechLibrary* out,
+                    std::string* err);
+
+// ---- Job option subsets ----
+// Client-settable DseOptions fields (threads/cache/pool/executor/progress
+// stay server-owned). Absent keys keep the library defaults.
+bool dse_options_from_json(const obs::Json* j, hls::DseOptions* out,
+                           std::string* err);
+// Client-settable CosimOptions fields: block_size, mismatch_limit, lanes.
+bool cosim_options_from_json(const obs::Json* j, hls::CosimOptions* out,
+                             std::string* err);
+
+// ---- Result helpers ----
+obs::Json cosim_result_to_json(const hls::CosimResult& r);
+
+}  // namespace hlsw::serve

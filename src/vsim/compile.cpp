@@ -1457,6 +1457,14 @@ std::shared_ptr<const CompiledDesign> compiled_plan(
   return plan;
 }
 
+bool plan_packable(const CompiledDesign& cd) {
+  for (const PInstr& in : cd.prog)
+    if (in.code == PInstr::kDisplay || in.code == PInstr::kDumpFile ||
+        in.code == PInstr::kDumpVars)
+      return false;
+  return true;
+}
+
 // ---- CompiledSim ------------------------------------------------------------
 
 struct CompiledSim::Dump {

@@ -261,6 +261,12 @@ std::shared_ptr<const CompiledDesign> compile_design(
 std::shared_ptr<const CompiledDesign> compiled_plan(
     const std::shared_ptr<const Design>& design, std::string* why);
 
+// True when the plan can execute under the bit-packed multi-lane engine
+// (vsim/pack.h): PackedSim supports neither $display nor VCD dumping, so a
+// plan touching either must stay on the scalar backends. Shared by
+// vsim_sweep's lane routing and profile_run's packed auto-selection.
+bool plan_packable(const CompiledDesign& cd);
+
 // The cycle-based execution engine over one CompiledDesign. Mirrors the
 // externally observable behavior of the event kernel: poke/settle
 // delta-cycle semantics (flush changed comb cone in level order, run the

@@ -247,16 +247,6 @@ hls::CosimFactory vsim_factory(const hls::Function& f,
   };
 }
 
-// The packed engine refuses $display/$dump at runtime; pre-gate on their
-// absence so the sweep silently keeps the scalar path instead of throwing.
-bool plan_packable(const CompiledDesign& cd) {
-  for (const PInstr& in : cd.prog)
-    if (in.code == PInstr::kDisplay || in.code == PInstr::kDumpFile ||
-        in.code == PInstr::kDumpVars)
-      return false;
-  return true;
-}
-
 // Multi-lane sweep: up to `lanes` consecutive blocks share one
 // PackedDutHarness, each block in its own lane. Block independence is
 // untouched (every batch's harness starts from reset, and lanes are

@@ -1246,4 +1246,19 @@ std::vector<std::vector<hls::PortIo>> PackedDutHarness::run_streams(
   return outs;
 }
 
+hls::CounterValues PackedDutHarness::read_counters(
+    const std::vector<hls::PerfCounter>& map) const {
+  hls::CounterValues out;
+  out.source = "vsim_packed";
+  const Design& d = *sim_.compiled().design;
+  for (const hls::PerfCounter& c : map) {
+    const int h = find_signal(d, c.name);
+    long long total = 0;
+    for (int l = 0; l < sim_.lanes(); ++l)
+      total += static_cast<long long>(sim_.peek(h, l));
+    out.values[c.name] = total;
+  }
+  return out;
+}
+
 }  // namespace hlsw::vsim

@@ -32,6 +32,7 @@
 
 #include "hls/interp.h"
 #include "hls/ir.h"
+#include "hls/profile.h"
 #include "rtl/testbench.h"
 #include "vsim/compile.h"
 
@@ -56,6 +57,9 @@ class PackedSim {
   int lanes() const { return lanes_; }
   // All-ones over the configured lane count.
   std::uint64_t full_mask() const { return full_mask_; }
+  // The shared plan this sim executes (signal handles resolve through its
+  // elaborated design).
+  const CompiledDesign& compiled() const { return *cd_; }
 
   // Sets signal `sig` to `value` on every lane in `mask` (other lanes are
   // untouched — the masked poke is how the harness freezes lanes).
@@ -166,6 +170,13 @@ class PackedDutHarness {
   // lengths may differ) and returns the per-lane outputs.
   std::vector<std::vector<hls::PortIo>> run_streams(
       const std::vector<std::vector<hls::PortIo>>& streams);
+
+  // Reads the instrumented design's perf_* counters summed across lanes.
+  // Every counter accumulates per invocation, so the lane sum equals what
+  // one scalar harness replaying all the lanes' streams back to back would
+  // measure — the identity profile_run's packed leg relies on.
+  hls::CounterValues read_counters(
+      const std::vector<hls::PerfCounter>& map) const;
 
   PackedSim& sim() { return sim_; }
 

@@ -2,12 +2,15 @@
 
 #include <sstream>
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "rtl/sim.h"
 #include "rtl/verilog.h"
 #include "vsim/harness.h"
+#include "vsim/pack.h"
 
 namespace hlsw::vsim {
 
@@ -57,6 +60,7 @@ obs::Json ProfileRunResult::to_json() const {
                        i < leg_backends.size() ? leg_backends[i] : "")
                   .set("fallback_reason",
                        i < leg_fallbacks.size() ? leg_fallbacks[i] : "")
+                  .set("lanes", i < leg_lanes.size() ? leg_lanes[i] : 1)
                   .set("output_mismatches", output_mismatches[i])
                   .set("counters", std::move(raw))
                   .set("report", reports[i].to_json()));
@@ -67,7 +71,7 @@ obs::Json ProfileRunResult::to_json() const {
   for (const std::string& s : notes) notes_j.push(s);
   return obs::Json::object()
       .set("tool", "hlsw.profile")
-      .set("schema_version", 1)
+      .set("schema_version", 2)
       .set("function", function)
       .set("predicted",
            obs::Json::object()
@@ -118,7 +122,8 @@ ProfileRunResult profile_run(const hls::Function& f,
     return mm;
   };
   auto add_leg = [&](hls::CounterValues values, long long mm,
-                     std::string backend, std::string fallback) {
+                     std::string backend, std::string fallback,
+                     int lanes = 1) {
     r.output_mismatches.push_back(mm);
     r.reports.push_back(hls::reconcile_profile(
         r.synthesis.transformed, r.synthesis.schedule, r.counter_map, values,
@@ -126,6 +131,7 @@ ProfileRunResult profile_run(const hls::Function& f,
     r.counters.push_back(std::move(values));
     r.leg_backends.push_back(std::move(backend));
     r.leg_fallbacks.push_back(std::move(fallback));
+    r.leg_lanes.push_back(lanes);
   };
 
   if (opts.run_rtl_sim) {
@@ -152,8 +158,65 @@ ProfileRunResult profile_run(const hls::Function& f,
       add_leg(h.read_counters(r.counter_map), mm, got,
               h.sim().fallback_reason());
     };
+    // Packed auto-selection for the compiled leg: when the caller granted a
+    // lane budget and the stimulus is at least that wide, run the compiled
+    // plan through the bit-packed engine instead of the scalar harness.
+    // Each lane replays its contiguous block from reset and is checked
+    // against a fresh golden replay of that block (the vsim_sweep block
+    // contract); counters are per-invocation accumulators, so their lane
+    // sum equals the scalar sequential measurement and every cross-leg
+    // check below still applies bit for bit.
+    auto run_packed = [&]() -> bool {
+      const int lanes = std::clamp(opts.lanes, 1, kMaxLanes);
+      if (lanes <= 1 ||
+          vectors.size() < static_cast<std::size_t>(lanes))
+        return false;
+      std::string why;
+      auto plan = compiled_plan(design, &why);
+      if (plan == nullptr) {
+        r.notes.push_back(
+            "packed auto-selection unavailable (design not "
+            "cycle-schedulable: " + why + "); compiled leg ran scalar");
+        return false;
+      }
+      if (!plan_packable(*plan)) {
+        r.notes.push_back(
+            "packed auto-selection unavailable ($display/$dump in the "
+            "design); compiled leg ran scalar");
+        return false;
+      }
+      const std::size_t n = vectors.size();
+      const std::size_t bs =
+          (n + static_cast<std::size_t>(lanes) - 1) /
+          static_cast<std::size_t>(lanes);
+      std::vector<std::vector<PortIo>> streams;
+      for (std::size_t begin = 0; begin < n; begin += bs)
+        streams.emplace_back(
+            vectors.begin() + static_cast<long>(begin),
+            vectors.begin() + static_cast<long>(std::min(begin + bs, n)));
+      const int L = static_cast<int>(streams.size());
+      PackedDutHarness h(r.synthesis.transformed, plan, L, SimConfig{});
+      const auto got = h.run_streams(streams);
+      long long mm = 0;
+      for (int l = 0; l < L; ++l) {
+        const std::vector<PortIo> want =
+            hls::Interpreter(r.synthesis.transformed)
+                .run_stream(streams[static_cast<std::size_t>(l)]);
+        const auto& lane_got = got[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i < want.size(); ++i)
+          if (!io_equal(lane_got[i], want[i])) ++mm;
+      }
+      vsim_legs.push_back(r.counters.size());
+      add_leg(h.read_counters(r.counter_map), mm, "compiled", "", L);
+      r.notes.push_back(
+          "compiled leg auto-selected the packed backend: " +
+          std::to_string(n) + " vectors >= " + std::to_string(lanes) +
+          " lanes (ran " + std::to_string(L) + " lanes)");
+      return true;
+    };
     if (opts.run_vsim_event) run_vsim(Backend::kEvent, "event");
-    if (opts.run_vsim_compiled) run_vsim(Backend::kCompiled, "compiled");
+    if (opts.run_vsim_compiled && !run_packed())
+      run_vsim(Backend::kCompiled, "compiled");
     if (opts.run_vsim_codegen) run_vsim(Backend::kCodegen, "codegen");
   }
 

@@ -14,8 +14,10 @@
 // (invocations, loop iterations, memory-port activity) must agree across
 // ALL legs, and the two vsim backends must agree on EVERY counter bit for
 // bit. The result serializes as the profile_run.json StructuredReport
-// ({tool: "hlsw.profile", schema_version: 1}); nothing is dropped — every
-// disagreement lands in a leg report's deviations or in `cross_issues`.
+// ({tool: "hlsw.profile", schema_version: 2}; v2 added the per-leg "lanes"
+// field for the packed auto-selection, v1 had scalar legs only); nothing is
+// dropped — every disagreement lands in a leg report's deviations or in
+// `cross_issues`.
 #pragma once
 
 #include <string>
@@ -45,6 +47,17 @@ struct ProfileRunOptions {
   bool run_vsim_event = true;
   bool run_vsim_compiled = true;
   bool run_vsim_codegen = false;
+  // Lane budget for the compiled leg (clamped to [1, 64]). When > 1 and the
+  // stimulus has at least `lanes` vectors, the compiled leg auto-selects
+  // the bit-packed multi-lane backend: the vectors split into `lanes`
+  // contiguous blocks, each block replays from reset in its own lane (the
+  // vsim_sweep block contract — stateful designs need block-independent
+  // stimulus), outputs check against a per-block golden replay, and the
+  // perf counters are summed across lanes (every counter accumulates per
+  // invocation, so the sum equals the scalar sequential measurement). The
+  // choice is surfaced per leg as "lanes" in profile_run.json plus a note;
+  // unpackable designs fall back to the scalar compiled leg with a note.
+  int lanes = 1;
   // When non-empty, write_profile_run_json() is called on the result.
   std::string report_path;
 };
@@ -63,6 +76,9 @@ struct ProfileRunResult {
   // per leg as "backend" / "fallback_reason" in profile_run.json.
   std::vector<std::string> leg_backends;
   std::vector<std::string> leg_fallbacks;
+  // Aligned with `counters`: lanes the leg executed with (1 = scalar; > 1
+  // only for the compiled leg when the packed backend was auto-selected).
+  std::vector<int> leg_lanes;
   // Output words that differed from the golden interpreter, per leg.
   std::vector<long long> output_mismatches;
   // Cross-leg counter disagreements and other hard problems found by the

@@ -1,0 +1,164 @@
+// Frame codec over real sockets: every row of proto.h's error taxonomy is
+// driven through a socketpair — clean close, EOF mid-prefix, EOF
+// mid-payload, hostile oversized prefixes — plus round-trips of empty,
+// small and multi-frame payloads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "serve/proto.h"
+
+namespace hlsw::serve {
+namespace {
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    close_fd(a);
+    close_fd(b);
+  }
+  int fds[2] = {-1, -1};
+};
+
+#define MAKE_PAIR()     \
+  SocketPair sp;        \
+  const int a = sp.fds[0]; \
+  const int b = sp.fds[1]; \
+  sp.a = a;             \
+  sp.b = b
+
+TEST(Proto, RoundTripsPayloads) {
+  MAKE_PAIR();
+  for (const std::string& payload :
+       {std::string(""), std::string("{}"), std::string("{\"op\":\"ping\"}"),
+        std::string(4096, 'x')}) {
+    ASSERT_TRUE(write_frame(a, payload));
+    std::string got;
+    ASSERT_EQ(read_frame(b, &got), FrameStatus::kOk);
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST(Proto, PipelinedFramesKeepBoundaries) {
+  MAKE_PAIR();
+  ASSERT_TRUE(write_frame(a, "first"));
+  ASSERT_TRUE(write_frame(a, ""));
+  ASSERT_TRUE(write_frame(a, "third"));
+  std::string got;
+  ASSERT_EQ(read_frame(b, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "first");
+  ASSERT_EQ(read_frame(b, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "");
+  ASSERT_EQ(read_frame(b, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "third");
+}
+
+TEST(Proto, CleanCloseAtBoundaryIsClosedNotError) {
+  MAKE_PAIR();
+  ASSERT_TRUE(write_frame(a, "last"));
+  ::shutdown(a, SHUT_WR);
+  std::string got;
+  ASSERT_EQ(read_frame(b, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "last");
+  EXPECT_EQ(read_frame(b, &got), FrameStatus::kClosed);
+}
+
+TEST(Proto, EofInsidePrefixIsTruncated) {
+  MAKE_PAIR();
+  const char two[2] = {0, 0};
+  ASSERT_EQ(::send(a, two, 2, 0), 2);
+  ::shutdown(a, SHUT_WR);
+  std::string got, err;
+  EXPECT_EQ(read_frame(b, &got, kDefaultMaxFrameBytes, &err),
+            FrameStatus::kTruncated);
+  EXPECT_NE(err.find("length prefix"), std::string::npos) << err;
+}
+
+TEST(Proto, EofInsidePayloadIsTruncated) {
+  MAKE_PAIR();
+  // Announce 100 bytes, deliver 3, half-close. The reader must report a
+  // truncation (with byte counts), not hang and not return garbage.
+  const unsigned char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::send(a, prefix, 4, 0), 4);
+  ASSERT_EQ(::send(a, "abc", 3, 0), 3);
+  ::shutdown(a, SHUT_WR);
+  std::string got, err;
+  EXPECT_EQ(read_frame(b, &got, kDefaultMaxFrameBytes, &err),
+            FrameStatus::kTruncated);
+  EXPECT_NE(err.find("3 of 100"), std::string::npos) << err;
+}
+
+TEST(Proto, OversizedPrefixIsRefusedBeforeAllocation) {
+  MAKE_PAIR();
+  // 0xFFFFFFFF announced: must be refused by the limit check, long before
+  // any attempt to read (or allocate) 4 GiB.
+  const unsigned char prefix[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::send(a, prefix, 4, 0), 4);
+  std::string got, err;
+  EXPECT_EQ(read_frame(b, &got, /*max_bytes=*/1024, &err),
+            FrameStatus::kOversized);
+  EXPECT_NE(err.find("limit is 1024"), std::string::npos) << err;
+}
+
+TEST(Proto, PeerCanStillReadAfterHalfClose) {
+  // The shutdown(WR) idiom the server's truncated_frame reply depends on:
+  // a peer that half-closed its write side still receives frames.
+  MAKE_PAIR();
+  ::shutdown(a, SHUT_WR);
+  ASSERT_TRUE(write_frame(b, "reply"));
+  std::string got;
+  ASSERT_EQ(read_frame(a, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "reply");
+}
+
+TEST(Proto, UnixListenConnectRoundTrip) {
+  const std::string path =
+      "/tmp/hlsw_proto_test_" + std::to_string(::getpid()) + ".sock";
+  std::string err;
+  const int lfd = listen_unix(path, &err);
+  ASSERT_GE(lfd, 0) << err;
+  std::thread peer([&] {
+    const int cfd = connect_unix(path, nullptr);
+    ASSERT_GE(cfd, 0);
+    EXPECT_TRUE(write_frame(cfd, "hello"));
+    close_fd(cfd);
+  });
+  const int afd = accept_fd(lfd);
+  ASSERT_GE(afd, 0);
+  std::string got;
+  EXPECT_EQ(read_frame(afd, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "hello");
+  peer.join();
+  close_fd(afd);
+  close_fd(lfd);
+  ::unlink(path.c_str());
+}
+
+TEST(Proto, TcpEphemeralPortRoundTrip) {
+  std::string err;
+  int port = -1;
+  const int lfd = listen_tcp("127.0.0.1", 0, &port, &err);
+  ASSERT_GE(lfd, 0) << err;
+  ASSERT_GT(port, 0);
+  std::thread peer([&] {
+    const int cfd = connect_tcp("127.0.0.1", port, nullptr);
+    ASSERT_GE(cfd, 0);
+    EXPECT_TRUE(write_frame(cfd, "tcp"));
+    close_fd(cfd);
+  });
+  const int afd = accept_fd(lfd);
+  ASSERT_GE(afd, 0);
+  std::string got;
+  EXPECT_EQ(read_frame(afd, &got), FrameStatus::kOk);
+  EXPECT_EQ(got, "tcp");
+  peer.join();
+  close_fd(afd);
+  close_fd(lfd);
+}
+
+}  // namespace
+}  // namespace hlsw::serve

@@ -1,0 +1,193 @@
+// The acceptance gate for the daemon: eight concurrent clients pipeline a
+// thousand jobs through one server and every single response comes back —
+// none lost, none duplicated, all correct — while the shared cache turns
+// the storm into lookups. Also the concurrency worst case: sharded DSE
+// sweeps competing with synth traffic from other tenants. This test (and
+// its TSan build, serve_stress_test_tsan) is where scheduler, connection
+// and cache races would surface.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "hls/builder.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace hlsw::serve {
+namespace {
+
+using obs::Json;
+
+hls::Function build_tiny() {
+  hls::FunctionBuilder fb("tiny");
+  const int a = fb.add_array("a", 4, hls::fx(12, 0), false, hls::PortDir::kIn);
+  const int b = fb.add_array("b", 4, hls::fx(24, 2), false, hls::PortDir::kOut);
+  {
+    auto l = fb.loop("scale", 4);
+    const int p = l.mul(l.array_read(a, {1, 0}), l.array_read(a, {1, 0}));
+    l.array_write(b, {1, 0}, l.cast(hls::fx(24, 2), p));
+  }
+  return fb.build();
+}
+
+Json synth_params(int unroll) {
+  Json dir = Json::object();
+  if (unroll > 1)
+    dir.set("loops",
+            Json::object().set("scale",
+                               Json::object().set("unroll", unroll)));
+  return Json::object().set("design", "tiny").set("directives",
+                                                  std::move(dir));
+}
+
+TEST(ServerStress, ThousandPipelinedJobsFromEightClientsLoseNothing) {
+  constexpr int kClients = 8;
+  constexpr int kJobsPerClient = 125;
+
+  ServerOptions opts;
+  opts.unix_path =
+      "/tmp/hlsw_stress_test_" + std::to_string(::getpid()) + ".sock";
+  opts.workers = 4;
+  // Deep enough that a full burst of pipelined submissions cannot trip
+  // backpressure — this test wants 1000 accepted jobs, exactly.
+  opts.sched.max_queue_depth = 2 * kJobsPerClient;
+  Server server(opts);
+  server.register_design("tiny", build_tiny);
+  std::string serr;
+  ASSERT_TRUE(server.start(&serr)) << serr;
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int cidx = 0; cidx < kClients; ++cidx) {
+    threads.emplace_back([cidx, &ok_counts, &opts] {
+      Client client;
+      std::string err;
+      ASSERT_TRUE(client.connect_unix(opts.unix_path, &err)) << err;
+      const std::string tenant = "client" + std::to_string(cidx);
+
+      // Submit the whole batch pipelined, interleaving pings (answered
+      // immediately on the connection thread) so responses genuinely
+      // arrive out of submission order and exercise the reorder buffer.
+      std::vector<long long> ids;
+      std::vector<long long> pings;
+      for (int k = 0; k < kJobsPerClient; ++k) {
+        const int unroll = 1 << (k % 3);  // 1, 2, 4
+        const long long id =
+            client.submit("synth", synth_params(unroll), tenant, &err);
+        ASSERT_GT(id, 0) << err;
+        ids.push_back(id);
+        if (k % 10 == 0) {
+          const long long p = client.submit("ping", Json(), tenant, &err);
+          ASSERT_GT(p, 0) << err;
+          pings.push_back(p);
+        }
+      }
+      // Collect in REVERSE submission order — the parking map must hold
+      // and replay every earlier response without loss.
+      for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+        Json resp;
+        ASSERT_TRUE(client.wait(*it, &resp, &err)) << err;
+        ASSERT_EQ(resp.find("id")->as_int(), *it);
+        ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+        ASSERT_GT(resp.find("result")->find("latency_cycles")->as_int(), 0);
+        ++ok_counts[cidx];
+      }
+      for (const long long p : pings) {
+        Json resp;
+        ASSERT_TRUE(client.wait(p, &resp, &err)) << err;
+        ASSERT_TRUE(resp.find("result")->find("pong")->as_bool());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int cidx = 0; cidx < kClients; ++cidx)
+    EXPECT_EQ(ok_counts[cidx], kJobsPerClient) << "client " << cidx;
+
+  // Server-side ledger: exactly 1000 jobs accepted and completed ok. Any
+  // duplicate or dropped response would break either this or the per-id
+  // checks above.
+  Client probe;
+  std::string err;
+  ASSERT_TRUE(probe.connect_unix(opts.unix_path, &err)) << err;
+  Json resp;
+  ASSERT_TRUE(probe.call("metrics", Json(), &resp, &err)) << err;
+  const Json* jobs = resp.find("result")->find("server")->find("jobs");
+  EXPECT_EQ(jobs->find("accepted")->as_int(), kClients * kJobsPerClient);
+  EXPECT_EQ(jobs->find("ok")->as_int(), kClients * kJobsPerClient);
+  EXPECT_EQ(jobs->find("failed")->as_int(), 0);
+  EXPECT_EQ(jobs->find("busy_rejections")->as_int(), 0);
+
+  // Only 3 distinct configurations exist among 1000 jobs: the shared
+  // cache must have absorbed nearly everything.
+  const Json* cache = resp.find("result")->find("server")->find("synth_cache");
+  EXPECT_GT(cache->find("hit_rate")->as_double(), 0.9);
+
+  server.stop();
+}
+
+// Sharded DSE sweeps racing synth traffic from other tenants: every job
+// completes, and both sweeps return identical documents (determinism is
+// scheduling-independent).
+TEST(ServerStress, ConcurrentDseAndSynthTenantsAllComplete) {
+  ServerOptions opts;
+  opts.unix_path =
+      "/tmp/hlsw_stress_dse_" + std::to_string(::getpid()) + ".sock";
+  opts.workers = 4;
+  opts.sched.max_queue_depth = 256;
+  Server server(opts);
+  server.register_design("tiny", build_tiny);
+  std::string serr;
+  ASSERT_TRUE(server.start(&serr)) << serr;
+
+  const Json dse_params =
+      Json::object()
+          .set("design", "tiny")
+          .set("options",
+               Json::object()
+                   .set("unroll_factors", Json::array().push(1).push(2))
+                   .set("pipeline_iis", Json::array().push(0).push(1)));
+
+  std::vector<std::string> dse_dumps(2);
+  std::vector<std::thread> threads;
+  for (int d = 0; d < 2; ++d) {
+    threads.emplace_back([d, &dse_dumps, &dse_params, &opts] {
+      Client client;
+      std::string err;
+      ASSERT_TRUE(client.connect_unix(opts.unix_path, &err)) << err;
+      Json resp;
+      ASSERT_TRUE(client.call("dse", dse_params, &resp, &err,
+                              "sweeper" + std::to_string(d)))
+          << err;
+      ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+      dse_dumps[d] = resp.find("result")->find("points")->dump();
+    });
+  }
+  for (int s = 0; s < 4; ++s) {
+    threads.emplace_back([s, &opts] {
+      Client client;
+      std::string err;
+      ASSERT_TRUE(client.connect_unix(opts.unix_path, &err)) << err;
+      const std::string tenant = "synther" + std::to_string(s);
+      for (int k = 0; k < 50; ++k) {
+        Json resp;
+        ASSERT_TRUE(
+            client.call("synth", synth_params(1 << (k % 3)), &resp, &err,
+                        tenant))
+            << err;
+        ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(dse_dumps[0].empty());
+  EXPECT_EQ(dse_dumps[0], dse_dumps[1]);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hlsw::serve

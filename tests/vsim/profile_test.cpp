@@ -263,7 +263,7 @@ TEST(ProfileRun, ReportJsonRoundTripsWithEnvelope) {
   std::string err;
   ASSERT_TRUE(obs::Json::parse(text, &doc, &err)) << err;
   EXPECT_EQ(doc.find("tool")->as_string(), "hlsw.profile");
-  EXPECT_EQ(doc.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
   EXPECT_EQ(doc.find("ok")->as_bool(), true);
   EXPECT_EQ(doc.find("legs")->size(), 3u);
   EXPECT_EQ(doc.find("counter_map")->size(), res.counter_map.size());
@@ -305,6 +305,108 @@ TEST(ProfileRun, ReadbackMuxReturnsEveryCounterByIndex) {
               direct.values.at(c.name))
         << c.name;
   }
+}
+
+// Stateless pipelined design + stimulus for the packed auto-selection
+// tests: nothing written survives an invocation, so splitting the vector
+// stream into per-lane blocks (each replayed from reset) is equivalent to
+// one sequential replay — the precondition the packed compiled leg needs.
+hls::Function build_scaler8() {
+  hls::FunctionBuilder fb("scaler8");
+  const int a =
+      fb.add_array("a", 8, hls::fx(12, 0), false, hls::PortDir::kIn);
+  const int c = fb.add_array("c", 8, hls::fx(12, 0), true);
+  const int b =
+      fb.add_array("b", 8, hls::fx(24, 2), false, hls::PortDir::kOut);
+  {
+    auto l = fb.loop("scale", 8);
+    const int p = l.mul(l.array_read(a, {1, 0}), l.array_read(c, {1, 0}));
+    const int q = l.mul(p, l.array_read(a, {1, 0}));
+    l.array_write(b, {1, 0}, l.cast(hls::fx(24, 2), q));
+  }
+  return fb.build();
+}
+
+std::vector<PortIo> scaler8_vectors(int n) {
+  std::mt19937_64 rng(20260808);
+  std::vector<PortIo> vectors;
+  for (int k = 0; k < n; ++k) {
+    PortIo io;
+    auto& arr = io.arrays["a"];
+    arr.resize(8);
+    for (auto& v : arr) {
+      v.fw = 0;
+      v.re = static_cast<long long>(rng() % 4096) - 2048;
+    }
+    vectors.push_back(std::move(io));
+  }
+  return vectors;
+}
+
+TEST(ProfileRun, PackedAutoSelectionMatchesScalarBitForBit) {
+  const hls::Function f = build_scaler8();
+  Directives dir;
+  dir.clock_period_ns = 5;
+  dir.loops["scale"].pipeline_ii = 1;
+  const auto vectors = scaler8_vectors(8);
+
+  ProfileRunOptions packed_opts;
+  packed_opts.lanes = 4;
+  const ProfileRunResult packed =
+      profile_run(f, dir, TechLibrary::asic90(), vectors, packed_opts);
+  const ProfileRunResult scalar =
+      profile_run(f, dir, TechLibrary::asic90(), vectors);
+
+  ASSERT_TRUE(scalar.ok()) << scalar.to_json().dump(2);
+  // ok() on the packed run is the load-bearing assertion: it includes the
+  // cross-leg check that the packed compiled leg's lane-SUMMED counters
+  // agree bit for bit with the scalar event leg on every counter.
+  ASSERT_TRUE(packed.ok()) << packed.to_json().dump(2);
+
+  ASSERT_EQ(packed.counters.size(), 3u);
+  ASSERT_EQ(packed.leg_backends[2], "compiled");
+  EXPECT_EQ(packed.leg_lanes[2], 4);
+  EXPECT_EQ(packed.leg_lanes[0], 1);
+  EXPECT_EQ(packed.leg_lanes[1], 1);
+  EXPECT_EQ(scalar.leg_lanes[2], 1);
+
+  // Lane-summed counters equal the scalar sequential measurement exactly.
+  ASSERT_EQ(scalar.leg_backends[2], "compiled");
+  EXPECT_EQ(packed.counters[2].values, scalar.counters[2].values);
+
+  bool noted = false;
+  for (const std::string& n : packed.notes)
+    noted = noted || n.find("auto-selected the packed backend") !=
+                         std::string::npos;
+  EXPECT_TRUE(noted);
+
+  // The selection is surfaced in profile_run.json per leg.
+  const obs::Json doc = packed.to_json();
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
+  const obs::Json& legs = *doc.find("legs");
+  ASSERT_EQ(legs.size(), 3u);
+  EXPECT_EQ(legs.at(2).find("lanes")->as_int(), 4);
+  EXPECT_EQ(legs.at(0).find("lanes")->as_int(), 1);
+}
+
+TEST(ProfileRun, PackedAutoSelectionRequiresEnoughVectors) {
+  const hls::Function f = build_scaler8();
+  Directives dir;
+  dir.clock_period_ns = 5;
+  const auto vectors = scaler8_vectors(3);
+
+  // Lane budget above the vector count: the compiled leg must stay scalar.
+  ProfileRunOptions opts;
+  opts.lanes = 8;
+  const ProfileRunResult res =
+      profile_run(f, dir, TechLibrary::asic90(), vectors, opts);
+  ASSERT_TRUE(res.ok()) << res.to_json().dump(2);
+  ASSERT_EQ(res.counters.size(), 3u);
+  EXPECT_EQ(res.leg_backends[2], "compiled");
+  EXPECT_EQ(res.leg_lanes[2], 1);
+  for (const std::string& n : res.notes)
+    EXPECT_EQ(n.find("auto-selected the packed backend"), std::string::npos)
+        << n;
 }
 
 TEST(ProfileRun, LegSelectionIsHonored) {
