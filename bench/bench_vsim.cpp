@@ -21,6 +21,7 @@
 #include "rtl/sim.h"
 #include "rtl/testbench.h"
 #include "rtl/verilog.h"
+#include "vsim/codegen.h"
 #include "vsim/compile.h"
 #include "vsim/harness.h"
 #include "vsim/lint.h"
@@ -153,8 +154,18 @@ void run_harness_sections(bench::Harness* h) {
   // Bit-packed multi-lane sweeps: 64 independent 25-symbol blocks (every
   // block its own burst, replayed from reset on both legs) through one
   // scalar compiled sweep vs 8- and 64-lane packed runs of the SAME
-  // blocks. Throughput is reported per lane so the lane-scaling efficiency
-  // is visible next to the raw speedup.
+  // blocks. The interpreted-packed legs pin Backend::kCompiled (kAuto now
+  // prefers the generated lane-major engine, which would silently change
+  // this baseline); the packed-codegen legs request kPackedCodegen
+  // explicitly. Every full-sweep leg shares the batched golden reference
+  // (one interpreter context per batch, reset between lanes), so the
+  // packed-vs-packed gap below is pure DUT-engine difference. Throughput
+  // is reported per lane so the lane-scaling efficiency is visible next to
+  // the raw speedup.
+  vsim::SimConfig interp_packed_cfg;
+  interp_packed_cfg.backend = vsim::Backend::kCompiled;
+  vsim::SimConfig packed_cg_cfg;
+  packed_cg_cfg.backend = vsim::Backend::kPackedCodegen;
   const int kSweepSymbols = 1600;
   const std::size_t kSweepBlock = 25;
   const std::vector<PortIo> sweep_batch =
@@ -165,15 +176,26 @@ void run_harness_sections(bench::Harness* h) {
                          {.block_size = kSweepBlock}));
   });
   const auto t_sweep8 = h->measure("vsim_sweep_blocks_packed8", [&] {
-    benchmark::DoNotOptimize(
-        vsim::vsim_sweep(r.transformed, r.schedule, sweep_batch,
-                         {.block_size = kSweepBlock, .lanes = 8}));
+    benchmark::DoNotOptimize(vsim::vsim_sweep(
+        r.transformed, r.schedule, sweep_batch,
+        {.block_size = kSweepBlock, .lanes = 8}, interp_packed_cfg));
   });
   const auto t_sweep64 = h->measure("vsim_sweep_blocks_packed64", [&] {
-    benchmark::DoNotOptimize(
-        vsim::vsim_sweep(r.transformed, r.schedule, sweep_batch,
-                         {.block_size = kSweepBlock, .lanes = 64}));
+    benchmark::DoNotOptimize(vsim::vsim_sweep(
+        r.transformed, r.schedule, sweep_batch,
+        {.block_size = kSweepBlock, .lanes = 64}, interp_packed_cfg));
   });
+  const auto t_sweep8_cg = h->measure("vsim_sweep_blocks_packed8_codegen", [&] {
+    benchmark::DoNotOptimize(vsim::vsim_sweep(
+        r.transformed, r.schedule, sweep_batch,
+        {.block_size = kSweepBlock, .lanes = 8}, packed_cg_cfg));
+  });
+  const auto t_sweep64_cg =
+      h->measure("vsim_sweep_blocks_packed64_codegen", [&] {
+        benchmark::DoNotOptimize(vsim::vsim_sweep(
+            r.transformed, r.schedule, sweep_batch,
+            {.block_size = kSweepBlock, .lanes = 64}, packed_cg_cfg));
+      });
   // DUT-only throughput pair: the same 64 blocks replayed per-block
   // through scalar DutHarnesses vs one 64-lane PackedDutHarness. A full
   // differential sweep runs the golden interpreter leg identically on both
@@ -195,9 +217,21 @@ void run_harness_sections(bench::Harness* h) {
     }
   });
   const auto t_dut_packed = h->measure("vsim_sweep_dut_packed64", [&] {
-    vsim::PackedDutHarness dut(r.transformed, pack_plan, kDutLanes);
+    vsim::PackedDutHarness dut(r.transformed, pack_plan, kDutLanes,
+                               interp_packed_cfg);
     benchmark::DoNotOptimize(dut.run_streams(dut_streams));
   });
+  // Same streams through the generated lane-major engine; the note records
+  // which backend actually ran (toolchain-less machines degrade to the
+  // interpreted packed tier, making this leg ~equal to the one above).
+  std::string packed_cg_backend = "unknown";
+  const auto t_dut_packed_cg =
+      h->measure("vsim_sweep_dut_packed64_codegen", [&] {
+        vsim::PackedDutHarness dut(r.transformed, pack_plan, kDutLanes,
+                                   packed_cg_cfg);
+        packed_cg_backend = dut.backend();
+        benchmark::DoNotOptimize(dut.run_streams(dut_streams));
+      });
 
   const auto throughput_note = [&](const std::string& label, int symbols,
                                    double min_ms, int lanes) {
@@ -214,8 +248,11 @@ void run_harness_sections(bench::Harness* h) {
   sweep_note("sweep_blocks_scalar", t_sweep1.min_ms, 1);
   sweep_note("sweep_blocks_packed8", t_sweep8.min_ms, 8);
   sweep_note("sweep_blocks_packed64", t_sweep64.min_ms, 64);
+  sweep_note("sweep_blocks_packed8_codegen", t_sweep8_cg.min_ms, 8);
+  sweep_note("sweep_blocks_packed64_codegen", t_sweep64_cg.min_ms, 64);
   sweep_note("sweep_dut_scalar", t_dut_scalar.min_ms, 1);
   sweep_note("sweep_dut_packed64", t_dut_packed.min_ms, kDutLanes);
+  sweep_note("sweep_dut_packed64_codegen", t_dut_packed_cg.min_ms, kDutLanes);
   throughput_note("harness_compiled", kSymbols, t_vsim.min_ms, 1);
   throughput_note("harness_codegen", kSymbols, t_vsim_codegen.min_ms, 1);
 
@@ -226,6 +263,7 @@ void run_harness_sections(bench::Harness* h) {
                         .set("sweep_block_size",
                              static_cast<long long>(kSweepBlock))
                         .set("codegen_backend", codegen_backend)
+                        .set("packed_codegen_backend", packed_cg_backend)
                         .set("testbench_passed", tb_passed));
   h->note("slowdown_vsim_vs_rtl_sim", t_vsim.min_ms / t_rtl.min_ms);
   h->note("overhead_instrumented_vs_plain",
@@ -238,8 +276,20 @@ void run_harness_sections(bench::Harness* h) {
   h->note("speedup_packed8_vs_scalar_sweep", t_sweep1.min_ms / t_sweep8.min_ms);
   h->note("speedup_packed64_vs_scalar_sweep",
           t_sweep1.min_ms / t_sweep64.min_ms);
+  h->note("speedup_packed8_codegen_vs_scalar_sweep",
+          t_sweep1.min_ms / t_sweep8_cg.min_ms);
+  h->note("speedup_packed64_codegen_vs_scalar_sweep",
+          t_sweep1.min_ms / t_sweep64_cg.min_ms);
+  h->note("speedup_packed8_codegen_vs_interp_sweep",
+          t_sweep8.min_ms / t_sweep8_cg.min_ms);
+  h->note("speedup_packed64_codegen_vs_interp_sweep",
+          t_sweep64.min_ms / t_sweep64_cg.min_ms);
   h->note("speedup_packed64_dut_vs_scalar_dut",
           t_dut_scalar.min_ms / t_dut_packed.min_ms);
+  h->note("speedup_packed64_codegen_dut_vs_scalar_dut",
+          t_dut_scalar.min_ms / t_dut_packed_cg.min_ms);
+  h->note("speedup_packed64_codegen_dut_vs_interp_dut",
+          t_dut_packed.min_ms / t_dut_packed_cg.min_ms);
   h->note("speedup_sweep_pool4_vs_serial", t_serial.min_ms / t_par.min_ms);
   h->note("speedup_sweep_pool4_vs_serial_event",
           t_serial_event.min_ms / t_par_event.min_ms);

@@ -552,10 +552,23 @@ Json Server::handle_cosim(const Json& req) {
     o.block_size = vectors.size();
 
   const hls::SynthesisResult r = hls::run_synthesis(f, dir, tech);
-  auto golden = [&r] {
-    auto interp = std::make_shared<hls::Interpreter>(r.transformed);
-    return [interp](const std::vector<hls::PortIo>& v) {
-      return interp->run_stream(v);
+  // One golden evaluation context for the whole sweep (threads is pinned
+  // to 0 above, so blocks run sequentially): construction copies the
+  // Function and rebuilds its indices, which per-block instantiation paid
+  // once per block. reset() between blocks restores fresh-instance state.
+  struct SharedGolden {
+    hls::Interpreter interp;
+    bool used = false;
+    explicit SharedGolden(const hls::Function& fn) : interp(fn) {}
+  };
+  auto sg = std::make_shared<SharedGolden>(r.transformed);
+  auto golden = [sg] {
+    return [sg](const std::vector<hls::PortIo>& v) {
+      if (sg->used)
+        sg->interp.reset();
+      else
+        sg->used = true;
+      return sg->interp.run_stream(v);
     };
   };
   auto dut = [&r] {

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -74,10 +75,14 @@ std::string hx(std::uint64_t v) {
 // Emits the statements evaluating one tape and returns the expression (a
 // temp name or literal) holding its value. Every op result becomes its own
 // `const u64` temp so operands are never textually duplicated; `tmp` is
-// the caller-scoped temp counter keeping names unique per function.
+// the caller-scoped temp counter keeping names unique per function. In
+// packed mode the emitted statements live inside a `for (l = 0; l < kL;
+// ++l)` lane loop: signal loads index the lane plane and element loads
+// pass the lane through to the lane-major ldel.
 std::string emit_tape(std::ostream& os, const CompiledDesign& cd, int tape,
-                      int& tmp, const char* ind) {
+                      int& tmp, const char* ind, bool packed = false) {
   const TapeRef& t = cd.tapes[static_cast<std::size_t>(tape)];
+  const std::string lx = packed ? ", l" : "";
   std::vector<std::string> stk;
   const auto push = [&](const std::string& expr) {
     std::string name = "t" + std::to_string(tmp++);
@@ -90,7 +95,7 @@ std::string emit_tape(std::ostream& os, const CompiledDesign& cd, int tape,
     return v;
   };
   const auto sig = [&](std::int32_t a) {
-    return "S->v[" + std::to_string(a) + "]";
+    return "S->v[" + std::to_string(a) + (packed ? "][l]" : "]");
   };
   const auto arr = [&](std::int32_t a) {
     return "S->a" + std::to_string(a);
@@ -124,7 +129,7 @@ std::string emit_tape(std::ostream& os, const CompiledDesign& cd, int tape,
         const std::string u = pop();
         const std::string idx =
             o.w ? "(i64)sx(" + u + ", " + W + ")" : "(i64)" + u;
-        push("ldel(" + arr(o.a) + ", " + alen(o.a) + ", " + idx + ")");
+        push("ldel(" + arr(o.a) + ", " + alen(o.a) + ", " + idx + lx + ")");
         break;
       }
       case TOp::kTrunc:
@@ -317,13 +322,14 @@ std::string emit_tape(std::ostream& os, const CompiledDesign& cd, int tape,
         break;
       case TOp::kLoadElemSx:
         push("sx(ldel(" + arr(o.a) + ", " + alen(o.a) + ", (i64)" + pop() +
-             "), " + W + ") & " + I);
+             lx + "), " + W + ") & " + I);
         break;
       case TOp::kLoadElemTr: {
         const std::string u = pop();
         const std::string idx =
             o.w ? "(i64)sx(" + u + ", " + W + ")" : "(i64)" + u;
-        push("ldel(" + arr(o.a) + ", " + alen(o.a) + ", " + idx + ") & " + I);
+        push("ldel(" + arr(o.a) + ", " + alen(o.a) + ", " + idx + lx + ") & " +
+             I);
         break;
       }
       case TOp::kAddC:
@@ -525,6 +531,284 @@ void emit_proc(std::ostream& os, const CompiledDesign& cd, std::size_t p) {
   os << "  return 0;\n}\n\n";
 }
 
+// Per-signal static tables shared verbatim by the scalar and packed
+// generated sources (masks, widths, array lengths, fanout/trigger flags).
+void emit_static_tables(std::ostream& os, const CompiledDesign& cd) {
+  const Design& d = *cd.design;
+  const std::size_t nsig = d.signals.size();
+  const auto bool_table = [&](const char* name, auto pred) {
+    os << "static constexpr bool " << name << "[" << nsig << "] = {";
+    for (std::size_t i = 0; i < nsig; ++i)
+      os << (i ? "," : "") << (pred(i) ? 1 : 0);
+    os << "};\n";
+  };
+  os << "static constexpr u64 kMask[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i)
+    os << (i ? "," : "") << hx(cd.sig_mask[i]);
+  os << "};\n";
+  os << "static constexpr int kWidth[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i)
+    os << (i ? "," : "") << d.signals[i].width;
+  os << "};\n";
+  os << "static constexpr i64 kALen[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i)
+    os << (i ? "," : "") << d.signals[i].array_len;
+  os << "};\n";
+  bool_table("kHasFan", [&](std::size_t i) {
+    return cd.fan_index[i] < cd.fan_index[i + 1];
+  });
+  bool_table("kHasTrig", [&](std::size_t i) {
+    return cd.trig_index[i] < cd.trig_index[i + 1];
+  });
+  os << "\n";
+}
+
+// Load-site classification as in compile.cpp: the xL superinstructions are
+// reads of val[a] too.
+bool tape_reads_scalar(const TOp& o) {
+  switch (o.code) {
+    case TOp::kLoad:
+    case TOp::kLoadSx:
+    case TOp::kLoadTr:
+    case TOp::kAddL:
+    case TOp::kSubL:
+    case TOp::kMulL:
+    case TOp::kAndL:
+    case TOp::kOrL:
+    case TOp::kXorL:
+    case TOp::kConcatL:
+    case TOp::kRangeL:
+    case TOp::kLoadShlC:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One lane-masked process body for the packed engine. The control-flow
+// translation mirrors PackedSim::run_proc instruction by instruction: a
+// LIFO stack of (pc, mask) contexts split off by divergent branches, a
+// `dispatch` switch that re-enters the goto graph at a dynamic pc, and
+// instruction retirement counted as popcount(mask) — the packed oracle's
+// exact accounting (pack_test pins the bit-identity, splits included).
+void emit_packed_proc(std::ostream& os, const CompiledDesign& cd,
+                      std::size_t p) {
+  const std::size_t entry = static_cast<std::size_t>(cd.procs[p].entry);
+  const std::size_t end = proc_end(cd, p);
+  int repeat_depth = 0;
+  for (std::size_t pc = entry; pc < end; ++pc)
+    if (cd.prog[pc].code == PInstr::kRepeatInit) ++repeat_depth;
+  const std::string D = std::to_string(repeat_depth);
+
+  // Contexts hold disjoint non-empty lane sets, so at most kL exist at
+  // once and fixed arrays replace the oracle's vector.
+  os << "PK_SIMD static int proc" << p << "(St* S, u64 m, i64 budget) {\n"
+        "  u64 wk_m[kL]; int wk_pc[kL]; int wsp = 0; int npc = 0;\n"
+        "  u64 pl[kL]; u64 ixp[kL];\n"
+        "  (void)wk_m; (void)wk_pc; (void)wsp; (void)npc;\n"
+        "  (void)pl; (void)ixp; (void)budget;\n";
+  if (repeat_depth > 0)
+    os << "  i64 reps[kL * " << D << "]; int rsp[kL] = {};\n";
+  int tmp = 0;
+  const char* ind = "      ";  // tape statements sit inside the lane loop
+  for (std::size_t pc = entry; pc < end; ++pc) {
+    const PInstr& in = cd.prog[pc];
+    const std::string SIG = std::to_string(in.sig);
+    const std::string MASK =
+        in.sig >= 0 ? hx(cd.sig_mask[static_cast<std::size_t>(in.sig)]) : "";
+    const std::string A = std::to_string(in.a);
+    // Evaluates a tape for every lane into `dest[l]` (pure, so computing
+    // lanes outside the mask is harmless — oracle does the same).
+    const auto plane_tape = [&](int tape, const char* dest) {
+      os << "    for (int l = 0; l < kL; ++l) {\n";
+      const std::string v = emit_tape(os, cd, tape, tmp, ind, true);
+      os << "      " << dest << "[l] = " << v << ";\n    }\n";
+    };
+    os << "  L" << pc << ": S->instrs += popc(m);\n";
+    os << "  {\n";
+    switch (in.code) {
+      case PInstr::kAssign:
+        plane_tape(in.t0, "pl");
+        os << "    set_masked(S, " << SIG << ", pl, m);\n";
+        break;
+      case PInstr::kAssignCopy:
+        os << "    set_masked(S, " << SIG << ", S->v[" << in.a << "], m);\n";
+        break;
+      case PInstr::kAssignConst:
+        os << "    set_masked_c(S, " << SIG << ", " << hx(in.imm) << ", m);\n";
+        break;
+      case PInstr::kAssignElem:
+        plane_tape(in.t0, "pl");  // value first, then index (kernel order)
+        plane_tape(in.t1, "ixp");
+        os << "    for (int l = 0; l < kL; ++l)\n"
+              "      if ((m >> l) & 1) setel_lane(S, "
+           << SIG << ", l, (i64)ixp[l], pl[l]);\n";
+        break;
+      case PInstr::kAssignBit: {
+        plane_tape(in.t0, "pl");
+        plane_tape(in.t1, "ixp");
+        const int w =
+            cd.design->signals[static_cast<std::size_t>(in.sig)].width;
+        os << "    const u64* cur = S->v[" << SIG << "];\n"
+              "    u64 valid = 0;\n"
+              "    for (int l = 0; l < kL; ++l) {\n"
+              "      if (!((m >> l) & 1)) continue;\n"
+              "      const i64 bi = (i64)ixp[l];\n"
+              "      if (bi < 0 || bi >= "
+           << w
+           << ") continue;\n"
+              "      pl[l] = (cur[l] & ~(1ull << bi)) | ((pl[l] & 1ull) << "
+              "bi);\n"
+              "      valid |= 1ull << l;\n"
+              "    }\n"
+              "    set_masked(S, "
+           << SIG << ", pl, valid);\n";
+        break;
+      }
+      case PInstr::kNb:
+        plane_tape(in.t0, "pl");
+        os << "    S->nba.push_back(Nba{" << SIG << ", m, push_vals(S, pl, "
+           << MASK << "), -1});\n";
+        break;
+      case PInstr::kNbCopy:
+        os << "    S->nba.push_back(Nba{" << SIG << ", m, push_vals(S, S->v["
+           << in.a << "], " << MASK << "), -1});\n";
+        break;
+      case PInstr::kNbConst:
+        os << "    for (int l = 0; l < kL; ++l) pl[l] = " << hx(in.imm)
+           << ";\n"
+              "    S->nba.push_back(Nba{"
+           << SIG << ", m, push_vals(S, pl, ~0ull), -1});\n";
+        break;
+      case PInstr::kNbElem:
+        plane_tape(in.t0, "pl");
+        os << "    const i64 vo = push_vals(S, pl, " << MASK << ");\n";
+        plane_tape(in.t1, "ixp");
+        os << "    S->nba.push_back(Nba{" << SIG
+           << ", m, vo, push_idx(S, ixp)});\n";
+        break;
+      case PInstr::kNbBit:
+        plane_tape(in.t0, "pl");
+        os << "    const i64 vo = push_vals(S, pl, 1ull);\n";
+        plane_tape(in.t1, "ixp");
+        os << "    S->nba.push_back(Nba{" << SIG
+           << ", m, vo, push_idx(S, ixp)});\n";
+        break;
+      case PInstr::kJump:
+        // Backward jumps carry the aggregate (lane-summed) budget check;
+        // the budget arrives pre-scaled by the lane count.
+        if (in.a <= static_cast<std::int32_t>(pc))
+          os << "    if (S->instrs - S->slot_base > budget) return 1;\n";
+        os << "    goto L" << in.a << ";\n";
+        break;
+      case PInstr::kJumpIfFalse: {
+        os << "    u64 tk = 0;\n"
+              "    for (int l = 0; l < kL; ++l) {\n";
+        const std::string c = emit_tape(os, cd, in.t0, tmp, ind, true);
+        os << "      tk |= (u64)(" << c
+           << " == 0) << l;\n"
+              "    }\n"
+              "    tk &= m;\n"
+              "    if (tk == m) goto L"
+           << in.a
+           << ";\n"
+              "    if (tk != 0) { ++S->div_splits; wk_pc[wsp] = "
+           << A << "; wk_m[wsp] = tk; ++wsp; m &= ~tk; }\n";
+        break;
+      }
+      case PInstr::kJumpIfFalseSig:
+        os << "    u64 tk = 0;\n"
+              "    const u64* s = S->v["
+           << SIG
+           << "];\n"
+              "    for (int l = 0; l < kL; ++l) tk |= (u64)(s[l] == 0) << "
+              "l;\n"
+              "    tk &= m;\n"
+              "    if (tk == m) goto L"
+           << in.a
+           << ";\n"
+              "    if (tk != 0) { ++S->div_splits; wk_pc[wsp] = "
+           << A << "; wk_m[wsp] = tk; ++wsp; m &= ~tk; }\n";
+        break;
+      case PInstr::kCaseJump:
+        // Lockstep fast path dispatches all lanes in one shot (no split
+        // counted); otherwise lanes group by target in first-seen order
+        // and groups 1..n-1 stack up, exactly as the oracle.
+        os << "    const u64* s = S->v[" << SIG
+           << "];\n"
+              "    const u64 s0 = s[__builtin_ctzll(m)];\n"
+              "    bool lock = true;\n"
+              "    for (int l = 0; l < kL; ++l) lock &= (s[l] == s0) | "
+              "!((m >> l) & 1);\n"
+              "    if (lock) { npc = case_t"
+           << in.a
+           << "(s0); goto dispatch; }\n"
+              "    int gpc[kL]; u64 gm[kL]; int ng = 0;\n"
+              "    for (int l = 0; l < kL; ++l) {\n"
+              "      if (!((m >> l) & 1)) continue;\n"
+              "      const int tpc = case_t"
+           << in.a
+           << "(s[l]);\n"
+              "      int g = 0;\n"
+              "      while (g < ng && gpc[g] != tpc) ++g;\n"
+              "      if (g == ng) { gpc[ng] = tpc; gm[ng] = 0; ++ng; }\n"
+              "      gm[g] |= 1ull << l;\n"
+              "    }\n"
+              "    S->div_splits += ng - 1;\n"
+              "    for (int g = 1; g < ng; ++g) { wk_pc[wsp] = gpc[g]; "
+              "wk_m[wsp] = gm[g]; ++wsp; }\n"
+              "    m = gm[0];\n"
+              "    npc = gpc[0];\n"
+              "    goto dispatch;\n";
+        break;
+      case PInstr::kRepeatInit: {
+        const TapeRef& t = cd.tapes[static_cast<std::size_t>(in.t0)];
+        os << "    for (int l = 0; l < kL; ++l) {\n";
+        const std::string v = emit_tape(os, cd, in.t0, tmp, ind, true);
+        os << "      if ((m >> l) & 1) reps[l * " << D << " + rsp[l]++] = ";
+        if (t.sgn)
+          os << "sgn64(" << v << ", " << static_cast<int>(t.w) << ");\n";
+        else
+          os << "(i64)" << v << ";\n";
+        os << "    }\n";
+        break;
+      }
+      case PInstr::kRepeatTest:
+        os << "    u64 cont = 0;\n"
+              "    for (int l = 0; l < kL; ++l) {\n"
+              "      if (!((m >> l) & 1)) continue;\n"
+              "      i64& bk = reps[l * "
+           << D
+           << " + rsp[l] - 1];\n"
+              "      if (bk > 0) { --bk; cont |= 1ull << l; } else { "
+              "--rsp[l]; }\n"
+              "    }\n"
+              "    const u64 ex = m & ~cont;\n"
+              "    if (ex == m) goto L"
+           << in.a
+           << ";\n"
+              "    if (ex != 0) { ++S->div_splits; wk_pc[wsp] = "
+           << A << "; wk_m[wsp] = ex; ++wsp; m = cont; }\n";
+        break;
+      case PInstr::kDisplay:
+      case PInstr::kDumpFile:
+      case PInstr::kDumpVars:
+        // Unreachable: packed_codegen_plan refuses such plans.
+        os << "    return 1;\n";
+        break;
+      case PInstr::kHalt:
+        os << "    if (wsp == 0) return 0;\n"
+              "    --wsp; npc = wk_pc[wsp]; m = wk_m[wsp]; goto dispatch;\n";
+        break;
+    }
+    os << "  }\n";
+  }
+  os << "  dispatch:\n  switch (npc) {\n";
+  for (std::size_t pc = entry; pc < end; ++pc)
+    os << "    case " << pc << ": goto L" << pc << ";\n";
+  os << "    default: return 0;\n  }\n}\n\n";
+}
+
 }  // namespace
 
 std::string codegen_source(const CompiledDesign& cd) {
@@ -559,32 +843,7 @@ std::string codegen_source(const CompiledDesign& cd) {
         "inline u64 repl(u64 kv, int w, int n) { u64 v = 0; for (int i = 0; "
         "i < n; ++i) v = (v << w) | kv; return v; }\n\n";
 
-  // Per-signal static tables.
-  const auto bool_table = [&](const char* name, auto pred) {
-    os << "static constexpr bool " << name << "[" << nsig << "] = {";
-    for (std::size_t i = 0; i < nsig; ++i)
-      os << (i ? "," : "") << (pred(i) ? 1 : 0);
-    os << "};\n";
-  };
-  os << "static constexpr u64 kMask[" << nsig << "] = {";
-  for (std::size_t i = 0; i < nsig; ++i)
-    os << (i ? "," : "") << hx(cd.sig_mask[i]);
-  os << "};\n";
-  os << "static constexpr int kWidth[" << nsig << "] = {";
-  for (std::size_t i = 0; i < nsig; ++i)
-    os << (i ? "," : "") << d.signals[i].width;
-  os << "};\n";
-  os << "static constexpr i64 kALen[" << nsig << "] = {";
-  for (std::size_t i = 0; i < nsig; ++i)
-    os << (i ? "," : "") << d.signals[i].array_len;
-  os << "};\n";
-  bool_table("kHasFan", [&](std::size_t i) {
-    return cd.fan_index[i] < cd.fan_index[i + 1];
-  });
-  bool_table("kHasTrig", [&](std::size_t i) {
-    return cd.trig_index[i] < cd.trig_index[i + 1];
-  });
-  os << "\n";
+  emit_static_tables(os, cd);
 
   // Engine state. Array signals are fixed-size members (lengths are design
   // constants); everything zero-initializes except where create() applies
@@ -723,7 +982,10 @@ std::string codegen_source(const CompiledDesign& cd) {
   os << "static int settle(St* S, i64 budget) {\n"
         "  S->slot_base = S->instrs;\n"
         "  for (;;) {\n"
-        "    if (S->comb_dirty) { S->comb_dirty = false; flush(S); }\n"
+        // Clear AFTER the flush: one level-ordered pass over a pure DAG is
+        // a fixpoint, so the dirty bits the flush's own stores raise would
+        // only buy a redundant full re-evaluation.
+        "    if (S->comb_dirty) { flush(S); S->comb_dirty = false; }\n"
         "    if (S->ready_count > 0) {\n"
         "      int p = 0;\n"
         "      while (!S->ready[p]) ++p;\n"
@@ -741,7 +1003,7 @@ std::string codegen_source(const CompiledDesign& cd) {
   // ABI. Keep in sync with CodegenModule (codegen.h); bump kCgAbi there
   // when anything below changes shape.
   os << "extern \"C\" {\n"
-        "int hlsw_cg_abi() { return 1; }\n"
+        "int hlsw_cg_abi() { return 2; }\n"
         "void* hlsw_cg_create() {\n  St* s = new St();\n";
   for (std::size_t i = 0; i < nsig; ++i)
     if (d.signals[i].array_len == 0 && d.signals[i].has_init)
@@ -770,11 +1032,464 @@ std::string codegen_source(const CompiledDesign& cd) {
   return os.str();
 }
 
+std::string packed_codegen_source(const CompiledDesign& cd, int lanes) {
+  const Design& d = *cd.design;
+  const std::size_t nsig = d.signals.size();
+  const std::size_t nproc = cd.procs.size();
+  const std::uint64_t full =
+      lanes == 64 ? ~0ULL : (1ULL << lanes) - 1ULL;
+  std::ostringstream os;
+
+  // The lane count is part of the generated text (kL below), so every
+  // (design, lanes) pair gets its own fingerprint — and the hlsw_cg_pk_*
+  // symbols keep packed artifacts from ever aliasing scalar ones.
+  os << "// Generated by hlsw vsim packed codegen (lane-major engine, "
+     << lanes
+     << " lanes);\n"
+        "// compiled and dlopen()ed at runtime. One translation unit per\n"
+        "// (design fingerprint, lane count).\n"
+        "#include <cstddef>\n#include <cstdint>\n#include <vector>\n"
+        "// The generated object is always compiled uninstrumented by the\n"
+        "// host toolchain, so the ifunc resolvers target_clones emits are\n"
+        "// safe even when the loading process runs under ThreadSanitizer\n"
+        "// (unlike pack.cpp, which must guard its own attribute).\n"
+        "#ifndef __has_attribute\n#define __has_attribute(x) 0\n#endif\n"
+        "#if defined(__x86_64__) && defined(__ELF__) && "
+        "__has_attribute(target_clones)\n"
+        "#define PK_SIMD __attribute__((target_clones(\"default\", "
+        "\"arch=x86-64-v3\", \"arch=x86-64-v4\")))\n"
+        "#else\n#define PK_SIMD\n#endif\n"
+        "namespace {\n"
+        "typedef std::uint64_t u64;\ntypedef long long i64;\n"
+        "constexpr int kL = "
+     << lanes
+     << ";\n"
+        "constexpr u64 kFull = "
+     << hx(full)
+     << ";\n"
+        "inline u64 um(int w) { return w >= 64 ? ~0ull : (1ull << w) - 1ull; "
+        "}\n"
+        "inline i64 sgn64(u64 v, int w) { if (w < 64 && ((v >> (w - 1)) & "
+        "1)) v |= ~um(w); return (i64)v; }\n"
+        "inline u64 sx(u64 v, int w) { if ((v >> (w - 1)) & 1) v |= ~um(w); "
+        "return v; }\n"
+        "inline u64 tosgn(u64 v, int w) { if (w < 64 && ((v >> (w - 1)) & "
+        "1)) v |= ~um(w); return v; }\n"
+        "inline u64 ldel(const u64* A, i64 n, i64 i, int l) { return (i >= 0 "
+        "&& i < n) ? A[(std::size_t)i * kL + l] : 0; }\n"
+        "inline u64 bitsel(u64 base, i64 i, int w) { return (i >= 0 && i < "
+        "w) ? (base >> i) & 1 : 0; }\n"
+        "inline u64 divs(u64 a, u64 b, int w, u64 imm) { const i64 sa = "
+        "sgn64(a, w), sb = sgn64(b, w); u64 r; if (sb == 0) r = 0; else if "
+        "(sb == -1) r = 0 - a; else r = (u64)(sa / sb); return r & imm; }\n"
+        "inline u64 mods(u64 a, u64 b, int w, u64 imm) { const i64 sa = "
+        "sgn64(a, w), sb = sgn64(b, w); u64 r; if (sb == 0 || sb == -1) r = "
+        "0; else r = (u64)(sa % sb); return r & imm; }\n"
+        "inline u64 repl(u64 kv, int w, int n) { u64 v = 0; for (int i = 0; "
+        "i < n; ++i) v = (v << w) | kv; return v; }\n"
+        "inline int popc(u64 m) { return __builtin_popcountll(m); }\n\n";
+
+  emit_static_tables(os, cd);
+
+  // Comb activity gating, as in the interpreted oracle: the fan CSR maps a
+  // changed signal to the eager nodes that must re-evaluate (lazy nodes are
+  // excluded by construction — they re-run at peek, below), and kLazyOf
+  // names the lazy node driving a signal so the peek entry points can force
+  // it on demand.
+  const std::size_t nnodes = cd.nodes.size();
+  os << "constexpr int kNN = " << std::max<std::size_t>(nnodes, 1) << ";\n";
+  os << "static constexpr std::int32_t kFanIdx[" << (nsig + 1) << "] = {";
+  for (std::size_t i = 0; i <= nsig; ++i)
+    os << (i ? "," : "") << cd.fan_index[i];
+  os << "};\n";
+  os << "static constexpr std::int32_t kFanNodes["
+     << std::max<std::size_t>(cd.fan_nodes.size(), 1) << "] = {";
+  if (cd.fan_nodes.empty()) {
+    os << "0";
+  } else {
+    for (std::size_t i = 0; i < cd.fan_nodes.size(); ++i)
+      os << (i ? "," : "") << cd.fan_nodes[i];
+  }
+  os << "};\n";
+  os << "static constexpr std::int32_t kLazyOf[" << nsig << "] = {";
+  for (std::size_t i = 0; i < nsig; ++i) {
+    const std::int32_t n = cd.node_of[i];
+    const bool lazy =
+        n >= 0 && cd.node_lazy[static_cast<std::size_t>(n)] != 0;
+    os << (i ? "," : "") << (lazy ? n : -1);
+  }
+  os << "};\n\n";
+
+  // Engine state: one kL-lane plane per signal (2D so runtime-sig paths
+  // like set_masked index rows), lane-major arrays, lane-mask ready bits
+  // and the double-buffered NBA queue with plane arenas — PackedSim's
+  // layout with every extent baked.
+  os << "struct Nba { std::int32_t sig; u64 mask; i64 vofs; i64 iofs; };\n";
+  os << "struct St {\n  u64 v[" << nsig << "][kL] = {};\n";
+  for (std::size_t i = 0; i < nsig; ++i)
+    if (d.signals[i].array_len > 0)
+      os << "  u64 a" << i << "[" << d.signals[i].array_len
+         << " * kL] = {};\n";
+  os << "  std::vector<Nba> nba, nba_scratch;\n"
+        "  std::vector<u64> nvals, nvals_s;\n"
+        "  std::vector<i64> nidx, nidx_s;\n"
+        "  u64 ready["
+     << std::max<std::size_t>(nproc, 1)
+     << "] = {};\n"
+        "  u64 scratch[kL] = {};\n"
+        "  int running = -1;\n"
+        "  bool comb_dirty = true;\n"
+        // Zero = dirty: the first flush evaluates every eager node, as the
+        // oracle's constructor marks all non-lazy nodes pending.
+        "  unsigned char nclean[kNN] = {};\n"
+        "  i64 events = 0, nba_commits = 0, delta_cycles = 0, instrs = 0;\n"
+        "  i64 flushes = 0, div_splits = 0, slot_base = 0;\n"
+        "};\n\n";
+
+  os << "static u64* arrp(St* S, int sig) {\n  switch (sig) {\n";
+  for (std::size_t i = 0; i < nsig; ++i)
+    if (d.signals[i].array_len > 0)
+      os << "    case " << i << ": return S->a" << i << ";\n";
+  os << "    default: return nullptr;\n  }\n}\n\n";
+
+  // Edge triggers: the running process's own writes never re-arm it (every
+  // changed lane lies inside its context mask, as in the oracle).
+  os << "static void trig(St* S, int sig, u64 ch, u64 pos, u64 neg) {\n"
+        "  (void)ch; (void)pos; (void)neg;\n"
+        "  switch (sig) {\n";
+  for (std::size_t i = 0; i < nsig; ++i) {
+    const auto b = cd.trig_index[i], e = cd.trig_index[i + 1];
+    if (b == e) continue;
+    os << "    case " << i << ":\n";
+    for (auto k = b; k < e; ++k) {
+      const auto& t = cd.trigs[static_cast<std::size_t>(k)];
+      const char* edge = t.edge == Edge::kAny
+                             ? "ch"
+                             : (t.edge == Edge::kPos ? "pos" : "neg");
+      os << "      if (S->running != " << t.proc << ") S->ready[" << t.proc
+         << "] |= " << edge << ";\n";
+    }
+    os << "      break;\n";
+  }
+  os << "    default: break;\n  }\n}\n\n";
+
+  // Dirty the changed signal's dependent eager nodes (the oracle's
+  // mark_fanout): flush then re-evaluates only those.
+  os << "static void mark_fan(St* S, int sig) {\n"
+        "  for (std::int32_t i = kFanIdx[sig]; i < kFanIdx[sig + 1]; ++i)\n"
+        "    S->nclean[kFanNodes[i]] = 0;\n"
+        "}\n\n";
+
+  // The one lane-masked write path — branchless full-context fast path,
+  // guarded partial path, popcount event accounting, bit-0 edge masks.
+  os << "PK_SIMD static void set_masked(St* S, int sig, const u64* nv, u64 "
+        "mask) {\n"
+        "  if (mask == 0) return;\n"
+        "  const u64 sm = kMask[sig];\n"
+        "  u64* v = S->v[sig];\n"
+        "  u64 ch = 0, pos = 0, neg = 0;\n"
+        "  if (mask == kFull) {\n"
+        "    for (int l = 0; l < kL; ++l) {\n"
+        "      const u64 n = nv[l] & sm;\n"
+        "      const u64 o = v[l];\n"
+        "      v[l] = n;\n"
+        "      ch |= (u64)(o != n) << l;\n"
+        "      pos |= ((~o & n) & 1) << l;\n"
+        "      neg |= ((o & ~n) & 1) << l;\n"
+        "    }\n"
+        "  } else {\n"
+        "    for (int l = 0; l < kL; ++l) {\n"
+        "      if (!((mask >> l) & 1)) continue;\n"
+        "      const u64 n = nv[l] & sm;\n"
+        "      const u64 o = v[l];\n"
+        "      if (o == n) continue;\n"
+        "      v[l] = n;\n"
+        "      const u64 bit = 1ull << l;\n"
+        "      ch |= bit;\n"
+        "      if (!(o & 1) && (n & 1)) pos |= bit;\n"
+        "      if ((o & 1) && !(n & 1)) neg |= bit;\n"
+        "    }\n"
+        "  }\n"
+        "  if (ch == 0) return;\n"
+        "  S->events += popc(ch);\n"
+        "  if (kHasFan[sig]) { S->comb_dirty = true; mark_fan(S, sig); }\n"
+        "  if (kHasTrig[sig]) trig(S, sig, ch, pos, neg);\n"
+        "}\n\n"
+        "static void set_masked_c(St* S, int sig, u64 nv, u64 mask) {\n"
+        "  u64 p[kL];\n"
+        "  for (int l = 0; l < kL; ++l) p[l] = nv;\n"
+        "  set_masked(S, sig, p, mask);\n"
+        "}\n\n"
+        "static void setel_lane(St* S, int sig, int l, i64 idx, u64 v) {\n"
+        "  if (idx < 0 || idx >= kALen[sig]) return;  // silent drop\n"
+        "  v &= kMask[sig];\n"
+        "  u64* A = arrp(S, sig);\n"
+        "  u64& slot = A[(std::size_t)idx * kL + l];\n"
+        "  if (slot == v) return;\n"
+        "  slot = v;\n"
+        "  ++S->events;\n"
+        "  // element writes never wake edge waits (kernel parity)\n"
+        "  if (kHasFan[sig]) { S->comb_dirty = true; mark_fan(S, sig); }\n"
+        "}\n\n"
+        "static i64 push_vals(St* S, const u64* v, u64 pm) {\n"
+        "  const i64 ofs = (i64)S->nvals.size();\n"
+        "  for (int l = 0; l < kL; ++l) S->nvals.push_back(v[l] & pm);\n"
+        "  return ofs;\n"
+        "}\n"
+        "static i64 push_idx(St* S, const u64* v) {\n"
+        "  const i64 ofs = (i64)S->nidx.size();\n"
+        "  for (int l = 0; l < kL; ++l) S->nidx.push_back((i64)v[l]);\n"
+        "  return ofs;\n"
+        "}\n\n";
+
+  // Activity-gated comb flush in level order, the oracle's flush_comb with
+  // the level queues compiled away: each eager node is emitted in level
+  // order behind its own dirty bit, evaluates its FUSED exec_tape (lazy
+  // single-reader cones inlined, exactly what the interpreter runs) as a
+  // branchless full-mask lane loop, and on change marks its dependents —
+  // which sit strictly later in the emitted order, so one pass reaches the
+  // fixpoint. Lazy nodes are absent here entirely: like the oracle they
+  // re-run on demand at the peek entry points (force_lazy below), which is
+  // what lets a 64-lane flush skip the majority of the node list.
+  {
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < cd.nodes.size(); ++i)
+      if (!cd.node_lazy[i]) order.push_back(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cd.nodes[a].level < cd.nodes[b].level;
+                     });
+    os << "PK_SIMD static void flush(St* S) {\n  ++S->flushes;\n";
+    int tmp = 0;
+    for (const std::size_t n : order) {
+      const CompiledDesign::Node& nd = cd.nodes[n];
+      const std::string SM =
+          hx(cd.sig_mask[static_cast<std::size_t>(nd.target)]);
+      const bool has_fan =
+          cd.fan_index[static_cast<std::size_t>(nd.target)] <
+          cd.fan_index[static_cast<std::size_t>(nd.target) + 1];
+      const bool has_trig =
+          cd.trig_index[static_cast<std::size_t>(nd.target)] <
+          cd.trig_index[static_cast<std::size_t>(nd.target) + 1];
+      os << "  if (!S->nclean[" << n << "]) { // node " << n << " level "
+         << nd.level << " -> "
+         << d.signals[static_cast<std::size_t>(nd.target)].name << "\n"
+         << "    S->nclean[" << n
+         << "] = 1;\n"
+            "    u64* v = S->v["
+         << nd.target
+         << "];\n"
+            "    u64 ch = 0, pos = 0, neg = 0;\n"
+            "    (void)pos; (void)neg;\n"
+            "    for (int l = 0; l < kL; ++l) {\n";
+      const std::string v =
+          emit_tape(os, cd, nd.exec_tape, tmp, "      ", true);
+      os << "      const u64 n = " << v << " & " << SM
+         << ";\n"
+            "      const u64 o = v[l];\n"
+            "      v[l] = n;\n"
+            "      ch |= (u64)(o != n) << l;\n"
+            "      pos |= ((~o & n) & 1) << l;\n"
+            "      neg |= ((o & ~n) & 1) << l;\n"
+            "    }\n"
+            "    if (ch) {\n"
+            "      S->events += popc(ch);\n";
+      if (has_fan)
+        os << "      S->comb_dirty = true;\n"
+              "      mark_fan(S, "
+           << nd.target << ");\n";
+      if (has_trig)
+        os << "      trig(S, " << nd.target << ", ch, pos, neg);\n";
+      os << "    }\n  }\n";
+    }
+    os << "}\n\n";
+  }
+
+  // On-demand lazy evaluation at the observation boundary, mirroring
+  // PackedSim::force_lazy: lazy scalar reads inside the tape force their
+  // own lazy driver first (the dependency set is static, so the recursion
+  // is unrolled per case), then the ORIGINAL tape runs as a plain masked
+  // store — no events, no triggers, no fanout (logical const).
+  {
+    os << "static void force_lazy(St* S, int n) {\n  switch (n) {\n";
+    int tmp = 0;
+    for (std::size_t n = 0; n < cd.nodes.size(); ++n) {
+      if (!cd.node_lazy[n]) continue;
+      const CompiledDesign::Node& nd = cd.nodes[n];
+      os << "    case " << n << ": { // -> "
+         << d.signals[static_cast<std::size_t>(nd.target)].name << "\n";
+      const TapeRef& t = cd.tapes[static_cast<std::size_t>(nd.tape)];
+      std::vector<std::int32_t> deps;
+      for (std::uint32_t i = t.begin; i < t.begin + t.len; ++i) {
+        const TOp& o = cd.ops[i];
+        if (!tape_reads_scalar(o)) continue;
+        const std::int32_t m = cd.node_of[static_cast<std::size_t>(o.a)];
+        if (m < 0 || !cd.node_lazy[static_cast<std::size_t>(m)]) continue;
+        if (std::find(deps.begin(), deps.end(), m) == deps.end())
+          deps.push_back(m);
+      }
+      for (const std::int32_t m : deps)
+        os << "      force_lazy(S, " << m << ");\n";
+      os << "      u64* v = S->v[" << nd.target
+         << "];\n"
+            "      for (int l = 0; l < kL; ++l) {\n";
+      const std::string v = emit_tape(os, cd, nd.tape, tmp, "        ", true);
+      os << "        v[l] = " << v << " & "
+         << hx(cd.sig_mask[static_cast<std::size_t>(nd.target)])
+         << ";\n      }\n      break;\n    }\n";
+    }
+    os << "    default: break;\n  }\n}\n\n";
+  }
+
+  for (std::size_t t = 0; t < cd.case_tables.size(); ++t) {
+    const CompiledDesign::CaseTable& ct = cd.case_tables[t];
+    os << "static int case_t" << t << "(u64 v) {\n  switch (v) {\n";
+    for (const auto& [val, target] : ct.arms)
+      os << "    case " << hx(val) << ": return " << target << ";\n";
+    os << "    default: return " << ct.def_pc << ";\n  }\n}\n";
+  }
+  if (!cd.case_tables.empty()) os << "\n";
+
+  for (std::size_t p = 0; p < nproc; ++p) emit_packed_proc(os, cd, p);
+
+  os << "static int run_proc(St* S, int p, u64 m, i64 budget) {\n"
+        "  S->running = p;\n  int r = 0;\n"
+        "  switch (p) {\n";
+  for (std::size_t p = 0; p < nproc; ++p)
+    os << "    case " << p << ": r = proc" << p << "(S, m, budget); break;\n";
+  os << "    default: break;\n  }\n"
+        "  S->running = -1;\n"
+        "  return r ? p + 1 : 0;\n}\n\n";
+
+  os << "PK_SIMD static void commit_nba(St* S) {\n"
+        "  S->nba_scratch.clear();\n  S->nba_scratch.swap(S->nba);\n"
+        "  S->nvals_s.clear();\n  S->nvals_s.swap(S->nvals);\n"
+        "  S->nidx_s.clear();\n  S->nidx_s.swap(S->nidx);\n"
+        "  for (const Nba& e : S->nba_scratch) {\n"
+        "    S->nba_commits += popc(e.mask);\n"
+        "    const u64* v = S->nvals_s.data() + e.vofs;\n"
+        "    if (kALen[e.sig] > 0) {\n"
+        "      const i64* ix = S->nidx_s.data() + e.iofs;\n"
+        "      const u64 sm = kMask[e.sig];\n"
+        "      const i64 n = kALen[e.sig];\n"
+        "      u64* A = arrp(S, e.sig);\n"
+        "      bool changed = false;\n"
+        "      for (int l = 0; l < kL; ++l) {\n"
+        "        if (!((e.mask >> l) & 1)) continue;\n"
+        "        const i64 idx = ix[l];\n"
+        "        if (idx < 0 || idx >= n) continue;  // silent drop\n"
+        "        const u64 nv = v[l] & sm;\n"
+        "        u64& slot = A[(std::size_t)idx * kL + l];\n"
+        "        if (slot == nv) continue;\n"
+        "        slot = nv;\n"
+        "        ++S->events;\n"
+        "        changed = true;\n"
+        "      }\n"
+        "      if (changed && kHasFan[e.sig]) {\n"
+        "        S->comb_dirty = true;\n"
+        "        mark_fan(S, e.sig);\n"
+        "      }\n"
+        "    } else if (e.iofs >= 0) {  // nonblocking bit write, RMW\n"
+        "      const i64* ix = S->nidx_s.data() + e.iofs;\n"
+        "      u64* nv = S->scratch;\n"
+        "      const u64* cur = S->v[e.sig];\n"
+        "      u64 bit_mask = 0, neg_mask = 0;\n"
+        "      for (int l = 0; l < kL; ++l) {\n"
+        "        if (!((e.mask >> l) & 1)) continue;\n"
+        "        if (ix[l] < 0) {\n"
+        "          neg_mask |= 1ull << l;\n"
+        "        } else if (ix[l] < kWidth[e.sig]) {\n"
+        "          nv[l] = (cur[l] & ~(1ull << ix[l])) | ((v[l] & 1ull) << "
+        "ix[l]);\n"
+        "          bit_mask |= 1ull << l;\n"
+        "        }\n"
+        "      }\n"
+        "      if (neg_mask) set_masked(S, e.sig, v, neg_mask);\n"
+        "      if (bit_mask) set_masked(S, e.sig, nv, bit_mask);\n"
+        "    } else {\n"
+        "      set_masked(S, e.sig, v, e.mask);\n"
+        "    }\n"
+        "  }\n}\n\n";
+
+  os << "static int settle(St* S, i64 budget) {\n"
+        "  S->slot_base = S->instrs;\n"
+        "  for (;;) {\n"
+        // Clear AFTER the flush, as the scalar engine: one level-ordered
+        // pass over a pure DAG is a fixpoint.
+        "    if (S->comb_dirty) { flush(S); S->comb_dirty = false; }\n"
+        "    int p = -1;\n"
+        "    for (int i = 0; i < "
+     << nproc
+     << "; ++i)\n"
+        "      if (S->ready[i] != 0) { p = i; break; }\n"
+        "    if (p >= 0) {\n"
+        "      const u64 rm = S->ready[p];\n"
+        "      S->ready[p] = 0;\n"
+        "      const int r = run_proc(S, p, rm, budget);\n"
+        "      if (r) return r;\n"
+        "      continue;\n"
+        "    }\n"
+        "    if (S->nba.empty()) break;\n"
+        "    commit_nba(S);\n"
+        "    ++S->delta_cycles;\n"
+        "  }\n"
+        "  return 0;\n}\n"
+        "}  // namespace\n\n";
+
+  // ABI. Keep in sync with PackedCodegenModule (codegen.h); the shared
+  // hlsw_cg_abi/hlsw_cg_fp pair is what open_and_verify checks for both
+  // scalar and packed artifacts.
+  os << "extern \"C\" {\n"
+        "int hlsw_cg_abi() { return 2; }\n"
+        "int hlsw_cg_pk_lanes() { return kL; }\n"
+        "void* hlsw_cg_pk_create() {\n  St* s = new St();\n";
+  for (std::size_t i = 0; i < nsig; ++i)
+    if (d.signals[i].array_len == 0 && d.signals[i].has_init)
+      os << "  for (int l = 0; l < kL; ++l) s->v[" << i << "][l] = "
+         << hx(static_cast<std::uint64_t>(d.signals[i].init) & cd.sig_mask[i])
+         << ";\n";
+  for (std::size_t p = 0; p < nproc; ++p)
+    if (cd.procs[p].initially_ready)
+      os << "  s->ready[" << p << "] = kFull;\n";
+  os << "  return s;\n}\n"
+        "void hlsw_cg_pk_destroy(void* p) { delete (St*)p; }\n"
+        "void hlsw_cg_pk_poke(void* p, int sig, u64 v, u64 mask) {\n"
+        "  set_masked_c((St*)p, sig, v, mask & kFull);\n}\n"
+        "void hlsw_cg_pk_poke_plane(void* p, int sig, const u64* plane, u64 "
+        "mask) {\n"
+        "  set_masked((St*)p, sig, plane, mask & kFull);\n}\n"
+        "u64 hlsw_cg_pk_peek(void* p, int sig, int lane) {\n"
+        "  St* S = (St*)p;\n"
+        "  if (kLazyOf[sig] >= 0) force_lazy(S, kLazyOf[sig]);\n"
+        "  return S->v[sig][lane];\n}\n"
+        "u64 hlsw_cg_pk_peek_elem(void* p, int sig, int idx, int lane) {\n"
+        "  const u64* A = arrp((St*)p, sig);\n"
+        "  return A ? A[(std::size_t)idx * kL + lane] : 0;\n}\n"
+        "u64 hlsw_cg_pk_nonzero(void* p, int sig) {\n"
+        "  St* S = (St*)p;\n"
+        "  if (kLazyOf[sig] >= 0) force_lazy(S, kLazyOf[sig]);\n"
+        "  const u64* v = S->v[sig];\n"
+        "  u64 m = 0;\n"
+        "  for (int l = 0; l < kL; ++l) m |= (u64)(v[l] != 0) << l;\n"
+        "  return m;\n}\n"
+        "int hlsw_cg_pk_settle(void* p, long long budget) { return "
+        "settle((St*)p, budget); }\n"
+        "void hlsw_cg_pk_stats(void* p, long long* out) {\n"
+        "  const St* s = (const St*)p;\n"
+        "  out[0] = s->events; out[1] = s->nba_commits;\n"
+        "  out[2] = s->delta_cycles; out[3] = s->instrs;\n"
+        "  out[4] = s->flushes; out[5] = s->div_splits;\n}\n"
+        "}\n";
+  return os.str();
+}
+
 // ---- Build + load -----------------------------------------------------------
 
 namespace {
 
-constexpr int kCgAbi = 1;
+// Rev 2: packed lane-major ABI added (hlsw_cg_pk_*), scalar settle now
+// clears comb_dirty after the flush.
+constexpr int kCgAbi = 2;
 
 std::string fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ull;
@@ -823,16 +1538,17 @@ LoadedModule open_and_verify(const std::filesystem::path& so,
   return m;
 }
 
-// Builds (or reuses) the shared object for `src` and resolves the entry
-// points into *mod. Returns false with a reason in *why.
-bool build_module(const CompiledDesign& cd, std::string src,
-                  CodegenModule* mod, std::string* why) {
+// Builds (or reuses) the content-keyed shared object for `src`. Shared by
+// the scalar and packed generators — the two differ only in which entry
+// points they resolve afterwards. Returns false with a reason in *why.
+bool build_shared_object(std::string src, std::string* fp_out,
+                         std::string* so_out, void** handle_out,
+                         std::string* why) {
   const std::string cxx = codegen_toolchain();
   if (cxx.empty()) {
     *why = "no host toolchain (set CXX or HLSW_CODEGEN_CXX)";
     return false;
   }
-  (void)cd;
   // The fingerprint covers the generated text; the embedded fp symbol is
   // appended after hashing so the hash stays well-defined.
   const std::string fp = fnv1a(src);
@@ -909,9 +1625,22 @@ bool build_module(const CompiledDesign& cd, std::string src,
     span.arg("bytes", static_cast<long long>(src.size()));
   }
 
-  mod->fingerprint = fp;
-  mod->so_path = so.string();
-  const auto sym = [&](const char* name) { return dlsym(lm.handle, name); };
+  *fp_out = fp;
+  *so_out = so.string();
+  *handle_out = lm.handle;
+  return true;
+}
+
+// Builds (or reuses) the shared object for `src` and resolves the scalar
+// entry points into *mod. Returns false with a reason in *why.
+bool build_module(const CompiledDesign& cd, std::string src,
+                  CodegenModule* mod, std::string* why) {
+  (void)cd;
+  void* handle = nullptr;
+  if (!build_shared_object(std::move(src), &mod->fingerprint, &mod->so_path,
+                           &handle, why))
+    return false;
+  const auto sym = [&](const char* name) { return dlsym(handle, name); };
   mod->create = reinterpret_cast<void* (*)()>(sym("hlsw_cg_create"));
   mod->destroy = reinterpret_cast<void (*)(void*)>(sym("hlsw_cg_destroy"));
   mod->poke = reinterpret_cast<void (*)(void*, int, std::uint64_t)>(
@@ -932,14 +1661,61 @@ bool build_module(const CompiledDesign& cd, std::string src,
   return true;
 }
 
+// Builds (or reuses) the lane-major shared object and resolves the
+// hlsw_cg_pk_* entry points into *mod, verifying the baked lane count.
+bool build_packed_module(std::string src, int lanes, PackedCodegenModule* mod,
+                         std::string* why) {
+  void* handle = nullptr;
+  if (!build_shared_object(std::move(src), &mod->fingerprint, &mod->so_path,
+                           &handle, why))
+    return false;
+  const auto sym = [&](const char* name) { return dlsym(handle, name); };
+  const auto lanes_fn = reinterpret_cast<int (*)()>(sym("hlsw_cg_pk_lanes"));
+  if (lanes_fn == nullptr || lanes_fn() != lanes) {
+    *why = "generated shared object has the wrong lane count";
+    return false;
+  }
+  mod->create = reinterpret_cast<void* (*)()>(sym("hlsw_cg_pk_create"));
+  mod->destroy =
+      reinterpret_cast<void (*)(void*)>(sym("hlsw_cg_pk_destroy"));
+  mod->poke = reinterpret_cast<void (*)(void*, int, std::uint64_t,
+                                        std::uint64_t)>(sym("hlsw_cg_pk_poke"));
+  mod->poke_plane =
+      reinterpret_cast<void (*)(void*, int, const std::uint64_t*,
+                                std::uint64_t)>(sym("hlsw_cg_pk_poke_plane"));
+  mod->peek = reinterpret_cast<std::uint64_t (*)(void*, int, int)>(
+      sym("hlsw_cg_pk_peek"));
+  mod->peek_elem = reinterpret_cast<std::uint64_t (*)(void*, int, int, int)>(
+      sym("hlsw_cg_pk_peek_elem"));
+  mod->nonzero = reinterpret_cast<std::uint64_t (*)(void*, int)>(
+      sym("hlsw_cg_pk_nonzero"));
+  mod->settle =
+      reinterpret_cast<int (*)(void*, long long)>(sym("hlsw_cg_pk_settle"));
+  mod->stats =
+      reinterpret_cast<void (*)(void*, long long*)>(sym("hlsw_cg_pk_stats"));
+  if (!mod->create || !mod->destroy || !mod->poke || !mod->poke_plane ||
+      !mod->peek || !mod->peek_elem || !mod->nonzero || !mod->settle ||
+      !mod->stats) {
+    *why = "generated shared object is missing packed entry points";
+    return false;
+  }
+  return true;
+}
+
 struct CodegenCache {
   struct Entry {
     std::weak_ptr<const CompiledDesign> key;
     std::shared_ptr<const CodegenModule> mod;
     std::string why;
   };
+  struct PackedEntry {
+    std::weak_ptr<const CompiledDesign> key;
+    std::shared_ptr<const PackedCodegenModule> mod;
+    std::string why;
+  };
   std::mutex mu;
   std::map<const CompiledDesign*, Entry> map;
+  std::map<std::pair<const CompiledDesign*, int>, PackedEntry> packed;
 };
 
 CodegenCache& codegen_cache() {
@@ -1008,6 +1784,70 @@ std::shared_ptr<const CodegenModule> codegen_plan(
   mod->plan = plan;
   std::string bwhy;
   if (!build_module(*plan, codegen_source(*plan), mod.get(), &bwhy)) {
+    memoize(nullptr, bwhy);
+    return fall(bwhy);
+  }
+  memoize(mod, "");
+  return mod;
+}
+
+std::shared_ptr<const PackedCodegenModule> packed_codegen_plan(
+    const std::shared_ptr<const CompiledDesign>& plan, int lanes,
+    std::string* why) {
+  const bool metrics = obs::enabled();
+  const auto fall = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    if (metrics)
+      obs::MetricsRegistry::instance().add("vsim.codegen.fallbacks", 1.0);
+    return nullptr;
+  };
+
+  // Toolchain availability is decided BEFORE the memo so disabling codegen
+  // (HLSW_CODEGEN_CXX=none) never poisons the per-(plan, lanes) cache.
+  if (!codegen_available())
+    return fall("no host toolchain (set CXX or HLSW_CODEGEN_CXX)");
+  if (plan == nullptr) return fall("no compiled plan");
+  if (lanes < 1 || lanes > kMaxLanes)
+    return fall("lane count " + std::to_string(lanes) + " out of range");
+
+  CodegenCache& c = codegen_cache();
+  const auto key = std::make_pair(plan.get(), lanes);
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+    const auto it = c.packed.find(key);
+    if (it != c.packed.end() && !it->second.key.expired()) {
+      if (it->second.mod != nullptr) return it->second.mod;
+      return fall(it->second.why);
+    }
+  }
+
+  const auto memoize = [&](std::shared_ptr<const PackedCodegenModule> mod,
+                           const std::string& reason) {
+    std::lock_guard<std::mutex> lk(c.mu);
+    if (c.packed.size() > 64) {
+      for (auto it = c.packed.begin(); it != c.packed.end();)
+        it = it->second.key.expired() ? c.packed.erase(it) : std::next(it);
+    }
+    CodegenCache::PackedEntry e;
+    e.key = plan;
+    e.mod = std::move(mod);
+    e.why = reason;
+    c.packed[key] = std::move(e);
+  };
+
+  if (!plan_packable(*plan)) {
+    const std::string reason =
+        "$display/$dump system tasks stay on the interpreter backends";
+    memoize(nullptr, reason);
+    return fall(reason);
+  }
+
+  auto mod = std::make_shared<PackedCodegenModule>();
+  mod->plan = plan;
+  mod->lanes = lanes;
+  std::string bwhy;
+  if (!build_packed_module(packed_codegen_source(*plan, lanes), lanes,
+                           mod.get(), &bwhy)) {
     memoize(nullptr, bwhy);
     return fall(bwhy);
   }
@@ -1089,6 +1929,106 @@ const SimStats& CodegenSim::stats() const {
   stats_.delta_cycles = o[2];
   stats_.instrs = o[3];
   return stats_;
+}
+
+// ---- PackedCodegenSim -------------------------------------------------------
+
+PackedCodegenSim::PackedCodegenSim(
+    std::shared_ptr<const PackedCodegenModule> mod, const SimConfig& cfg)
+    : mod_(std::move(mod)), cfg_(cfg) {
+  full_mask_ = mod_->lanes == 64 ? ~0ULL : (1ULL << mod_->lanes) - 1ULL;
+  st_ = mod_->create();
+  settle();  // time 0: all comb evaluates once, initial bodies run
+}
+
+PackedCodegenSim::~PackedCodegenSim() {
+  if (st_ != nullptr) {
+    if (obs::enabled()) {
+      refresh_stats();
+      auto& m = obs::MetricsRegistry::instance();
+      m.add("vsim.events", static_cast<double>(stats_.events));
+      m.add("vsim.nba_commits", static_cast<double>(stats_.nba_commits));
+      if (divergence_splits_ > 0)
+        m.add("vsim.packed.divergence_splits",
+              static_cast<double>(divergence_splits_));
+      long long o[6] = {};
+      mod_->stats(st_, o);
+      m.add("vsim.codegen.flushes", static_cast<double>(o[4]));
+    }
+    mod_->destroy(st_);
+  }
+}
+
+void PackedCodegenSim::poke(int sig, std::uint64_t value,
+                            std::uint64_t mask) {
+  mod_->poke(st_, sig, value, mask & full_mask_);
+}
+
+void PackedCodegenSim::poke_lane(int sig, int lane, std::uint64_t value) {
+  mod_->poke(st_, sig, value, 1ULL << lane);
+}
+
+void PackedCodegenSim::poke_plane(int sig, const std::uint64_t* plane,
+                                  std::uint64_t mask) {
+  mod_->poke_plane(st_, sig, plane, mask & full_mask_);
+}
+
+std::uint64_t PackedCodegenSim::peek(int sig, int lane) const {
+  return mod_->peek(st_, sig, lane);
+}
+
+long long PackedCodegenSim::peek_signed(int sig, int lane) const {
+  const int w =
+      mod_->plan->design->signals[static_cast<std::size_t>(sig)].width;
+  std::uint64_t v = peek(sig, lane);
+  if (w < 64 && ((v >> (w - 1)) & 1))
+    v |= ~((w >= 64 ? ~0ULL : (1ULL << w) - 1ULL));
+  return static_cast<long long>(v);
+}
+
+std::uint64_t PackedCodegenSim::peek_elem(int sig, int index,
+                                          int lane) const {
+  const Signal& s =
+      mod_->plan->design->signals[static_cast<std::size_t>(sig)];
+  if (index < 0 || index >= s.array_len)
+    fail("element " + std::to_string(index) + " out of range for '" +
+         s.name + "'");
+  return mod_->peek_elem(st_, sig, index, lane);
+}
+
+std::uint64_t PackedCodegenSim::peek_nonzero_mask(int sig) const {
+  return mod_->nonzero(st_, sig);
+}
+
+void PackedCodegenSim::settle() {
+  // Packed instruction counts are lane sums, so the per-slot budget scales
+  // with the lane count (the interpreted engine applies the same factor).
+  const int r = mod_->settle(
+      st_, cfg_.max_instrs_per_slot * static_cast<long long>(mod_->lanes));
+  if (r != 0)
+    fail("instruction budget exceeded without time advancing "
+         "(zero-delay loop in " +
+         mod_->plan->procs[static_cast<std::size_t>(r - 1)].origin + "?)");
+}
+
+void PackedCodegenSim::refresh_stats() const {
+  long long o[6] = {};
+  mod_->stats(st_, o);
+  stats_.events = o[0];
+  stats_.nba_commits = o[1];
+  stats_.delta_cycles = o[2];
+  stats_.instrs = o[3];
+  divergence_splits_ = o[5];
+}
+
+const SimStats& PackedCodegenSim::stats() const {
+  refresh_stats();
+  return stats_;
+}
+
+long long PackedCodegenSim::divergence_splits() const {
+  refresh_stats();
+  return divergence_splits_;
 }
 
 }  // namespace hlsw::vsim

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtl/testbench.h"
+#include "vsim/codegen.h"
 
 // The lane loops below autovectorize, but the default x86-64 baseline only
 // gives SSE2 (2 lanes per vector op). target_clones emits additional
@@ -1143,12 +1144,35 @@ int find_signal(const Design& d, const std::string& name) {
   return h;
 }
 
+// Engine selection for the packed tiers: kAuto (with compiled on),
+// kCodegen and kPackedCodegen all try the generated lane-major engine
+// first; kEvent/kCompiled force the interpreted tier so the benchmarks
+// can measure the interpreted baseline on demand.
+std::unique_ptr<PackedEngine> make_packed_engine(
+    const std::shared_ptr<const CompiledDesign>& plan, int lanes,
+    const SimConfig& cfg, std::string* fallback_reason) {
+  const Backend want = cfg.backend;
+  const bool try_cg = want == Backend::kPackedCodegen ||
+                      want == Backend::kCodegen ||
+                      (want == Backend::kAuto && cfg.compiled);
+  if (try_cg) {
+    std::string why;
+    if (auto mod = packed_codegen_plan(plan, lanes, &why))
+      return std::make_unique<PackedCodegenSim>(std::move(mod), cfg);
+    *fallback_reason = "packed-codegen: " + why;
+  }
+  return std::make_unique<PackedSim>(plan, lanes, cfg);
+}
+
 }  // namespace
 
 PackedDutHarness::PackedDutHarness(const hls::Function& f,
                                    std::shared_ptr<const CompiledDesign> plan,
                                    int lanes, const SimConfig& cfg)
-    : pins_(rtl::flatten_port_pins(f)), sim_(plan, lanes, cfg) {
+    : pins_(rtl::flatten_port_pins(f)) {
+  // Built in the body (not the init list): the factory records the
+  // degrade reason into fallback_reason_, declared after sim_
+  sim_ = make_packed_engine(plan, lanes, cfg, &fallback_reason_);
   const Design& d = *plan->design;
   pin_handle_.reserve(pins_.size());
   for (const auto& p : pins_) pin_handle_.push_back(find_signal(d, p.name));
@@ -1160,25 +1184,25 @@ PackedDutHarness::PackedDutHarness(const hls::Function& f,
 }
 
 void PackedDutHarness::tick(std::uint64_t mask) {
-  sim_.poke(h_clk_, 1, mask);
-  sim_.settle();
-  sim_.poke(h_clk_, 0, mask);
-  sim_.settle();
+  sim_->poke(h_clk_, 1, mask);
+  sim_->settle();
+  sim_->poke(h_clk_, 0, mask);
+  sim_->settle();
 }
 
 void PackedDutHarness::reset() {
-  const std::uint64_t all = sim_.full_mask();
-  sim_.poke(h_clk_, 0, all);
-  sim_.poke(h_start_, 0, all);
-  sim_.poke(h_rst_, 1, all);
+  const std::uint64_t all = sim_->full_mask();
+  sim_->poke(h_clk_, 0, all);
+  sim_->poke(h_start_, 0, all);
+  sim_->poke(h_rst_, 1, all);
   for (int i = 0; i < 3; ++i) tick(all);
-  sim_.poke(h_rst_, 0, all);
-  sim_.settle();
+  sim_->poke(h_rst_, 0, all);
+  sim_->settle();
 }
 
 std::vector<std::vector<hls::PortIo>> PackedDutHarness::run_streams(
     const std::vector<std::vector<hls::PortIo>>& streams) {
-  const int L = sim_.lanes();
+  const int L = sim_->lanes();
   if (static_cast<int>(streams.size()) != L)
     fail("packed harness: " + std::to_string(streams.size()) +
          " streams for " + std::to_string(L) + " lanes");
@@ -1201,12 +1225,12 @@ std::vector<std::vector<hls::PortIo>> PackedDutHarness::run_streams(
           in_plane_[static_cast<std::size_t>(l)] =
               static_cast<std::uint64_t>(rtl::pin_value(
                   p, streams[static_cast<std::size_t>(l)][v]));
-      sim_.poke_plane(pin_handle_[i], in_plane_.data(), active);
+      sim_->poke_plane(pin_handle_[i], in_plane_.data(), active);
     }
-    sim_.poke(h_start_, 1, active);
+    sim_->poke(h_start_, 1, active);
     tick(active);
-    sim_.poke(h_start_, 0, active);
-    std::uint64_t waiting = active & ~sim_.peek_nonzero_mask(h_done_);
+    sim_->poke(h_start_, 0, active);
+    std::uint64_t waiting = active & ~sim_->peek_nonzero_mask(h_done_);
     long long cycles = 1;
     // Lanes whose done arrived are clock-gated out of subsequent ticks, so
     // every lane sees exactly the edges its scalar replay would.
@@ -1215,7 +1239,7 @@ std::vector<std::vector<hls::PortIo>> PackedDutHarness::run_streams(
         throw std::runtime_error(
             "vsim harness: done never asserted — emitted FSM hung");
       tick(waiting);
-      waiting &= ~sim_.peek_nonzero_mask(h_done_);
+      waiting &= ~sim_->peek_nonzero_mask(h_done_);
     }
 
     for (int l = 0; l < L; ++l) {
@@ -1225,8 +1249,8 @@ std::vector<std::vector<hls::PortIo>> PackedDutHarness::run_streams(
         const auto& p = pins_[i];
         if (p.is_input) continue;
         const long long raw =
-            p.sgn ? sim_.peek_signed(pin_handle_[i], l)
-                  : static_cast<long long>(sim_.peek(pin_handle_[i], l));
+            p.sgn ? sim_->peek_signed(pin_handle_[i], l)
+                  : static_cast<long long>(sim_->peek(pin_handle_[i], l));
         hls::FxValue* slot;
         if (p.from_array) {
           auto& vec = out.arrays[p.port];
@@ -1250,12 +1274,12 @@ hls::CounterValues PackedDutHarness::read_counters(
     const std::vector<hls::PerfCounter>& map) const {
   hls::CounterValues out;
   out.source = "vsim_packed";
-  const Design& d = *sim_.compiled().design;
+  const Design& d = *sim_->compiled().design;
   for (const hls::PerfCounter& c : map) {
     const int h = find_signal(d, c.name);
     long long total = 0;
-    for (int l = 0; l < sim_.lanes(); ++l)
-      total += static_cast<long long>(sim_.peek(h, l));
+    for (int l = 0; l < sim_->lanes(); ++l)
+      total += static_cast<long long>(sim_->peek(h, l));
     out.values[c.name] = total;
   }
   return out;

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hls/interp.h"
@@ -41,47 +42,82 @@ namespace hlsw::vsim {
 // Maximum lanes per PackedSim: one lane per bit of the lane masks.
 inline constexpr int kMaxLanes = 64;
 
+// The multi-lane engine contract shared by the interpreted PackedSim and
+// the generated-native PackedCodegenSim (codegen.h): lane-masked pokes,
+// per-lane peeks, a settle loop and lane-summed accounting. The two are
+// bit-identical by construction (pack_test proves it), so PackedDutHarness
+// selects whichever tier SimConfig::backend admits and drives it through
+// this interface.
+class PackedEngine {
+ public:
+  virtual ~PackedEngine() = default;
+
+  virtual int lanes() const = 0;
+  // All-ones over the configured lane count.
+  virtual std::uint64_t full_mask() const = 0;
+  // The shared plan this engine executes (signal handles resolve through
+  // its elaborated design).
+  virtual const CompiledDesign& compiled() const = 0;
+
+  // Sets signal `sig` to `value` on every lane in `mask` (other lanes are
+  // untouched — the masked poke is how the harness freezes lanes).
+  virtual void poke(int sig, std::uint64_t value, std::uint64_t mask) = 0;
+  virtual void poke_lane(int sig, int lane, std::uint64_t value) = 0;
+  // Per-lane values in one call: plane[l] is applied to every lane in
+  // `mask`. One change-detection pass instead of lanes() masked pokes.
+  virtual void poke_plane(int sig, const std::uint64_t* plane,
+                          std::uint64_t mask) = 0;
+  virtual std::uint64_t peek(int sig, int lane) const = 0;
+  virtual long long peek_signed(int sig, int lane) const = 0;
+  virtual std::uint64_t peek_elem(int sig, int index, int lane) const = 0;
+  // Bitmask over lanes whose current value of `sig` is nonzero (forces a
+  // lazy node once, like peek). The harness polls `done` with this.
+  virtual std::uint64_t peek_nonzero_mask(int sig) const = 0;
+
+  // Runs delta cycles at the current time until every lane is quiescent.
+  virtual void settle() = 0;
+
+  // Aggregate over all lanes; equals the sum of the per-lane scalar runs.
+  virtual const SimStats& stats() const = 0;
+  // Contexts created by divergent branches (0 = lanes stayed in lockstep).
+  virtual long long divergence_splits() const = 0;
+
+  // Which engine this is: "packed_codegen" or "compiled" (the interpreted
+  // tier keeps the name profile_run has always recorded for it).
+  virtual const char* backend() const = 0;
+};
+
 // Multi-lane interpreter over one CompiledDesign. The same activity-gated
 // level-ordered flush, lowest-ready-process scheduling and double-buffered
 // NBA commit as CompiledSim, with every value plane L lanes wide. No
 // $display/VCD support (sweep DUTs have neither; designs that can dump
 // still work — the dump simply never starts because run() is never used).
-class PackedSim {
+class PackedSim : public PackedEngine {
  public:
   PackedSim(std::shared_ptr<const CompiledDesign> cd, int lanes,
             const SimConfig& cfg = {});
   PackedSim(const PackedSim&) = delete;
   PackedSim& operator=(const PackedSim&) = delete;
-  ~PackedSim();
+  ~PackedSim() override;
 
-  int lanes() const { return lanes_; }
-  // All-ones over the configured lane count.
-  std::uint64_t full_mask() const { return full_mask_; }
-  // The shared plan this sim executes (signal handles resolve through its
-  // elaborated design).
-  const CompiledDesign& compiled() const { return *cd_; }
+  int lanes() const override { return lanes_; }
+  std::uint64_t full_mask() const override { return full_mask_; }
+  const CompiledDesign& compiled() const override { return *cd_; }
 
-  // Sets signal `sig` to `value` on every lane in `mask` (other lanes are
-  // untouched — the masked poke is how the harness freezes lanes).
-  void poke(int sig, std::uint64_t value, std::uint64_t mask);
-  void poke_lane(int sig, int lane, std::uint64_t value);
-  // Per-lane values in one call: plane[l] is applied to every lane in
-  // `mask`. One change-detection pass instead of lanes() masked pokes.
-  void poke_plane(int sig, const std::uint64_t* plane, std::uint64_t mask);
-  std::uint64_t peek(int sig, int lane) const;
-  long long peek_signed(int sig, int lane) const;
-  std::uint64_t peek_elem(int sig, int index, int lane) const;
-  // Bitmask over lanes whose current value of `sig` is nonzero (forces a
-  // lazy node once, like peek). The harness polls `done` with this.
-  std::uint64_t peek_nonzero_mask(int sig) const;
+  void poke(int sig, std::uint64_t value, std::uint64_t mask) override;
+  void poke_lane(int sig, int lane, std::uint64_t value) override;
+  void poke_plane(int sig, const std::uint64_t* plane,
+                  std::uint64_t mask) override;
+  std::uint64_t peek(int sig, int lane) const override;
+  long long peek_signed(int sig, int lane) const override;
+  std::uint64_t peek_elem(int sig, int index, int lane) const override;
+  std::uint64_t peek_nonzero_mask(int sig) const override;
 
-  // Runs delta cycles at the current time until every lane is quiescent.
-  void settle();
+  void settle() override;
 
-  // Aggregate over all lanes; equals the sum of the per-lane scalar runs.
-  const SimStats& stats() const { return stats_; }
-  // Contexts created by divergent branches (0 = lanes stayed in lockstep).
-  long long divergence_splits() const { return divergence_splits_; }
+  const SimStats& stats() const override { return stats_; }
+  long long divergence_splits() const override { return divergence_splits_; }
+  const char* backend() const override { return "compiled"; }
 
  private:
   struct Ctx {
@@ -158,6 +194,12 @@ class PackedSim {
 // arrived before the slowest lane's — are frozen by clock-gating their
 // lane in the masked pokes, preserving bit-identity with per-lane scalar
 // replay.
+//
+// Engine selection: kAuto/kCodegen/kPackedCodegen try the generated
+// lane-major engine (PackedCodegenSim) first and degrade to the
+// interpreted PackedSim with a "packed-codegen: " prefixed
+// fallback_reason(); kEvent/kCompiled force the interpreted tier (the
+// benchmarks use this to keep the interpreted baseline measurable).
 class PackedDutHarness {
  public:
   PackedDutHarness(const hls::Function& f,
@@ -178,13 +220,19 @@ class PackedDutHarness {
   hls::CounterValues read_counters(
       const std::vector<hls::PerfCounter>& map) const;
 
-  PackedSim& sim() { return sim_; }
+  PackedEngine& sim() { return *sim_; }
+  // "packed_codegen" or "compiled" — which tier actually runs the lanes.
+  const char* backend() const { return sim_->backend(); }
+  // Why the generated tier was not used ("" when it runs, or when the
+  // interpreted tier was requested explicitly); prefixed "packed-codegen: ".
+  const std::string& fallback_reason() const { return fallback_reason_; }
 
  private:
   void tick(std::uint64_t mask);
 
   std::vector<rtl::PortPin> pins_;
-  PackedSim sim_;
+  std::unique_ptr<PackedEngine> sim_;
+  std::string fallback_reason_;
   std::vector<int> pin_handle_;
   std::vector<std::uint64_t> in_plane_;  // staging for per-pin input pokes
   int h_clk_ = -1;

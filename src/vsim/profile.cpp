@@ -71,7 +71,9 @@ obs::Json ProfileRunResult::to_json() const {
   for (const std::string& s : notes) notes_j.push(s);
   return obs::Json::object()
       .set("tool", "hlsw.profile")
-      .set("schema_version", 2)
+      // 3: a packed leg's backend may now be "packed_codegen" (generated
+      // lane-major engine) with its degrade reason in fallback_reason.
+      .set("schema_version", 3)
       .set("function", function)
       .set("predicted",
            obs::Json::object()
@@ -195,23 +197,30 @@ ProfileRunResult profile_run(const hls::Function& f,
             vectors.begin() + static_cast<long>(begin),
             vectors.begin() + static_cast<long>(std::min(begin + bs, n)));
       const int L = static_cast<int>(streams.size());
+      // SimConfig{} = kAuto: the harness prefers the generated lane-major
+      // engine (packed_codegen) when a toolchain exists and degrades to
+      // the interpreted packed tier with the reason recorded per leg.
       PackedDutHarness h(r.synthesis.transformed, plan, L, SimConfig{});
       const auto got = h.run_streams(streams);
       long long mm = 0;
+      // One golden context across the lanes, reset() between streams.
+      hls::Interpreter packed_golden(r.synthesis.transformed);
       for (int l = 0; l < L; ++l) {
+        if (l > 0) packed_golden.reset();
         const std::vector<PortIo> want =
-            hls::Interpreter(r.synthesis.transformed)
-                .run_stream(streams[static_cast<std::size_t>(l)]);
+            packed_golden.run_stream(streams[static_cast<std::size_t>(l)]);
         const auto& lane_got = got[static_cast<std::size_t>(l)];
         for (std::size_t i = 0; i < want.size(); ++i)
           if (!io_equal(lane_got[i], want[i])) ++mm;
       }
       vsim_legs.push_back(r.counters.size());
-      add_leg(h.read_counters(r.counter_map), mm, "compiled", "", L);
+      add_leg(h.read_counters(r.counter_map), mm, h.backend(),
+              h.fallback_reason(), L);
       r.notes.push_back(
           "compiled leg auto-selected the packed backend: " +
           std::to_string(n) + " vectors >= " + std::to_string(lanes) +
-          " lanes (ran " + std::to_string(L) + " lanes)");
+          " lanes (ran " + std::to_string(L) + " lanes on " + h.backend() +
+          ")");
       return true;
     };
     if (opts.run_vsim_event) run_vsim(Backend::kEvent, "event");

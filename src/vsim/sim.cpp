@@ -241,6 +241,14 @@ Simulation::Simulation(std::shared_ptr<const Design> design,
   Backend want = cfg_.backend;
   if (want == Backend::kAuto)
     want = cfg_.compiled ? Backend::kCompiled : Backend::kEvent;
+  if (want == Backend::kPackedCodegen) {
+    // The packed tiers only exist inside PackedDutHarness (lanes > 1); a
+    // scalar Simulation degrades straight through the codegen tier.
+    fallback_reason_ =
+        "packed-codegen: multi-lane engine needs PackedDutHarness "
+        "(scalar Simulation has one lane)";
+    want = Backend::kCodegen;
+  }
   if (want == Backend::kCodegen) {
     // Top tier: generated + dlopen'd native engine. Degrades to the
     // compiled interpreter when no host toolchain is available or the
@@ -250,7 +258,8 @@ Simulation::Simulation(std::shared_ptr<const Design> design,
       codegen_ = std::make_unique<CodegenSim>(std::move(mod), cfg_);
       return;
     }
-    fallback_reason_ = "codegen: " + why;
+    if (!fallback_reason_.empty()) fallback_reason_ += "; ";
+    fallback_reason_ += "codegen: " + why;
     want = Backend::kCompiled;
   }
   if (want == Backend::kCompiled) {

@@ -28,13 +28,18 @@ namespace hlsw::vsim {
 // Execution engine selection. kAuto defers to the legacy `compiled` flag
 // (compiled interpreter when the design cycle-schedules, event kernel
 // otherwise). Each tier degrades silently down the chain
-//   codegen -> compiled -> event
-// with the reason recorded in Simulation::fallback_reason().
+//   packed-codegen -> packed-interp -> codegen -> compiled -> event
+// with the reason recorded in fallback_reason() (Simulation, or
+// PackedDutHarness for the multi-lane tiers). The two packed tiers only
+// exist inside PackedSim/PackedDutHarness (lanes > 1); a scalar Simulation
+// asked for kPackedCodegen degrades straight through the codegen tier with
+// a "packed-codegen: " prefixed reason.
 enum class Backend {
   kAuto,      // honor SimConfig::compiled (the pre-codegen default)
   kEvent,     // stratified event kernel (sim.cpp)
   kCompiled,  // levelized tape interpreter (compile.cpp)
   kCodegen,   // generated + dlopen'd native engine (codegen.cpp)
+  kPackedCodegen,  // generated lane-major engine (codegen.cpp + pack.cpp)
 };
 
 struct SimConfig {

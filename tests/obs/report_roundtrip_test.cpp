@@ -139,7 +139,7 @@ TEST(ReportRoundtrip, ProfileRunJson) {
       qam::build_qam_decoder_ir(), qam::table1_architectures()[0].dir,
       hls::TechLibrary::asic90(), qam::link_input_batch(&stim, 3), opts);
   ASSERT_TRUE(res.ok());
-  const obs::Json doc = parse_enveloped(slurp(path), "hlsw.profile", 2);
+  const obs::Json doc = parse_enveloped(slurp(path), "hlsw.profile", 3);
   std::remove(path.c_str());
   EXPECT_NE(doc.find("counter_map"), nullptr);
   EXPECT_NE(doc.find("legs"), nullptr);

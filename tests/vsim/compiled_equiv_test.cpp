@@ -1,16 +1,18 @@
-// The acceptance gate of the compiled- and codegen-backend PRs: for every
-// exploration and Table 1 architecture — and randomized directive sets —
-// the emitted Verilog TEXT executed by the compiled cycle-based backend and
-// the generated-native codegen backend must match the event-driven backend,
+// The acceptance gate of the compiled-, codegen- and packed-codegen-backend
+// PRs: for every exploration and Table 1 architecture — and randomized
+// directive sets — the emitted Verilog TEXT executed by the compiled
+// cycle-based backend, the generated-native codegen backend and the
+// lane-major packed-codegen backend must match the event-driven backend,
 // the untimed interpreter golden and the cycle-accurate rtl::Simulator
-// bit-for-bit (cosim_sweep_nway over all five legs), and the VCD bytes a
+// bit-for-bit (cosim_sweep_nway over all six legs), and the VCD bytes a
 // dumping session records must be identical between the event kernel and
 // the compiled interpreter. The compiled leg must actually BE compiled:
 // every architecture's emitted module is required to cycle-schedule with no
-// fallback. The codegen leg runs natively where a host toolchain exists and
-// silently degrades to the compiled interpreter otherwise — either way it
-// participates as a fifth leg, so the battery passes on toolchain-less
-// machines too (the codegen-REQUIRED assertions live in codegen_test.cpp).
+// fallback. The codegen legs run natively where a host toolchain exists and
+// silently degrade to the compiled interpreter / interpreted packed engine
+// otherwise — either way they participate, so the battery passes on
+// toolchain-less machines too (the codegen-REQUIRED assertions live in
+// codegen_test.cpp).
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -30,6 +32,7 @@
 #include "rtl/verilog.h"
 #include "vsim/codegen.h"
 #include "vsim/harness.h"
+#include "vsim/pack.h"
 
 namespace hlsw::vsim {
 namespace {
@@ -41,14 +44,16 @@ using hls::TechLibrary;
 using qam::LinkConfig;
 using qam::LinkStimulus;
 
-// Five-way differential for one directive set: golden interpreter,
-// rtl::Simulator, vsim-event, vsim-compiled and vsim-codegen all execute
-// the same link symbols (one sequential block — the decoder is stateful).
-// Any divergence fails named by leg. The shared elaborated Design is
-// load_design()ed ONCE and every vsim leg reuses it — the battery never
-// re-parses per leg.
-void run_five_way_battery(const Directives& dir, const std::string& name,
-                          int symbols) {
+// Six-way differential for one directive set: golden interpreter,
+// rtl::Simulator, vsim-event, vsim-compiled, vsim-codegen and
+// vsim-packed-codegen all execute the same link symbols (one sequential
+// block — the decoder is stateful). Any divergence fails named by leg. The
+// shared elaborated Design is load_design()ed ONCE and every vsim leg
+// reuses it — the battery never re-parses per leg. The packed leg runs the
+// block twice through a 2-lane engine and returns lane 0, so lane masking
+// itself is inside the differential, not just the scalar ABI.
+void run_six_way_battery(const Directives& dir, const std::string& name,
+                         int symbols) {
   const auto r =
       run_synthesis(qam::build_qam_decoder_ir(), dir, TechLibrary::asic90());
   const std::string verilog = rtl::emit_verilog(r.transformed, r.schedule);
@@ -70,6 +75,22 @@ void run_five_way_battery(const Directives& dir, const std::string& name,
     Simulation probe(design, codegen_cfg);
     if (codegen_available())
       ASSERT_STREQ(probe.backend(), "codegen")
+          << name << ": fell back: " << probe.fallback_reason();
+    else
+      ASSERT_STREQ(probe.backend(), "compiled") << name;
+  }
+  // The packed leg needs the shared compiled plan; with a toolchain it must
+  // run the generated lane-major engine, without one the interpreted packed
+  // tier — both stay in the differential.
+  std::string plan_why;
+  const auto plan = compiled_plan(design, &plan_why);
+  ASSERT_NE(plan, nullptr) << name << ": " << plan_why;
+  SimConfig packed_cfg;
+  packed_cfg.backend = Backend::kPackedCodegen;
+  {
+    PackedDutHarness probe(r.transformed, plan, 2, packed_cfg);
+    if (codegen_available())
+      ASSERT_STREQ(probe.backend(), "packed_codegen")
           << name << ": fell back: " << probe.fallback_reason();
     else
       ASSERT_STREQ(probe.backend(), "compiled") << name;
@@ -99,6 +120,18 @@ void run_five_way_battery(const Directives& dir, const std::string& name,
                                              codegen_cfg)](
                const std::vector<PortIo>& ins) { return h->run_stream(ins); };
   };
+  // Packed leg: duplicate the block across both lanes of a 2-lane engine
+  // and report lane 0. Lane 1 running the identical stream keeps the full
+  // execution mask populated, so masked stores, NBA lane planes and the
+  // divergence machinery are all live while the observable contract stays
+  // "one sequential block".
+  const hls::CosimFactory vsim_packed = [&] {
+    return [&r, plan, packed_cfg](const std::vector<PortIo>& ins) {
+      PackedDutHarness h(r.transformed, plan, 2, packed_cfg);
+      auto out = h.run_streams({ins, ins});
+      return out[0];
+    };
+  };
 
   LinkStimulus stim((LinkConfig()));
   const auto vectors =
@@ -108,7 +141,8 @@ void run_five_way_battery(const Directives& dir, const std::string& name,
        {"rtl", rtl_leg},
        {"vsim-event", vsim_event},
        {"vsim-compiled", vsim_compiled},
-       {"vsim-codegen", vsim_codegen}},
+       {"vsim-codegen", vsim_codegen},
+       {"vsim-packed-codegen", vsim_packed}},
       vectors, {.block_size = vectors.size(), .mismatch_limit = 8});
   EXPECT_TRUE(res.ok()) << name << ": "
                         << (res.mismatches.empty() ? ""
@@ -145,7 +179,7 @@ class CompiledEquiv : public ::testing::TestWithParam<int> {};
 TEST_P(CompiledEquiv, CompiledMatchesEventGoldenAndRtlBitForBit) {
   const auto archs = qam::exploration_architectures();
   const auto& a = archs[static_cast<size_t>(GetParam())];
-  run_five_way_battery(a.dir, a.name, 15);
+  run_six_way_battery(a.dir, a.name, 15);
 }
 
 std::string equiv_name(const ::testing::TestParamInfo<int>& info) {
@@ -162,7 +196,7 @@ INSTANTIATE_TEST_SUITE_P(AllArchitectures, CompiledEquiv,
 
 TEST(CompiledEquiv, Table1Rows) {
   for (const auto& a : qam::table1_architectures())
-    run_five_way_battery(a.dir, a.name, 12);
+    run_six_way_battery(a.dir, a.name, 12);
 }
 
 TEST(CompiledEquiv, RandomizedDirectiveSets) {
@@ -193,7 +227,7 @@ TEST(CompiledEquiv, RandomizedDirectiveSets) {
       dir.loops["dfe"].unroll = 1;
       dir.loops["dfe_adapt"].unroll = 1;
     }
-    run_five_way_battery(dir, "random#" + std::to_string(cfg), 10);
+    run_six_way_battery(dir, "random#" + std::to_string(cfg), 10);
   }
 }
 

@@ -23,6 +23,7 @@
 #include "qam/decoder_ir.h"
 #include "qam/link.h"
 #include "rtl/verilog.h"
+#include "vsim/codegen.h"
 #include "vsim/harness.h"
 #include "vsim/profile.h"
 
@@ -263,7 +264,7 @@ TEST(ProfileRun, ReportJsonRoundTripsWithEnvelope) {
   std::string err;
   ASSERT_TRUE(obs::Json::parse(text, &doc, &err)) << err;
   EXPECT_EQ(doc.find("tool")->as_string(), "hlsw.profile");
-  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 3);
   EXPECT_EQ(doc.find("ok")->as_bool(), true);
   EXPECT_EQ(doc.find("legs")->size(), 3u);
   EXPECT_EQ(doc.find("counter_map")->size(), res.counter_map.size());
@@ -364,7 +365,11 @@ TEST(ProfileRun, PackedAutoSelectionMatchesScalarBitForBit) {
   ASSERT_TRUE(packed.ok()) << packed.to_json().dump(2);
 
   ASSERT_EQ(packed.counters.size(), 3u);
-  ASSERT_EQ(packed.leg_backends[2], "compiled");
+  // The packed leg prefers the generated lane-major engine when a host
+  // toolchain exists and degrades to the interpreted tier otherwise.
+  const std::string want_packed_backend =
+      codegen_available() ? "packed_codegen" : "compiled";
+  ASSERT_EQ(packed.leg_backends[2], want_packed_backend);
   EXPECT_EQ(packed.leg_lanes[2], 4);
   EXPECT_EQ(packed.leg_lanes[0], 1);
   EXPECT_EQ(packed.leg_lanes[1], 1);
@@ -382,7 +387,7 @@ TEST(ProfileRun, PackedAutoSelectionMatchesScalarBitForBit) {
 
   // The selection is surfaced in profile_run.json per leg.
   const obs::Json doc = packed.to_json();
-  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 3);
   const obs::Json& legs = *doc.find("legs");
   ASSERT_EQ(legs.size(), 3u);
   EXPECT_EQ(legs.at(2).find("lanes")->as_int(), 4);

@@ -142,6 +142,19 @@ TEST(VsimSweep, RepeatSweepsShareOneParsedDesign) {
   EXPECT_EQ(m.counter_value("vsim.design_cache.misses"), misses0)
       << "re-sweeping the same design re-parsed it";
 
+  // The packed multi-lane path funnels through the same LRU: a lanes > 1
+  // re-sweep of the same text must also be pure cache hits, not a
+  // per-lane or per-batch re-elaboration.
+  const double hits1 = m.counter_value("vsim.design_cache.hits");
+  const double misses1 = m.counter_value("vsim.design_cache.misses");
+  const CosimResult packed = vsim_sweep(r.transformed, r.schedule, vectors,
+                                        {.block_size = 8, .lanes = 4});
+  EXPECT_TRUE(packed.ok());
+  EXPECT_GE(m.counter_value("vsim.design_cache.hits"), hits1 + 1.0)
+      << "packed re-sweep of the same design did not hit the design cache";
+  EXPECT_EQ(m.counter_value("vsim.design_cache.misses"), misses1)
+      << "packed re-sweep of the same design re-parsed it";
+
   obs::set_enabled(was_enabled);
 }
 
